@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one artifact of the paper (a table, the figure,
+or a quantified prose claim — see the experiment index in DESIGN.md).
+Results are printed and also written to ``benchmarks/results/<id>.txt``
+so ``pytest benchmarks/ --benchmark-only`` leaves a reviewable record;
+EXPERIMENTS.md summarizes paper-shape vs measured-shape.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width table with a title banner."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def report(experiment_id: str, title: str, headers, rows) -> str:
+    """Print the table and persist it under benchmarks/results/."""
+    text = format_table(f"[{experiment_id}] {title}", headers, rows)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{experiment_id}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    return text

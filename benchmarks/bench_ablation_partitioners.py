@@ -1,0 +1,62 @@
+"""X3 — partitioner quality across graph families.
+
+DESIGN.md's partitioning substrate backs experiments C8/T2/X2; this
+ablation checks the design choice held across structural regimes: the
+METIS-like multilevel partitioner must beat hash on edge cut for every
+graph family the benches use (grid, small-world, power-law, planted
+communities), with balance staying near 1.
+"""
+
+import pytest
+
+from _harness import report
+from repro.graph.generators import (
+    barabasi_albert,
+    grid_graph,
+    planted_partition,
+    watts_strogatz,
+)
+from repro.graph.partition import (
+    balance,
+    edge_cut_fraction,
+    hash_partition,
+    metis_like_partition,
+)
+
+
+def _run():
+    families = [
+        ("grid 14x14", grid_graph(14, 14)),
+        ("watts-strogatz", watts_strogatz(200, 6, 0.05, seed=1)),
+        ("barabasi-albert", barabasi_albert(200, 4, seed=1)),
+        ("planted 4x50", planted_partition(4, 50, 0.12, 0.005, seed=1)[0]),
+    ]
+    rows = []
+    for name, g in families:
+        hash_cut = edge_cut_fraction(g, hash_partition(g, 4))
+        metis = metis_like_partition(g, 4, seed=0)
+        metis_cut = edge_cut_fraction(g, metis)
+        rows.append(
+            [
+                name,
+                round(hash_cut, 3),
+                round(metis_cut, 3),
+                round(hash_cut / max(metis_cut, 1e-9), 1),
+                round(balance(metis), 3),
+            ]
+        )
+    return rows
+
+
+def test_ablation_x3_partitioners(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "X3",
+        "METIS-like vs hash edge cut across graph families (4 parts)",
+        ["graph family", "hash cut", "metis-like cut", "improvement x",
+         "metis balance"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] < row[1]          # metis-like wins everywhere
+        assert row[4] < 1.4             # while staying balanced

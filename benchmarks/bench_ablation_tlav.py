@@ -1,0 +1,123 @@
+"""X1 — ablation: the presenter-lineage TLAV optimizations.
+
+Section 7 of the paper credits the presenters with the BigGraph@CUHK
+TLAV stack: Pregel+ (message reduction by mirroring), Blogel
+(block-centric computation), Quegel (query-centric batching), GraphD
+(out-of-core execution) and LWCP (lightweight checkpointing).  Each of
+those systems' headline claims is reproduced here on one shared graph:
+
+* mirroring cuts broadcast messages at hub vertices;
+* block-centric WCC needs far fewer global rounds than vertex-centric;
+* batched point queries share superstep overhead;
+* out-of-core execution computes exact results with bounded message
+  memory (spilling the rest);
+* light checkpoints are smaller than full ones, while recovery stays
+  exact.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import report
+from repro.graph.generators import barabasi_albert, path_graph
+from repro.graph.io import save_adjacency
+from repro.graph.partition import hash_partition, range_partition
+from repro.tlav import (
+    CheckpointedEngine,
+    OutOfCoreEngine,
+    PointQuery,
+    QuegelEngine,
+    message_cost,
+    mirroring_plan,
+    wcc,
+)
+from repro.tlav.algorithms import WCCProgram
+from repro.tlav.blocks import wcc_blocks
+from repro.tlav.engine import PregelEngine
+
+
+def _run(tmp_dir):
+    import os
+
+    g = barabasi_albert(300, 4, seed=11)
+    rows = []
+
+    # Pregel+ mirroring.
+    partition = hash_partition(g, 8)
+    plan = mirroring_plan(g, partition, degree_threshold=12)
+    baseline, mirrored = message_cost(g, partition, plan)
+    rows.append(
+        ["Pregel+ mirroring (deg>=12)", f"{baseline} msgs",
+         f"{mirrored} msgs", f"-{100 * (1 - mirrored / baseline):.0f}%"]
+    )
+
+    # Blogel block-centric WCC on a high-diameter graph.
+    chain = path_graph(120)
+    engine = PregelEngine(chain, WCCProgram(), max_supersteps=300)
+    engine.run()
+    _, block_rounds = wcc_blocks(chain, range_partition(chain, 6))
+    rows.append(
+        ["Blogel WCC (path-120)", f"{engine.superstep} TLAV supersteps",
+         f"{block_rounds} block rounds",
+         f"{engine.superstep / block_rounds:.0f}x fewer"]
+    )
+
+    # Quegel query batching.
+    quegel = QuegelEngine(g)
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        quegel.submit(
+            PointQuery(int(rng.integers(300)), int(rng.integers(300)))
+        )
+    _, accounting = quegel.run()
+    rows.append(
+        ["Quegel (10 queries)",
+         f"{accounting['sequential_overhead']:.0f} solo overhead",
+         f"{accounting['shared_overhead']:.0f} shared",
+         f"-{100 * (1 - accounting['shared_overhead'] / accounting['sequential_overhead']):.0f}%"]
+    )
+
+    # GraphD out-of-core.
+    edge_path = os.path.join(tmp_dir, "g.adj")
+    save_adjacency(g, edge_path)
+    ooc = OutOfCoreEngine(
+        edge_path, g.num_vertices, WCCProgram(),
+        max_supersteps=200, message_buffer_limit=200,
+    )
+    values = ooc.run()
+    assert values == wcc(g).tolist()
+    rows.append(
+        ["GraphD out-of-core WCC", f"buffer 200 msgs",
+         f"{ooc.io.message_bytes_spilled} B spilled", "exact result"]
+    )
+
+    # LWCP checkpointing.
+    light = CheckpointedEngine(g, WCCProgram(), checkpoint_interval=2, mode="light")
+    light.inject_failure(3)
+    v_light = light.run()
+    full = CheckpointedEngine(g, WCCProgram(), checkpoint_interval=2, mode="full")
+    full.inject_failure(3)
+    v_full = full.run()
+    assert v_light == v_full == wcc(g).tolist()
+    rows.append(
+        ["LWCP vs full checkpoints", f"{full.stats.checkpoint_bytes} B full",
+         f"{light.stats.checkpoint_bytes} B light",
+         f"-{100 * (1 - light.stats.checkpoint_bytes / full.stats.checkpoint_bytes):.0f}%"]
+    )
+    return rows
+
+
+def test_ablation_x1_tlav(benchmark, tmp_path):
+    rows = benchmark.pedantic(_run, args=(str(tmp_path),), rounds=1, iterations=1)
+    report(
+        "X1",
+        "Presenter-lineage TLAV optimizations (Pregel+/Blogel/Quegel/GraphD/LWCP)",
+        ["system claim", "baseline", "optimized", "effect"],
+        rows,
+    )
+    # Every optimization moved its metric the claimed direction.
+    assert "-" in rows[0][3]
+    assert "fewer" in rows[1][3]
+    assert "-" in rows[2][3]
+    assert rows[3][3] == "exact result"
+    assert "-" in rows[4][3]

@@ -1,0 +1,59 @@
+"""C13 — feature caching of hot vertices cuts remote fetch traffic.
+
+Paper claim (Section 3): AliGraph caches "important" vertices and BGL
+adds dynamic caching because sampled GNN training's vertex accesses are
+heavily skewed.
+
+Reproduced shape: hit rate grows with capacity; on power-law access
+traces the static degree cache beats LRU at equal capacity; bytes
+saved scale with hits.
+"""
+
+import pytest
+
+from _harness import report
+from repro.gnn.caching import (
+    LRUCache,
+    StaticDegreeCache,
+    access_trace_from_sampling,
+    replay,
+)
+from repro.graph.generators import barabasi_albert
+
+
+def _run():
+    g = barabasi_albert(800, 5, seed=6)
+    trace = access_trace_from_sampling(
+        g, list(range(0, 800, 4)), fanouts=(5, 5), batch_size=25,
+        epochs=2, seed=0,
+    )
+    rows = []
+    for capacity in (0, 20, 80, 320):
+        degree = replay(trace, StaticDegreeCache(g, capacity), feature_dim=64)
+        lru = replay(trace, LRUCache(capacity), feature_dim=64)
+        rows.append(
+            [
+                capacity,
+                round(degree.hit_rate, 3),
+                round(lru.hit_rate, 3),
+                degree.bytes_saved,
+                degree.bytes_fetched,
+            ]
+        )
+    return rows, len(trace)
+
+
+def test_claim_c13_caching(benchmark):
+    rows, accesses = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "C13",
+        f"Feature caches over a sampled-training trace ({accesses} accesses)",
+        ["capacity", "degree-cache hit rate", "LRU hit rate",
+         "bytes saved", "bytes fetched"],
+        rows,
+    )
+    degree_rates = [row[1] for row in rows]
+    assert degree_rates == sorted(degree_rates)   # monotone in capacity
+    assert degree_rates[-1] > 0.3                 # skew pays off
+    for row in rows[1:]:
+        assert row[1] >= row[2]                   # AliGraph bet holds

@@ -1,0 +1,91 @@
+"""C3 — matching order and compilation decide enumeration cost.
+
+Paper claim (Section 2): AutoMine/GraphPi/GraphZero win by choosing the
+vertex matching order (different orders lead to very different costs)
+and by compiling pattern-specific enumeration code; symmetry-breaking
+restrictions remove automorphic duplicates.
+
+Reproduced shape, per pattern: (a) the planner's order does several
+times less search work than the worst connected order; (b) the compiled
+matcher beats the interpreted kernel on the same order; (c) disabling
+restrictions multiplies the result count by exactly |Aut(P)|.
+"""
+
+import time
+
+import pytest
+
+from _harness import report
+from repro.graph.generators import barabasi_albert
+from repro.matching.backtrack import MatchStats, match
+from repro.matching.codegen import compile_matcher, prepare_adjacency
+from repro.matching.pattern import (
+    automorphisms,
+    diamond_pattern,
+    house_pattern,
+    tailed_triangle_pattern,
+)
+from repro.matching.plan import GraphStats, Planner
+
+
+def _work(graph, pattern, order):
+    stats = MatchStats()
+    match(graph, pattern, order=order, stats=stats)
+    return stats.candidates_scanned, stats.embeddings
+
+
+def _run():
+    g = barabasi_albert(300, 4, seed=6)
+    planner = Planner(GraphStats.of(g))
+    adj, adjset = prepare_adjacency(g)
+    rows = []
+    for pattern, name in [
+        (tailed_triangle_pattern(), "tailed-tri"),
+        (diamond_pattern(), "diamond"),
+        (house_pattern(), "house"),
+    ]:
+        best = planner.plan(pattern)
+        worst = planner.worst_plan(pattern)
+        best_work, count = _work(g, pattern, best.order)
+        worst_work, count_w = _work(g, pattern, worst.order)
+        assert count == count_w
+
+        t0 = time.perf_counter()
+        func = compile_matcher(pattern, order=best.order)
+        compiled_count = func(adj, adjset, g.num_vertices)
+        compiled_s = time.perf_counter() - t0
+        assert compiled_count == count
+
+        t0 = time.perf_counter()
+        _work(g, pattern, best.order)
+        interp_s = time.perf_counter() - t0
+
+        no_restr = match(g, pattern, order=best.order, restrictions=[])
+        rows.append(
+            [
+                name,
+                count,
+                best_work,
+                worst_work,
+                round(worst_work / max(best_work, 1), 1),
+                round(interp_s / max(compiled_s, 1e-9), 1),
+                no_restr // max(count, 1),
+                len(automorphisms(pattern)),
+            ]
+        )
+    return rows
+
+
+def test_claim_c3_matching_order(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "C3",
+        "Matching order, compilation, and symmetry breaking",
+        ["pattern", "instances", "best-order work", "worst-order work",
+         "worst/best", "compile speedup", "dup factor", "|Aut|"],
+        rows,
+    )
+    for row in rows:
+        assert row[4] > 1.5      # order matters
+        assert row[5] > 2.0      # compilation wins
+        assert row[6] == row[7]  # duplicates = |Aut| exactly

@@ -1,0 +1,129 @@
+"""C16 — neural subgraph methods and Subgraph-GNN expressiveness.
+
+Paper claims (Section 1): GNNs approximate subgraph search — neural
+subgraph matching [61] and neural subgraph counting [40] — "where
+considering subgraph structures were found essential"; and Subgraph
+GNNs [5, 12] "which model graphs as collections of subgraphs are found
+to be more expressive than regular GNNs".  EXACT [23] additionally
+compresses training activations to extreme bit widths.
+
+Reproduced shapes: the order-embedding matcher beats chance on exact
+ground truth (but stays approximate); the count regressor correlates
+strongly with exact counts; the node-deleted Subgraph GNN separates the
+C6-vs-2xC3 pair that 1-WL (and the plain GCN, bit-identically) cannot;
+2-bit activation storage saves >60% activation memory at bounded
+accuracy cost.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import report
+from repro.graph.csr import Graph
+from repro.graph.generators import erdos_renyi, planted_partition
+from repro.gnn.activation_compression import train_compressed
+from repro.gnn.models import NodeClassifier
+from repro.gnn.neural_matching import NeuralMatcher, make_training_pairs
+from repro.gnn.subgraph_gnn import (
+    PlainGraphGNN,
+    SubgraphGNN,
+    evaluate,
+    train_graph_classifier,
+    wl_indistinguishable,
+)
+from repro.matching.backtrack import count_matches
+from repro.matching.pattern import triangle_pattern
+
+
+def _run():
+    rows = []
+
+    # Neural subgraph matching.
+    pairs = make_training_pairs(24, target_size=12, pattern_size=4, seed=3)
+    matcher = NeuralMatcher(dim=12, hidden=16, seed=0)
+    matcher.fit(pairs, epochs=15, lr=0.02)
+    fresh = make_training_pairs(16, target_size=12, pattern_size=4, seed=77)
+
+    def acc(dataset):
+        return sum(
+            1
+            for p, t, label in dataset
+            if matcher.predict_contains(p, t) == bool(label)
+        ) / len(dataset)
+
+    rows.append(
+        ["neural matching [61]", "containment accuracy",
+         round(acc(pairs), 3), round(acc(fresh), 3)]
+    )
+
+    # Neural counting.
+    graphs = [
+        erdos_renyi(14, p, seed=s) for s in range(12) for p in (0.1, 0.3, 0.5)
+    ]
+    matcher.fit_count(graphs, triangle_pattern())
+    truth = np.array(
+        [count_matches(g, triangle_pattern()) for g in graphs], float
+    )
+    approx = np.array([matcher.count_estimate(g) for g in graphs])
+    corr = float(np.corrcoef(truth, approx)[0, 1])
+    rows.append(
+        ["neural counting [40]", "corr(exact, estimate)", round(corr, 3), "-"]
+    )
+
+    # Subgraph GNN expressiveness.
+    c6 = Graph.from_edges([(i, (i + 1) % 6) for i in range(6)])
+    two_tri = Graph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+    )
+    assert wl_indistinguishable(c6, two_tri)
+    plain = PlainGraphGNN(seed=0)
+    train_graph_classifier(plain, [c6, two_tri], [0, 1], epochs=60, lr=0.05)
+    sub = SubgraphGNN(seed=0)
+    train_graph_classifier(sub, [c6, two_tri], [0, 1], epochs=150, lr=0.05)
+    rows.append(
+        ["Subgraph GNN [5,12]", "C6 vs 2xC3 accuracy",
+         evaluate(plain, [c6, two_tri], [0, 1]),
+         evaluate(sub, [c6, two_tri], [0, 1])]
+    )
+
+    # EXACT activation compression.
+    g, labels = planted_partition(3, 20, 0.2, 0.01, seed=4)
+    n = g.num_vertices
+    rng = np.random.default_rng(0)
+    features = np.eye(3)[labels] + rng.normal(0, 1.2, size=(n, 3))
+    train_mask = np.zeros(n, dtype=bool)
+    train_mask[rng.permutation(n)[:30]] = True
+    exact = train_compressed(
+        NodeClassifier(3, 8, 3, seed=0), g, features, labels,
+        train_mask, ~train_mask, bits=None, epochs=20, lr=0.05,
+    )
+    low_bit = train_compressed(
+        NodeClassifier(3, 8, 3, seed=0), g, features, labels,
+        train_mask, ~train_mask, bits=2, epochs=20, lr=0.05,
+    )
+    rows.append(
+        ["EXACT int2 activations [23]",
+         f"memory ratio {low_bit.memory_ratio:.2f}",
+         round(exact.report.final_val_accuracy, 3),
+         round(low_bit.report.final_val_accuracy, 3)]
+    )
+    return rows
+
+
+def test_claim_c16_neural(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "C16",
+        "Neural subgraph methods, Subgraph GNNs, activation compression",
+        ["method", "metric", "baseline/train", "neural/test"],
+        rows,
+    )
+    matching = rows[0]
+    assert matching[2] > 0.7 and matching[3] > 0.6  # beats chance
+    counting = rows[1]
+    assert counting[2] > 0.8
+    expressiveness = rows[2]
+    assert expressiveness[2] == 0.5   # plain GCN pinned at chance
+    assert expressiveness[3] == 1.0   # subgraph GNN separates
+    compression = rows[3]
+    assert compression[3] >= compression[2] - 0.3

@@ -1,0 +1,87 @@
+"""C8 — partitioning policy decides cross-machine GNN traffic.
+
+Paper claims (Section 3): DistDGL/DGCL minimize cross-machine
+communication with METIS-style edge cuts; ByteGNN/BGL argue a global
+minimum cut is the wrong objective for GNN workloads and over-partition
+by BFS from train/val/test seeds (the graph Voronoi diagram), streaming
+blocks to workers; DistGNN prefers a vertex-cut.
+
+Reproduced shape: identical training trajectories under every
+partition (the trainer is synchronous), but halo traffic ranks
+hash > range > metis-like, with BFS-Voronoi competitive on
+seed-local workloads; vertex-cut replication factor stays small.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import report
+from repro.gnn.distributed import DistributedTrainer
+from repro.gnn.models import NodeClassifier
+from repro.graph.generators import planted_partition
+from repro.graph.partition import (
+    bfs_voronoi_partition,
+    edge_cut_fraction,
+    hash_partition,
+    metis_like_partition,
+    range_partition,
+    replication_factor,
+    vertex_cut_partition,
+)
+
+
+def _run():
+    g, labels = planted_partition(4, 30, p_in=0.15, p_out=0.01, seed=7)
+    n = g.num_vertices
+    rng = np.random.default_rng(3)
+    features = np.eye(4)[labels] + rng.normal(0, 1.0, size=(n, 4))
+    train_mask = np.zeros(n, dtype=bool)
+    train_mask[rng.permutation(n)[: n // 3]] = True
+    seeds = list(np.nonzero(train_mask)[0][:16])
+
+    partitions = [
+        ("hash", hash_partition(g, 4)),
+        ("range", range_partition(g, 4)),
+        ("metis-like", metis_like_partition(g, 4, seed=0)),
+        ("bfs-voronoi", bfs_voronoi_partition(g, 4, seeds=seeds)),
+    ]
+    rows = []
+    losses = None
+    for name, partition in partitions:
+        trainer = DistributedTrainer(
+            NodeClassifier(4, 8, 4, seed=0), g, partition, features, labels,
+            lr=0.05,
+        )
+        rep = trainer.train(train_mask, epochs=4)
+        if losses is None:
+            losses = rep.losses
+        assert np.allclose(rep.losses, losses)  # same learning everywhere
+        rows.append(
+            [
+                name,
+                round(edge_cut_fraction(g, partition), 3),
+                trainer.bytes_by_tag()["halo"],
+                trainer.bytes_by_tag()["grad-sync"],
+            ]
+        )
+    vc = vertex_cut_partition(g, 4, seed=0)
+    rows.append(
+        ["vertex-cut (RF)", round(replication_factor(g, vc), 3), "-", "-"]
+    )
+    return rows
+
+
+def test_claim_c8_partitioning(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "C8",
+        "2-layer GCN over 4 workers: partition policy vs halo traffic",
+        ["partitioner", "edge cut / RF", "halo bytes", "grad-sync bytes"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    assert by_name["metis-like"][2] < by_name["hash"][2]
+    assert by_name["bfs-voronoi"][2] < by_name["hash"][2]
+    # Gradient sync identical: partitioning only moves the halo term.
+    sync = {row[3] for row in rows[:4]}
+    assert len(sync) == 1

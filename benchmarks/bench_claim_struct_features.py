@@ -1,0 +1,64 @@
+"""C14 — structural pattern features power graph classification.
+
+Paper claim (Section 1): "frequent subgraph structural patterns have
+been found informative in conventional models for graph classification
+and regression" [28, 31], and classic structural features can outperform
+embedding methods [35].
+
+Reproduced shape: on a two-class molecule-like database with a planted
+labeled motif, FSM-derived pattern features beat a degree-histogram
+baseline with the same shallow classifier.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import report
+from repro.core.features import logistic_regression
+from repro.core.structure_features import (
+    degree_histogram_features,
+    pattern_feature_matrix,
+)
+from repro.graph.csr import Graph
+from repro.graph.generators import random_labeled_transactions
+from repro.graph.transactions import TransactionDatabase
+
+
+def _run():
+    motif = Graph.from_edges(
+        [(0, 1), (1, 2), (2, 0)], vertex_labels=[1, 1, 1]
+    )
+    pos = random_labeled_transactions(
+        24, 9, 0.15, 2, seed=1, planted=motif, plant_fraction=1.0
+    )
+    neg = random_labeled_transactions(24, 9, 0.15, 2, seed=2, id_offset=24)
+    db = TransactionDatabase(pos + neg)
+    labels = np.array([1] * 24 + [0] * 24)
+    rng = np.random.default_rng(7)
+    train = np.zeros(len(db), dtype=bool)
+    train[rng.permutation(len(db))[:32]] = True
+    test = ~train
+
+    rows = []
+    x_pat, patterns = pattern_feature_matrix(db, min_support=12, max_edges=3)
+    x_deg = degree_histogram_features(db)
+    for name, x in [("FSM pattern features", x_pat), ("degree histogram", x_deg)]:
+        model = logistic_regression(x[train], labels[train], epochs=300)
+        acc_train = model.score(x[train], labels[train])
+        acc_test = model.score(x[test], labels[test])
+        rows.append([name, x.shape[1], round(acc_train, 3), round(acc_test, 3)])
+    rows.append(["(mined patterns)", len(patterns), "-", "-"])
+    return rows
+
+
+def test_claim_c14_struct_features(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "C14",
+        "Graph classification: pattern features vs degree baseline",
+        ["featurization", "dims/patterns", "train acc", "test acc"],
+        rows,
+    )
+    fsm, degree = rows[0], rows[1]
+    assert fsm[3] >= degree[3]
+    assert fsm[3] > 0.7

@@ -1,0 +1,63 @@
+"""C4 — task splitting + work stealing balance skewed subgraph search.
+
+Paper claim (Section 2): G-thinker-family systems achieve load balancing
+on power-law graphs by decomposing heavy tasks and letting idle workers
+steal; STMatch/T-DFS do the same per warp on GPUs.
+
+Reproduced shape: on a Barabási–Albert graph, maximal-clique mining
+without stealing leaves workers idle (balance >> 1); enabling stealing
+plus budget-triggered splitting brings the makespan close to ideal.
+"""
+
+import pytest
+
+from _harness import report
+from repro.graph.generators import barabasi_albert
+from repro.tlag.engine import TaskEngine
+from repro.tlag.programs import MaximalCliqueProgram
+
+
+def _run():
+    g = barabasi_albert(500, 8, seed=4)
+    rows = []
+    configs = [
+        ("static (no steal)", dict(steal=False, task_budget=None)),
+        ("steal only", dict(steal=True, task_budget=None)),
+        ("steal + split", dict(steal=True, task_budget=100)),
+    ]
+    reference = None
+    for name, kwargs in configs:
+        engine = TaskEngine(
+            g, MaximalCliqueProgram(), num_workers=16,
+            collect_results=True, **kwargs,
+        )
+        results = sorted(engine.run())
+        if reference is None:
+            reference = results
+        assert results == reference
+        rows.append(
+            [
+                name,
+                engine.stats.tasks_executed,
+                engine.stats.tasks_forked,
+                engine.stats.steals,
+                engine.stats.makespan,
+                round(engine.stats.balance, 3),
+            ]
+        )
+    return rows
+
+
+def test_claim_c4_work_stealing(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "C4",
+        "Maximal cliques on a power-law graph, 16 workers",
+        ["config", "tasks", "forked", "steals", "makespan", "balance"],
+        rows,
+    )
+    static, steal, split = rows
+    assert steal[5] <= static[5]               # stealing improves balance
+    assert split[5] <= static[5]               # so does steal + split
+    assert split[4] <= static[4]               # makespan improves
+    assert split[2] > 0 and split[3] > 0       # splitting/stealing active

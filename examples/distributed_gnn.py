@@ -1,0 +1,90 @@
+"""Distributed GNN training with the Table-2 techniques, step by step.
+
+Starts from a naive hash-partitioned synchronous trainer and layers on
+the techniques the tutorial surveys, printing the traffic/quality trade
+at each step:
+
+    baseline -> METIS-like partitioning -> int4 halo quantization with
+    error feedback -> bounded staleness -> delayed halo refresh.
+
+Run with::
+
+    python examples/distributed_gnn.py
+"""
+
+import numpy as np
+
+from repro.gnn.distributed import DistributedTrainer
+from repro.gnn.models import NodeClassifier
+from repro.gnn.staleness import train_delayed_halo, train_stale_gradients
+from repro.graph.generators import planted_partition
+from repro.graph.partition import (
+    edge_cut_fraction,
+    hash_partition,
+    metis_like_partition,
+)
+
+
+def main() -> None:
+    graph, labels = planted_partition(4, 35, p_in=0.14, p_out=0.008, seed=17)
+    n = graph.num_vertices
+    rng = np.random.default_rng(2)
+    features = np.eye(4)[labels] + rng.normal(0, 1.2, size=(n, 4))
+    train_mask = np.zeros(n, dtype=bool)
+    train_mask[rng.permutation(n)[: n // 2]] = True
+    val_mask = ~train_mask
+    print(f"task: {graph}, 4 workers, 2-layer GCN\n")
+
+    def row(name, bytes_remote, accuracy):
+        print(f"{name:<42} remote {bytes_remote:>12,} B   val acc {accuracy:.3f}")
+
+    # Baseline: hash partition, exact halos, synchronous.
+    p_hash = hash_partition(graph, 4)
+    trainer = DistributedTrainer(
+        NodeClassifier(4, 16, 4, seed=0), graph, p_hash, features, labels,
+        lr=0.05,
+    )
+    rep = trainer.train(train_mask, val_mask, epochs=25)
+    row(f"hash partition (cut {edge_cut_fraction(graph, p_hash):.2f})",
+        trainer.remote_bytes, rep.final_val_accuracy)
+
+    # Better placement (DistDGL / METIS).
+    p_metis = metis_like_partition(graph, 4, seed=0)
+    trainer = DistributedTrainer(
+        NodeClassifier(4, 16, 4, seed=0), graph, p_metis, features, labels,
+        lr=0.05,
+    )
+    rep = trainer.train(train_mask, val_mask, epochs=25)
+    row(f"+ metis-like partition (cut {edge_cut_fraction(graph, p_metis):.2f})",
+        trainer.remote_bytes, rep.final_val_accuracy)
+
+    # Compressed halos (EC-Graph-style int4 with error feedback).
+    trainer = DistributedTrainer(
+        NodeClassifier(4, 16, 4, seed=0), graph, p_metis, features, labels,
+        lr=0.05, halo_bits=4, error_feedback=True,
+    )
+    rep = trainer.train(train_mask, val_mask, epochs=25)
+    row("+ int4 halo quantization + error feedback",
+        trainer.remote_bytes, rep.final_val_accuracy)
+
+    # Bounded staleness (Dorylus/P3-style async application).
+    rep = train_stale_gradients(
+        NodeClassifier(4, 16, 4, seed=0), graph, features, labels,
+        train_mask, val_mask, staleness=2, epochs=40, lr=0.05,
+    )
+    print(f"{'+ bounded staleness s=2 (pipelined)':<42} "
+          f"{'(same traffic, higher utilization)':>25}   "
+          f"val acc {rep.final_val_accuracy:.3f}")
+
+    # Delayed halo refresh (DistGNN cd-r).
+    rep, exchanges, saved = train_delayed_halo(
+        NodeClassifier(4, 16, 4, seed=0), graph, p_metis, features, labels,
+        train_mask, val_mask, refresh_every=4, epochs=40, lr=0.05,
+    )
+    print(f"{'+ delayed halo refresh r=4 (DistGNN)':<42} "
+          f"{f'{exchanges} syncs, {saved} saved':>25}   "
+          f"val acc {rep.final_val_accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Bioinformatics-flavoured FSM: mine molecules, classify by structure.
+
+The tutorial's "Structure Analytics + ML" path (Figure 1), on a
+synthetic molecule database: positive-class molecules embed a labeled
+ring motif (a functional group), negatives do not.  We
+
+1. mine frequent subgraph patterns with gSpan (via the PrefixFPM
+   task-parallel framework);
+2. turn pattern containment into feature vectors;
+3. train a shallow classifier and compare against a degree-histogram
+   baseline (the gBoost [31] story).
+
+Run with::
+
+    python examples/molecule_mining.py
+"""
+
+import numpy as np
+
+from repro.core.features import logistic_regression
+from repro.core.structure_features import (
+    degree_histogram_features,
+    pattern_feature_matrix,
+)
+from repro.fsm.prefixfpm import GraphPatterns, PrefixMiner
+from repro.graph.csr import Graph
+from repro.graph.generators import random_labeled_transactions
+from repro.graph.transactions import TransactionDatabase
+
+
+def main() -> None:
+    # A triangular "functional group" with atom label 1.
+    functional_group = Graph.from_edges(
+        [(0, 1), (1, 2), (2, 0)], vertex_labels=[1, 1, 1]
+    )
+    positives = random_labeled_transactions(
+        30, 10, 0.12, 3, seed=1, planted=functional_group, plant_fraction=1.0
+    )
+    negatives = random_labeled_transactions(
+        30, 10, 0.12, 3, seed=2, id_offset=30
+    )
+    database = TransactionDatabase(positives + negatives)
+    labels = np.array([1] * 30 + [0] * 30)
+    print(f"molecule database: {len(database)} graphs, "
+          f"{len(positives)} with the planted functional group\n")
+
+    # ------------------------------------------------------------------
+    # Mine frequent patterns with the task-parallel PrefixFPM framework.
+    # ------------------------------------------------------------------
+    miner = PrefixMiner(
+        GraphPatterns(database, max_edges=3), min_support=15, num_workers=4
+    )
+    mined = miner.run()
+    print(f"PrefixFPM mined {len(mined)} frequent patterns "
+          f"(minsup=15, <=3 edges) across {miner.stats.tasks} tasks, "
+          f"balance {miner.stats.balance:.2f}")
+    ring_patterns = [
+        code for code, _ in mined
+        if len(code) == 3 and code.num_vertices() == 3
+    ]
+    print(f"  of which {len(ring_patterns)} are 3-rings "
+          "(the planted group among them)\n")
+
+    # ------------------------------------------------------------------
+    # Featurize and classify.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(3)
+    train = np.zeros(len(database), dtype=bool)
+    train[rng.permutation(len(database))[:40]] = True
+    test = ~train
+
+    x_patterns, patterns = pattern_feature_matrix(
+        database, min_support=15, max_edges=3, max_patterns=32
+    )
+    model = logistic_regression(x_patterns[train], labels[train], epochs=300)
+    acc_patterns = float(
+        (model.predict(x_patterns[test]) == labels[test]).mean()
+    )
+
+    x_degree = degree_histogram_features(database)
+    baseline = logistic_regression(x_degree[train], labels[train], epochs=300)
+    acc_degree = float(
+        (baseline.predict(x_degree[test]) == labels[test]).mean()
+    )
+
+    print(f"pattern features ({x_patterns.shape[1]} dims): "
+          f"test accuracy {acc_patterns:.3f}")
+    print(f"degree baseline  ({x_degree.shape[1]} dims): "
+          f"test accuracy {acc_degree:.3f}")
+    print("\nstructural features win -> the motivation for scalable "
+          "subgraph-search systems (Section 2 of the tutorial)")
+
+
+if __name__ == "__main__":
+    main()

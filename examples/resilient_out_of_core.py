@@ -1,0 +1,109 @@
+"""Production concerns for TLAV analytics: memory limits, crashes, queries.
+
+The BigGraph@CUHK lineage the tutorial's presenters built (Section 7)
+addressed the unglamorous parts of running vertex-centric analytics in
+production.  This example exercises three of them on one graph:
+
+1. **GraphD** — the graph does not fit in memory: PageRank runs from an
+   on-disk adjacency file with a bounded message buffer;
+2. **LWCP** — a worker crashes mid-run: the checkpointed engine
+   recovers and still produces the exact answer;
+3. **Quegel** — analysts fire point-to-point distance queries at the
+   same deployment, batched so they share superstep overhead.
+
+Run with::
+
+    python examples/resilient_out_of_core.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.graph.generators import barabasi_albert
+from repro.graph.io import save_adjacency
+from repro.tlav import (
+    CheckpointedEngine,
+    OutOfCoreEngine,
+    PointQuery,
+    QuegelEngine,
+    pagerank,
+)
+from repro.tlav.algorithms import PageRankProgram, WCCProgram
+from repro.tlav.engine import Aggregator
+
+
+def main() -> None:
+    graph = barabasi_albert(1500, 4, seed=29)
+    print(f"graph: {graph}\n")
+
+    # ------------------------------------------------------------------
+    # 1. Out-of-core PageRank (GraphD).
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as workdir:
+        edge_path = os.path.join(workdir, "graph.adj")
+        save_adjacency(graph, edge_path)
+        file_mb = os.path.getsize(edge_path) / 1e6
+        aggregators = {"dangling": Aggregator(reduce=lambda a, b: a + b)}
+        engine = OutOfCoreEngine(
+            edge_path, graph.num_vertices,
+            PageRankProgram(iterations=10),
+            aggregators=aggregators, max_supersteps=12,
+            message_buffer_limit=2000, workdir=workdir,
+        )
+        values = engine.run()
+        reference = pagerank(graph, iterations=10)
+        print("GraphD out-of-core PageRank")
+        print(f"  edge file {file_mb:.2f} MB, streamed "
+              f"{engine.io.edge_bytes_read / 1e6:.2f} MB over "
+              f"{engine.io.supersteps} supersteps")
+        print(f"  spilled {engine.io.message_bytes_spilled / 1e6:.2f} MB of "
+              f"messages (buffer capped at 2000)")
+        print(f"  exact match with in-memory engine: "
+              f"{bool(np.allclose(values, reference))}\n")
+
+    # ------------------------------------------------------------------
+    # 2. Crash + recovery (LWCP).
+    # ------------------------------------------------------------------
+    engine = CheckpointedEngine(
+        graph, WCCProgram(), checkpoint_interval=2, mode="light"
+    )
+    engine.inject_failure(3)
+    values = engine.run()
+    from repro.tlav import wcc
+
+    print("LWCP crash recovery (failure injected at superstep 3)")
+    print(f"  checkpoints: {engine.stats.checkpoints_taken} light snapshots, "
+          f"{engine.stats.checkpoint_bytes / 1e3:.1f} KB total")
+    print(f"  supersteps replayed after the crash: "
+          f"{engine.stats.supersteps_replayed}")
+    print(f"  result identical to failure-free run: "
+          f"{values == wcc(graph).tolist()}\n")
+
+    # ------------------------------------------------------------------
+    # 3. Batched point queries (Quegel).
+    # ------------------------------------------------------------------
+    server = QuegelEngine(graph, superstep_overhead=1.0)
+    rng = np.random.default_rng(5)
+    pairs = [
+        (int(rng.integers(graph.num_vertices)),
+         int(rng.integers(graph.num_vertices)))
+        for _ in range(12)
+    ]
+    for s, t in pairs:
+        server.submit(PointQuery(s, t))
+    outcomes, accounting = server.run()
+    print("Quegel batched distance queries")
+    print(f"  {len(pairs)} queries answered in "
+          f"{accounting['global_supersteps']:.0f} shared supersteps")
+    print(f"  overhead: {accounting['shared_overhead']:.0f} shared vs "
+          f"{accounting['sequential_overhead']:.0f} one-at-a-time "
+          f"({accounting['overhead_saving']:.0f} saved)")
+    sample = outcomes[0]
+    print(f"  e.g. dist({pairs[0][0]}, {pairs[0][1]}) = {sample.distance}, "
+          f"touching {sample.vertices_touched} vertices")
+
+
+if __name__ == "__main__":
+    main()

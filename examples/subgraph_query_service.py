@@ -1,0 +1,61 @@
+"""An interactive subgraph query service (the G-thinkerQ scenario).
+
+Simulates an analyst session against one loaded social graph: a stream
+of subgraph queries of very different sizes arrives, and the shared
+task-based server interleaves them so small queries return immediately
+while a heavy enumeration keeps running.
+
+Run with::
+
+    python examples/subgraph_query_service.py
+"""
+
+from repro.graph.generators import barabasi_albert
+from repro.matching.pattern import (
+    clique_pattern,
+    cycle_pattern,
+    diamond_pattern,
+    path_pattern,
+    tailed_triangle_pattern,
+    triangle_pattern,
+)
+from repro.tlag.query import Query, QueryServer
+
+
+def main() -> None:
+    graph = barabasi_albert(400, 4, seed=33)
+    print(f"loaded graph: {graph}\n")
+
+    # A long analytical job arrives first; quick lookups trickle in
+    # behind it — the sequencing where one-job-at-a-time hurts most.
+    session = [
+        ("heavy: tailed triangles", tailed_triangle_pattern()),
+        ("heavy: 4-cycles", cycle_pattern(4)),
+        ("heavy: all diamonds", diamond_pattern()),
+        ("quick: edges", path_pattern(2)),
+        ("quick: triangles", triangle_pattern()),
+        ("quick: 4-cliques", clique_pattern(4)),
+    ]
+
+    shared = QueryServer(graph, num_workers=8)
+    sequential = QueryServer(graph, num_workers=8)
+    for _, pattern in session:
+        shared.submit(Query(pattern))
+        sequential.submit(Query(pattern))
+
+    shared_results = shared.serve()
+    sequential_results = sequential.run_sequentially()
+
+    print(f"{'query':<24} {'results':>9} {'shared t':>10} {'sequential t':>13}")
+    for (name, _), a, b in zip(session, shared_results, sequential_results):
+        print(f"{name:<24} {a.embeddings:>9} {a.completion_time:>10} "
+              f"{b.completion_time:>13}")
+    mean_shared = sum(r.completion_time for r in shared_results) / len(session)
+    mean_seq = sum(r.completion_time for r in sequential_results) / len(session)
+    print(f"\nmean response time: shared {mean_shared:,.0f} ops vs "
+          f"sequential {mean_seq:,.0f} ops "
+          f"({mean_seq / mean_shared:.2f}x better interactively)")
+
+
+if __name__ == "__main__":
+    main()

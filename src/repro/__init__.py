@@ -1,0 +1,38 @@
+"""repro: systems for scalable graph analytics and machine learning.
+
+A from-scratch Python reproduction of the system families surveyed in
+"Systems for Scalable Graph Analytics and Machine Learning: Trends and
+Methods" (Yan, Yuan, Ahmad, Adhikari; PVLDB 18(12), 2025 / EDBT 2025):
+
+* :mod:`repro.graph` -- CSR graph substrate, generators, I/O, partitioners;
+* :mod:`repro.cluster` -- simulated workers/links with traffic accounting;
+* :mod:`repro.tlav` -- think-like-a-vertex (Pregel-family) engines;
+* :mod:`repro.tlag` -- think-like-a-task engines for subgraph search
+  (DFS tasks + stealing, BFS extension, AIMD chunking, BFS-DFS hybrid,
+  warp-level GPU simulation, interactive querying);
+* :mod:`repro.matching` -- patterns, matching orders, codegen, cliques;
+* :mod:`repro.fsm` -- gSpan, PrefixFPM, single-graph MNI mining;
+* :mod:`repro.gnn` -- numpy autograd, GCN/SAGE/GAT, sampling, and the
+  distributed-training technique set of the paper's Table 2;
+* :mod:`repro.core` -- the Figure-1 pipeline API and the Tables-1/2
+  taxonomy.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table, figure and quantified claim.
+"""
+
+__version__ = "1.0.0"
+
+from . import cluster, core, fsm, gnn, graph, matching, tlag, tlav
+
+__all__ = [
+    "graph",
+    "cluster",
+    "tlav",
+    "tlag",
+    "matching",
+    "fsm",
+    "gnn",
+    "core",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Simulated cluster: workers, links, and traffic accounting.
+
+Stands in for the multi-machine testbeds of the surveyed systems (see
+DESIGN.md, *Substitutions*).  The tutorial's distributed claims are about
+communication volume, balance, and overlap — quantities this simulator
+measures exactly.
+"""
+
+from .comm import CommStats, Message, Network
+from .links import LinkTopology, ethernet_topology, nvlink_topology
+
+__all__ = [
+    "CommStats",
+    "Message",
+    "Network",
+    "LinkTopology",
+    "ethernet_topology",
+    "nvlink_topology",
+]

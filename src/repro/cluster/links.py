@@ -1,0 +1,123 @@
+"""Heterogeneous link topologies and transfer-time modeling.
+
+DGCL [6] generates communication plans from the measured link speeds of
+the cluster: NVLink between GPUs on one host is an order of magnitude
+faster than cross-host Ethernet/InfiniBand.  This module models a
+cluster as a bandwidth matrix and prices a traffic matrix against it —
+the substrate for the DGCL-style planner in
+:mod:`repro.gnn.comm_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "LinkTopology",
+    "ethernet_topology",
+    "nvlink_topology",
+]
+
+
+@dataclass
+class LinkTopology:
+    """A cluster of devices connected by links of known bandwidth.
+
+    ``bandwidth[i, j]`` is GB/s from device ``i`` to device ``j``
+    (``inf`` on the diagonal: local copies are free in this model).
+    ``latency[i, j]`` is the per-message setup cost in microseconds.
+    """
+
+    bandwidth: np.ndarray
+    latency: Optional[np.ndarray] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.bandwidth = np.asarray(self.bandwidth, dtype=np.float64)
+        if self.bandwidth.ndim != 2 or self.bandwidth.shape[0] != self.bandwidth.shape[1]:
+            raise ValueError("bandwidth must be a square matrix")
+        if self.latency is None:
+            self.latency = np.zeros_like(self.bandwidth)
+        else:
+            self.latency = np.asarray(self.latency, dtype=np.float64)
+
+    @property
+    def num_devices(self) -> int:
+        return self.bandwidth.shape[0]
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` from ``src`` to ``dst`` directly."""
+        if src == dst:
+            return 0.0
+        bw = self.bandwidth[src, dst]
+        if bw <= 0:
+            return float("inf")
+        return float(self.latency[src, dst] * 1e-6 + nbytes / (bw * 1e9))
+
+    def price_traffic(self, link_bytes: np.ndarray) -> float:
+        """Total serialized transfer time of a traffic matrix (seconds).
+
+        A pessimistic (fully serialized) model; relative comparisons
+        between plans are what the benches report.
+        """
+        total = 0.0
+        n = self.num_devices
+        for i in range(n):
+            for j in range(n):
+                if i != j and link_bytes[i, j] > 0:
+                    total += self.transfer_time(i, j, int(link_bytes[i, j]))
+        return total
+
+    def bottleneck_time(self, link_bytes: np.ndarray) -> float:
+        """Makespan under perfect per-link parallelism: the slowest link."""
+        worst = 0.0
+        n = self.num_devices
+        for i in range(n):
+            for j in range(n):
+                if i != j and link_bytes[i, j] > 0:
+                    worst = max(worst, self.transfer_time(i, j, int(link_bytes[i, j])))
+        return worst
+
+
+def ethernet_topology(num_devices: int, gbps: float = 10.0, latency_us: float = 50.0) -> LinkTopology:
+    """Flat commodity-Ethernet cluster: every pair sees the same bandwidth."""
+    bw = np.full((num_devices, num_devices), gbps / 8.0)  # GB/s from Gb/s
+    np.fill_diagonal(bw, np.inf)
+    lat = np.full((num_devices, num_devices), latency_us)
+    np.fill_diagonal(lat, 0.0)
+    return LinkTopology(bw, lat, name=f"ethernet-{gbps:g}Gbps")
+
+
+def nvlink_topology(
+    num_hosts: int,
+    gpus_per_host: int,
+    nvlink_gbs: float = 300.0,
+    ethernet_gbps: float = 10.0,
+    latency_us: float = 50.0,
+    nvlink_latency_us: float = 2.0,
+) -> LinkTopology:
+    """Hosts with NVLink-connected GPUs, Ethernet between hosts.
+
+    Device ``h * gpus_per_host + g`` is GPU ``g`` of host ``h``.  This is
+    the heterogeneous regime DGCL's plans exploit: intra-host NVLink is
+    ~two orders of magnitude faster than the cross-host network.
+    """
+    n = num_hosts * gpus_per_host
+    eth = ethernet_gbps / 8.0
+    bw = np.full((n, n), eth)
+    lat = np.full((n, n), latency_us)
+    for h in range(num_hosts):
+        lo, hi = h * gpus_per_host, (h + 1) * gpus_per_host
+        bw[lo:hi, lo:hi] = nvlink_gbs
+        lat[lo:hi, lo:hi] = nvlink_latency_us
+    np.fill_diagonal(bw, np.inf)
+    np.fill_diagonal(lat, 0.0)
+    return LinkTopology(bw, lat, name=f"nvlink-{num_hosts}x{gpus_per_host}")
+
+
+def host_of(device: int, gpus_per_host: int) -> int:
+    """Host index of a device in an NVLink topology."""
+    return device // gpus_per_host

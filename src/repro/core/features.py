@@ -1,0 +1,243 @@
+"""Vertex features and embeddings for the Figure-1 pipeline.
+
+The "Vertex Analytics (+ ML)" paths need vertex representations; the
+tutorial names the three sources this module implements:
+
+* **topology features** — in/out-degrees, clustering coefficient, core
+  number, PageRank (:func:`topology_features`), the "classic graph
+  structural features" of Stolman et al. [35];
+* **DeepWalk** — random walks + skip-gram with negative sampling
+  (:func:`deepwalk_embeddings`), trained with a hand-rolled numpy SGNS;
+* **node2vec** — the biased second-order walks (:func:`node2vec_walks`)
+  feeding the same SGNS trainer.
+
+Also here: :func:`logistic_regression` — the shallow downstream model
+used to evaluate embeddings and structural features (benches C14/F1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.properties import clustering_coefficients, core_numbers
+from ..tlav.algorithms import pagerank, random_walks
+
+__all__ = [
+    "topology_features",
+    "deepwalk_embeddings",
+    "node2vec_walks",
+    "skipgram_train",
+    "logistic_regression",
+    "LogisticModel",
+]
+
+
+def topology_features(graph: Graph) -> np.ndarray:
+    """Per-vertex structural feature matrix.
+
+    Columns: degree, log-degree, clustering coefficient, core number,
+    PageRank, mean neighbor degree.
+    """
+    n = graph.num_vertices
+    deg = graph.degrees().astype(np.float64)
+    clust = clustering_coefficients(graph)
+    cores = core_numbers(graph).astype(np.float64)
+    pr = pagerank(graph, iterations=15)
+    mean_nbr_deg = np.zeros(n)
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        mean_nbr_deg[v] = deg[nbrs].mean() if nbrs.size else 0.0
+    return np.column_stack(
+        [deg, np.log1p(deg), clust, cores, pr * n, mean_nbr_deg]
+    )
+
+
+# ----------------------------------------------------------------------
+# Skip-gram with negative sampling (the word2vec core of DeepWalk)
+# ----------------------------------------------------------------------
+
+
+def skipgram_train(
+    walks: Sequence[Sequence[int]],
+    num_vertices: int,
+    dim: int = 32,
+    window: int = 3,
+    negatives: int = 4,
+    epochs: int = 2,
+    lr: float = 0.025,
+    seed: int = 0,
+) -> np.ndarray:
+    """Train SGNS embeddings from walk corpora.
+
+    Plain numpy SGD over (center, context) pairs with ``negatives``
+    noise samples drawn from the unigram^0.75 distribution.
+    """
+    rng = np.random.default_rng(seed)
+    emb_in = (rng.random((num_vertices, dim)) - 0.5) / dim
+    emb_out = np.zeros((num_vertices, dim))
+    counts = np.zeros(num_vertices)
+    for walk in walks:
+        for v in walk:
+            counts[v] += 1
+    noise = counts ** 0.75
+    total = noise.sum()
+    if total == 0:
+        return emb_in
+    noise = noise / total
+
+    def sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+    for _ in range(epochs):
+        for walk in walks:
+            for i, center in enumerate(walk):
+                lo = max(0, i - window)
+                hi = min(len(walk), i + window + 1)
+                for j in range(lo, hi):
+                    if j == i:
+                        continue
+                    context = walk[j]
+                    negs = rng.choice(num_vertices, size=negatives, p=noise)
+                    targets = np.concatenate(([context], negs)).astype(np.int64)
+                    labels = np.zeros(len(targets))
+                    labels[0] = 1.0
+                    vecs = emb_out[targets]  # (k, dim)
+                    score = sigmoid(vecs @ emb_in[center])
+                    gradient = (score - labels)[:, None]
+                    grad_center = (gradient * vecs).sum(axis=0)
+                    emb_out[targets] -= lr * gradient * emb_in[center]
+                    emb_in[center] -= lr * grad_center
+    return emb_in
+
+
+def deepwalk_embeddings(
+    graph: Graph,
+    dim: int = 32,
+    walk_length: int = 10,
+    walks_per_vertex: int = 4,
+    window: int = 3,
+    epochs: int = 2,
+    seed: int = 0,
+) -> np.ndarray:
+    """DeepWalk: uniform random walks (via the TLAV engine) + SGNS."""
+    walks = random_walks(
+        graph,
+        walk_length=walk_length,
+        walks_per_vertex=walks_per_vertex,
+        seed=seed,
+    )
+    return skipgram_train(
+        walks,
+        graph.num_vertices,
+        dim=dim,
+        window=window,
+        epochs=epochs,
+        seed=seed,
+    )
+
+
+def node2vec_walks(
+    graph: Graph,
+    walk_length: int = 10,
+    walks_per_vertex: int = 4,
+    p: float = 1.0,
+    q: float = 1.0,
+    seed: int = 0,
+) -> List[List[int]]:
+    """Second-order biased walks (node2vec).
+
+    Transition weights from ``t -> v`` to candidate ``x``:
+    ``1/p`` to return (x == t), ``1`` if x neighbors t, ``1/q``
+    otherwise.  ``p = q = 1`` degenerates to DeepWalk's uniform walks.
+    """
+    rng = np.random.default_rng(seed)
+    walks: List[List[int]] = []
+    nbr_sets = [set(int(w) for w in graph.neighbors(v)) for v in graph.vertices()]
+    for start in graph.vertices():
+        for _ in range(walks_per_vertex):
+            walk = [start]
+            while len(walk) < walk_length + 1:
+                cur = walk[-1]
+                nbrs = graph.neighbors(cur)
+                if nbrs.size == 0:
+                    break
+                if len(walk) == 1:
+                    nxt = int(nbrs[rng.integers(nbrs.size)])
+                else:
+                    prev = walk[-2]
+                    weights = np.empty(nbrs.size)
+                    for k, x in enumerate(nbrs):
+                        x = int(x)
+                        if x == prev:
+                            weights[k] = 1.0 / p
+                        elif x in nbr_sets[prev]:
+                            weights[k] = 1.0
+                        else:
+                            weights[k] = 1.0 / q
+                    weights /= weights.sum()
+                    nxt = int(nbrs[rng.choice(nbrs.size, p=weights)])
+                walk.append(nxt)
+            walks.append(walk)
+    return walks
+
+
+# ----------------------------------------------------------------------
+# Shallow downstream model
+# ----------------------------------------------------------------------
+
+
+class LogisticModel:
+    """Multinomial logistic regression (numpy, full-batch GD)."""
+
+    def __init__(self, weights: np.ndarray, bias: np.ndarray,
+                 mean: np.ndarray, std: np.ndarray) -> None:
+        self.weights = weights
+        self.bias = bias
+        self.mean = mean
+        self.std = std
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        z = (x - self.mean) / self.std @ self.weights + self.bias
+        z = z - z.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == y).mean())
+
+
+def logistic_regression(
+    x: np.ndarray,
+    y: np.ndarray,
+    num_classes: Optional[int] = None,
+    epochs: int = 200,
+    lr: float = 0.5,
+    weight_decay: float = 1e-3,
+) -> LogisticModel:
+    """Fit multinomial logistic regression with standardized inputs."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    k = num_classes if num_classes is not None else int(y.max()) + 1
+    mean = x.mean(axis=0)
+    std = x.std(axis=0)
+    std[std == 0] = 1.0
+    xs = (x - mean) / std
+    n, d = xs.shape
+    w = np.zeros((d, k))
+    b = np.zeros(k)
+    onehot = np.eye(k)[y]
+    for _ in range(epochs):
+        z = xs @ w + b
+        z = z - z.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        probs = e / e.sum(axis=1, keepdims=True)
+        gz = (probs - onehot) / n
+        w -= lr * (xs.T @ gz + weight_decay * w)
+        b -= lr * gz.sum(axis=0)
+    return LogisticModel(w, b, mean, std)

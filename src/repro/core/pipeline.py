@@ -1,0 +1,200 @@
+"""The Figure-1 pipeline: composable graph analytics + ML.
+
+Figure 1 of the tutorial describes four analytics paths:
+
+1. **Vertex Analytics** — a score per vertex;
+2. **Vertex Analytics + ML** — vertex embeddings/features feeding a
+   downstream model;
+3. **Structure Analytics** — subgraph structures (patterns/instances);
+4. **Structure Analytics + ML** — structural features feeding graph
+   classification/regression.
+
+:class:`Pipeline` makes the paths first-class: stages are named
+callables over a shared :class:`PipelineContext` (holding the graph or
+transaction DB plus intermediate artifacts), and the built-in stage
+constructors cover the tutorial's examples — PageRank scoring, DeepWalk
+embeddings + logistic classification, clique/pattern mining, FSM
+features + graph classification.  Bench F1 runs all four paths
+end-to-end; the examples build custom ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.transactions import TransactionDatabase
+from ..matching.cliques import maximal_cliques
+from ..tlav.algorithms import pagerank
+from .features import (
+    deepwalk_embeddings,
+    logistic_regression,
+    topology_features,
+)
+from .structure_features import degree_histogram_features, pattern_feature_matrix
+
+__all__ = ["PipelineContext", "Stage", "Pipeline", "stages"]
+
+
+@dataclass
+class PipelineContext:
+    """Shared state flowing through a pipeline run."""
+
+    graph: Optional[Graph] = None
+    database: Optional[TransactionDatabase] = None
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+    def require_graph(self) -> Graph:
+        if self.graph is None:
+            raise ValueError("this stage needs a graph input")
+        return self.graph
+
+    def require_database(self) -> TransactionDatabase:
+        if self.database is None:
+            raise ValueError("this stage needs a transaction database input")
+        return self.database
+
+
+@dataclass
+class Stage:
+    """One named pipeline step."""
+
+    name: str
+    run: Callable[[PipelineContext], Any]
+    output: str = ""  # artifact key the result is stored under
+
+
+class Pipeline:
+    """An ordered list of stages executed over one context."""
+
+    def __init__(self, stages_list: Optional[Sequence[Stage]] = None) -> None:
+        self.stages: List[Stage] = list(stages_list) if stages_list else []
+
+    def add(self, stage: Stage) -> "Pipeline":
+        self.stages.append(stage)
+        return self
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        """Execute stages in order, accumulating artifacts."""
+        for stage in self.stages:
+            result = stage.run(ctx)
+            key = stage.output or stage.name
+            ctx.artifacts[key] = result
+        return ctx
+
+
+class stages:
+    """Constructors for the tutorial's canonical stages."""
+
+    # ---- Path 1: vertex analytics
+
+    @staticmethod
+    def pagerank_scores(iterations: int = 20) -> Stage:
+        def run(ctx: PipelineContext):
+            return pagerank(ctx.require_graph(), iterations=iterations)
+
+        return Stage(name="pagerank", run=run, output="scores")
+
+    @staticmethod
+    def structural_vertex_features() -> Stage:
+        def run(ctx: PipelineContext):
+            return topology_features(ctx.require_graph())
+
+        return Stage(name="topology-features", run=run, output="features")
+
+    # ---- Path 2: vertex analytics + ML
+
+    @staticmethod
+    def deepwalk(dim: int = 32, walk_length: int = 10,
+                 walks_per_vertex: int = 4, seed: int = 0) -> Stage:
+        def run(ctx: PipelineContext):
+            return deepwalk_embeddings(
+                ctx.require_graph(),
+                dim=dim,
+                walk_length=walk_length,
+                walks_per_vertex=walks_per_vertex,
+                seed=seed,
+            )
+
+        return Stage(name="deepwalk", run=run, output="embeddings")
+
+    @staticmethod
+    def node_classifier(
+        labels: np.ndarray,
+        train_mask: np.ndarray,
+        features_key: str = "embeddings",
+    ) -> Stage:
+        def run(ctx: PipelineContext):
+            x = ctx.artifacts[features_key]
+            model = logistic_regression(x[train_mask], labels[train_mask])
+            predictions = model.predict(x)
+            return {
+                "model": model,
+                "predictions": predictions,
+                "accuracy": float((predictions == labels).mean()),
+            }
+
+        return Stage(name="node-classifier", run=run, output="node_ml")
+
+    # ---- Path 3: structure analytics
+
+    @staticmethod
+    def mine_maximal_cliques(min_size: int = 3) -> Stage:
+        def run(ctx: PipelineContext):
+            return [
+                c
+                for c in maximal_cliques(ctx.require_graph())
+                if len(c) >= min_size
+            ]
+
+        return Stage(name="maximal-cliques", run=run, output="structures")
+
+    # ---- Path 4: structure analytics + ML
+
+    @staticmethod
+    def pattern_features(
+        min_support: int, max_edges: int = 3, max_patterns: Optional[int] = 32
+    ) -> Stage:
+        def run(ctx: PipelineContext):
+            x, patterns = pattern_feature_matrix(
+                ctx.require_database(),
+                min_support=min_support,
+                max_edges=max_edges,
+                max_patterns=max_patterns,
+            )
+            ctx.artifacts["patterns"] = patterns
+            return x
+
+        return Stage(name="pattern-features", run=run, output="features")
+
+    @staticmethod
+    def degree_baseline_features() -> Stage:
+        def run(ctx: PipelineContext):
+            return degree_histogram_features(ctx.require_database())
+
+        return Stage(name="degree-features", run=run, output="features")
+
+    @staticmethod
+    def graph_classifier(
+        labels: np.ndarray,
+        train_mask: np.ndarray,
+        features_key: str = "features",
+    ) -> Stage:
+        def run(ctx: PipelineContext):
+            x = ctx.artifacts[features_key]
+            model = logistic_regression(x[train_mask], labels[train_mask])
+            predictions = model.predict(x)
+            test = ~train_mask
+            return {
+                "model": model,
+                "predictions": predictions,
+                "accuracy": float((predictions == labels).mean()),
+                "test_accuracy": float(
+                    (predictions[test] == labels[test]).mean()
+                ) if test.any() else float("nan"),
+            }
+
+        return Stage(name="graph-classifier", run=run, output="graph_ml")

@@ -1,0 +1,209 @@
+"""Machine-readable registry of the surveyed systems.
+
+The tutorial's two tables *are* its evaluation artifacts:
+
+* **Table 1** — systems for subgraph search, categorized by computing
+  model (BFS/DFS/hybrid extension), platform, problem coverage (SF /
+  FSM / matching-only), and techniques (work stealing, compilation,
+  GPU partitioning, interactive querying, ...);
+* **Table 2** — distributed GNN training systems, categorized by the
+  five technique columns the paper prints: graph partitioning /
+  operator scheduling (pipelining), asynchronous training (staleness),
+  compression/quantization, communication optimizations, and
+  CPU-offload or other hardware tricks.
+
+Every row carries ``repro``: the module in this repository that
+implements the family's defining technique, so ``render_table`` both
+regenerates the paper's table and serves as the cross-index of
+DESIGN.md.  Benches T1/T2 print these tables next to measured runs of
+the corresponding modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "SubgraphSystem",
+    "GNNSystem",
+    "TABLE1_SYSTEMS",
+    "TABLE2_SYSTEMS",
+    "render_table1",
+    "render_table2",
+]
+
+
+@dataclass(frozen=True)
+class SubgraphSystem:
+    """One row of Table 1."""
+
+    name: str
+    platform: str           # "CPU-dist", "CPU-single", "GPU"
+    extension: str          # "BFS", "DFS", "hybrid", "compiled"
+    supports_sf: bool       # general subgraph finding
+    supports_fsm: bool      # frequent subgraph mining
+    matching_only: bool = False
+    work_stealing: bool = False
+    compilation: bool = False
+    interactive: bool = False
+    memory_bounding: str = ""   # e.g. "AIMD chunking", "host spill"
+    repro: str = ""             # module here that implements the idea
+
+
+TABLE1_SYSTEMS: List[SubgraphSystem] = [
+    SubgraphSystem("Arabesque", "CPU-dist", "BFS", True, True,
+                   repro="repro.tlag.bfs_engine"),
+    SubgraphSystem("RStream", "CPU-single", "BFS", True, True,
+                   repro="repro.tlag.bfs_engine"),
+    SubgraphSystem("Pangolin", "CPU/GPU", "BFS", True, True,
+                   repro="repro.tlag.bfs_engine"),
+    SubgraphSystem("G-thinker", "CPU-dist", "DFS", True, False,
+                   work_stealing=True, repro="repro.tlag.engine"),
+    SubgraphSystem("G-Miner", "CPU-dist", "DFS", True, False,
+                   work_stealing=True, repro="repro.tlag.engine"),
+    SubgraphSystem("Fractal", "CPU-dist", "DFS", True, True,
+                   work_stealing=True, repro="repro.tlag.engine"),
+    SubgraphSystem("G-thinkerQ", "CPU-dist", "DFS", True, False,
+                   work_stealing=True, interactive=True,
+                   repro="repro.tlag.query"),
+    SubgraphSystem("AutoMine", "CPU-single", "compiled", True, False,
+                   matching_only=True, compilation=True,
+                   repro="repro.matching.codegen"),
+    SubgraphSystem("GraphPi", "CPU-dist", "compiled", False, False,
+                   matching_only=True, compilation=True,
+                   repro="repro.matching.plan"),
+    SubgraphSystem("GraphZero", "CPU-single", "compiled", False, False,
+                   matching_only=True, compilation=True,
+                   repro="repro.matching.pattern"),
+    SubgraphSystem("ScaleMine", "CPU-dist", "DFS", False, True,
+                   repro="repro.fsm.single_graph"),
+    SubgraphSystem("DistGraph", "CPU-dist", "DFS", False, True,
+                   repro="repro.fsm.single_graph"),
+    SubgraphSystem("T-FSM", "CPU-dist", "DFS", False, True,
+                   work_stealing=True, repro="repro.fsm.single_graph"),
+    SubgraphSystem("PrefixFPM", "CPU-single", "DFS", False, True,
+                   work_stealing=True, repro="repro.fsm.prefixfpm"),
+    SubgraphSystem("GSI", "GPU", "BFS", False, False, matching_only=True,
+                   repro="repro.tlag.aimd"),
+    SubgraphSystem("cuTS", "GPU", "BFS", False, False, matching_only=True,
+                   repro="repro.tlag.aimd"),
+    SubgraphSystem("PBE", "GPU", "BFS", False, False, matching_only=True,
+                   memory_bounding="graph partitioning",
+                   repro="repro.graph.partition"),
+    SubgraphSystem("VSGM", "GPU", "BFS", False, False, matching_only=True,
+                   memory_bounding="graph partitioning",
+                   repro="repro.graph.partition"),
+    SubgraphSystem("SGSI", "GPU", "BFS", False, False, matching_only=True,
+                   memory_bounding="graph partitioning",
+                   repro="repro.graph.partition"),
+    SubgraphSystem("G2-AIMD", "GPU", "BFS", True, False,
+                   memory_bounding="AIMD chunking + host spill",
+                   repro="repro.tlag.aimd"),
+    SubgraphSystem("STMatch", "GPU", "DFS", False, False,
+                   matching_only=True, work_stealing=True,
+                   repro="repro.tlag.warp"),
+    SubgraphSystem("T-DFS", "GPU", "DFS", False, False,
+                   matching_only=True, work_stealing=True,
+                   repro="repro.tlag.warp"),
+    SubgraphSystem("EGSM", "GPU", "hybrid", False, False,
+                   matching_only=True,
+                   memory_bounding="BFS-DFS fallback",
+                   repro="repro.tlag.hybrid"),
+]
+
+
+@dataclass(frozen=True)
+class GNNSystem:
+    """One row of Table 2 (the five technique columns of the paper)."""
+
+    name: str
+    platform: str                  # "CPU", "GPU", "serverless"
+    partitioning: bool = False     # graph partitioning / data placement
+    scheduling: bool = False       # operator scheduling / pipelining
+    asynchrony: bool = False       # bounded staleness etc.
+    compression: bool = False      # quantized communication
+    comm_optimization: bool = False  # topology-aware plans etc.
+    cpu_offload: bool = False      # host-memory offload
+    repro: str = ""
+
+
+TABLE2_SYSTEMS: List[GNNSystem] = [
+    GNNSystem("Euler", "CPU", scheduling=True,
+              repro="repro.gnn.sampling"),
+    GNNSystem("AliGraph", "CPU", scheduling=True,
+              repro="repro.gnn.caching"),
+    GNNSystem("DistDGL", "CPU", partitioning=True,
+              repro="repro.gnn.distributed"),
+    GNNSystem("AGL", "CPU", partitioning=True,
+              repro="repro.gnn.sampling"),
+    GNNSystem("P3", "GPU", partitioning=True, scheduling=True,
+              asynchrony=True, repro="repro.gnn.p3"),
+    GNNSystem("NeutronStar", "GPU", scheduling=True,
+              repro="repro.gnn.tensor"),
+    GNNSystem("ByteGNN", "CPU", partitioning=True, scheduling=True,
+              repro="repro.gnn.pipeline"),
+    GNNSystem("DGCL", "GPU", partitioning=True, comm_optimization=True,
+              repro="repro.gnn.comm_plan"),
+    GNNSystem("BGL", "GPU", partitioning=True, scheduling=True,
+              repro="repro.gnn.caching"),
+    GNNSystem("Sancus", "GPU", asynchrony=True, comm_optimization=True,
+              repro="repro.gnn.staleness"),
+    GNNSystem("Dorylus", "serverless", scheduling=True, asynchrony=True,
+              comm_optimization=True, repro="repro.gnn.serverless"),
+    GNNSystem("DistGNN", "CPU", partitioning=True, cpu_offload=True,
+              repro="repro.gnn.staleness"),
+    GNNSystem("HongTu", "GPU", partitioning=True, cpu_offload=True,
+              repro="repro.gnn.offload"),
+    GNNSystem("EC-Graph", "CPU", compression=True,
+              repro="repro.gnn.quantization"),
+    GNNSystem("EXACT", "GPU", compression=True,
+              repro="repro.gnn.quantization"),
+    GNNSystem("F2CGT", "GPU", compression=True,
+              repro="repro.gnn.quantization"),
+    GNNSystem("Sylvie", "GPU", compression=True,
+              repro="repro.gnn.quantization"),
+]
+
+
+def _mark(flag: bool) -> str:
+    return "x" if flag else ""
+
+
+def render_table1(systems: Optional[Sequence[SubgraphSystem]] = None) -> str:
+    """Table 1 as fixed-width text (the bench prints this)."""
+    systems = list(systems) if systems is not None else TABLE1_SYSTEMS
+    header = (
+        f"{'system':<12} {'platform':<11} {'ext.':<9} {'SF':<3} {'FSM':<4} "
+        f"{'match':<6} {'steal':<6} {'compile':<8} {'online':<7} "
+        f"{'memory bounding':<26} {'reproduced by':<24}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in systems:
+        lines.append(
+            f"{s.name:<12} {s.platform:<11} {s.extension:<9} "
+            f"{_mark(s.supports_sf):<3} {_mark(s.supports_fsm):<4} "
+            f"{_mark(s.matching_only):<6} {_mark(s.work_stealing):<6} "
+            f"{_mark(s.compilation):<8} {_mark(s.interactive):<7} "
+            f"{s.memory_bounding:<26} {s.repro:<24}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(systems: Optional[Sequence[GNNSystem]] = None) -> str:
+    """Table 2 as fixed-width text (the bench prints this)."""
+    systems = list(systems) if systems is not None else TABLE2_SYSTEMS
+    header = (
+        f"{'system':<12} {'platform':<11} {'partit.':<8} {'sched.':<7} "
+        f"{'async':<6} {'compress':<9} {'comm-opt':<9} {'offload':<8} "
+        f"{'reproduced by':<24}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in systems:
+        lines.append(
+            f"{s.name:<12} {s.platform:<11} {_mark(s.partitioning):<8} "
+            f"{_mark(s.scheduling):<7} {_mark(s.asynchrony):<6} "
+            f"{_mark(s.compression):<9} {_mark(s.comm_optimization):<9} "
+            f"{_mark(s.cpu_offload):<8} {s.repro:<24}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,318 @@
+"""gSpan: frequent subgraph mining over transaction databases.
+
+The pattern-growth core shared by PrefixFPM [56, 57] and the
+transaction-database side of the tutorial's FSM discussion.  Patterns
+are *DFS codes* — sequences of edge tuples ``(i, j, l_i, l_e, l_j)``
+where ``i``/``j`` are discovery indices — grown one edge at a time along
+the rightmost path, with the minimum-DFS-code canonicality test
+guaranteeing each pattern is mined exactly once.
+
+The implementation keeps full embedding lists per pattern (transaction
+graphs are small molecules in our workloads), which makes the
+projection explicit — the structure PrefixFPM parallelizes by handing
+each frequent child pattern (with its projected database) to a task.
+
+Key objects
+-----------
+* :class:`DFSCode` — hashable pattern identity, convertible to a
+  labeled :class:`~repro.graph.csr.Graph`;
+* :func:`is_min` — canonicality check (the pattern equals the minimum
+  DFS code of the graph it denotes);
+* :class:`GSpan` — the miner; ``run()`` returns
+  :class:`FrequentPattern` records with supports and per-transaction
+  embedding counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graph.csr import Graph, GraphBuilder
+from ..graph.transactions import TransactionDatabase
+
+__all__ = ["EdgeTuple", "DFSCode", "FrequentPattern", "GSpan", "is_min", "mine_frequent_subgraphs"]
+
+# (i, j, label_i, label_edge, label_j); forward edge iff j == i's new index
+EdgeTuple = Tuple[int, int, int, int, int]
+
+
+class DFSCode(tuple):
+    """A DFS code: an immutable sequence of :data:`EdgeTuple`."""
+
+    def num_vertices(self) -> int:
+        return max(max(t[0], t[1]) for t in self) + 1 if self else 0
+
+    def rightmost_path(self) -> List[int]:
+        """DFS indices from the rightmost vertex back to the root."""
+        path: List[int] = []
+        child = None
+        for i, j, *_ in reversed(self):
+            if i < j and (child is None or j == child):
+                path.append(j)
+                child = i
+                if i == 0:
+                    break
+        path.append(0)
+        return path  # rightmost vertex first, root (0) last
+
+    def to_graph(self) -> Graph:
+        """Reconstruct the labeled pattern graph this code denotes."""
+        n = self.num_vertices()
+        labels = [0] * n
+        builder = GraphBuilder(directed=False)
+        builder.add_vertex(n - 1)
+        for i, j, li, le, lj in self:
+            labels[i] = li
+            labels[j] = lj
+            builder.add_edge(i, j, label=le)
+        return builder.build(num_vertices=n, vertex_labels=labels)
+
+
+def _edge_key(t: EdgeTuple) -> tuple:
+    """gSpan's extension order: backward before forward.
+
+    Backward edges (j < i) sort by smaller destination ``j`` first;
+    forward edges (i < j) sort by *deeper* source ``i`` first.  Label
+    triples break ties.
+    """
+    i, j, li, le, lj = t
+    if j < i:  # backward
+        return (0, j, le, lj, 0)
+    return (1, -i, li, le, lj)
+
+
+@dataclass(frozen=True)
+class _Embedding:
+    """One embedding of a code in one transaction."""
+
+    gid: int
+    vmap: Tuple[int, ...]  # data vertex per DFS index
+    edges: FrozenSet[Tuple[int, int]]  # normalized data edges used
+
+
+@dataclass
+class FrequentPattern:
+    """A mined pattern with its support information."""
+
+    code: DFSCode
+    support: int
+    graph_ids: FrozenSet[int]
+
+    def to_graph(self) -> Graph:
+        return self.code.to_graph()
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.code)
+
+
+def _norm(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def _extensions(
+    code: DFSCode,
+    embeddings: List[_Embedding],
+    db: Dict[int, Graph],
+) -> Dict[EdgeTuple, List[_Embedding]]:
+    """All rightmost-path extensions of ``code`` over its embeddings."""
+    rmpath = code.rightmost_path()
+    rightmost = rmpath[0]
+    n = code.num_vertices()
+    out: Dict[EdgeTuple, List[_Embedding]] = {}
+
+    for emb in embeddings:
+        graph = db[emb.gid]
+        mapped = set(emb.vmap)
+        d_r = emb.vmap[rightmost]
+        # Backward extensions: rightmost vertex -> earlier rmpath vertex.
+        for idx in rmpath[1:]:
+            d_j = emb.vmap[idx]
+            if not graph.has_edge(d_r, d_j):
+                continue
+            if _norm(d_r, d_j) in emb.edges:
+                continue
+            elabel = (
+                graph.edge_label(d_r, d_j) if graph.edge_labels is not None else 0
+            )
+            t: EdgeTuple = (
+                rightmost,
+                idx,
+                graph.vertex_label(d_r),
+                elabel,
+                graph.vertex_label(d_j),
+            )
+            out.setdefault(t, []).append(
+                _Embedding(
+                    gid=emb.gid,
+                    vmap=emb.vmap,
+                    edges=emb.edges | {_norm(d_r, d_j)},
+                )
+            )
+        # Forward extensions: from each rmpath vertex to a new data vertex.
+        for idx in rmpath:
+            d_i = emb.vmap[idx]
+            for w in graph.neighbors(d_i):
+                w = int(w)
+                if w in mapped:
+                    continue
+                elabel = (
+                    graph.edge_label(d_i, w) if graph.edge_labels is not None else 0
+                )
+                t = (
+                    idx,
+                    n,
+                    graph.vertex_label(d_i),
+                    elabel,
+                    graph.vertex_label(w),
+                )
+                out.setdefault(t, []).append(
+                    _Embedding(
+                        gid=emb.gid,
+                        vmap=emb.vmap + (w,),
+                        edges=emb.edges | {_norm(d_i, w)},
+                    )
+                )
+    return out
+
+
+def is_min(code: DFSCode) -> bool:
+    """Is ``code`` the minimum DFS code of the graph it denotes?
+
+    Rebuilds the pattern graph and greedily constructs its minimum code
+    by always taking the smallest extension; the moment the minimum
+    diverges from ``code``, the answer is known.
+    """
+    if not code:
+        return True
+    if len(code) == 1:
+        _, _, li, _, lj = code[0]
+        return li <= lj  # the canonical orientation of a single edge
+    graph = code.to_graph()
+    db = {0: graph}
+    # Minimum first tuple over all edges/orientations of the pattern.
+    first_candidates: Dict[EdgeTuple, List[_Embedding]] = {}
+    for u, v in graph.edges():
+        elabel = graph.edge_label(u, v) if graph.edge_labels is not None else 0
+        for a, b in ((u, v), (v, u)):
+            t: EdgeTuple = (
+                0,
+                1,
+                graph.vertex_label(a),
+                elabel,
+                graph.vertex_label(b),
+            )
+            first_candidates.setdefault(t, []).append(
+                _Embedding(gid=0, vmap=(a, b), edges=frozenset({_norm(a, b)}))
+            )
+    tmin = min(first_candidates, key=lambda t: (t[2], t[3], t[4]))
+    if tmin != code[0]:
+        return False
+    prefix = DFSCode((tmin,))
+    embeddings = first_candidates[tmin]
+    for k in range(1, len(code)):
+        exts = _extensions(prefix, embeddings, db)
+        if not exts:
+            return False  # malformed code
+        tmin = min(exts, key=_edge_key)
+        if tmin != code[k]:
+            return False
+        embeddings = exts[tmin]
+        prefix = DFSCode(prefix + (tmin,))
+    return True
+
+
+class GSpan:
+    """The gSpan miner.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum number of transactions a pattern must occur in.
+    max_edges:
+        Stop growing patterns beyond this many edges (``None`` = no cap).
+    min_edges:
+        Report only patterns with at least this many edges (smaller
+        patterns are still grown through).
+    """
+
+    def __init__(
+        self,
+        min_support: int,
+        max_edges: Optional[int] = None,
+        min_edges: int = 1,
+    ) -> None:
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        self.min_support = min_support
+        self.max_edges = max_edges
+        self.min_edges = min_edges
+        self.patterns_pruned_not_min = 0
+        self.patterns_pruned_infrequent = 0
+
+    def run(self, db: TransactionDatabase) -> List[FrequentPattern]:
+        """Mine all frequent subgraph patterns of ``db``."""
+        graphs = {t.graph_id: t.graph for t in db}
+        results: List[FrequentPattern] = []
+        # Frequent 1-edge seeds.
+        seeds: Dict[EdgeTuple, List[_Embedding]] = {}
+        for gid, graph in graphs.items():
+            for u, v in graph.edges():
+                elabel = (
+                    graph.edge_label(u, v) if graph.edge_labels is not None else 0
+                )
+                for a, b in ((u, v), (v, u)):
+                    t: EdgeTuple = (
+                        0,
+                        1,
+                        graph.vertex_label(a),
+                        elabel,
+                        graph.vertex_label(b),
+                    )
+                    seeds.setdefault(t, []).append(
+                        _Embedding(
+                            gid=gid, vmap=(a, b), edges=frozenset({_norm(a, b)})
+                        )
+                    )
+        for t in sorted(seeds, key=lambda t: (t[2], t[3], t[4])):
+            code = DFSCode((t,))
+            if not is_min(code):
+                continue  # keeps only the canonical orientation l_i <= l_j
+            self._grow(code, seeds[t], graphs, results)
+        return results
+
+    def _grow(
+        self,
+        code: DFSCode,
+        embeddings: List[_Embedding],
+        graphs: Dict[int, Graph],
+        results: List[FrequentPattern],
+    ) -> None:
+        gids = frozenset(e.gid for e in embeddings)
+        if len(gids) < self.min_support:
+            self.patterns_pruned_infrequent += 1
+            return
+        if len(code) >= self.min_edges:
+            results.append(
+                FrequentPattern(code=code, support=len(gids), graph_ids=gids)
+            )
+        if self.max_edges is not None and len(code) >= self.max_edges:
+            return
+        exts = _extensions(code, embeddings, graphs)
+        for t in sorted(exts, key=_edge_key):
+            child = DFSCode(code + (t,))
+            if not is_min(child):
+                self.patterns_pruned_not_min += 1
+                continue
+            self._grow(child, exts[t], graphs, results)
+
+
+def mine_frequent_subgraphs(
+    db: TransactionDatabase,
+    min_support: int,
+    max_edges: Optional[int] = None,
+    min_edges: int = 1,
+) -> List[FrequentPattern]:
+    """Convenience wrapper around :class:`GSpan`."""
+    return GSpan(min_support, max_edges=max_edges, min_edges=min_edges).run(db)

@@ -1,0 +1,120 @@
+"""Topology-aware communication planning (DGCL).
+
+DGCL [6] replaces flat peer-to-peer feature exchange with communication
+plans derived from the cluster's link speeds: on NVLink machines,
+cross-host transfers should happen once per host and fan out over
+NVLink, not once per GPU.
+
+Planners price an allreduce (gradient sync) or a broadcast over a
+:class:`~repro.cluster.links.LinkTopology`:
+
+* :func:`flat_ring_allreduce_time` — the topology-oblivious baseline:
+  one ring over all devices; on an NVLink cluster the ring repeatedly
+  crosses the slow inter-host links;
+* :func:`hierarchical_allreduce_time` — DGCL-style plan: reduce inside
+  each host over NVLink, run the inter-host ring once between host
+  leaders, then broadcast back over NVLink;
+* the same pair for a one-to-all broadcast.
+
+Bench C12 sweeps payload sizes and topologies; the claim's shape is
+that the hierarchical plan wins by ~the GPUs-per-host factor on NVLink
+clusters and ties on flat Ethernet.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cluster.links import LinkTopology
+
+__all__ = [
+    "flat_ring_allreduce_time",
+    "hierarchical_allreduce_time",
+    "flat_broadcast_time",
+    "hierarchical_broadcast_time",
+]
+
+
+def _ring_time(topology: LinkTopology, devices: List[int], nbytes: int) -> float:
+    """Time of a ring allreduce over the listed devices.
+
+    Standard cost: ``2 (k - 1)`` chunk steps of size ``nbytes / k``;
+    each step is bounded by the slowest link in the ring.
+    """
+    k = len(devices)
+    if k <= 1:
+        return 0.0
+    chunk = nbytes / k
+    step = max(
+        topology.transfer_time(devices[i], devices[(i + 1) % k], int(chunk))
+        for i in range(k)
+    )
+    return 2 * (k - 1) * step
+
+
+def flat_ring_allreduce_time(topology: LinkTopology, nbytes: int) -> float:
+    """Topology-oblivious ring over all devices in id order."""
+    return _ring_time(topology, list(range(topology.num_devices)), nbytes)
+
+
+def hierarchical_allreduce_time(
+    topology: LinkTopology, nbytes: int, gpus_per_host: int
+) -> float:
+    """Intra-host reduce + leader ring + intra-host broadcast."""
+    n = topology.num_devices
+    if n % gpus_per_host:
+        raise ValueError("device count must be a multiple of gpus_per_host")
+    num_hosts = n // gpus_per_host
+    # Phase 1: reduce inside each host (ring over the host's GPUs).
+    intra = 0.0
+    for h in range(num_hosts):
+        devices = list(range(h * gpus_per_host, (h + 1) * gpus_per_host))
+        intra = max(intra, _ring_time(topology, devices, nbytes))
+    # Phase 2: ring across host leaders.
+    leaders = [h * gpus_per_host for h in range(num_hosts)]
+    inter = _ring_time(topology, leaders, nbytes)
+    # Phase 3: broadcast inside each host.
+    bcast = 0.0
+    for h in range(num_hosts):
+        leader = h * gpus_per_host
+        for g in range(1, gpus_per_host):
+            bcast = max(bcast, topology.transfer_time(leader, leader + g, nbytes))
+    return intra + inter + bcast
+
+
+def flat_broadcast_time(topology: LinkTopology, root: int, nbytes: int) -> float:
+    """Root sends the payload directly to every other device (serialized
+    per destination host link, parallel across distinct links)."""
+    times = [
+        topology.transfer_time(root, d, nbytes)
+        for d in range(topology.num_devices)
+        if d != root
+    ]
+    return sum(times)  # one NIC at the root: sends serialize
+
+
+def hierarchical_broadcast_time(
+    topology: LinkTopology, root: int, nbytes: int, gpus_per_host: int
+) -> float:
+    """Send once per host, then fan out over intra-host links."""
+    n = topology.num_devices
+    num_hosts = n // gpus_per_host
+    root_host = root // gpus_per_host
+    cross = sum(
+        topology.transfer_time(root, h * gpus_per_host, nbytes)
+        for h in range(num_hosts)
+        if h != root_host
+    )
+    fan = 0.0
+    for h in range(num_hosts):
+        leader = h * gpus_per_host if h != root_host else root
+        local = max(
+            (
+                topology.transfer_time(leader, d, nbytes)
+                for d in range(h * gpus_per_host, (h + 1) * gpus_per_host)
+                if d != leader
+            ),
+            default=0.0,
+        )
+        fan = max(fan, local)
+    return cross + fan

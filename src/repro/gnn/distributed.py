@@ -1,0 +1,220 @@
+"""Distributed data-parallel GNN training over the simulated cluster.
+
+The DistDGL/Euler/AliGraph deployment shape: the graph is partitioned
+across workers; every training step each worker
+
+1. **gathers** the features/hidden states of its *halo* (remote vertices
+   adjacent to its own) — priced per layer through the
+   :class:`~repro.cluster.comm.Network`;
+2. computes forward/backward for its own vertices;
+3. **synchronizes gradients** (allreduce), also priced.
+
+The computation itself is performed globally (the simulation is
+in-process), so with synchronous training the learned model is
+bit-identical to single-process full-graph training — tests assert
+this — while the traffic statistics faithfully reflect what the chosen
+partition would cost on a real cluster.  Bench C8 sweeps partitioners
+with exactly this trainer.
+
+``halo_bits`` optionally quantizes the halo features through
+:mod:`repro.gnn.quantization` (a *real* lossy effect on training, not
+just accounting), which is how bench C10 trades bytes against accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..cluster.comm import Network
+from ..graph.csr import Graph
+from ..graph.partition import Partition
+from .layers import GraphTensors
+from .models import Adam, NodeClassifier, accuracy
+from .quantization import quantize_dequantize
+from .tensor import Tensor, no_grad
+from .train import TrainReport
+
+__all__ = ["halo_sets", "DistributedTrainer"]
+
+
+def halo_sets(graph: Graph, partition: Partition) -> List[Set[int]]:
+    """For each worker, the remote vertices its layer gather must fetch."""
+    halos: List[Set[int]] = [set() for _ in range(partition.num_parts)]
+    assignment = partition.assignment
+    for u, v in graph.edges():
+        pu, pv = int(assignment[u]), int(assignment[v])
+        if pu != pv:
+            halos[pu].add(v)
+            halos[pv].add(u)
+    return halos
+
+
+@dataclass
+class DistributedTrainer:
+    """Synchronous data-parallel trainer with per-step traffic accounting."""
+
+    model: NodeClassifier
+    graph: Graph
+    partition: Partition
+    features: np.ndarray
+    labels: np.ndarray
+    lr: float = 0.01
+    halo_bits: Optional[int] = None
+    error_feedback: bool = False
+    grad_bits: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.network = Network(self.partition.num_parts)
+        self._gt = GraphTensors(self.graph)
+        self._optimizer = Adam(self.model.parameters(), lr=self.lr)
+        self._halos = halo_sets(self.graph, self.partition)
+        self._owner_of = self.partition.assignment
+        self._rng = np.random.default_rng(self.seed)
+        self._residual: Optional[np.ndarray] = None  # halo error feedback
+        self._grad_quantizers: Optional[list] = None  # gradient EF state
+
+    # -- traffic accounting --------------------------------------------------
+
+    def _price_halo_exchange(self, feature_dim: int) -> None:
+        """Account one layer's halo feature fetch."""
+        for worker, halo in enumerate(self._halos):
+            per_owner: Dict[int, int] = {}
+            for v in halo:
+                owner = int(self._owner_of[v])
+                per_owner[owner] = per_owner.get(owner, 0) + 1
+            for owner, count in per_owner.items():
+                self.network.send(
+                    owner, worker, None, tag="halo",
+                    nbytes=self._halo_nbytes(count, feature_dim),
+                )
+        self.network.deliver()
+        for worker in range(self.partition.num_parts):
+            self.network.receive(worker)
+
+    def _halo_nbytes(self, rows: int, feature_dim: int) -> int:
+        """Wire size of ``rows`` feature rows at the configured precision.
+
+        Quantized rows carry packed codes plus a per-row (min, scale)
+        float pair, matching
+        :func:`repro.gnn.quantization.compressed_nbytes`.
+        """
+        if self.halo_bits is None:
+            return rows * feature_dim * 8
+        payload_bits = rows * feature_dim * self.halo_bits
+        overhead = rows * 2 * 8
+        return payload_bits // 8 + (1 if payload_bits % 8 else 0) + overhead
+
+    def _price_gradient_sync(self) -> None:
+        """Ring allreduce: each worker ships the full gradient twice."""
+        total_params = sum(p.data.size for p in self.model.parameters())
+        bits = 64 if self.grad_bits is None else self.grad_bits
+        k = self.partition.num_parts
+        for worker in range(k):
+            nxt = (worker + 1) % k
+            self.network.send(
+                worker, nxt, None, tag="grad-sync",
+                nbytes=2 * total_params * bits // 8 * (k - 1) // max(k, 1),
+            )
+        self.network.deliver()
+        for worker in range(k):
+            self.network.receive(worker)
+
+    def _maybe_quantize_gradients(self) -> None:
+        """Sylvie/EC-Graph gradient compression, with error feedback.
+
+        Each parameter's gradient is replaced by its quantized image
+        before the optimizer step — the lossy effect a real compressed
+        allreduce would apply — with one error-feedback residual per
+        parameter so the quantization error cancels over steps.
+        """
+        if self.grad_bits is None:
+            return
+        from .quantization import ErrorCompensatedQuantizer
+
+        params = self.model.parameters()
+        if self._grad_quantizers is None:
+            self._grad_quantizers = [
+                ErrorCompensatedQuantizer(bits=self.grad_bits, seed=self.seed + i)
+                for i in range(len(params))
+            ]
+        for p, quantizer in zip(params, self._grad_quantizers):
+            if p.grad is not None:
+                flat = p.grad.reshape(1, -1)
+                p.grad = quantizer.compress(flat).reshape(p.grad.shape)
+
+    # -- the lossy halo (quantization applied to real data) ------------------
+
+    def _maybe_quantize_features(self, features: np.ndarray) -> np.ndarray:
+        if self.halo_bits is None or self.halo_bits >= 64:
+            return features
+        # Vertices whose features cross a partition boundary travel
+        # quantized; local rows stay exact.
+        remote = np.zeros(self.graph.num_vertices, dtype=bool)
+        for halo in self._halos:
+            for v in halo:
+                remote[v] = True
+        out = features.copy()
+        if self._residual is None:
+            self._residual = np.zeros_like(features)
+        payload = features[remote] + (
+            self._residual[remote] if self.error_feedback else 0.0
+        )
+        deq = quantize_dequantize(payload, self.halo_bits, rng=self._rng)
+        if self.error_feedback:
+            self._residual[remote] = payload - deq
+        out[remote] = deq
+        return out
+
+    # -- training -------------------------------------------------------------
+
+    def train(
+        self,
+        train_mask: np.ndarray,
+        val_mask: Optional[np.ndarray] = None,
+        epochs: int = 50,
+    ) -> TrainReport:
+        report = TrainReport()
+        train_idx = np.nonzero(train_mask)[0]
+        feature_dim = self.features.shape[1]
+        hidden_dims = [
+            self.model.layers[i].weight.shape[1]
+            for i in range(self.model.num_layers)
+        ]
+        for _ in range(epochs):
+            used = self._maybe_quantize_features(self.features)
+            x = Tensor(used)
+            self._optimizer.zero_grad()
+            logits = self.model(self._gt, x)
+            loss = logits.gather_rows(train_idx).cross_entropy(
+                self.labels[train_idx]
+            )
+            loss.backward()
+            self._maybe_quantize_gradients()
+            self._optimizer.step()
+            # Traffic: one halo exchange per layer (input dim then hiddens),
+            # then the gradient allreduce.
+            self._price_halo_exchange(feature_dim)
+            for dim in hidden_dims[:-1]:
+                self._price_halo_exchange(dim)
+            self._price_gradient_sync()
+            report.losses.append(float(loss.data))
+            report.steps += 1
+            with no_grad():
+                out = self.model(self._gt, Tensor(self.features)).data
+            report.train_accuracy.append(accuracy(out, self.labels, train_mask))
+            if val_mask is not None:
+                report.val_accuracy.append(accuracy(out, self.labels, val_mask))
+        return report
+
+    # -- summary ----------------------------------------------------------------
+
+    @property
+    def remote_bytes(self) -> int:
+        return self.network.stats.bytes_remote
+
+    def bytes_by_tag(self) -> Dict[str, int]:
+        return dict(self.network.stats.by_tag)

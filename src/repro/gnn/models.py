@@ -1,0 +1,170 @@
+"""GNN models for node and graph classification.
+
+Stacked layer models with the readouts the Figure-1 pipeline needs:
+:class:`NodeClassifier` for the "vertex analytics + ML" path and
+:class:`GraphClassifier` (mean-pool readout) for the
+"structure analytics + ML" path.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .layers import GATLayer, GCNLayer, GINLayer, GraphTensors, Linear, Module, SAGELayer, SAGEPoolLayer
+from .tensor import Tensor, no_grad
+
+__all__ = ["NodeClassifier", "GraphClassifier", "SGD", "Adam", "accuracy"]
+
+LayerKind = Literal["gcn", "sage", "sage-pool", "gat", "gin"]
+
+_LAYER_TYPES = {
+    "gcn": GCNLayer,
+    "sage": SAGELayer,
+    "sage-pool": SAGEPoolLayer,
+    "gat": GATLayer,
+    "gin": GINLayer,
+}
+
+
+class NodeClassifier(Module):
+    """A stack of graph convolutions ending in per-node class logits."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_layers: int = 2,
+        layer: LayerKind = "gcn",
+        seed: int = 0,
+    ) -> None:
+        if layer not in _LAYER_TYPES:
+            raise ValueError(f"unknown layer kind {layer!r}")
+        rng = np.random.default_rng(seed)
+        cls = _LAYER_TYPES[layer]
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+        self.layers = [cls(dims[i], dims[i + 1], rng) for i in range(num_layers)]
+        self.layer_kind = layer
+
+    def __call__(self, gt: GraphTensors, x: Tensor) -> Tensor:
+        h = x
+        for i, layer in enumerate(self.layers):
+            h = layer(gt, h)
+            if i < len(self.layers) - 1:
+                h = h.relu()
+        return h
+
+    def forward_layer(self, index: int, gt: GraphTensors, h: Tensor) -> Tensor:
+        """One layer, with the inter-layer ReLU — for pipelined trainers."""
+        h = self.layers[index](gt, h)
+        if index < len(self.layers) - 1:
+            h = h.relu()
+        return h
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def predict(self, gt: GraphTensors, x: Tensor) -> np.ndarray:
+        with no_grad():
+            logits = self(gt, x)
+        return logits.data.argmax(axis=1)
+
+
+class GraphClassifier(Module):
+    """Graph-level classifier: convolutions + mean-pool readout + MLP."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_layers: int = 2,
+        layer: LayerKind = "gcn",
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        cls = _LAYER_TYPES[layer]
+        dims = [in_dim] + [hidden_dim] * num_layers
+        self.layers = [cls(dims[i], dims[i + 1], rng) for i in range(num_layers)]
+        self.head = Linear(hidden_dim, num_classes, rng)
+
+    def __call__(self, gt: GraphTensors, x: Tensor) -> Tensor:
+        h = x
+        for layer in self.layers:
+            h = layer(gt, h).relu()
+        pooled = h.mean(axis=0).reshape(1, -1)
+        return self.head(pooled)
+
+    def predict(self, gt: GraphTensors, x: Tensor) -> int:
+        with no_grad():
+            logits = self(gt, x)
+        return int(logits.data.argmax())
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional weight decay."""
+
+    def __init__(self, params: Sequence, lr: float = 0.01, weight_decay: float = 0.0) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            p.data = p.data - self.lr * g
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam optimizer."""
+
+    def __init__(
+        self,
+        params: Sequence,
+        lr: float = 0.01,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.t = 0
+        self.m = [np.zeros_like(p.data) for p in self.params]
+        self.v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            self.m[i] = self.b1 * self.m[i] + (1 - self.b1) * p.grad
+            self.v[i] = self.b2 * self.v[i] + (1 - self.b2) * p.grad ** 2
+            m_hat = self.m[i] / (1 - self.b1 ** self.t)
+            v_hat = self.v[i] / (1 - self.b2 ** self.t)
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None) -> float:
+    """Classification accuracy, optionally restricted to a boolean mask."""
+    pred = logits.argmax(axis=1)
+    correct = pred == labels
+    if mask is not None:
+        correct = correct[mask]
+    return float(correct.mean()) if correct.size else 0.0

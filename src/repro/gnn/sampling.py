@@ -1,0 +1,198 @@
+"""Neighborhood sampling and k-hop subgraph materialization.
+
+The graph-data-communication techniques of Table 2:
+
+* :func:`sample_neighbors` / :class:`NeighborSampler` — GraphSAGE-style
+  fanout sampling, the technique of Euler [4], AliGraph [73] and
+  ByteGNN [71]: cap each node's in-neighborhood per layer so the
+  per-batch data volume is bounded by ``batch * prod(fanouts)`` instead
+  of the full multi-hop neighborhood;
+* :func:`khop_subgraph` — AGL's [68] offline materialization: extract
+  the complete k-hop neighborhood of each seed so training needs no
+  graph access at all.
+
+Samplers return :class:`Block` objects — small graphs over compacted
+ids with a mapping back to the parent graph — which plug directly into
+the layers via :class:`~repro.gnn.layers.GraphTensors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph, GraphBuilder
+from .layers import GraphTensors
+
+__all__ = ["Block", "NeighborSampler", "sample_neighbors", "khop_subgraph", "layerwise_sample"]
+
+
+@dataclass
+class Block:
+    """A sampled computation block.
+
+    ``graph`` is over compacted local ids; ``node_ids[local]`` maps back
+    to the parent graph; ``seed_local`` are the positions of the batch
+    seeds.  ``gathered_nodes`` counts the feature rows a trainer must
+    fetch — the communication quantity bench C7 sweeps.
+    """
+
+    graph: Graph
+    node_ids: np.ndarray
+    seed_local: np.ndarray
+
+    @property
+    def gathered_nodes(self) -> int:
+        return int(self.node_ids.size)
+
+    def tensors(self, add_self_loops: bool = True) -> GraphTensors:
+        return GraphTensors(self.graph, add_self_loops=add_self_loops)
+
+
+def sample_neighbors(
+    graph: Graph,
+    seeds: Sequence[int],
+    fanouts: Sequence[int],
+    rng: Optional[np.random.Generator] = None,
+) -> Block:
+    """Multi-layer fanout sampling around ``seeds``.
+
+    ``fanouts[k]`` caps the neighbors drawn per node at hop ``k``
+    (``-1`` = keep all).  Returns one block containing the union of all
+    sampled nodes and the sampled edges.
+    """
+    rng = rng or np.random.default_rng()
+    seeds = np.asarray(list(seeds), dtype=np.int64)
+    keep_nodes: List[int] = list(seeds)
+    known = set(int(s) for s in seeds)
+    frontier = list(seeds)
+    edges: List[Tuple[int, int]] = []
+    for fanout in fanouts:
+        next_frontier: List[int] = []
+        for v in frontier:
+            nbrs = graph.neighbors(int(v))
+            if fanout >= 0 and nbrs.size > fanout:
+                picked = rng.choice(nbrs, size=fanout, replace=False)
+            else:
+                picked = nbrs
+            for w in picked:
+                w = int(w)
+                edges.append((int(v), w))
+                if w not in known:
+                    known.add(w)
+                    keep_nodes.append(w)
+                    next_frontier.append(w)
+        frontier = next_frontier
+    node_ids = np.asarray(keep_nodes, dtype=np.int64)
+    remap = {int(g): l for l, g in enumerate(node_ids)}
+    builder = GraphBuilder(directed=False)
+    builder.add_vertex(node_ids.size - 1)
+    for u, v in edges:
+        builder.add_edge(remap[u], remap[v])
+    labels = None
+    if graph.vertex_labels is not None:
+        labels = graph.vertex_labels[node_ids]
+    block_graph = builder.build(num_vertices=node_ids.size, vertex_labels=labels)
+    seed_local = np.asarray([remap[int(s)] for s in seeds], dtype=np.int64)
+    return Block(graph=block_graph, node_ids=node_ids, seed_local=seed_local)
+
+
+class NeighborSampler:
+    """Reusable sampler with fixed fanouts and a seeded RNG."""
+
+    def __init__(self, graph: Graph, fanouts: Sequence[int], seed: int = 0) -> None:
+        self.graph = graph
+        self.fanouts = list(fanouts)
+        self.rng = np.random.default_rng(seed)
+
+    def sample(self, seeds: Sequence[int]) -> Block:
+        return sample_neighbors(self.graph, seeds, self.fanouts, rng=self.rng)
+
+    def batches(
+        self, nodes: Sequence[int], batch_size: int
+    ) -> List[Block]:
+        """Shuffle ``nodes`` and sample one block per mini-batch."""
+        nodes = np.asarray(list(nodes), dtype=np.int64)
+        order = self.rng.permutation(nodes.size)
+        blocks = []
+        for start in range(0, nodes.size, batch_size):
+            batch = nodes[order[start: start + batch_size]]
+            blocks.append(self.sample(batch))
+        return blocks
+
+
+def khop_subgraph(graph: Graph, seed: int, k: int) -> Block:
+    """The complete k-hop neighborhood of one seed (AGL materialization)."""
+    block = sample_neighbors(
+        graph, [seed], fanouts=[-1] * k, rng=np.random.default_rng(0)
+    )
+    return block
+
+
+def layerwise_sample(
+    graph: Graph,
+    seeds: Sequence[int],
+    nodes_per_layer: Sequence[int],
+    rng: Optional[np.random.Generator] = None,
+) -> Block:
+    """FastGCN-style layer-wise importance sampling.
+
+    Node-wise fanout sampling (:func:`sample_neighbors`) suffers
+    *neighbor explosion*: the block grows multiplicatively with depth.
+    Layer-wise sampling instead draws a fixed set of ``nodes_per_layer[k]``
+    vertices per layer — importance-weighted by degree — and keeps only
+    edges between consecutive layers, so the block size is *additive*
+    in depth.  The price is possibly disconnected seeds (handled by
+    always including each layer's frontier parents' neighbors in the
+    candidate pool).
+    """
+    rng = rng or np.random.default_rng()
+    seeds = np.asarray(list(seeds), dtype=np.int64)
+    layers: List[np.ndarray] = [seeds]
+    known = set(int(s) for s in seeds)
+    keep_nodes: List[int] = list(seeds)
+    edges: List[Tuple[int, int]] = []
+    for budget in nodes_per_layer:
+        # Candidate pool: union of the previous layer's neighborhoods.
+        pool: List[int] = []
+        for v in layers[-1]:
+            pool.extend(int(w) for w in graph.neighbors(int(v)))
+        if not pool:
+            layers.append(np.empty(0, dtype=np.int64))
+            continue
+        unique_pool = np.unique(np.asarray(pool, dtype=np.int64))
+        # Importance ~ degree (FastGCN uses squared norms; degree is the
+        # standard unlabeled proxy).
+        weights = np.asarray(
+            [graph.degree(int(v)) for v in unique_pool], dtype=np.float64
+        )
+        weights = weights / weights.sum()
+        take = min(budget, unique_pool.size)
+        chosen = rng.choice(unique_pool, size=take, replace=False, p=weights)
+        layers.append(chosen)
+        chosen_set = set(int(v) for v in chosen)
+        for v in layers[-2]:
+            v = int(v)
+            for w in graph.neighbors(v):
+                w = int(w)
+                if w in chosen_set:
+                    edges.append((v, w))
+        for v in chosen:
+            v = int(v)
+            if v not in known:
+                known.add(v)
+                keep_nodes.append(v)
+    node_ids = np.asarray(keep_nodes, dtype=np.int64)
+    remap = {int(g_id): local for local, g_id in enumerate(node_ids)}
+    builder = GraphBuilder(directed=False)
+    builder.add_vertex(node_ids.size - 1)
+    for u, v in edges:
+        builder.add_edge(remap[u], remap[v])
+    labels = None
+    if graph.vertex_labels is not None:
+        labels = graph.vertex_labels[node_ids]
+    block_graph = builder.build(num_vertices=node_ids.size, vertex_labels=labels)
+    seed_local = np.asarray([remap[int(s)] for s in seeds], dtype=np.int64)
+    return Block(graph=block_graph, node_ids=node_ids, seed_local=seed_local)

@@ -1,0 +1,114 @@
+"""Serverless GNN training economics (Dorylus).
+
+Dorylus [39] splits GNN training between cheap CPU *graph servers*
+(gather/scatter, which is memory-bound) and burstable **Lambda
+threads** (the dense tensor ops), and argues this beats GPU instances
+on *value per dollar*.  The headline numbers are an arithmetic over
+cloud prices and measured op throughputs — exactly reproducible
+offline.
+
+:func:`estimate_costs` prices one training run under three deployments:
+
+* ``gpu`` — GPU instances run everything;
+* ``cpu`` — CPU instances run everything;
+* ``cpu+lambda`` — CPU servers run graph ops; lambdas run tensor ops,
+  overlapped with the graph stage (Dorylus's pipelining), with a
+  per-invocation overhead.
+
+Defaults approximate 2021 AWS prices (p3.2xlarge, c5.4xlarge, Lambda
+GB-second) — the benches only use the *ratios*.  The GPU graph-op rate
+is deliberately CPU-like: in Dorylus's setting the graph exceeds device
+memory, so gathers pay host<->device transfer and are not accelerated.
+Value-per-dollar = 1 / (makespan * dollars), Dorylus's metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["DeploymentCost", "Workload", "estimate_costs"]
+
+
+@dataclass
+class Workload:
+    """Per-epoch op counts of a training job.
+
+    ``graph_ops``: gather/scatter element ops; ``tensor_flops``: dense
+    math; ``epochs``: how many epochs to price.
+    """
+
+    graph_ops: float
+    tensor_flops: float
+    epochs: int = 100
+
+
+@dataclass
+class DeploymentCost:
+    """Time and money for one deployment option."""
+
+    name: str
+    time_seconds: float
+    dollars: float
+
+    @property
+    def value_per_dollar(self) -> float:
+        """Dorylus's metric: throughput per dollar (higher is better)."""
+        if self.time_seconds <= 0 or self.dollars <= 0:
+            return float("inf")
+        return 1.0 / (self.time_seconds * self.dollars)
+
+
+def estimate_costs(
+    workload: Workload,
+    gpu_tensor_flops_per_s: float = 15e12,
+    gpu_graph_ops_per_s: float = 2e9,
+    gpu_dollars_per_hour: float = 3.06,
+    cpu_tensor_flops_per_s: float = 0.6e12,
+    cpu_graph_ops_per_s: float = 2e9,
+    cpu_dollars_per_hour: float = 0.68,
+    lambda_tensor_flops_per_s: float = 0.08e12,
+    lambda_dollars_per_gb_second: float = 0.0000166667,
+    lambda_gb: float = 2.0,
+    lambda_parallelism: int = 64,
+    lambda_overhead_s: float = 0.010,
+    lambda_invocations_per_epoch: int = 32,
+) -> Dict[str, DeploymentCost]:
+    """Price the workload under gpu / cpu / cpu+lambda deployments."""
+    e = workload.epochs
+
+    # --- GPU instances do everything.
+    gpu_time = e * (
+        workload.tensor_flops / gpu_tensor_flops_per_s
+        + workload.graph_ops / gpu_graph_ops_per_s
+    )
+    gpu_cost = gpu_time / 3600.0 * gpu_dollars_per_hour
+
+    # --- CPU instances do everything.
+    cpu_time = e * (
+        workload.tensor_flops / cpu_tensor_flops_per_s
+        + workload.graph_ops / cpu_graph_ops_per_s
+    )
+    cpu_cost = cpu_time / 3600.0 * cpu_dollars_per_hour
+
+    # --- CPU graph servers + lambda tensor ops, pipelined: the epoch
+    # time is the max of the two stages (Dorylus overlaps them), plus
+    # the invocation overhead of the lambda fleet.
+    graph_stage = workload.graph_ops / cpu_graph_ops_per_s
+    lambda_stage = (
+        workload.tensor_flops
+        / (lambda_tensor_flops_per_s * lambda_parallelism)
+        + lambda_overhead_s * lambda_invocations_per_epoch / lambda_parallelism
+    )
+    hybrid_time = e * max(graph_stage, lambda_stage)
+    lambda_busy_s = e * lambda_stage * lambda_parallelism
+    hybrid_cost = (
+        hybrid_time / 3600.0 * cpu_dollars_per_hour
+        + lambda_busy_s * lambda_gb * lambda_dollars_per_gb_second
+    )
+
+    return {
+        "gpu": DeploymentCost("gpu", gpu_time, gpu_cost),
+        "cpu": DeploymentCost("cpu", cpu_time, cpu_cost),
+        "cpu+lambda": DeploymentCost("cpu+lambda", hybrid_time, hybrid_cost),
+    }

@@ -1,0 +1,243 @@
+"""Asynchronous model synchronization: bounded staleness and friends.
+
+Section 3's "Model Synchronization" techniques:
+
+* **Bounded staleness** (Dorylus [39], P3 [13]) — workers may run up to
+  ``s`` steps ahead of the slowest instead of barriering every step.
+  :func:`simulate_staleness` runs an event-driven simulation with
+  heterogeneous worker speeds and reports makespan/idle time, the
+  utilization claim; :func:`train_stale_gradients` additionally applies
+  *real* delayed gradients to a shared model so convergence effects are
+  measurable, not asserted.
+
+* **Staleness-aware skipping** (Sancus [30]) — broadcast only when the
+  parameters/embeddings changed enough; :class:`SancusGate` implements
+  the adaptive gate and counts skipped broadcasts.
+
+* **Delayed updates** (DistGNN [27]) — halo features are refreshed only
+  every ``r`` epochs; :func:`train_delayed_halo` trains a real GCN with
+  genuinely stale remote rows and reports both the traffic saved and
+  the accuracy reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.partition import Partition
+from .distributed import halo_sets
+from .layers import GraphTensors
+from .models import Adam, NodeClassifier, accuracy
+from .tensor import Tensor, no_grad
+from .train import TrainReport
+
+__all__ = [
+    "StalenessTrace",
+    "simulate_staleness",
+    "train_stale_gradients",
+    "SancusGate",
+    "train_delayed_halo",
+]
+
+
+@dataclass
+class StalenessTrace:
+    """Utilization outcome of one synchronization policy."""
+
+    staleness: int
+    makespan: float
+    busy_time: float
+    idle_time: float
+    steps_per_worker: int
+
+    @property
+    def utilization(self) -> float:
+        total = self.busy_time + self.idle_time
+        return self.busy_time / total if total else 1.0
+
+
+def simulate_staleness(
+    num_workers: int,
+    steps: int,
+    staleness: int,
+    speed_spread: float = 0.5,
+    seed: int = 0,
+) -> StalenessTrace:
+    """Event-driven SSP simulation with heterogeneous step times.
+
+    Worker ``w``'s step durations are ``1 + spread * U[0,1)`` (plus a
+    persistent per-worker speed factor).  Under the stale synchronous
+    parallel rule, a worker may start step ``t`` only when the slowest
+    worker has finished step ``t - staleness``; ``staleness=0`` is BSP.
+    """
+    rng = np.random.default_rng(seed)
+    base_speed = 1.0 + speed_spread * rng.random(num_workers)
+    durations = base_speed[:, None] * (
+        1.0 + speed_spread * rng.random((num_workers, steps))
+    )
+    finish = np.zeros((num_workers, steps))
+    barrier = np.zeros(steps)  # barrier[t] = time all workers finished step t
+    busy = float(durations.sum())
+    idle = 0.0
+    for t in range(steps):
+        # SSP rule: step t may start only after every worker finished
+        # step t - 1 - staleness (s = 0 is a per-step barrier).
+        gate_step = t - 1 - staleness
+        gate = barrier[gate_step] if gate_step >= 0 else 0.0
+        for w in range(num_workers):
+            prev = finish[w, t - 1] if t > 0 else 0.0
+            start = max(prev, gate)
+            idle += start - prev
+            finish[w, t] = start + durations[w, t]
+        barrier[t] = finish[:, t].max()
+    return StalenessTrace(
+        staleness=staleness,
+        makespan=float(finish[:, -1].max()),
+        busy_time=busy,
+        idle_time=float(idle),
+        steps_per_worker=steps,
+    )
+
+
+def train_stale_gradients(
+    model: NodeClassifier,
+    graph: Graph,
+    features: np.ndarray,
+    labels: np.ndarray,
+    train_mask: np.ndarray,
+    val_mask: Optional[np.ndarray] = None,
+    staleness: int = 2,
+    epochs: int = 30,
+    lr: float = 0.01,
+) -> TrainReport:
+    """Training where each applied gradient is ``staleness`` steps old.
+
+    Models the pipeline effect of bounded staleness on convergence: the
+    gradient applied at step ``t`` was computed against the parameters
+    of step ``t - staleness``.  With ``staleness=0`` this is exact
+    synchronous training.
+    """
+    gt = GraphTensors(graph)
+    optimizer = Adam(model.parameters(), lr=lr)
+    report = TrainReport()
+    train_idx = np.nonzero(train_mask)[0]
+    x = Tensor(features)
+    param_history: List[List[np.ndarray]] = []
+    for step in range(epochs):
+        current = model.state_dict()
+        param_history.append(current)
+        stale_state = param_history[max(0, step - staleness)]
+        # Compute the gradient at the stale parameters...
+        model.load_state_dict(stale_state)
+        optimizer.zero_grad()
+        logits = model(gt, x)
+        loss = logits.gather_rows(train_idx).cross_entropy(labels[train_idx])
+        loss.backward()
+        grads = [p.grad.copy() if p.grad is not None else None for p in model.parameters()]
+        # ...then apply it to the current parameters.
+        model.load_state_dict(current)
+        for p, g in zip(model.parameters(), grads):
+            p.grad = g
+        optimizer.step()
+        report.losses.append(float(loss.data))
+        report.steps += 1
+        with no_grad():
+            out = model(gt, Tensor(features)).data
+        report.train_accuracy.append(accuracy(out, labels, train_mask))
+        if val_mask is not None:
+            report.val_accuracy.append(accuracy(out, labels, val_mask))
+    return report
+
+
+@dataclass
+class SancusGate:
+    """Sancus's staleness-aware broadcast gate.
+
+    ``should_broadcast(embedding)`` returns True when the L2 change
+    since the last broadcast exceeds ``threshold`` (relative to the
+    last-broadcast norm); otherwise peers keep using the stale copy and
+    a skip is recorded.
+    """
+
+    threshold: float = 0.05
+    broadcasts: int = 0
+    skips: int = 0
+
+    def __post_init__(self) -> None:
+        self._last: Optional[np.ndarray] = None
+
+    def should_broadcast(self, value: np.ndarray) -> bool:
+        value = np.asarray(value, dtype=np.float64)
+        if self._last is None:
+            self._last = value.copy()
+            self.broadcasts += 1
+            return True
+        denom = np.linalg.norm(self._last) + 1e-12
+        change = np.linalg.norm(value - self._last) / denom
+        if change > self.threshold:
+            self._last = value.copy()
+            self.broadcasts += 1
+            return True
+        self.skips += 1
+        return False
+
+
+def train_delayed_halo(
+    model: NodeClassifier,
+    graph: Graph,
+    partition: Partition,
+    features: np.ndarray,
+    labels: np.ndarray,
+    train_mask: np.ndarray,
+    val_mask: Optional[np.ndarray] = None,
+    refresh_every: int = 4,
+    epochs: int = 40,
+    lr: float = 0.01,
+) -> Tuple[TrainReport, int, int]:
+    """DistGNN-style delayed halo updates, with real staleness.
+
+    Remote (halo) feature rows are refreshed from their owners only
+    every ``refresh_every`` epochs; in between, every worker computes
+    with its cached stale copy.  The input-feature halo is the stale
+    surface (hidden layers run on the mixed input), which is the
+    first-order effect DistGNN's cd-0/cd-r family trades.
+
+    Returns ``(report, halo_exchanges_done, halo_exchanges_saved)``.
+    """
+    gt = GraphTensors(graph)
+    optimizer = Adam(model.parameters(), lr=lr)
+    report = TrainReport()
+    train_idx = np.nonzero(train_mask)[0]
+    halos = halo_sets(graph, partition)
+    remote = np.zeros(graph.num_vertices, dtype=bool)
+    for halo in halos:
+        for v in halo:
+            remote[v] = True
+    stale_features = features.copy()
+    exchanges = saved = 0
+    for epoch in range(epochs):
+        if epoch % refresh_every == 0:
+            stale_features[remote] = features[remote]
+            exchanges += 1
+        else:
+            saved += 1
+        mixed = features.copy()
+        mixed[remote] = stale_features[remote]
+        x = Tensor(mixed)
+        optimizer.zero_grad()
+        logits = model(gt, x)
+        loss = logits.gather_rows(train_idx).cross_entropy(labels[train_idx])
+        loss.backward()
+        optimizer.step()
+        report.losses.append(float(loss.data))
+        report.steps += 1
+        with no_grad():
+            out = model(gt, Tensor(features)).data
+        report.train_accuracy.append(accuracy(out, labels, train_mask))
+        if val_mask is not None:
+            report.val_accuracy.append(accuracy(out, labels, val_mask))
+    return report, exchanges, saved

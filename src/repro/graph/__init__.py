@@ -1,0 +1,7 @@
+"""Graph substrate: CSR storage, generators, I/O, partitioners, properties."""
+
+from .csr import Graph, GraphBuilder
+from .transactions import GraphTransaction, TransactionDatabase
+from .weighted import dijkstra, edge_label_weight
+
+__all__ = ["Graph", "GraphBuilder", "GraphTransaction", "TransactionDatabase", "dijkstra", "edge_label_weight"]

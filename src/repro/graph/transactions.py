@@ -1,0 +1,84 @@
+"""Graph-transaction databases.
+
+Frequent subgraph mining comes in two flavours in the tutorial:
+
+* mining from a **database of graph transactions** (PrefixFPM, gSpan) —
+  each transaction is a small labeled graph, such as one molecule;
+* mining from a **single big graph** (GraMi, ScaleMine, T-FSM).
+
+This module holds the transaction-side data model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .csr import Graph
+
+__all__ = ["GraphTransaction", "TransactionDatabase"]
+
+
+@dataclass(frozen=True)
+class GraphTransaction:
+    """One labeled graph in a transaction database."""
+
+    graph_id: int
+    graph: Graph
+
+    def __post_init__(self) -> None:
+        if self.graph.directed:
+            raise ValueError("transaction graphs must be undirected")
+
+
+class TransactionDatabase:
+    """An ordered collection of :class:`GraphTransaction`.
+
+    Provides the label-frequency view that FSM algorithms use for their
+    initial 1-edge candidate generation.
+    """
+
+    def __init__(self, transactions: Iterable[GraphTransaction]) -> None:
+        self.transactions: List[GraphTransaction] = list(transactions)
+        ids = [t.graph_id for t in self.transactions]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate graph_id in transaction database")
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self):
+        return iter(self.transactions)
+
+    def __getitem__(self, i: int) -> GraphTransaction:
+        return self.transactions[i]
+
+    def vertex_label_support(self) -> dict:
+        """Map vertex label -> number of transactions containing it."""
+        support: dict = {}
+        for t in self.transactions:
+            labels = set(
+                t.graph.vertex_label(v) for v in t.graph.vertices()
+            )
+            for label in labels:
+                support[label] = support.get(label, 0) + 1
+        return support
+
+    def edge_label_support(self) -> dict:
+        """Map (min_vlabel, elabel, max_vlabel) -> transaction count.
+
+        This is the canonical key for a frequent 1-edge pattern in an
+        undirected labeled graph.
+        """
+        support: dict = {}
+        for t in self.transactions:
+            seen = set()
+            g = t.graph
+            for u, v in g.edges():
+                lu, lv = g.vertex_label(u), g.vertex_label(v)
+                el = g.edge_label(u, v) if g.edge_labels is not None else 0
+                key = (min(lu, lv), el, max(lu, lv))
+                seen.add(key)
+            for key in seen:
+                support[key] = support.get(key, 0) + 1
+        return support

@@ -1,0 +1,183 @@
+"""Clique algorithms: the killer applications of the TLAG systems.
+
+G-thinker's flagship workloads are maximal clique enumeration and
+maximal quasi-clique mining [14, 20]; k-clique listing is the standard
+pattern workload of AutoMine/Pangolin-class systems.  This module holds
+the serial kernels; :mod:`repro.tlag.programs` wraps them as
+:class:`~repro.tlag.task.TaskProgram` for the parallel engine.
+
+* :func:`maximal_cliques` — Bron–Kerbosch with Tomita pivoting;
+* :func:`maximum_clique` — branch-and-bound with a greedy-coloring
+  upper bound;
+* :func:`k_cliques` — degree-ordered DFS listing (Chiba–Nishizeki
+  style);
+* :func:`maximal_quasi_cliques` — gamma-quasi-clique enumeration with
+  the degree-based pruning used by [14] (every member of a
+  gamma-quasi-clique has internal degree >= gamma * (|S| - 1)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = [
+    "maximal_cliques",
+    "maximum_clique",
+    "k_cliques",
+    "count_k_cliques",
+    "maximal_quasi_cliques",
+]
+
+
+def _adjacency_sets(graph: Graph) -> List[Set[int]]:
+    return [set(int(w) for w in graph.neighbors(v)) for v in graph.vertices()]
+
+
+def maximal_cliques(graph: Graph) -> Iterator[Tuple[int, ...]]:
+    """Bron–Kerbosch with pivoting; yields each maximal clique once."""
+    adj = _adjacency_sets(graph)
+
+    def expand(r: List[int], p: Set[int], x: Set[int]) -> Iterator[Tuple[int, ...]]:
+        if not p and not x:
+            yield tuple(sorted(r))
+            return
+        # Tomita pivot: the vertex of P ∪ X with most neighbors in P.
+        pivot = max(p | x, key=lambda u: len(adj[u] & p))
+        for v in sorted(p - adj[pivot]):
+            yield from expand(r + [v], p & adj[v], x & adj[v])
+            p.remove(v)
+            x.add(v)
+
+    yield from expand([], set(graph.vertices()), set())
+
+
+def maximum_clique(graph: Graph) -> Tuple[int, ...]:
+    """A maximum clique, by branch-and-bound with greedy coloring bounds."""
+    adj = _adjacency_sets(graph)
+    # Order vertices by degeneracy-ish heuristic: ascending degree.
+    best: List[int] = []
+
+    def coloring_bound(candidates: List[int]) -> int:
+        """Greedy coloring of the candidate set; colors used bounds clique size."""
+        colors: dict = {}
+        for v in candidates:
+            taken = {colors[w] for w in adj[v] if w in colors}
+            c = 0
+            while c in taken:
+                c += 1
+            colors[v] = c
+        return 1 + max(colors.values()) if colors else 0
+
+    def expand(r: List[int], candidates: List[int]) -> None:
+        nonlocal best
+        if not candidates:
+            if len(r) > len(best):
+                best = r[:]
+            return
+        if len(r) + coloring_bound(candidates) <= len(best):
+            return
+        for i, v in enumerate(candidates):
+            if len(r) + len(candidates) - i <= len(best):
+                return
+            expand(r + [v], [w for w in candidates[i + 1:] if w in adj[v]])
+
+    order = sorted(graph.vertices(), key=lambda v: -graph.degree(v))
+    expand([], order)
+    return tuple(sorted(best))
+
+
+def k_cliques(graph: Graph, k: int) -> Iterator[Tuple[int, ...]]:
+    """List all k-cliques once, via degree-ordered DFS."""
+    if k < 1:
+        return
+    if k == 1:
+        for v in graph.vertices():
+            yield (v,)
+        return
+    oriented = graph.orient_by_degree()
+    out = [set(int(w) for w in oriented.neighbors(v)) for v in oriented.vertices()]
+
+    def extend(clique: List[int], candidates: Set[int]) -> Iterator[Tuple[int, ...]]:
+        if len(clique) == k:
+            yield tuple(sorted(clique))
+            return
+        for v in sorted(candidates):
+            yield from extend(clique + [v], candidates & out[v])
+
+    for v in graph.vertices():
+        yield from extend([v], set(out[v]))
+
+
+def count_k_cliques(graph: Graph, k: int) -> int:
+    """Number of k-cliques (counting via :func:`k_cliques`)."""
+    return sum(1 for _ in k_cliques(graph, k))
+
+
+def maximal_quasi_cliques(
+    graph: Graph,
+    gamma: float,
+    min_size: int = 3,
+    max_results: Optional[int] = None,
+) -> List[Tuple[int, ...]]:
+    """Maximal gamma-quasi-cliques of size >= ``min_size``.
+
+    A vertex set S is a gamma-quasi-clique when every member has at
+    least ``ceil(gamma * (|S| - 1))`` neighbors inside S.  Enumeration
+    follows the set-enumeration tree with the degree pruning of [14]:
+    a candidate can only ever help if its degree into S ∪ candidates
+    can still reach the threshold at the final size.
+
+    Quasi-cliques are not hereditary, so maximality is verified by
+    attempted extension with every outside vertex.  Exponential in the
+    worst case — intended for the small planted benches, exactly the
+    regime [14] parallelizes with G-thinker.
+    """
+    adj = _adjacency_sets(graph)
+    n = graph.num_vertices
+    results: List[Tuple[int, ...]] = []
+    seen: Set[Tuple[int, ...]] = set()
+
+    def is_quasi_clique(s: Set[int]) -> bool:
+        if len(s) < 2:
+            return True
+        need = int(np.ceil(gamma * (len(s) - 1)))
+        return all(len(adj[v] & s) >= need for v in s)
+
+    def is_maximal(s: Set[int]) -> bool:
+        return not any(
+            v not in s and is_quasi_clique(s | {v}) for v in range(n)
+        )
+
+    def expand(s: Set[int], candidates: List[int]) -> None:
+        if max_results is not None and len(results) >= max_results:
+            return
+        if len(s) >= min_size and is_quasi_clique(s) and is_maximal(s):
+            key = tuple(sorted(s))
+            if key not in seen:
+                seen.add(key)
+                results.append(key)
+        for i, v in enumerate(candidates):
+            new_s = s | {v}
+            # Prune: v must connect to enough of the current set that the
+            # quasi-clique condition is still reachable.
+            if len(new_s) >= 2:
+                inside = len(adj[v] & s)
+                # v's internal degree can grow by at most the remaining
+                # candidates; the requirement grows with the set.
+                remaining = len(candidates) - i - 1
+                final_possible = inside + remaining
+                need_now = int(np.ceil(gamma * (len(new_s) - 1)))
+                if final_possible < need_now:
+                    continue
+            # Candidates stay unfiltered by adjacency: a quasi-clique's
+            # ascending-id prefix need not be connected, so any
+            # connectivity filter here would lose maximal results.
+            expand(new_s, candidates[i + 1:])
+
+    order = sorted(range(n))
+    expand(set(), order)
+    return results

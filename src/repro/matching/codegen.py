@@ -1,0 +1,136 @@
+"""Compilation-based subgraph enumeration (the AutoMine approach).
+
+AutoMine [26] harmonizes "high-level abstraction and high performance"
+by *compiling* each pattern + matching order into specialized nested
+loops instead of interpreting a generic backtracking engine; GraphPi and
+GraphZero inherit the idea.  This module does the same thing in Python:
+:func:`generate_source` emits the source of a function with one ``for``
+level per pattern vertex — candidate iteration, constant-time adjacency
+checks, symmetry-breaking bounds and injectivity all specialized and
+inlined — and :func:`compile_matcher` ``exec``-compiles it.
+
+The compiled function consumes a *prepared* adjacency (plain Python
+lists for iteration, frozensets for membership) built once per graph by
+:func:`prepare_adjacency` — the analogue of AutoMine's load-time graph
+preprocessing.  Bench C3 measures the compiled-vs-interpreted gap and
+the order/symmetry-breaking effects on the same kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..graph.csr import Graph
+from .pattern import PatternGraph, symmetry_breaking_restrictions
+from .plan import GraphStats, Planner
+
+__all__ = [
+    "prepare_adjacency",
+    "generate_source",
+    "compile_matcher",
+    "compiled_count",
+]
+
+
+def prepare_adjacency(graph: Graph) -> Tuple[List[List[int]], List[frozenset]]:
+    """Convert CSR adjacency into iteration lists + membership sets."""
+    adj: List[List[int]] = []
+    adjset: List[frozenset] = []
+    for v in graph.vertices():
+        nbrs = [int(w) for w in graph.neighbors(v)]
+        adj.append(nbrs)
+        adjset.append(frozenset(nbrs))
+    return adj, adjset
+
+
+def generate_source(
+    pattern: PatternGraph,
+    order: Sequence[int],
+    restrictions: Sequence[Tuple[int, int]],
+    func_name: str = "count_pattern",
+) -> str:
+    """Emit Python source for a pattern-specialized counting function.
+
+    The generated function has signature
+    ``func(adj, adjset, num_vertices) -> int`` with one nested loop per
+    pattern vertex in ``order``.
+    """
+    n = pattern.n
+    position_of = {pv: i for i, pv in enumerate(order)}
+    lines: List[str] = [
+        f"def {func_name}(adj, adjset, num_vertices):",
+        "    count = 0",
+    ]
+    indent = "    "
+    for i, pv in enumerate(order):
+        pad = indent * (i + 1)
+        backward = sorted(
+            position_of[q] for q in pattern.adj[pv] if position_of[q] < i
+        )
+        lower = [
+            position_of[u]
+            for (u, v) in restrictions
+            if v == pv and position_of[u] < i
+        ]
+        upper = [
+            position_of[v]
+            for (u, v) in restrictions
+            if u == pv and position_of[v] < i
+        ]
+        if not backward:
+            lines.append(f"{pad}for v{i} in range(num_vertices):")
+        else:
+            lines.append(f"{pad}for v{i} in adj[v{backward[0]}]:")
+        checks: List[str] = []
+        for j in backward[1:]:
+            checks.append(f"v{i} in adjset[v{j}]")
+        for j in lower:
+            checks.append(f"v{i} > v{j}")
+        for j in upper:
+            checks.append(f"v{i} < v{j}")
+        # Injectivity against earlier vertices not already implied
+        # distinct by adjacency or an order constraint.
+        for j in range(i):
+            if j not in backward and j not in lower and j not in upper:
+                checks.append(f"v{i} != v{j}")
+        body_pad = pad + indent
+        if checks:
+            lines.append(f"{body_pad}if not ({' and '.join(checks)}):")
+            lines.append(f"{body_pad}{indent}continue")
+        if i == n - 1:
+            lines.append(f"{body_pad}count += 1")
+    lines.append("    return count")
+    return "\n".join(lines) + "\n"
+
+
+def compile_matcher(
+    pattern: PatternGraph,
+    order: Optional[Sequence[int]] = None,
+    restrictions: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Callable[[List[List[int]], List[frozenset], int], int]:
+    """Compile a counting function for ``pattern``.
+
+    The order defaults to the planner's choice under a generic power-law
+    stats profile; restrictions default to the pattern's
+    symmetry-breaking set (pass ``[]`` to count all automorphic images).
+    """
+    if order is None:
+        planner = Planner(
+            GraphStats(num_vertices=100_000, avg_degree=16.0, max_degree=1000)
+        )
+        order = planner.plan(pattern).order
+    if restrictions is None:
+        restrictions = symmetry_breaking_restrictions(pattern)
+    source = generate_source(pattern, order, restrictions)
+    namespace: dict = {}
+    exec(compile(source, "<pattern-codegen>", "exec"), namespace)
+    func = namespace["count_pattern"]
+    func.__source__ = source  # for inspection/tests
+    return func
+
+
+def compiled_count(graph: Graph, pattern: PatternGraph, order=None) -> int:
+    """Count distinct instances of ``pattern`` using a compiled matcher."""
+    func = compile_matcher(pattern, order=order)
+    adj, adjset = prepare_adjacency(graph)
+    return int(func(adj, adjset, graph.num_vertices))

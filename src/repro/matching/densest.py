@@ -1,0 +1,81 @@
+"""Densest-subgraph extraction by greedy peeling (Charikar's 2-approx).
+
+The degree-ordered peeling that underlies k-core also yields the
+classic 1/2-approximation to the densest subgraph (max average degree
+/ 2): repeatedly remove the minimum-degree vertex and keep the prefix
+with the best density.  Dense-subgraph discovery is the "community
+detection" instance of the tutorial's structure-analytics path, and is
+the polynomial-time cousin of the quasi-clique mining G-thinker
+parallelizes.
+
+:func:`densest_subgraph` returns ``(vertices, density)`` where density
+is ``|E(S)| / |S|``; the guarantee ``density >= optimum / 2`` is
+checked in tests against brute force on small graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = ["density", "densest_subgraph"]
+
+
+def density(graph: Graph, vertices: Set[int]) -> float:
+    """|E(S)| / |S| for the vertex-induced subgraph on ``vertices``."""
+    if not vertices:
+        return 0.0
+    edges = sum(
+        1
+        for u in vertices
+        for w in graph.neighbors(u)
+        if int(w) in vertices and u < int(w)
+    )
+    return edges / len(vertices)
+
+
+def densest_subgraph(graph: Graph) -> Tuple[Set[int], float]:
+    """Charikar's greedy peeling 1/2-approximation.
+
+    Peels minimum-degree vertices one at a time, tracking the density
+    of every suffix; returns the best suffix and its density.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return set(), 0.0
+    degree = graph.degrees().astype(np.int64).copy()
+    removed = np.zeros(n, dtype=bool)
+    heap = [(int(degree[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    edges_left = graph.num_edges
+    vertices_left = n
+    order: List[int] = []  # peeling order
+
+    best_density = edges_left / max(vertices_left, 1)
+    best_cut = 0  # peel prefix length achieving the best density
+
+    while vertices_left > 0 and heap:
+        d, v = heapq.heappop(heap)
+        if removed[v] or d != degree[v]:
+            continue
+        removed[v] = True
+        order.append(v)
+        edges_left -= int(degree[v])
+        vertices_left -= 1
+        for w in graph.neighbors(v):
+            w = int(w)
+            if not removed[w]:
+                degree[w] -= 1
+                heapq.heappush(heap, (int(degree[w]), w))
+        if vertices_left > 0:
+            current = edges_left / vertices_left
+            if current > best_density:
+                best_density = current
+                best_cut = len(order)
+
+    survivors = set(range(n)) - set(order[:best_cut])
+    return survivors, density(graph, survivors)

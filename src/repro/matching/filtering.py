@@ -1,0 +1,150 @@
+"""Candidate filtering for subgraph matching (the filter-and-join stage).
+
+GPU matchers are built as *filter-then-join* pipelines: GSI [67] builds
+per-query-vertex candidate sets before joining, and EGSM [36] maintains
+them in its hash-trie structure.  CPU matchers (CFL, GraphQL families)
+use the same idea.  This module implements the standard filter ladder:
+
+* **LDF** (label-degree filter) — candidates must match the label and
+  have at least the query vertex's degree;
+* **NLF** (neighbor-label frequency) — candidates must have at least
+  as many neighbors of each label as the query vertex requires;
+* **refinement** — iterated arc-consistency: a candidate for query
+  vertex ``u`` survives only if every query neighbor ``q`` of ``u``
+  has a candidate adjacent to it; repeat until a fixed point.
+
+:func:`build_candidates` returns the per-query-vertex candidate sets
+plus :class:`FilterStats` (set sizes after each stage — the pruning
+power measurement every matching paper tabulates), and
+:func:`filtered_match` plugs the sets into the backtracking kernel as
+an additional per-step membership test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph.csr import Graph
+from .backtrack import MatchStats, match
+from .pattern import PatternGraph
+
+__all__ = ["FilterStats", "build_candidates", "filtered_match"]
+
+
+@dataclass
+class FilterStats:
+    """Candidate-set sizes after each filter stage."""
+
+    after_ldf: List[int] = field(default_factory=list)
+    after_nlf: List[int] = field(default_factory=list)
+    after_refinement: List[int] = field(default_factory=list)
+    refinement_rounds: int = 0
+
+    @property
+    def total_after_ldf(self) -> int:
+        return sum(self.after_ldf)
+
+    @property
+    def total_after_refinement(self) -> int:
+        return sum(self.after_refinement)
+
+
+def build_candidates(
+    graph: Graph,
+    pattern: PatternGraph,
+    use_nlf: bool = True,
+    refine: bool = True,
+) -> Tuple[List[Set[int]], FilterStats]:
+    """The LDF -> NLF -> refinement filter ladder."""
+    stats = FilterStats()
+    n = pattern.n
+    label_of = (
+        (lambda v: int(graph.vertex_labels[v]))
+        if graph.vertex_labels is not None
+        else (lambda v: 0)
+    )
+
+    # Stage 1: LDF.
+    candidates: List[Set[int]] = []
+    for u in range(n):
+        want_label = pattern.label(u)
+        want_degree = pattern.degree(u)
+        cand = {
+            v
+            for v in range(graph.num_vertices)
+            if label_of(v) == want_label and graph.degree(v) >= want_degree
+        }
+        candidates.append(cand)
+        stats.after_ldf.append(len(cand))
+
+    # Stage 2: NLF.
+    if use_nlf:
+        for u in range(n):
+            need: Dict[int, int] = {}
+            for q in pattern.adj[u]:
+                lbl = pattern.label(q)
+                need[lbl] = need.get(lbl, 0) + 1
+            surviving = set()
+            for v in candidates[u]:
+                have: Dict[int, int] = {}
+                for w in graph.neighbors(v):
+                    lbl = label_of(int(w))
+                    have[lbl] = have.get(lbl, 0) + 1
+                if all(have.get(lbl, 0) >= cnt for lbl, cnt in need.items()):
+                    surviving.add(v)
+            candidates[u] = surviving
+    stats.after_nlf = [len(c) for c in candidates]
+
+    # Stage 3: arc-consistency refinement to a fixed point.
+    if refine:
+        changed = True
+        while changed:
+            changed = False
+            stats.refinement_rounds += 1
+            for u in range(n):
+                for q in pattern.adj[u]:
+                    surviving = set()
+                    for v in candidates[u]:
+                        nbrs = graph.neighbors(v)
+                        # v survives if some candidate of q is adjacent.
+                        ok = any(
+                            int(w) in candidates[q] for w in nbrs
+                        )
+                        if ok:
+                            surviving.add(v)
+                    if len(surviving) != len(candidates[u]):
+                        candidates[u] = surviving
+                        changed = True
+    stats.after_refinement = [len(c) for c in candidates]
+    return candidates, stats
+
+
+def filtered_match(
+    graph: Graph,
+    pattern: PatternGraph,
+    order: Optional[Sequence[int]] = None,
+    use_nlf: bool = True,
+    refine: bool = True,
+    stats: Optional[MatchStats] = None,
+) -> Tuple[int, FilterStats]:
+    """Backtracking matching restricted to the filtered candidate sets.
+
+    Returns ``(count, filter_stats)``; the count always equals the
+    unfiltered matcher's (tests assert it) — filtering only removes
+    work, never results.
+    """
+    candidates, filter_stats = build_candidates(
+        graph, pattern, use_nlf=use_nlf, refine=refine
+    )
+    if any(not c for c in candidates):
+        return 0, filter_stats
+    match_stats = stats if stats is not None else MatchStats()
+    total = match(
+        graph,
+        pattern,
+        order=order,
+        stats=match_stats,
+        allowed=candidates,
+    )
+    return total, filter_stats

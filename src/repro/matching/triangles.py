@@ -1,0 +1,81 @@
+"""Serial triangle counting/listing (the Chu & Cheng [9] argument).
+
+The tutorial's Section 1 cites triangle counting as the canonical case
+where a well-engineered serial algorithm embarrasses massive
+parallelism: Chu & Cheng's external-memory listing took 0.5 minutes
+where the state-of-the-art MapReduce job took 5.33 minutes on 1636
+machines.  The in-memory core of that algorithm is degree-ordered
+adjacency intersection:
+
+1. orient each edge from the lower-(degree, id) endpoint to the higher;
+2. for every directed edge ``u -> v``, intersect the out-neighborhoods
+   of ``u`` and ``v``; every common vertex closes one triangle, counted
+   exactly once.
+
+Total work is ``sum over edges of min-degree`` = O(m^1.5) worst case and
+near-linear on power-law graphs.  Bench C1 compares this against the
+TLAV triangle program's message volume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..graph.csr import Graph
+
+__all__ = ["triangle_count", "triangle_list", "triangle_count_with_work"]
+
+
+def triangle_count(graph: Graph) -> int:
+    """Number of distinct triangles."""
+    count, _ = triangle_count_with_work(graph)
+    return count
+
+
+def triangle_count_with_work(graph: Graph) -> Tuple[int, int]:
+    """Count triangles; also return the intersection work performed.
+
+    The second component counts adjacency-entry comparisons — the unit
+    bench C1 uses to compare against TLAV message counts.
+    """
+    oriented = graph.orient_by_degree()
+    count = 0
+    work = 0
+    for u in oriented.vertices():
+        out_u = oriented.neighbors(u)
+        for v in out_u:
+            out_v = oriented.neighbors(int(v))
+            i = j = 0
+            while i < out_u.size and j < out_v.size:
+                work += 1
+                a, b = out_u[i], out_v[j]
+                if a == b:
+                    count += 1
+                    i += 1
+                    j += 1
+                elif a < b:
+                    i += 1
+                else:
+                    j += 1
+    return count, work
+
+
+def triangle_list(graph: Graph) -> Iterator[Tuple[int, int, int]]:
+    """Yield each triangle once as a sorted vertex triple."""
+    oriented = graph.orient_by_degree()
+    for u in oriented.vertices():
+        out_u = oriented.neighbors(u)
+        for v in out_u:
+            v = int(v)
+            out_v = oriented.neighbors(v)
+            i = j = 0
+            while i < out_u.size and j < out_v.size:
+                a, b = int(out_u[i]), int(out_v[j])
+                if a == b:
+                    yield tuple(sorted((u, v, a)))
+                    i += 1
+                    j += 1
+                elif a < b:
+                    i += 1
+                else:
+                    j += 1

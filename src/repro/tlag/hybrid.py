@@ -1,0 +1,157 @@
+"""EGSM-style BFS-DFS hybrid subgraph matching under a memory budget.
+
+EGSM [36] observes that on GPUs the BFS expansion (materialize all
+partial matches of the next query vertex) is the fast path — coalesced,
+massively parallel — *while memory lasts*; when the partial-match table
+would overflow device memory, it falls back to DFS for the remaining
+query vertices, which needs only a stack.
+
+:func:`hybrid_match` reproduces the policy: expand partial embeddings
+level-synchronously while the next level fits in ``memory_budget``
+(measured in resident partial embeddings), otherwise finish each pending
+partial embedding by depth-first backtracking.  ``HybridStats`` records
+where the switch happened and the peak residency, so bench C5 can plot
+the budget sweep: large budgets → pure BFS; tiny budgets → switch at
+level 1 (pure DFS); in between → hybrid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..matching.pattern import PatternGraph, default_order, symmetry_breaking_restrictions
+
+__all__ = ["HybridStats", "hybrid_match"]
+
+
+@dataclass
+class HybridStats:
+    """Trace of one hybrid run."""
+
+    switch_level: Optional[int] = None  # None = never switched (pure BFS)
+    peak_resident: int = 0
+    bfs_levels: int = 0
+    dfs_completions: int = 0
+    embeddings: int = 0
+
+
+def hybrid_match(
+    graph: Graph,
+    pattern: PatternGraph,
+    memory_budget: int,
+    order: Optional[Sequence[int]] = None,
+    restrictions: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Tuple[int, HybridStats]:
+    """Count embeddings of ``pattern`` with the BFS-DFS hybrid policy.
+
+    Returns ``(count, stats)``.  The result is independent of the budget
+    (tests sweep it); only the execution trace changes.
+    """
+    if order is None:
+        order = default_order(pattern)
+    order = list(order)
+    if restrictions is None:
+        restrictions = symmetry_breaking_restrictions(pattern)
+    position_of = {pv: i for i, pv in enumerate(order)}
+    n = pattern.n
+    backward: List[List[int]] = [
+        [position_of[q] for q in pattern.adj[pv] if position_of[q] < i]
+        for i, pv in enumerate(order)
+    ]
+    lt_at: List[List[int]] = [[] for _ in range(n)]
+    gt_at: List[List[int]] = [[] for _ in range(n)]
+    for u, v in restrictions:
+        iu, iv = position_of[u], position_of[v]
+        if iu < iv:
+            gt_at[iv].append(iu)
+        else:
+            lt_at[iu].append(iv)
+    labels = graph.vertex_labels
+
+    def step_candidates(partial: Tuple[int, ...], step: int) -> List[int]:
+        pv = order[step]
+        want = pattern.label(pv)
+        back = backward[step]
+        if not back:
+            base = range(graph.num_vertices)
+        else:
+            lists = sorted(
+                (graph.neighbors(partial[j]) for j in back), key=lambda a: a.size
+            )
+            first = lists[0]
+            base = []
+            for x in first:
+                x = int(x)
+                ok = True
+                for other in lists[1:]:
+                    kk = int(np.searchsorted(other, x))
+                    if kk >= other.size or other[kk] != x:
+                        ok = False
+                        break
+                if ok:
+                    base.append(x)
+        lo = max((partial[j] for j in gt_at[step]), default=-1)
+        hi = min((partial[j] for j in lt_at[step]), default=graph.num_vertices)
+        out = []
+        for x in base:
+            x = int(x)
+            if x <= lo or x >= hi or x in partial:
+                continue
+            if labels is not None and int(labels[x]) != want:
+                continue
+            out.append(x)
+        return out
+
+    stats = HybridStats()
+    frontier: List[Tuple[int, ...]] = [()]
+    level = 0
+
+    while level < n:
+        # Estimate the next level's size by expanding; if it would blow
+        # the budget we switch to DFS for all pending partials.
+        next_frontier: List[Tuple[int, ...]] = []
+        overflow = False
+        for partial in frontier:
+            extensions = step_candidates(partial, level)
+            for x in extensions:
+                next_frontier.append(partial + (x,))
+                if len(next_frontier) + len(frontier) > memory_budget:
+                    overflow = True
+                    break
+            if overflow:
+                break
+        if overflow:
+            stats.switch_level = level
+            break
+        stats.bfs_levels += 1
+        stats.peak_resident = max(
+            stats.peak_resident, len(frontier) + len(next_frontier)
+        )
+        frontier = next_frontier
+        level += 1
+
+    if level == n:
+        stats.embeddings = len(frontier)
+        return stats.embeddings, stats
+
+    # DFS fallback for the remaining query vertices.
+    count = 0
+
+    def dfs(partial: Tuple[int, ...], step: int) -> None:
+        nonlocal count
+        if step == n:
+            count += 1
+            return
+        for x in step_candidates(partial, step):
+            dfs(partial + (x,), step + 1)
+
+    for partial in frontier:
+        stats.dfs_completions += 1
+        dfs(partial, level)
+    stats.peak_resident = max(stats.peak_resident, len(frontier) + n)
+    stats.embeddings = count
+    return count, stats

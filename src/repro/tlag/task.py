@@ -1,0 +1,101 @@
+"""The task abstraction of think-like-a-task (TLAG) systems.
+
+G-thinker [53, 54], G-Miner [7] and Fractal [10] replace the
+vertex-centric model with *tasks*: a task owns a partial subgraph plus
+whatever state it needs to grow it (candidate sets, frontier, bounds),
+and tasks are the unit of scheduling, splitting and stealing.
+
+:class:`Task` is deliberately minimal — engines never look inside
+``state``; only the user's :class:`TaskProgram` does.  The
+:class:`TaskContext` given to ``process`` provides:
+
+* ``emit(result)`` — report a found subgraph (or count);
+* ``fork(task)`` — enqueue a child task instead of recursing (the
+  splitting mechanism);
+* ``charge(n)`` — account ``n`` units of work (the simulated-time
+  currency used for load-balance measurements);
+* ``over_budget()`` — True once the task has used more than the
+  engine's per-task budget, signalling the program to stop recursing
+  and fork its remaining branches (G-thinker's timeout-based task
+  decomposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..graph.csr import Graph
+
+__all__ = ["Task", "TaskContext", "TaskProgram"]
+
+
+@dataclass
+class Task:
+    """A unit of subgraph-centric work.
+
+    ``subgraph`` is the partial embedding (a tuple of data-graph vertex
+    ids, in extension order); ``state`` is program-defined (candidate
+    sets, remaining depth, bounds...).
+    """
+
+    subgraph: Tuple[int, ...]
+    state: Any = None
+
+    @property
+    def size(self) -> int:
+        return len(self.subgraph)
+
+
+class TaskContext:
+    """Execution context handed to :meth:`TaskProgram.process`."""
+
+    def __init__(self, graph: Graph, budget: Optional[int] = None) -> None:
+        self.graph = graph
+        self.budget = budget
+        self.ops = 0
+        self.results: List[Any] = []
+        self.forked: List[Task] = []
+        self.result_count = 0
+        self.collect_results = True
+
+    def charge(self, n: int = 1) -> None:
+        """Account ``n`` units of work against this task."""
+        self.ops += n
+
+    def over_budget(self) -> bool:
+        """Has this task exceeded the engine's per-task budget?
+
+        Programs that honour this (by forking their remaining branches)
+        get G-thinker-style timeout decomposition; programs that ignore
+        it simply run tasks to completion.
+        """
+        return self.budget is not None and self.ops > self.budget
+
+    def emit(self, result: Any) -> None:
+        """Report one found result (subgraph, count contribution, ...)."""
+        self.result_count += 1
+        if self.collect_results:
+            self.results.append(result)
+
+    def fork(self, task: Task) -> None:
+        """Enqueue a child task for later (possibly remote) execution."""
+        self.forked.append(task)
+
+
+class TaskProgram:
+    """User-defined subgraph-centric computation.
+
+    Implement :meth:`spawn` to seed the initial tasks (typically one per
+    data-graph vertex, mirroring G-thinker's vertex-spawned tasks) and
+    :meth:`process` to run one task — recursing internally (DFS) and/or
+    forking children via ``ctx.fork``.
+    """
+
+    def spawn(self, graph: Graph):
+        """Yield the initial tasks."""
+        raise NotImplementedError
+
+    def process(self, task: Task, ctx: TaskContext) -> None:
+        """Execute one task against the data graph."""
+        raise NotImplementedError

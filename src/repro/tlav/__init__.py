@@ -1,0 +1,49 @@
+"""Think-like-a-vertex (Pregel-family) engines and algorithms."""
+
+from .algorithms import (
+    bfs,
+    luby_mis,
+    label_propagation,
+    pagerank,
+    random_walks,
+    sssp,
+    triangle_count_tlav,
+    wcc,
+)
+from .distributed import DistributedPregel, run_distributed
+from .fault_tolerance import CheckpointedEngine, FaultStats
+from .mirroring import MirrorPlan, message_cost, mirroring_plan, optimal_threshold
+from .ooc import IOStats, OutOfCoreEngine
+from .ppr import ppr_forward_push, ppr_power_iteration
+from .queries import PointQuery, QuegelEngine, QueryOutcome
+from .engine import Aggregator, PregelEngine, VertexContext, VertexProgram
+
+__all__ = [
+    "Aggregator",
+    "PregelEngine",
+    "VertexContext",
+    "VertexProgram",
+    "DistributedPregel",
+    "run_distributed",
+    "pagerank",
+    "sssp",
+    "bfs",
+    "wcc",
+    "label_propagation",
+    "random_walks",
+    "triangle_count_tlav",
+    "luby_mis",
+    "CheckpointedEngine",
+    "FaultStats",
+    "MirrorPlan",
+    "mirroring_plan",
+    "message_cost",
+    "optimal_threshold",
+    "OutOfCoreEngine",
+    "IOStats",
+    "QuegelEngine",
+    "PointQuery",
+    "QueryOutcome",
+    "ppr_power_iteration",
+    "ppr_forward_push",
+]

@@ -1,0 +1,252 @@
+"""Think-like-a-vertex (TLAV) BSP engine.
+
+A faithful in-process Pregel [47]: computation proceeds in supersteps;
+in each superstep every *active* vertex receives the messages sent to it
+in the previous superstep, runs the user's vertex program, may send
+messages and mutate its value, and may vote to halt.  The run ends when
+all vertices have halted and no messages are in flight.
+
+Supported Pregel features:
+
+* **combiners** — commutative/associative message reduction applied at
+  the sender side (Pregel's bandwidth optimization);
+* **aggregators** — global reductions visible to every vertex in the
+  next superstep (e.g. the dangling-mass sum of PageRank);
+* **vote-to-halt** with reactivation on message arrival;
+* a **superstep limit** guard.
+
+The engine exists both as the baseline the tutorial's Section 2
+contrasts against (TLAV cannot accelerate subgraph search) and as the
+workhorse of the Figure-1 "vertex analytics" path.  The distributed
+variant in :mod:`repro.tlav.distributed` runs the same vertex programs
+over a partitioned graph with real traffic accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generic, Iterable, List, Optional, TypeVar
+
+from ..graph.csr import Graph
+
+__all__ = ["VertexProgram", "VertexContext", "PregelEngine", "SuperstepStats"]
+
+V = TypeVar("V")  # vertex value type
+M = TypeVar("M")  # message type
+
+
+class VertexProgram(Generic[V, M]):
+    """User-defined vertex behaviour.
+
+    Subclass and implement :meth:`init` and :meth:`compute`.  The engine
+    calls ``compute(ctx, messages)`` for every active vertex each
+    superstep; ``ctx`` exposes the vertex id, its value, its neighbors,
+    message sending, aggregators and ``vote_to_halt``.
+    """
+
+    def init(self, vertex: int, graph: Graph) -> V:
+        """Initial value of ``vertex``."""
+        raise NotImplementedError
+
+    def compute(self, ctx: "VertexContext[V, M]", messages: List[M]) -> None:
+        """One superstep of work at one vertex."""
+        raise NotImplementedError
+
+    def combine(self, a: M, b: M) -> M:
+        """Optional message combiner; override to enable combining.
+
+        Must be commutative and associative.  The engine detects the
+        override and applies it at enqueue time, mirroring Pregel's
+        sender-side combiners.
+        """
+        raise NotImplementedError
+
+
+class VertexContext(Generic[V, M]):
+    """The view of the engine a vertex program sees during ``compute``."""
+
+    __slots__ = ("vertex", "_engine",)
+
+    def __init__(self, vertex: int, engine: "PregelEngine") -> None:
+        self.vertex = vertex
+        self._engine = engine
+
+    @property
+    def superstep(self) -> int:
+        return self._engine.superstep
+
+    @property
+    def graph(self) -> Graph:
+        return self._engine.graph
+
+    @property
+    def num_vertices(self) -> int:
+        return self._engine.graph.num_vertices
+
+    @property
+    def value(self) -> Any:
+        return self._engine.values[self.vertex]
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._engine.values[self.vertex] = new_value
+
+    def neighbors(self):
+        return self._engine.graph.neighbors(self.vertex)
+
+    def degree(self) -> int:
+        return self._engine.graph.degree(self.vertex)
+
+    def send(self, dst: int, message: Any) -> None:
+        """Queue a message for delivery next superstep."""
+        self._engine._send(self.vertex, int(dst), message)
+
+    def send_to_neighbors(self, message: Any) -> None:
+        for w in self.neighbors():
+            self.send(int(w), message)
+
+    def vote_to_halt(self) -> None:
+        self._engine._halted[self.vertex] = True
+
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute to a global aggregator for the next superstep."""
+        self._engine._aggregate(name, value)
+
+    def aggregated(self, name: str, default: Any = None) -> Any:
+        """Read an aggregator value from the previous superstep."""
+        return self._engine.aggregated.get(name, default)
+
+
+@dataclass
+class SuperstepStats:
+    """Per-superstep counters (the engine's observability surface)."""
+
+    superstep: int
+    active_vertices: int
+    messages_sent: int
+    messages_after_combine: int
+
+
+@dataclass
+class Aggregator:
+    """A named global reduction."""
+
+    reduce: Callable[[Any, Any], Any]
+    initial: Any = None
+
+
+class PregelEngine(Generic[V, M]):
+    """Single-process BSP executor for :class:`VertexProgram`.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    program:
+        The vertex program.
+    aggregators:
+        Optional ``{name: (reduce_fn, initial)}`` global reductions.
+    max_supersteps:
+        Safety limit; a run that hits it raises ``RuntimeError`` unless
+        ``halt_at_limit`` is set.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: VertexProgram[V, M],
+        aggregators: Optional[Dict[str, Aggregator]] = None,
+        max_supersteps: int = 100,
+        halt_at_limit: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.program = program
+        self.max_supersteps = max_supersteps
+        self.halt_at_limit = halt_at_limit
+        self.superstep = 0
+        self.values: List[Any] = [program.init(v, graph) for v in graph.vertices()]
+        self.aggregators = aggregators or {}
+        self.aggregated: Dict[str, Any] = {}
+        self._agg_pending: Dict[str, Any] = {}
+        self._halted = [False] * graph.num_vertices
+        self._inbox: Dict[int, List[Any]] = {}
+        self._outbox: Dict[int, List[Any]] = {}
+        self.history: List[SuperstepStats] = []
+        self._messages_sent = 0
+        self._use_combiner = self._probe_combiner()
+
+    def _probe_combiner(self) -> bool:
+        # A program opts into combining by overriding `combine`.
+        return type(self.program).combine is not VertexProgram.combine
+
+    # -- engine internals -------------------------------------------------
+
+    def _send(self, src: int, dst: int, message: Any) -> None:
+        if dst < 0 or dst >= self.graph.num_vertices:
+            raise ValueError(f"message to nonexistent vertex {dst}")
+        self._messages_sent += 1
+        box = self._outbox.setdefault(dst, [])
+        if self._use_combiner and box:
+            box[0] = self.program.combine(box[0], message)
+        else:
+            box.append(message)
+
+    def _aggregate(self, name: str, value: Any) -> None:
+        if name not in self.aggregators:
+            raise KeyError(f"unknown aggregator {name!r}")
+        agg = self.aggregators[name]
+        if name in self._agg_pending:
+            self._agg_pending[name] = agg.reduce(self._agg_pending[name], value)
+        else:
+            self._agg_pending[name] = value
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> List[Any]:
+        """Run to convergence; returns the final vertex values."""
+        while self.step():
+            pass
+        return self.values
+
+    def step(self) -> bool:
+        """Execute one superstep; returns ``False`` when converged."""
+        if self.superstep >= self.max_supersteps:
+            if self.halt_at_limit:
+                return False
+            raise RuntimeError(f"exceeded {self.max_supersteps} supersteps")
+        active = [
+            v
+            for v in self.graph.vertices()
+            if not self._halted[v] or v in self._inbox
+        ]
+        if not active:
+            return False
+        self._messages_sent = 0
+        for v in active:
+            self._halted[v] = False
+            ctx = VertexContext(v, self)
+            self.program.compute(ctx, self._inbox.pop(v, []))
+        self.history.append(
+            SuperstepStats(
+                superstep=self.superstep,
+                active_vertices=len(active),
+                messages_sent=self._messages_sent,
+                messages_after_combine=sum(len(b) for b in self._outbox.values()),
+            )
+        )
+        self._inbox = self._outbox
+        self._outbox = {}
+        self.aggregated = self._agg_pending
+        self._agg_pending = {}
+        self.superstep += 1
+        return True
+
+    @property
+    def total_messages(self) -> int:
+        """Messages sent across the whole run (before combining)."""
+        return sum(s.messages_sent for s in self.history)
+
+    @property
+    def total_messages_delivered(self) -> int:
+        """Messages actually delivered (after combining)."""
+        return sum(s.messages_after_combine for s in self.history)

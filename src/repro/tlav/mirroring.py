@@ -1,0 +1,136 @@
+"""Pregel+-style vertex mirroring.
+
+Pregel+ [50] cuts message traffic for high-degree vertices by creating
+*mirrors*: a hub vertex keeps a read-only copy on every worker that
+hosts many of its neighbors, so a broadcast to d neighbors becomes one
+message per worker holding a mirror (plus free local fan-out) instead
+of d point-to-point messages.
+
+This module implements the mirroring *cost model and plan*:
+
+* :func:`mirroring_plan` — decide which vertices to mirror under the
+  classic degree threshold rule, and on which workers;
+* :func:`message_cost` — remote messages of one broadcast superstep
+  (e.g. PageRank's scatter) with and without the plan;
+* :func:`optimal_threshold` — sweep thresholds and pick the traffic
+  minimizer, reproducing Pregel+'s observation that a moderate
+  threshold beats both extremes.
+
+The model prices exactly the quantity Pregel+ optimizes: a vertex with
+neighbors on ``w`` distinct other workers sends ``min(w, deg_remote)``
+messages when mirrored versus ``deg_remote`` when not, at the price of
+one mirror-update message per worker per superstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graph.csr import Graph
+from ..graph.partition import Partition
+
+__all__ = ["MirrorPlan", "mirroring_plan", "message_cost", "optimal_threshold"]
+
+
+@dataclass
+class MirrorPlan:
+    """Which vertices are mirrored, and where."""
+
+    threshold: int
+    mirrors: Dict[int, Set[int]]  # vertex -> remote workers holding a mirror
+
+    @property
+    def num_mirrored_vertices(self) -> int:
+        return len(self.mirrors)
+
+    @property
+    def total_mirrors(self) -> int:
+        return sum(len(ws) for ws in self.mirrors.values())
+
+
+def _remote_neighbor_workers(
+    graph: Graph, partition: Partition
+) -> List[Dict[int, int]]:
+    """Per vertex: {remote worker -> neighbor count there}."""
+    out: List[Dict[int, int]] = [dict() for _ in graph.vertices()]
+    assignment = partition.assignment
+    for u, v in graph.edges():
+        wu, wv = int(assignment[u]), int(assignment[v])
+        if wu != wv:
+            out[u][wv] = out[u].get(wv, 0) + 1
+            out[v][wu] = out[v].get(wu, 0) + 1
+    return out
+
+
+def mirroring_plan(
+    graph: Graph, partition: Partition, degree_threshold: int
+) -> MirrorPlan:
+    """Mirror every vertex whose degree is >= ``degree_threshold``.
+
+    A mirror is placed on every remote worker hosting at least one of
+    the vertex's neighbors (Pregel+'s all-mirror placement for selected
+    vertices).
+    """
+    remote = _remote_neighbor_workers(graph, partition)
+    mirrors: Dict[int, Set[int]] = {}
+    for v in graph.vertices():
+        if graph.degree(v) >= degree_threshold and remote[v]:
+            mirrors[v] = set(remote[v])
+    return MirrorPlan(threshold=degree_threshold, mirrors=mirrors)
+
+
+def message_cost(
+    graph: Graph, partition: Partition, plan: MirrorPlan
+) -> Tuple[int, int]:
+    """Remote messages of one broadcast superstep.
+
+    Returns ``(without_mirroring, with_plan)``.  Without mirroring a
+    vertex sends one remote message per remote neighbor.  With a mirror
+    on worker ``w`` it sends exactly one mirror-update to ``w`` which
+    then fans out locally for free.
+    """
+    remote = _remote_neighbor_workers(graph, partition)
+    baseline = sum(sum(counts.values()) for counts in remote)
+    with_plan = 0
+    for v in graph.vertices():
+        counts = remote[v]
+        if not counts:
+            continue
+        if v in plan.mirrors:
+            with_plan += len(plan.mirrors[v])  # one update per mirror
+        else:
+            with_plan += sum(counts.values())
+    return baseline, with_plan
+
+
+def optimal_threshold(
+    graph: Graph,
+    partition: Partition,
+    candidates: List[int],
+    mirror_budget: Optional[int] = None,
+) -> Tuple[int, Dict[int, Tuple[int, int]]]:
+    """Sweep thresholds; return the feasible traffic minimizer.
+
+    Message count alone always favours mirroring everything (a mirror
+    update never exceeds the point-to-point fan-out it replaces);
+    Pregel+'s threshold exists because mirrors cost *memory*.  With
+    ``mirror_budget`` given, only plans whose total mirror count fits
+    are eligible — the realistic regime where a moderate threshold
+    wins.
+
+    Returns ``(best_threshold, {threshold: (messages, total_mirrors)})``.
+    """
+    sweep: Dict[int, Tuple[int, int]] = {}
+    for threshold in candidates:
+        plan = mirroring_plan(graph, partition, threshold)
+        _, cost = message_cost(graph, partition, plan)
+        sweep[threshold] = (cost, plan.total_mirrors)
+    feasible = [
+        t for t, (_, mirrors) in sweep.items()
+        if mirror_budget is None or mirrors <= mirror_budget
+    ]
+    if not feasible:
+        raise ValueError("no threshold fits the mirror budget")
+    best = min(feasible, key=lambda t: (sweep[t][0], t))
+    return best, sweep

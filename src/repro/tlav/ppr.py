@@ -1,0 +1,116 @@
+"""Personalized PageRank: the recommender-system vertex analytics.
+
+The tutorial's Figure-1 motivation names "object ranking in recommender
+systems" as a killer application of vertex analytics; personalized
+PageRank (PPR) is that workload's standard primitive.  Two algorithms:
+
+* :func:`ppr_power_iteration` — the dense reference: power iteration on
+  the personalized transition equation
+  ``p = alpha * e_s + (1 - alpha) * P^T p``;
+* :func:`ppr_forward_push` — Andersen-Chung-Lang forward push, the
+  *local* algorithm real systems use: it touches only vertices near the
+  seed and maintains the invariant
+  ``p(v) + alpha * sum_u r(u) * pi_u(v) = pi_s(v)``, guaranteeing
+  ``|estimate - truth| <= epsilon * degree`` per vertex (tested against
+  the power-iteration oracle).
+
+Forward push's touched-vertex count versus the full-graph iteration is
+the same locality argument Quegel makes for point queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = ["ppr_power_iteration", "ppr_forward_push"]
+
+
+def ppr_power_iteration(
+    graph: Graph,
+    source: int,
+    alpha: float = 0.15,
+    iterations: int = 100,
+    tolerance: float = 1e-12,
+) -> np.ndarray:
+    """Dense personalized PageRank by power iteration.
+
+    ``alpha`` is the teleport (restart) probability back to ``source``.
+    Dangling vertices restart too, so the result sums to 1.
+    """
+    n = graph.num_vertices
+    if not (0 <= source < n):
+        raise ValueError("source out of range")
+    scores = np.zeros(n)
+    scores[source] = 1.0
+    degrees = graph.degrees().astype(np.float64)
+    for _ in range(iterations):
+        nxt = np.zeros(n)
+        dangling_mass = 0.0
+        for v in range(n):
+            if scores[v] == 0.0:
+                continue
+            if degrees[v] == 0:
+                dangling_mass += scores[v]
+                continue
+            share = scores[v] / degrees[v]
+            for w in graph.neighbors(v):
+                nxt[int(w)] += share
+        result = (1 - alpha) * nxt
+        result[source] += alpha + (1 - alpha) * dangling_mass
+        if np.abs(result - scores).max() < tolerance:
+            scores = result
+            break
+        scores = result
+    return scores
+
+
+def ppr_forward_push(
+    graph: Graph,
+    source: int,
+    alpha: float = 0.15,
+    epsilon: float = 1e-4,
+) -> Tuple[Dict[int, float], int]:
+    """Local PPR by forward push (Andersen-Chung-Lang).
+
+    Pushes residual mass until every vertex's residual is below
+    ``epsilon * degree``.  Returns ``(estimates, touched)`` where
+    ``estimates`` holds only the visited vertices and ``touched`` counts
+    them — the locality measurement.
+
+    Guarantee (tested): ``|estimates[v] - exact[v]| <= epsilon * deg(v)``.
+    """
+    n = graph.num_vertices
+    if not (0 <= source < n):
+        raise ValueError("source out of range")
+    estimate: Dict[int, float] = {}
+    residual: Dict[int, float] = {source: 1.0}
+    frontier = [source]
+    while frontier:
+        v = frontier.pop()
+        degree = graph.degree(v)
+        r = residual.get(v, 0.0)
+        if degree == 0:
+            # Dangling: all pushed mass restarts at the source.
+            estimate[v] = estimate.get(v, 0.0) + alpha * r
+            residual[v] = 0.0
+            residual[source] = residual.get(source, 0.0) + (1 - alpha) * r
+            if residual[source] > epsilon * max(graph.degree(source), 1):
+                if source not in frontier:
+                    frontier.append(source)
+            continue
+        if r <= epsilon * degree:
+            continue
+        estimate[v] = estimate.get(v, 0.0) + alpha * r
+        residual[v] = 0.0
+        push = (1 - alpha) * r / degree
+        for w in graph.neighbors(v):
+            w = int(w)
+            residual[w] = residual.get(w, 0.0) + push
+            if residual[w] > epsilon * max(graph.degree(w), 1):
+                frontier.append(w)
+    touched = len(set(estimate) | set(residual))
+    return estimate, touched

@@ -1,0 +1,100 @@
+"""Tests for the simulated network and traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import CommStats, Message, Network, payload_nbytes
+
+
+class TestPayloadSizing:
+    def test_numpy_array_true_bytes(self):
+        assert payload_nbytes(np.zeros((3, 4))) == 96
+
+    def test_scalars(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(2.5) == 8
+        assert payload_nbytes(None) == 1
+        assert payload_nbytes(True) == 1
+
+    def test_strings_and_bytes(self):
+        assert payload_nbytes("abc") == 3
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_containers_sum(self):
+        assert payload_nbytes([1, 2, 3]) == 24
+        assert payload_nbytes({"a": 1}) == 9
+        assert payload_nbytes((1.0, 2.0)) == 16
+
+
+class TestNetwork:
+    def test_bsp_delivery_semantics(self):
+        net = Network(2)
+        net.send(0, 1, "hello")
+        assert net.receive(1) == []  # not delivered yet
+        net.deliver()
+        msgs = net.receive(1)
+        assert len(msgs) == 1
+        assert msgs[0].payload == "hello"
+
+    def test_send_now_immediate(self):
+        net = Network(2)
+        net.send_now(0, 1, 42)
+        msgs = net.receive(1)
+        assert len(msgs) == 1
+
+    def test_receive_drains(self):
+        net = Network(2)
+        net.send_now(0, 1, 1)
+        assert len(net.receive(1)) == 1
+        assert net.receive(1) == []
+
+    def test_local_vs_remote_accounting(self):
+        net = Network(2)
+        net.send(0, 0, np.zeros(4))
+        net.send(0, 1, np.zeros(4))
+        assert net.stats.messages_local == 1
+        assert net.stats.messages_remote == 1
+        assert net.stats.bytes_local == 32
+        assert net.stats.bytes_remote == 32
+
+    def test_link_matrix(self):
+        net = Network(3)
+        net.send(0, 2, None, nbytes=100)
+        net.send(2, 0, None, nbytes=50)
+        assert net.stats.link_bytes[0, 2] == 100
+        assert net.stats.link_bytes[2, 0] == 50
+        assert net.stats.link_bytes[0, 1] == 0
+
+    def test_tag_accounting(self):
+        net = Network(2)
+        net.send(0, 1, None, tag="halo", nbytes=10)
+        net.send(0, 1, None, tag="halo", nbytes=5)
+        net.send(0, 1, None, tag="grad", nbytes=7)
+        assert net.stats.by_tag == {"halo": 15, "grad": 7}
+
+    def test_explicit_nbytes_overrides_estimate(self):
+        net = Network(2)
+        net.send(0, 1, np.zeros(100), nbytes=1)
+        assert net.stats.bytes_remote == 1
+
+    def test_has_pending(self):
+        net = Network(2)
+        assert not net.has_pending()
+        net.send(0, 1, 1)
+        assert net.has_pending()
+        net.deliver()
+        assert net.has_pending()  # sits in inbox
+        net.receive(1)
+        assert not net.has_pending()
+
+    def test_stats_reset(self):
+        net = Network(2)
+        net.send(0, 1, None, tag="x", nbytes=9)
+        net.stats.reset()
+        assert net.stats.total_bytes == 0
+        assert net.stats.by_tag == {}
+        assert np.all(net.stats.link_bytes == 0)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            Network(0)

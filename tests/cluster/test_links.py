@@ -1,0 +1,72 @@
+"""Tests for link topologies and transfer pricing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.links import (
+    LinkTopology,
+    ethernet_topology,
+    host_of,
+    nvlink_topology,
+)
+
+
+class TestTopologies:
+    def test_ethernet_uniform(self):
+        top = ethernet_topology(4, gbps=10)
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert top.bandwidth[i, j] == pytest.approx(10 / 8)
+
+    def test_nvlink_hierarchy(self):
+        top = nvlink_topology(2, 4, nvlink_gbs=300, ethernet_gbps=10)
+        assert top.num_devices == 8
+        assert top.bandwidth[0, 1] == 300  # same host
+        assert top.bandwidth[0, 4] == pytest.approx(10 / 8)  # cross host
+
+    def test_host_of(self):
+        assert host_of(0, 4) == 0
+        assert host_of(5, 4) == 1
+
+    def test_diagonal_free(self):
+        top = ethernet_topology(3)
+        assert top.transfer_time(1, 1, 10**9) == 0.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTopology(np.ones((2, 3)))
+
+
+class TestPricing:
+    def test_transfer_time_scales_with_bytes(self):
+        top = ethernet_topology(2, gbps=8, latency_us=0)  # 1 GB/s
+        assert top.transfer_time(0, 1, 10**9) == pytest.approx(1.0)
+        assert top.transfer_time(0, 1, 2 * 10**9) == pytest.approx(2.0)
+
+    def test_latency_added(self):
+        top = ethernet_topology(2, gbps=8, latency_us=100)
+        t = top.transfer_time(0, 1, 0)
+        assert t == pytest.approx(100e-6)
+
+    def test_nvlink_faster_than_ethernet(self):
+        top = nvlink_topology(2, 2)
+        fast = top.transfer_time(0, 1, 10**8)
+        slow = top.transfer_time(0, 2, 10**8)
+        assert fast < slow / 10
+
+    def test_price_traffic_sums_offdiagonal(self):
+        top = ethernet_topology(2, gbps=8, latency_us=0)
+        traffic = np.array([[10**9, 10**9], [0, 0]])
+        assert top.price_traffic(traffic) == pytest.approx(1.0)
+
+    def test_bottleneck_is_max(self):
+        top = ethernet_topology(3, gbps=8, latency_us=0)
+        traffic = np.zeros((3, 3), dtype=np.int64)
+        traffic[0, 1] = 10**9
+        traffic[1, 2] = 3 * 10**9
+        assert top.bottleneck_time(traffic) == pytest.approx(3.0)
+
+    def test_zero_bandwidth_is_infinite(self):
+        top = LinkTopology(np.array([[np.inf, 0.0], [0.0, np.inf]]))
+        assert top.transfer_time(0, 1, 1) == float("inf")

@@ -1,0 +1,50 @@
+"""Shared fixtures and oracle helpers for the test suite.
+
+``networkx`` is used throughout as an *oracle only* — the library under
+test never imports it.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph.generators import barabasi_albert, erdos_renyi, watts_strogatz
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    """Convert a repro Graph to a networkx graph (labels as attributes)."""
+    if graph.directed:
+        g = nx.DiGraph()
+    else:
+        g = nx.Graph()
+    for v in graph.vertices():
+        g.add_node(v, label=graph.vertex_label(v))
+    for u, v in graph.edges():
+        g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture
+def small_er():
+    """A 40-vertex Erdos-Renyi graph with triangles."""
+    return erdos_renyi(40, 0.2, seed=3)
+
+
+@pytest.fixture
+def small_ba():
+    """A 200-vertex preferential-attachment graph (skewed degrees)."""
+    return barabasi_albert(200, 3, seed=1)
+
+
+@pytest.fixture
+def small_ws():
+    """A clustered small-world graph (many triangles)."""
+    return watts_strogatz(60, 6, 0.1, seed=2)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,130 @@
+"""Vertex features, embeddings, and the shallow classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    deepwalk_embeddings,
+    logistic_regression,
+    node2vec_walks,
+    skipgram_train,
+    topology_features,
+)
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    planted_partition,
+)
+
+
+class TestTopologyFeatures:
+    def test_shape_and_columns(self, small_ba):
+        x = topology_features(small_ba)
+        assert x.shape == (small_ba.num_vertices, 6)
+
+    def test_degree_column(self, small_ba):
+        x = topology_features(small_ba)
+        assert np.array_equal(x[:, 0], small_ba.degrees().astype(float))
+
+    def test_clustering_in_unit_range(self, small_ws):
+        x = topology_features(small_ws)
+        assert np.all(x[:, 2] >= 0) and np.all(x[:, 2] <= 1)
+
+    def test_complete_graph_uniform(self):
+        x = topology_features(complete_graph(6))
+        for col in range(x.shape[1]):
+            assert np.allclose(x[:, col], x[0, col])
+
+
+class TestSkipgram:
+    def test_embedding_shape(self):
+        walks = [[0, 1, 2], [2, 1, 0], [1, 0, 2]]
+        emb = skipgram_train(walks, num_vertices=3, dim=8, epochs=2, seed=0)
+        assert emb.shape == (3, 8)
+
+    def test_cooccurring_vertices_closer(self):
+        # Two disconnected cliques of walk contexts: embeddings of
+        # same-clique vertices should be closer than cross-clique ones.
+        walks = []
+        for _ in range(40):
+            walks.append([0, 1, 2, 0, 1, 2])
+            walks.append([3, 4, 5, 3, 4, 5])
+        emb = skipgram_train(walks, num_vertices=6, dim=8, epochs=3, seed=1)
+
+        def cos(a, b):
+            return float(
+                emb[a] @ emb[b] / (np.linalg.norm(emb[a]) * np.linalg.norm(emb[b]) + 1e-12)
+            )
+
+        same = (cos(0, 1) + cos(1, 2) + cos(3, 4) + cos(4, 5)) / 4
+        cross = (cos(0, 3) + cos(1, 4) + cos(2, 5)) / 3
+        assert same > cross
+
+    def test_empty_walks(self):
+        emb = skipgram_train([], num_vertices=4, dim=4)
+        assert emb.shape == (4, 4)
+
+
+class TestDeepWalk:
+    def test_embeddings_separate_communities(self):
+        g, labels = planted_partition(2, 25, p_in=0.3, p_out=0.01, seed=4)
+        emb = deepwalk_embeddings(g, dim=16, walk_length=8,
+                                  walks_per_vertex=6, epochs=3, seed=0)
+        model = logistic_regression(emb, labels, epochs=300)
+        assert model.score(emb, labels) > 0.85
+
+
+class TestNode2Vec:
+    def test_walks_follow_edges(self, small_ba):
+        walks = node2vec_walks(small_ba, walk_length=5, walks_per_vertex=1,
+                               p=0.5, q=2.0, seed=0)
+        for walk in walks[:50]:
+            for a, b in zip(walk, walk[1:]):
+                assert small_ba.has_edge(a, b)
+
+    def test_walk_counts(self, small_ba):
+        walks = node2vec_walks(small_ba, walk_length=4, walks_per_vertex=2, seed=0)
+        assert len(walks) == 2 * small_ba.num_vertices
+
+    def test_low_q_explores_farther(self):
+        g = barabasi_albert(300, 3, seed=1)
+        def mean_unique(q):
+            walks = node2vec_walks(
+                g, walk_length=12, walks_per_vertex=2, p=1.0, q=q, seed=3
+            )
+            return np.mean([len(set(w)) for w in walks])
+
+        # Low q (DFS-like) touches more distinct vertices than high q.
+        assert mean_unique(0.25) > mean_unique(4.0)
+
+
+class TestLogisticRegression:
+    def test_separable_data_perfect(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(-3, 0.3, size=(40, 2)),
+                       rng.normal(3, 0.3, size=(40, 2))])
+        y = np.array([0] * 40 + [1] * 40)
+        model = logistic_regression(x, y, epochs=300)
+        assert model.score(x, y) == 1.0
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        centers = np.array([[0, 5], [5, 0], [-5, -5]])
+        x = np.vstack([rng.normal(c, 0.5, size=(30, 2)) for c in centers])
+        y = np.repeat(np.arange(3), 30)
+        model = logistic_regression(x, y, epochs=300)
+        assert model.score(x, y) > 0.95
+
+    def test_probabilities_normalized(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(20, 3))
+        y = rng.integers(0, 2, size=20)
+        model = logistic_regression(x, y, epochs=50)
+        probs = model.predict_proba(x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_constant_feature_no_nan(self):
+        x = np.ones((10, 2))
+        y = np.array([0, 1] * 5)
+        model = logistic_regression(x, y, epochs=20)
+        assert np.isfinite(model.predict_proba(x)).all()

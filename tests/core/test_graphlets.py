@@ -1,0 +1,76 @@
+"""Graphlet census vs closed-form counts and the generic matcher."""
+
+import numpy as np
+import pytest
+from math import comb
+
+from repro.core.graphlets import (
+    GRAPHLET_PATTERNS,
+    graphlet_census,
+    graphlet_feature_vector,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.matching.backtrack import count_matches
+
+
+class TestClosedForms:
+    def test_complete_graph_counts(self):
+        census = graphlet_census(complete_graph(6))
+        n = 6
+        assert census["triangle"] == comb(n, 3)
+        assert census["clique4"] == comb(n, 4)
+        # P3: choose the middle (n) and two ends (C(n-1, 2)).
+        assert census["path3"] == n * comb(n - 1, 2)
+        # C4 instances: 3 per 4-subset.
+        assert census["cycle4"] == 3 * comb(n, 4)
+
+    def test_cycle_graph_counts(self):
+        census = graphlet_census(cycle_graph(8))
+        assert census["triangle"] == 0
+        assert census["path3"] == 8
+        assert census["path4"] == 8
+        assert census["cycle4"] == 0
+        assert census["clique4"] == 0
+
+    def test_path_graph_counts(self):
+        census = graphlet_census(path_graph(6))
+        assert census["path3"] == 4
+        assert census["path4"] == 3
+        assert census["star4"] == 0
+
+    def test_star_graph_counts(self):
+        census = graphlet_census(star_graph(6))  # hub + 5 leaves
+        assert census["path3"] == comb(5, 2)
+        assert census["star4"] == comb(5, 3)
+        assert census["triangle"] == 0
+
+
+class TestAgainstGenericMatcher:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_census_matches_backtracking(self, seed):
+        g = erdos_renyi(25, 0.25, seed=seed)
+        census = graphlet_census(g)
+        for name, pattern in GRAPHLET_PATTERNS:
+            assert census[name] == count_matches(g, pattern), name
+
+
+class TestFeatureVector:
+    def test_fixed_order_and_length(self, small_er):
+        vec = graphlet_feature_vector(small_er)
+        assert vec.shape == (len(GRAPHLET_PATTERNS),)
+
+    def test_log_scaling(self, small_er):
+        raw = graphlet_feature_vector(small_er, log_scale=False)
+        logged = graphlet_feature_vector(small_er, log_scale=True)
+        assert np.allclose(logged, np.log1p(raw))
+
+    def test_distinguishes_structures(self):
+        dense = graphlet_feature_vector(complete_graph(8))
+        sparse = graphlet_feature_vector(cycle_graph(8))
+        assert not np.allclose(dense, sparse)

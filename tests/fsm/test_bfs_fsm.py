@@ -1,0 +1,52 @@
+"""Arabesque-style BFS FSM vs gSpan (cross-engine oracle pair)."""
+
+import pytest
+
+from repro.fsm import bfs_mine_frequent_subgraphs, mine_frequent_subgraphs
+from repro.graph.generators import random_labeled_transactions
+from repro.graph.transactions import TransactionDatabase
+
+
+@pytest.fixture(scope="module")
+def db():
+    return TransactionDatabase(
+        random_labeled_transactions(8, 8, 0.3, 2, seed=4)
+    )
+
+
+class TestEquivalenceWithGSpan:
+    @pytest.mark.parametrize("min_support,max_edges", [(3, 2), (4, 3), (6, 3)])
+    def test_same_patterns_and_supports(self, db, min_support, max_edges):
+        gspan = mine_frequent_subgraphs(db, min_support, max_edges=max_edges)
+        bfs, _ = bfs_mine_frequent_subgraphs(db, min_support, max_edges=max_edges)
+        assert sorted((tuple(p.code), p.support) for p in gspan) == sorted(
+            (tuple(p.code), p.support) for p in bfs
+        )
+
+    def test_same_supporting_transactions(self, db):
+        gspan = {tuple(p.code): p.graph_ids for p in
+                 mine_frequent_subgraphs(db, 4, max_edges=2)}
+        bfs, _ = bfs_mine_frequent_subgraphs(db, 4, max_edges=2)
+        for p in bfs:
+            assert p.graph_ids == gspan[tuple(p.code)]
+
+
+class TestMaterialization:
+    def test_levels_recorded(self, db):
+        _, stats = bfs_mine_frequent_subgraphs(db, 3, max_edges=3)
+        assert len(stats.embeddings_per_level) == 3
+        assert stats.peak_embeddings == max(stats.embeddings_per_level)
+
+    def test_embeddings_grow_through_levels(self, db):
+        """The Arabesque memory profile on this workload."""
+        _, stats = bfs_mine_frequent_subgraphs(db, 3, max_edges=3)
+        assert stats.embeddings_per_level[-1] > stats.embeddings_per_level[0]
+
+    def test_higher_support_prunes_levels(self, db):
+        _, loose = bfs_mine_frequent_subgraphs(db, 3, max_edges=3)
+        _, tight = bfs_mine_frequent_subgraphs(db, 7, max_edges=3)
+        assert sum(tight.embeddings_per_level) <= sum(loose.embeddings_per_level)
+
+    def test_invalid_support(self, db):
+        with pytest.raises(ValueError):
+            bfs_mine_frequent_subgraphs(db, 0)

@@ -1,0 +1,124 @@
+"""Closed-pattern mining (the PrefixFPM [57] extension)."""
+
+import pytest
+
+from repro.fsm import (
+    GSpan,
+    closed_graph_patterns,
+    closed_sequences,
+    is_subpattern,
+)
+from repro.fsm.prefixfpm import PrefixMiner, SequencePatterns
+from repro.graph.csr import Graph
+from repro.graph.generators import random_labeled_transactions
+from repro.graph.transactions import TransactionDatabase
+from repro.matching.pattern import PatternGraph
+
+
+@pytest.fixture(scope="module")
+def mined():
+    db = TransactionDatabase(random_labeled_transactions(8, 8, 0.3, 2, seed=4))
+    return GSpan(min_support=4, max_edges=3).run(db)
+
+
+class TestIsSubpattern:
+    def test_edge_in_triangle(self):
+        edge = PatternGraph(Graph.from_edges([(0, 1)], vertex_labels=[1, 1]))
+        triangle = PatternGraph(
+            Graph.from_edges([(0, 1), (1, 2), (2, 0)], vertex_labels=[1, 1, 1])
+        )
+        assert is_subpattern(edge, triangle)
+        assert not is_subpattern(triangle, edge)
+
+    def test_label_mismatch(self):
+        a = PatternGraph(Graph.from_edges([(0, 1)], vertex_labels=[1, 2]))
+        b = PatternGraph(
+            Graph.from_edges([(0, 1), (1, 2)], vertex_labels=[1, 1, 1])
+        )
+        assert not is_subpattern(a, b)
+
+    def test_self_containment(self):
+        p = PatternGraph(Graph.from_edges([(0, 1), (1, 2)], vertex_labels=[1, 2, 1]))
+        assert is_subpattern(p, p)
+
+
+class TestClosedGraphPatterns:
+    def test_closed_is_subset(self, mined):
+        closed = closed_graph_patterns(mined)
+        mined_codes = {p.code for p in mined}
+        assert all(p.code in mined_codes for p in closed)
+        assert len(closed) <= len(mined)
+
+    def test_definition_holds(self, mined):
+        """No closed pattern has an equal-support proper super-pattern."""
+        closed = closed_graph_patterns(mined)
+        graphs = {p.code: PatternGraph(p.to_graph()) for p in mined}
+        for p in closed:
+            for q in mined:
+                if q.code == p.code or q.support != p.support:
+                    continue
+                if q.num_edges > p.num_edges:
+                    assert not is_subpattern(graphs[p.code], graphs[q.code])
+
+    def test_non_closed_dominated(self, mined):
+        """Every dropped pattern has an equal-support super-pattern."""
+        closed_codes = {p.code for p in closed_graph_patterns(mined)}
+        graphs = {p.code: PatternGraph(p.to_graph()) for p in mined}
+        for p in mined:
+            if p.code in closed_codes:
+                continue
+            assert any(
+                q.support == p.support
+                and q.num_edges > p.num_edges
+                and is_subpattern(graphs[p.code], graphs[q.code])
+                for q in mined
+            )
+
+    def test_supports_recoverable(self, mined):
+        """Lossless compression: every pattern's support equals the max
+        support among its closed super-patterns."""
+        closed = closed_graph_patterns(mined)
+        graphs = {p.code: PatternGraph(p.to_graph()) for p in mined}
+        closed_graphs = [(c, PatternGraph(c.to_graph())) for c in closed]
+        for p in mined:
+            candidates = [
+                c.support
+                for c, cg in closed_graphs
+                if is_subpattern(graphs[p.code], cg)
+            ]
+            assert max(candidates) == p.support
+
+
+class TestClosedSequences:
+    def test_known_example(self):
+        seqs = ["abcab", "abcb", "acb", "bab"]
+        mined = PrefixMiner(SequencePatterns(seqs), min_support=2).run()
+        closed = closed_sequences(mined)
+        closed_patterns = {p for p, _ in closed}
+        # 'a' (support 4) is closed only if no super-pattern has support 4;
+        # 'ab' has support 4, so 'a' must be dropped.
+        supports = dict(mined)
+        assert supports[("a",)] == supports[("a", "b")] == 4
+        assert ("a",) not in closed_patterns
+        assert ("a", "b") in closed_patterns
+
+    def test_definition_holds(self):
+        seqs = ["xyzxy", "xyy", "zxy", "yxz"]
+        mined = PrefixMiner(SequencePatterns(seqs), min_support=2).run()
+        closed = closed_sequences(mined)
+        from repro.fsm.closed import _is_subsequence
+
+        for p, s in closed:
+            for q, t in mined:
+                if q != p and t == s and len(q) > len(p):
+                    assert not _is_subsequence(p, q)
+
+    def test_all_supports_preserved(self):
+        seqs = ["abab", "abb", "bab"]
+        mined = PrefixMiner(SequencePatterns(seqs), min_support=1).run()
+        closed = closed_sequences(mined)
+        from repro.fsm.closed import _is_subsequence
+
+        for p, s in mined:
+            covering = [t for q, t in closed if _is_subsequence(p, q)]
+            assert max(covering) == s

@@ -1,0 +1,190 @@
+"""gSpan: DFS codes, canonicality, and mining vs a brute-force oracle."""
+
+import itertools
+from collections import defaultdict
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import Graph, GraphBuilder
+from repro.graph.generators import random_labeled_transactions
+from repro.graph.transactions import GraphTransaction, TransactionDatabase
+from repro.fsm.gspan import (
+    DFSCode,
+    GSpan,
+    is_min,
+    mine_frequent_subgraphs,
+)
+
+
+def wl_hash(graph: Graph) -> str:
+    """Canonical hash of a labeled repro graph via networkx WL."""
+    G = nx.Graph()
+    for v in graph.vertices():
+        G.add_node(v, label=str(graph.vertex_label(v)))
+    for u, v in graph.edges():
+        elabel = (
+            graph.edge_label(u, v) if graph.edge_labels is not None else 0
+        )
+        G.add_edge(u, v, elabel=str(elabel))
+    return nx.weisfeiler_lehman_graph_hash(
+        G, node_attr="label", edge_attr="elabel", iterations=3
+    )
+
+
+def brute_force_frequent(db, min_support, max_edges):
+    """Enumerate all connected labeled subgraphs up to max_edges and count
+    transaction support by WL-hash identity."""
+    support = defaultdict(set)
+    for t in db:
+        G = nx.Graph()
+        for v in t.graph.vertices():
+            G.add_node(v, label=str(t.graph.vertex_label(v)))
+        for u, v in t.graph.edges():
+            el = (
+                t.graph.edge_label(u, v)
+                if t.graph.edge_labels is not None
+                else 0
+            )
+            G.add_edge(u, v, elabel=str(el))
+        seen = set()
+        edges = list(G.edges())
+        for k in range(1, max_edges + 1):
+            for combo in itertools.combinations(edges, k):
+                sub = nx.Graph()
+                for u, v in combo:
+                    sub.add_node(u, label=G.nodes[u]["label"])
+                    sub.add_node(v, label=G.nodes[v]["label"])
+                    sub.add_edge(u, v, elabel=G.edges[u, v]["elabel"])
+                if not nx.is_connected(sub):
+                    continue
+                h = nx.weisfeiler_lehman_graph_hash(
+                    sub, node_attr="label", edge_attr="elabel", iterations=3
+                )
+                if h not in seen:
+                    seen.add(h)
+                    support[h].add(t.graph_id)
+    return {h: len(s) for h, s in support.items() if len(s) >= min_support}
+
+
+@pytest.fixture
+def molecule_db():
+    return TransactionDatabase(
+        random_labeled_transactions(8, 8, 0.3, 2, seed=4)
+    )
+
+
+class TestDFSCode:
+    def test_num_vertices(self):
+        code = DFSCode(((0, 1, 0, 0, 1), (1, 2, 1, 0, 0)))
+        assert code.num_vertices() == 3
+
+    def test_rightmost_path_chain(self):
+        code = DFSCode(((0, 1, 0, 0, 0), (1, 2, 0, 0, 0)))
+        assert code.rightmost_path() == [2, 1, 0]
+
+    def test_rightmost_path_with_branch(self):
+        # 0-1, 1-2, then forward from 0 -> 3: rightmost path is 3, 0.
+        code = DFSCode(
+            ((0, 1, 0, 0, 0), (1, 2, 0, 0, 0), (0, 3, 0, 0, 0))
+        )
+        assert code.rightmost_path() == [3, 0]
+
+    def test_to_graph_round_trip(self):
+        code = DFSCode(((0, 1, 5, 7, 6), (1, 2, 6, 8, 5), (2, 0, 5, 9, 5)))
+        g = code.to_graph()
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.vertex_label(0) == 5
+        assert g.edge_label(0, 1) == 7
+        assert g.edge_label(1, 2) == 8
+
+
+class TestIsMin:
+    def test_single_edge_canonical_orientation(self):
+        assert is_min(DFSCode(((0, 1, 1, 0, 2),)))
+        assert not is_min(DFSCode(((0, 1, 2, 0, 1),)))
+
+    def test_symmetric_single_edge(self):
+        assert is_min(DFSCode(((0, 1, 1, 0, 1),)))
+
+    def test_path_grown_from_middle_not_min(self):
+        # Path a-b-c with labels 0-1-2: minimal code starts at label 0.
+        not_min = DFSCode(((0, 1, 1, 0, 0), (0, 2, 1, 0, 2)))
+        assert not is_min(not_min)
+        minimal = DFSCode(((0, 1, 0, 0, 1), (1, 2, 1, 0, 2)))
+        assert is_min(minimal)
+
+    def test_triangle_canonical(self):
+        minimal = DFSCode(((0, 1, 0, 0, 0), (1, 2, 0, 0, 0), (2, 0, 0, 0, 0)))
+        assert is_min(minimal)
+
+    def test_exactly_one_min_code_per_graph(self):
+        """Among all valid DFS codes of a labeled triangle with one
+        distinct label, exactly the canonical one passes is_min."""
+        codes = [
+            DFSCode(((0, 1, 0, 0, 0), (1, 2, 0, 0, 1), (2, 0, 1, 0, 0))),
+            DFSCode(((0, 1, 0, 0, 1), (1, 2, 1, 0, 0), (2, 0, 0, 0, 0))),
+        ]
+        assert sum(1 for c in codes if is_min(c)) == 1
+
+
+class TestMining:
+    def test_matches_brute_force(self, molecule_db):
+        patterns = mine_frequent_subgraphs(molecule_db, min_support=4, max_edges=3)
+        ours = {wl_hash(p.to_graph()): p.support for p in patterns}
+        oracle = brute_force_frequent(molecule_db, 4, 3)
+        assert ours == oracle
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=6, deadline=None)
+    def test_property_matches_brute_force(self, seed):
+        db = TransactionDatabase(
+            random_labeled_transactions(6, 7, 0.3, 2, seed=seed)
+        )
+        patterns = mine_frequent_subgraphs(db, min_support=3, max_edges=2)
+        ours = {wl_hash(p.to_graph()): p.support for p in patterns}
+        oracle = brute_force_frequent(db, 3, 2)
+        assert ours == oracle
+
+    def test_no_duplicate_patterns(self, molecule_db):
+        patterns = mine_frequent_subgraphs(molecule_db, min_support=3, max_edges=3)
+        hashes = [wl_hash(p.to_graph()) for p in patterns]
+        assert len(set(hashes)) == len(hashes)
+
+    def test_support_monotone_in_threshold(self, molecule_db):
+        lo = mine_frequent_subgraphs(molecule_db, min_support=3, max_edges=3)
+        hi = mine_frequent_subgraphs(molecule_db, min_support=6, max_edges=3)
+        assert len(hi) <= len(lo)
+        hi_hashes = {wl_hash(p.to_graph()) for p in hi}
+        lo_hashes = {wl_hash(p.to_graph()) for p in lo}
+        assert hi_hashes <= lo_hashes
+
+    def test_min_edges_filters_output_not_growth(self, molecule_db):
+        all_patterns = mine_frequent_subgraphs(
+            molecule_db, min_support=4, max_edges=3, min_edges=1
+        )
+        big_only = mine_frequent_subgraphs(
+            molecule_db, min_support=4, max_edges=3, min_edges=3
+        )
+        assert all(p.num_edges >= 3 for p in big_only)
+        expected = {wl_hash(p.to_graph()) for p in all_patterns if p.num_edges >= 3}
+        assert {wl_hash(p.to_graph()) for p in big_only} == expected
+
+    def test_graph_ids_are_supporting_transactions(self, molecule_db):
+        patterns = mine_frequent_subgraphs(molecule_db, min_support=4, max_edges=2)
+        for p in patterns:
+            assert p.support == len(p.graph_ids)
+            assert p.support >= 4
+
+    def test_invalid_min_support(self):
+        with pytest.raises(ValueError):
+            GSpan(min_support=0)
+
+    def test_pruning_counters_advance(self, molecule_db):
+        miner = GSpan(min_support=4, max_edges=3)
+        miner.run(molecule_db)
+        assert miner.patterns_pruned_not_min > 0
+        assert miner.patterns_pruned_infrequent > 0

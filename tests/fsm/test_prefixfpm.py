@@ -1,0 +1,116 @@
+"""PrefixFPM framework: PrefixSpan and the gSpan domain."""
+
+import pytest
+
+from repro.fsm.gspan import GSpan
+from repro.fsm.prefixfpm import (
+    GraphPatterns,
+    PrefixMiner,
+    SequencePatterns,
+)
+from repro.graph.generators import random_labeled_transactions
+from repro.graph.transactions import TransactionDatabase
+
+
+def brute_force_prefixspan(sequences, min_support):
+    """All frequent subsequences by exhaustive subsequence generation."""
+    from itertools import combinations
+
+    candidates = set()
+    for seq in sequences:
+        for k in range(1, len(seq) + 1):
+            for idx in combinations(range(len(seq)), k):
+                candidates.add(tuple(seq[i] for i in idx))
+    out = {}
+    for cand in candidates:
+        support = sum(1 for seq in sequences if _is_subsequence(cand, seq))
+        if support >= min_support:
+            out[cand] = support
+    return out
+
+
+def _is_subsequence(pattern, seq):
+    it = iter(seq)
+    return all(any(x == item for item in it) for x in pattern)
+
+
+class TestPrefixSpan:
+    def test_matches_brute_force(self):
+        sequences = ["abcab", "abcb", "acb", "bab"]
+        mined = PrefixMiner(SequencePatterns(sequences), min_support=2).run()
+        ours = {tuple(p): s for p, s in mined}
+        oracle = brute_force_prefixspan(sequences, 2)
+        assert ours == oracle
+
+    def test_higher_support_subset(self):
+        sequences = ["xyzx", "xzy", "yxz"]
+        lo = dict(PrefixMiner(SequencePatterns(sequences), min_support=1).run())
+        hi = dict(PrefixMiner(SequencePatterns(sequences), min_support=3).run())
+        assert set(hi) <= set(lo)
+
+    def test_empty_database(self):
+        mined = PrefixMiner(SequencePatterns([]), min_support=1).run()
+        assert mined == []
+
+    def test_support_counts_sequences_not_occurrences(self):
+        # 'aa' occurs twice inside 'aaa' but supports only 1 sequence.
+        mined = dict(PrefixMiner(SequencePatterns(["aaa"]), min_support=1).run())
+        assert mined[("a", "a")] == 1
+
+
+class TestGraphDomain:
+    @pytest.fixture
+    def db(self):
+        return TransactionDatabase(
+            random_labeled_transactions(8, 8, 0.3, 2, seed=4)
+        )
+
+    def test_equals_gspan(self, db):
+        reference = GSpan(min_support=4, max_edges=3).run(db)
+        mined = PrefixMiner(
+            GraphPatterns(db, max_edges=3), min_support=4, num_workers=1
+        ).run()
+        assert sorted(c for c, _ in mined) == sorted(p.code for p in reference)
+
+    def test_supports_match_gspan(self, db):
+        reference = {p.code: p.support for p in GSpan(min_support=3, max_edges=2).run(db)}
+        mined = dict(
+            PrefixMiner(GraphPatterns(db, max_edges=2), min_support=3).run()
+        )
+        assert mined == reference
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_count_does_not_change_results(self, db, workers):
+        mined = PrefixMiner(
+            GraphPatterns(db, max_edges=2), min_support=4, num_workers=workers
+        ).run()
+        reference = PrefixMiner(
+            GraphPatterns(db, max_edges=2), min_support=4, num_workers=1
+        ).run()
+        assert sorted(mined, key=repr) == sorted(reference, key=repr)
+
+
+class TestParallelStats:
+    def test_balance_and_makespan(self):
+        db = TransactionDatabase(
+            random_labeled_transactions(10, 8, 0.3, 2, seed=9)
+        )
+        miner = PrefixMiner(
+            GraphPatterns(db, max_edges=3), min_support=3, num_workers=4
+        )
+        miner.run()
+        stats = miner.stats
+        assert stats.tasks > 0
+        assert stats.total_ops > 0
+        assert stats.makespan >= stats.total_ops / 4 * 0.99
+        assert stats.balance >= 1.0
+
+    def test_parallelism_reduces_makespan(self):
+        db = TransactionDatabase(
+            random_labeled_transactions(10, 8, 0.3, 2, seed=9)
+        )
+        serial = PrefixMiner(GraphPatterns(db, max_edges=3), 3, num_workers=1)
+        serial.run()
+        parallel = PrefixMiner(GraphPatterns(db, max_edges=3), 3, num_workers=4)
+        parallel.run()
+        assert parallel.stats.makespan < serial.stats.makespan

@@ -1,0 +1,91 @@
+"""The DistDGL pipeline: partition x sampling x cache, composed."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.distributed_sampled import DistributedSampledTrainer
+from repro.gnn.models import NodeClassifier
+from repro.graph.generators import planted_partition
+from repro.graph.partition import hash_partition, metis_like_partition
+
+
+@pytest.fixture(scope="module")
+def task():
+    g, labels = planted_partition(4, 30, p_in=0.14, p_out=0.01, seed=10)
+    n = g.num_vertices
+    rng = np.random.default_rng(3)
+    features = np.eye(4)[labels] + rng.normal(0, 1.2, size=(n, 4))
+    train_mask = np.zeros(n, dtype=bool)
+    train_mask[rng.permutation(n)[: n // 2]] = True
+    return g, labels, features, train_mask, ~train_mask
+
+
+def _trainer(task, partition, cache=0, policy="degree", seed=1):
+    g, labels, features, *_ = task
+    return DistributedSampledTrainer(
+        NodeClassifier(4, 16, 4, layer="sage", seed=0), g, partition,
+        features, labels, fanouts=(4, 4), batch_size=16, lr=0.05,
+        cache_capacity=cache, cache_policy=policy, seed=seed,
+    )
+
+
+class TestLearning:
+    def test_learns_communities(self, task):
+        g, labels, features, train_mask, val_mask = task
+        trainer = _trainer(task, hash_partition(g, 4))
+        report = trainer.train(train_mask, val_mask, epochs=6)
+        assert report.losses[-1] < report.losses[0]
+        assert report.final_val_accuracy > 0.5
+
+    def test_single_worker_no_remote_rows(self, task):
+        g, labels, features, train_mask, _ = task
+        trainer = _trainer(task, hash_partition(g, 1))
+        trainer.train(train_mask, epochs=2)
+        assert trainer.remote_rows == 0
+        assert trainer.feature_bytes == 0
+        assert trainer.local_rows > 0
+
+
+class TestTrafficComposition:
+    def test_partitioning_cuts_feature_bytes(self, task):
+        g, *_ = task
+        _, _, _, train_mask, _ = task
+        hashed = _trainer(task, hash_partition(g, 4))
+        hashed.train(train_mask, epochs=3)
+        metis = _trainer(task, metis_like_partition(g, 4, seed=0))
+        metis.train(train_mask, epochs=3)
+        assert metis.feature_bytes < hashed.feature_bytes
+
+    def test_cache_cuts_feature_bytes(self, task):
+        g, *_ = task
+        _, _, _, train_mask, _ = task
+        partition = metis_like_partition(g, 4, seed=0)
+        plain = _trainer(task, partition, cache=0)
+        plain.train(train_mask, epochs=3)
+        cached = _trainer(task, partition, cache=40)
+        cached.train(train_mask, epochs=3)
+        assert cached.feature_bytes < plain.feature_bytes
+        assert cached.cache_hit_rate > 0.1
+        assert plain.cache_hit_rate == 0.0
+
+    def test_lru_policy_supported(self, task):
+        g, *_ = task
+        _, _, _, train_mask, _ = task
+        trainer = _trainer(
+            task, hash_partition(g, 4), cache=40, policy="lru"
+        )
+        trainer.train(train_mask, epochs=2)
+        assert trainer.cache_hits >= 0
+
+    def test_unknown_policy_rejected(self, task):
+        g, *_ = task
+        with pytest.raises(ValueError):
+            _trainer(task, hash_partition(g, 4), cache=10, policy="random")
+
+    def test_rows_accounted_exhaustively(self, task):
+        g, *_ = task
+        _, _, _, train_mask, _ = task
+        trainer = _trainer(task, hash_partition(g, 4), cache=40)
+        report = trainer.train(train_mask, epochs=2)
+        touched = trainer.local_rows + trainer.cache_hits + trainer.remote_rows
+        assert touched == report.gathered_features

@@ -1,0 +1,238 @@
+"""Autograd: every op gradient-checked against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn.tensor import Parameter, Tensor, no_grad
+
+
+def numeric_gradient(f, x: Parameter, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued f at x."""
+    grad = np.zeros_like(x.data)
+    it = np.nditer(x.data, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x.data[idx]
+        x.data[idx] = orig + eps
+        plus = float(f().data)
+        x.data[idx] = orig - eps
+        minus = float(f().data)
+        x.data[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(build_loss, *params, tol=1e-5):
+    for p in params:
+        p.zero_grad()
+    loss = build_loss()
+    loss.backward()
+    for p in params:
+        numeric = numeric_gradient(build_loss, p)
+        assert p.grad is not None
+        assert np.abs(numeric - p.grad).max() < tol
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestBasicOps:
+    def test_add(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        b = Parameter(rng.normal(size=(3, 4)))
+        check_gradient(lambda: ((a + b) ** 2).sum(), a, b)
+
+    def test_add_broadcast_bias(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        b = Parameter(rng.normal(size=(4,)))
+        check_gradient(lambda: ((a + b) ** 2).sum(), a, b)
+
+    def test_mul(self, rng):
+        a = Parameter(rng.normal(size=(2, 3)))
+        b = Parameter(rng.normal(size=(2, 3)))
+        check_gradient(lambda: ((a * b) ** 2).sum(), a, b)
+
+    def test_sub_and_neg(self, rng):
+        a = Parameter(rng.normal(size=(4,)))
+        b = Parameter(rng.normal(size=(4,)))
+        check_gradient(lambda: ((a - b) ** 2).sum(), a, b)
+
+    def test_div(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        b = Parameter(rng.normal(size=(3,)) + 3.0)
+        check_gradient(lambda: ((a / b) ** 2).sum(), a, b)
+
+    def test_matmul(self, rng):
+        a = Parameter(rng.normal(size=(3, 5)))
+        b = Parameter(rng.normal(size=(5, 2)))
+        check_gradient(lambda: ((a @ b) ** 2).sum(), a, b)
+
+    def test_pow(self, rng):
+        a = Parameter(rng.normal(size=(4,)) + 3.0)
+        check_gradient(lambda: (a ** 3).sum(), a)
+
+    def test_rsub_radd(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        check_gradient(lambda: ((1.0 - a) ** 2).sum(), a)
+        check_gradient(lambda: ((2.0 + a) ** 2).sum(), a)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        check_gradient(lambda: (a.sum(axis=0) ** 2).sum(), a)
+        check_gradient(lambda: (a.sum(axis=1) ** 2).sum(), a)
+
+    def test_mean(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        check_gradient(lambda: (a.mean(axis=1) ** 2).sum(), a)
+
+    def test_max(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        check_gradient(lambda: (a.max(axis=1) ** 2).sum(), a)
+
+    def test_reshape(self, rng):
+        a = Parameter(rng.normal(size=(2, 6)))
+        check_gradient(lambda: (a.reshape(3, 4) ** 2).sum(), a)
+
+    def test_transpose(self, rng):
+        a = Parameter(rng.normal(size=(2, 5)))
+        check_gradient(lambda: ((a.T @ a) ** 2).sum(), a)
+
+    def test_concat(self, rng):
+        a = Parameter(rng.normal(size=(3, 2)))
+        b = Parameter(rng.normal(size=(3, 4)))
+        check_gradient(lambda: (a.concat(b, axis=1) ** 2).sum(), a, b)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "op",
+        ["relu", "sigmoid", "tanh", "exp", "leaky_relu"],
+    )
+    def test_elementwise(self, op, rng):
+        a = Parameter(rng.normal(size=(4, 3)) + 0.1)
+        check_gradient(lambda: (getattr(a, op)() ** 2).sum(), a)
+
+    def test_log(self, rng):
+        a = Parameter(np.abs(rng.normal(size=(4,))) + 1.0)
+        check_gradient(lambda: (a.log() ** 2).sum(), a)
+
+    def test_log_softmax(self, rng):
+        a = Parameter(rng.normal(size=(4, 5)))
+        check_gradient(lambda: (a.log_softmax(axis=1) ** 2).sum(), a)
+
+    def test_log_softmax_rows_normalize(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        probs = np.exp(a.log_softmax(axis=1).data)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestGatherScatter:
+    def test_gather_rows(self, rng):
+        a = Parameter(rng.normal(size=(5, 3)))
+        idx = np.array([0, 2, 2, 4])
+        check_gradient(lambda: (a.gather_rows(idx) ** 2).sum(), a)
+
+    def test_scatter_add(self, rng):
+        a = Parameter(rng.normal(size=(6, 2)))
+        idx = np.array([0, 1, 1, 2, 0, 2])
+        check_gradient(lambda: (a.scatter_add(idx, 3) ** 2).sum(), a)
+
+    def test_scatter_add_values(self):
+        a = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        out = a.scatter_add(np.array([0, 0, 1]), 2)
+        assert np.allclose(out.data, [[3.0], [3.0]])
+
+    def test_gather_then_scatter_identity_on_permutation(self, rng):
+        a = Tensor(rng.normal(size=(4, 2)))
+        perm = np.array([2, 0, 3, 1])
+        out = a.gather_rows(perm).scatter_add(perm, 4)
+        assert np.allclose(out.data, a.data)
+
+
+class TestCrossEntropy:
+    def test_gradient(self, rng):
+        x = Parameter(rng.normal(size=(6, 3)))
+        y = np.array([0, 1, 2, 0, 1, 2])
+        check_gradient(lambda: x.cross_entropy(y), x)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.eye(3) * 20.0)
+        loss = logits.cross_entropy(np.array([0, 1, 2]))
+        assert float(loss.data) < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        logits = Tensor(np.zeros((4, 5)))
+        loss = logits.cross_entropy(np.array([0, 1, 2, 3]))
+        assert float(loss.data) == pytest.approx(np.log(5))
+
+
+class TestEngineMechanics:
+    def test_grad_accumulates_across_uses(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        loss = (a * a).sum() + (a * 2.0).sum()
+        loss.backward()
+        assert np.allclose(a.grad, 2 * a.data + 2.0)
+
+    def test_zero_grad(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        (a * a).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_backward_twice_accumulates(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        (a * 3.0).sum().backward()
+        first = a.grad.copy()
+        (a * 3.0).sum().backward()
+        assert np.allclose(a.grad, 2 * first)
+
+    def test_no_grad_blocks_graph(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        with no_grad():
+            out = (a * a).sum()
+        assert out._parents == ()
+
+    def test_detach(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        d = a.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, a.data) or np.allclose(d.data, a.data)
+
+    def test_diamond_dependency(self, rng):
+        # a feeds two paths that rejoin: gradient must sum both.
+        a = Parameter(np.array([2.0]))
+        b = a * 3.0
+        c = a * 4.0
+        (b + c).sum().backward()
+        assert np.allclose(a.grad, [7.0])
+
+
+class TestScatterMax:
+    def test_values(self):
+        a = Tensor(np.array([[1.0], [5.0], [3.0], [2.0]]))
+        out = a.scatter_max(np.array([0, 0, 1, 1]), 3)
+        assert np.allclose(out.data, [[5.0], [3.0], [0.0]])
+
+    def test_empty_bucket_reads_zero(self):
+        a = Tensor(np.array([[7.0]]))
+        out = a.scatter_max(np.array([1]), 2)
+        assert out.data[0, 0] == 0.0
+        assert out.data[1, 0] == 7.0
+
+    def test_gradient(self, rng):
+        a = Parameter(rng.normal(size=(6, 3)))
+        idx = np.array([0, 1, 1, 2, 0, 2])
+        check_gradient(lambda: (a.scatter_max(idx, 3) ** 2).sum(), a)
+
+    def test_gradient_goes_to_winner_only(self):
+        a = Parameter(np.array([[1.0], [5.0], [3.0]]))
+        out = a.scatter_max(np.array([0, 0, 0]), 1)
+        out.sum().backward()
+        assert np.allclose(a.grad, [[0.0], [1.0], [0.0]])

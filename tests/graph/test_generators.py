@@ -1,0 +1,163 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    planted_motif_graph,
+    planted_partition,
+    random_labeled_graph,
+    random_labeled_transactions,
+    rmat,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.properties import connected_components
+from repro.matching.backtrack import count_matches
+from repro.matching.pattern import PatternGraph
+
+
+class TestClassicShapes:
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_cycle_graph(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == g.degree(4) == 1
+
+    def test_star_graph(self):
+        g = star_graph(9)
+        assert g.degree(0) == 8
+        assert all(g.degree(v) == 1 for v in range(1, 9))
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_deterministic_by_seed(self):
+        a = erdos_renyi(50, 0.1, seed=7)
+        b = erdos_renyi(50, 0.1, seed=7)
+        assert a == b
+
+    def test_erdos_renyi_seed_changes_graph(self):
+        a = erdos_renyi(50, 0.1, seed=7)
+        b = erdos_renyi(50, 0.1, seed=8)
+        assert a != b
+
+    def test_erdos_renyi_edge_count_close_to_expectation(self):
+        n, p = 200, 0.05
+        g = erdos_renyi(n, p, seed=0)
+        expected = p * n * (n - 1) / 2
+        assert 0.8 * expected < g.num_edges < 1.2 * expected
+
+    def test_erdos_renyi_zero_p(self):
+        g = erdos_renyi(30, 0.0, seed=1)
+        assert g.num_edges == 0
+        assert g.num_vertices == 30
+
+    def test_barabasi_albert_edge_count(self):
+        n, m = 100, 3
+        g = barabasi_albert(n, m, seed=0)
+        # m initial edges for the seed star, then m per new vertex.
+        assert g.num_edges == m + (n - m - 1) * m
+
+    def test_barabasi_albert_skew(self):
+        g = barabasi_albert(400, 2, seed=0)
+        degs = np.sort(g.degrees())[::-1]
+        assert degs[0] > 5 * np.median(degs)
+
+    def test_barabasi_albert_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+
+    def test_rmat_size(self):
+        g = rmat(7, edge_factor=4, seed=1)
+        assert g.num_vertices == 128
+        assert g.num_edges <= 4 * 128
+        assert g.num_edges > 100  # most edges survive dedup
+
+    def test_rmat_invalid_probs(self):
+        with pytest.raises(ValueError):
+            rmat(5, a=0.6, b=0.3, c=0.3)
+
+    def test_watts_strogatz_degree_regular_at_p0(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_watts_strogatz_validates_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)
+
+
+class TestPlantedStructure:
+    def test_planted_partition_labels(self):
+        g, labels = planted_partition(4, 10, 0.5, 0.01, seed=0)
+        assert g.num_vertices == 40
+        assert labels.shape == (40,)
+        assert set(labels.tolist()) == {0, 1, 2, 3}
+
+    def test_planted_partition_assortative(self):
+        g, labels = planted_partition(3, 20, 0.4, 0.02, seed=1)
+        internal = external = 0
+        for u, v in g.edges():
+            if labels[u] == labels[v]:
+                internal += 1
+            else:
+                external += 1
+        assert internal > 2 * external
+
+    def test_random_labeled_graph_label_range(self):
+        g = random_labeled_graph(50, 0.1, num_vertex_labels=3, seed=0)
+        assert set(int(l) for l in g.vertex_labels) <= {0, 1, 2}
+
+    def test_random_labeled_transactions_ids_dense(self):
+        db = random_labeled_transactions(10, 6, 0.3, 2, seed=0)
+        assert [t.graph_id for t in db] == list(range(10))
+
+    def test_random_labeled_transactions_id_offset(self):
+        db = random_labeled_transactions(5, 6, 0.3, 2, seed=0, id_offset=100)
+        assert [t.graph_id for t in db] == list(range(100, 105))
+
+    def test_planted_transactions_contain_motif(self):
+        motif = Graph.from_edges(
+            [(0, 1), (1, 2), (2, 0)], vertex_labels=[1, 1, 1]
+        )
+        db = random_labeled_transactions(
+            12, 8, 0.1, 3, seed=5, planted=motif, plant_fraction=1.0
+        )
+        pattern = PatternGraph(motif)
+        for t in db:
+            assert count_matches(t.graph, pattern) >= 1
+
+    def test_planted_motif_graph_has_copies(self):
+        motif = Graph.from_edges(
+            [(0, 1), (1, 2), (2, 0)], vertex_labels=[7, 7, 7]
+        )
+        g = planted_motif_graph(
+            n=100, p=0.01, motif=motif, copies=6, num_vertex_labels=3, seed=3
+        )
+        pattern = PatternGraph(motif)
+        assert count_matches(g, pattern) >= 6
+
+    def test_planted_motif_too_many_copies_raises(self):
+        motif = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(ValueError):
+            planted_motif_graph(10, 0.1, motif, copies=5, num_vertex_labels=2)

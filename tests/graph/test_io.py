@@ -1,0 +1,106 @@
+"""Round-trip tests for the graph I/O formats."""
+
+import pytest
+
+from repro.graph.csr import Graph, GraphBuilder
+from repro.graph.generators import erdos_renyi, random_labeled_transactions
+from repro.graph.io import (
+    load_adjacency,
+    load_edge_list,
+    load_transactions,
+    save_adjacency,
+    save_edge_list,
+    save_transactions,
+)
+from repro.graph.transactions import TransactionDatabase
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, small_er):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_er, path)
+        loaded = load_edge_list(path)
+        assert set(loaded.edges()) == set(small_er.edges())
+
+    def test_round_trip_with_labels(self, tmp_path):
+        b = GraphBuilder()
+        b.add_edge(0, 1, label=3)
+        b.add_edge(1, 2, label=5)
+        g = b.build()
+        path = tmp_path / "labeled.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.edge_label(0, 1) == 3
+        assert loaded.edge_label(1, 2) == 5
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n\n0 1\n# mid\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+    def test_directed_load(self, tmp_path):
+        path = tmp_path / "d.txt"
+        path.write_text("0 1\n")
+        g = load_edge_list(path, directed=True)
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+
+class TestAdjacency:
+    def test_round_trip(self, tmp_path, small_er):
+        path = tmp_path / "adj.txt"
+        save_adjacency(small_er, path)
+        loaded = load_adjacency(path)
+        assert set(loaded.edges()) == set(small_er.edges())
+        assert loaded.num_vertices == small_er.num_vertices
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_vertex(3)
+        g = b.build()
+        path = tmp_path / "iso.txt"
+        save_adjacency(g, path)
+        loaded = load_adjacency(path)
+        assert loaded.num_vertices == 4
+
+
+class TestTransactions:
+    def test_round_trip(self, tmp_path):
+        db = TransactionDatabase(
+            random_labeled_transactions(6, 7, 0.3, 3, seed=1)
+        )
+        path = tmp_path / "db.gspan"
+        save_transactions(db, path)
+        loaded = load_transactions(path)
+        assert len(loaded) == len(db)
+        for a, b in zip(db, loaded):
+            assert a.graph_id == b.graph_id
+            assert set(a.graph.edges()) == set(b.graph.edges())
+            assert [a.graph.vertex_label(v) for v in a.graph.vertices()] == [
+                b.graph.vertex_label(v) for v in b.graph.vertices()
+            ]
+
+    def test_end_marker_stops_parsing(self, tmp_path):
+        path = tmp_path / "m.gspan"
+        path.write_text("t # 0\nv 0 1\nv 1 2\ne 0 1 0\nt # -1\nt # 9\nv 0 1\n")
+        db = load_transactions(path)
+        assert len(db) == 1
+
+    def test_out_of_order_vertices_rejected(self, tmp_path):
+        path = tmp_path / "bad.gspan"
+        path.write_text("t # 0\nv 1 1\n")
+        with pytest.raises(ValueError):
+            load_transactions(path)
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "bad2.gspan"
+        path.write_text("t # 0\nv 0 1\nq 1 2\n")
+        with pytest.raises(ValueError):
+            load_transactions(path)

@@ -1,0 +1,133 @@
+"""Tests for the graph partitioners and their quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import Graph
+from repro.graph.generators import barabasi_albert, erdos_renyi, grid_graph
+from repro.graph.partition import (
+    Partition,
+    balance,
+    bfs_voronoi_partition,
+    edge_cut_fraction,
+    hash_partition,
+    metis_like_partition,
+    range_partition,
+    replication_factor,
+    vertex_cut_partition,
+)
+
+
+def _check_cover(graph, partition):
+    """Every vertex assigned exactly one worker within range."""
+    assert partition.assignment.shape == (graph.num_vertices,)
+    assert partition.assignment.min() >= 0
+    assert partition.assignment.max() < partition.num_parts
+    total = sum(partition.part(k).size for k in range(partition.num_parts))
+    assert total == graph.num_vertices
+
+
+PARTITIONERS = [
+    ("hash", lambda g, k: hash_partition(g, k, seed=0)),
+    ("range", lambda g, k: range_partition(g, k)),
+    ("metis", lambda g, k: metis_like_partition(g, k, seed=0)),
+    (
+        "voronoi",
+        lambda g, k: bfs_voronoi_partition(
+            g, k, seeds=list(range(0, g.num_vertices, max(g.num_vertices // (3 * k), 1)))
+        ),
+    ),
+    ("vertex-cut", lambda g, k: vertex_cut_partition(g, k, seed=0)),
+]
+
+
+class TestPartitionCoverage:
+    @pytest.mark.parametrize("name,fn", PARTITIONERS)
+    def test_cover_and_disjoint(self, name, fn, small_ba):
+        partition = fn(small_ba, 4)
+        _check_cover(small_ba, partition)
+
+    @pytest.mark.parametrize("name,fn", PARTITIONERS)
+    def test_single_part(self, name, fn, small_er):
+        partition = fn(small_er, 1)
+        assert edge_cut_fraction(small_er, partition) == 0.0
+
+    def test_out_of_range_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(2, np.array([0, 1, 2]))
+
+
+class TestQuality:
+    def test_metis_beats_hash_on_grid(self):
+        g = grid_graph(12, 12)
+        cut_hash = edge_cut_fraction(g, hash_partition(g, 4, seed=0))
+        cut_metis = edge_cut_fraction(g, metis_like_partition(g, 4, seed=0))
+        assert cut_metis < cut_hash / 2
+
+    def test_metis_beats_hash_on_ba(self, small_ba):
+        cut_hash = edge_cut_fraction(small_ba, hash_partition(small_ba, 4))
+        cut_metis = edge_cut_fraction(
+            small_ba, metis_like_partition(small_ba, 4, seed=0)
+        )
+        assert cut_metis < cut_hash
+
+    def test_metis_balance_bounded(self, small_ba):
+        partition = metis_like_partition(small_ba, 4, seed=0)
+        assert balance(partition) < 1.35
+
+    def test_voronoi_blocks_recorded(self, small_ba):
+        seeds = list(range(0, 200, 20))
+        partition = bfs_voronoi_partition(small_ba, 4, seeds=seeds)
+        assert partition.blocks is not None
+        assert len(partition.blocks) == len(seeds)
+        # every vertex reachable from a seed lands in some block
+        covered = sum(len(b) for b in partition.blocks)
+        assert covered <= small_ba.num_vertices
+
+    def test_voronoi_respects_seed_locality(self):
+        g = grid_graph(10, 10)
+        partition = bfs_voronoi_partition(g, 2, seeds=[0, 99])
+        # The two seed corners must land on different... workers may merge
+        # blocks, but the two blocks themselves are distinct.
+        assert partition.blocks is not None
+        b0 = set(partition.blocks[0])
+        b1 = set(partition.blocks[1])
+        assert 0 in b0 and 99 in b1
+        assert not (b0 & b1)
+
+    def test_vertex_cut_covers_edges(self, small_er):
+        partition = vertex_cut_partition(small_er, 3, seed=0)
+        assert partition.edge_assignment is not None
+        assert len(partition.edge_assignment) == small_er.num_edges
+
+    def test_vertex_cut_replication_bounded(self, small_ba):
+        partition = vertex_cut_partition(small_ba, 4, seed=0)
+        rf = replication_factor(small_ba, partition)
+        assert 1.0 <= rf <= 4.0
+
+    def test_replication_factor_single_part_is_one(self, small_er):
+        partition = hash_partition(small_er, 1)
+        assert replication_factor(small_er, partition) == 1.0
+
+    def test_edge_cut_empty_graph(self):
+        g = Graph.from_edges([], num_vertices=4)
+        assert edge_cut_fraction(g, hash_partition(g, 2)) == 0.0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "name,fn", [p for p in PARTITIONERS if p[0] != "range"]
+    )
+    def test_same_seed_same_partition(self, name, fn, small_ba):
+        a = fn(small_ba, 4)
+        b = fn(small_ba, 4)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_hash_partition_num_parts(self, k):
+        g = erdos_renyi(30, 0.1, seed=1)
+        partition = hash_partition(g, k)
+        _check_cover(g, partition)

@@ -1,0 +1,73 @@
+"""Tests for the transaction-database data model."""
+
+import pytest
+
+from repro.graph.csr import Graph, GraphBuilder
+from repro.graph.transactions import GraphTransaction, TransactionDatabase
+
+
+def _labeled(edges, labels, gid=0):
+    n = len(labels)
+    return GraphTransaction(
+        graph_id=gid,
+        graph=Graph.from_edges(edges, num_vertices=n, vertex_labels=labels),
+    )
+
+
+class TestTransactionDatabase:
+    def test_len_and_iteration(self):
+        db = TransactionDatabase(
+            [_labeled([(0, 1)], [1, 2], gid=i) for i in range(3)]
+        )
+        assert len(db) == 3
+        assert [t.graph_id for t in db] == [0, 1, 2]
+        assert db[1].graph_id == 1
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionDatabase(
+                [_labeled([(0, 1)], [1, 2], gid=0), _labeled([(0, 1)], [1, 2], gid=0)]
+            )
+
+    def test_directed_transaction_rejected(self):
+        g = Graph.from_edges([(0, 1)], directed=True)
+        with pytest.raises(ValueError):
+            GraphTransaction(graph_id=0, graph=g)
+
+    def test_vertex_label_support(self):
+        db = TransactionDatabase(
+            [
+                _labeled([(0, 1)], [1, 2], gid=0),
+                _labeled([(0, 1)], [1, 1], gid=1),
+                _labeled([(0, 1)], [2, 3], gid=2),
+            ]
+        )
+        support = db.vertex_label_support()
+        assert support[1] == 2
+        assert support[2] == 2
+        assert support[3] == 1
+
+    def test_edge_label_support_canonical_key(self):
+        b1 = GraphBuilder()
+        b1.add_edge(0, 1, label=5)
+        t1 = GraphTransaction(
+            0, b1.build(num_vertices=2, vertex_labels=[2, 1])
+        )
+        b2 = GraphBuilder()
+        b2.add_edge(0, 1, label=5)
+        t2 = GraphTransaction(
+            1, b2.build(num_vertices=2, vertex_labels=[1, 2])
+        )
+        db = TransactionDatabase([t1, t2])
+        support = db.edge_label_support()
+        # Both orientations collapse to (1, 5, 2).
+        assert support == {(1, 5, 2): 2}
+
+    def test_edge_support_counts_transactions_not_edges(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edge(1, 2)
+        t = GraphTransaction(0, b.build(num_vertices=3, vertex_labels=[1, 1, 1]))
+        db = TransactionDatabase([t])
+        support = db.edge_label_support()
+        assert support[(1, 0, 1)] == 1  # two edges, one transaction

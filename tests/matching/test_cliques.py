@@ -1,0 +1,133 @@
+"""Clique algorithms vs networkx oracles."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import Graph
+from repro.graph.generators import complete_graph, cycle_graph, erdos_renyi
+from repro.matching.cliques import (
+    count_k_cliques,
+    k_cliques,
+    maximal_cliques,
+    maximal_quasi_cliques,
+    maximum_clique,
+)
+from tests.conftest import to_networkx
+
+
+class TestMaximalCliques:
+    def test_complete_graph_single_clique(self):
+        cliques = list(maximal_cliques(complete_graph(5)))
+        assert cliques == [(0, 1, 2, 3, 4)]
+
+    def test_triangle_free_graph_edges_are_maximal(self):
+        g = cycle_graph(6)
+        cliques = sorted(maximal_cliques(g))
+        assert cliques == sorted(g.edges())
+
+    def test_matches_networkx(self, small_er):
+        ours = sorted(maximal_cliques(small_er))
+        theirs = sorted(
+            tuple(sorted(c)) for c in nx.find_cliques(to_networkx(small_er))
+        )
+        assert ours == theirs
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_networkx(self, seed):
+        g = erdos_renyi(18, 0.4, seed=seed)
+        ours = sorted(maximal_cliques(g))
+        theirs = sorted(
+            tuple(sorted(c)) for c in nx.find_cliques(to_networkx(g))
+        )
+        assert ours == theirs
+
+    def test_each_result_is_a_maximal_clique(self, small_er):
+        adj = [set(int(w) for w in small_er.neighbors(v)) for v in small_er.vertices()]
+        for clique in maximal_cliques(small_er):
+            members = set(clique)
+            for u in clique:
+                assert members - {u} <= adj[u]
+            for v in small_er.vertices():
+                if v not in members:
+                    assert not members <= adj[v]  # not extendable
+
+
+class TestMaximumClique:
+    def test_matches_networkx_size(self, small_er):
+        ours = maximum_clique(small_er)
+        theirs = max(nx.find_cliques(to_networkx(small_er)), key=len)
+        assert len(ours) == len(theirs)
+
+    def test_result_is_a_clique(self, small_er):
+        clique = maximum_clique(small_er)
+        for i, u in enumerate(clique):
+            for v in clique[i + 1:]:
+                assert small_er.has_edge(u, v)
+
+    def test_complete_graph(self):
+        assert maximum_clique(complete_graph(6)) == (0, 1, 2, 3, 4, 5)
+
+
+class TestKCliques:
+    def test_k1_is_vertices(self, small_er):
+        assert count_k_cliques(small_er, 1) == small_er.num_vertices
+
+    def test_k2_is_edges(self, small_er):
+        assert count_k_cliques(small_er, 2) == small_er.num_edges
+
+    def test_k3_matches_triangles(self, small_er):
+        from repro.matching.triangles import triangle_count
+
+        assert count_k_cliques(small_er, 3) == triangle_count(small_er)
+
+    def test_k4_in_k6(self):
+        assert count_k_cliques(complete_graph(6), 4) == 15
+
+    def test_cliques_distinct_and_valid(self, small_er):
+        seen = set()
+        for clique in k_cliques(small_er, 3):
+            assert clique not in seen
+            seen.add(clique)
+            a, b, c = clique
+            assert small_er.has_edge(a, b)
+            assert small_er.has_edge(b, c)
+            assert small_er.has_edge(a, c)
+
+
+class TestQuasiCliques:
+    def test_gamma_one_equals_cliques(self):
+        g = erdos_renyi(12, 0.4, seed=2)
+        quasi = set(maximal_quasi_cliques(g, gamma=1.0, min_size=3))
+        cliques = {c for c in maximal_cliques(g) if len(c) >= 3}
+        assert quasi == cliques
+
+    def test_results_satisfy_degree_condition(self):
+        import numpy as np
+
+        g = erdos_renyi(14, 0.4, seed=5)
+        gamma = 0.6
+        adj = [set(int(w) for w in g.neighbors(v)) for v in g.vertices()]
+        for qc in maximal_quasi_cliques(g, gamma=gamma, min_size=3, max_results=40):
+            s = set(qc)
+            need = int(np.ceil(gamma * (len(s) - 1)))
+            for v in s:
+                assert len(adj[v] & s) >= need
+
+    def test_max_results_cap(self):
+        g = erdos_renyi(14, 0.5, seed=1)
+        results = maximal_quasi_cliques(g, gamma=0.5, min_size=3, max_results=5)
+        assert len(results) <= 5
+
+    def test_every_clique_inside_some_quasi_clique(self):
+        # Relaxing gamma can merge several maximal cliques into one
+        # larger quasi-clique, so the *count* may drop — but every
+        # maximal clique must be contained in some maximal quasi-clique.
+        g = erdos_renyi(13, 0.45, seed=7)
+        relaxed = [set(q) for q in maximal_quasi_cliques(g, gamma=0.6, min_size=3)]
+        for clique in maximal_cliques(g):
+            if len(clique) >= 3:
+                members = set(clique)
+                assert any(members <= q for q in relaxed)

@@ -1,0 +1,107 @@
+"""Compilation-based matching: generated code equals the interpreter."""
+
+import time
+
+import pytest
+
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.matching.backtrack import count_matches
+from repro.matching.codegen import (
+    compile_matcher,
+    compiled_count,
+    generate_source,
+    prepare_adjacency,
+)
+from repro.matching.pattern import (
+    clique_pattern,
+    cycle_pattern,
+    diamond_pattern,
+    house_pattern,
+    path_pattern,
+    star_pattern,
+    symmetry_breaking_restrictions,
+    tailed_triangle_pattern,
+    triangle_pattern,
+)
+from repro.matching.plan import GraphStats, Planner
+
+ALL_PATTERNS = [
+    triangle_pattern(),
+    path_pattern(3),
+    path_pattern(4),
+    cycle_pattern(4),
+    clique_pattern(4),
+    star_pattern(3),
+    diamond_pattern(),
+    tailed_triangle_pattern(),
+    house_pattern(),
+]
+
+
+class TestGeneratedSource:
+    def test_source_is_valid_python(self):
+        for pattern in ALL_PATTERNS:
+            src = generate_source(
+                pattern,
+                order=list(Planner(GraphStats(1000, 8.0, 50)).plan(pattern).order),
+                restrictions=symmetry_breaking_restrictions(pattern),
+            )
+            compile(src, "<test>", "exec")  # must not raise
+
+    def test_one_loop_per_pattern_vertex(self):
+        pattern = house_pattern()
+        src = generate_source(
+            pattern,
+            order=list(range(pattern.n)),
+            restrictions=[],
+        )
+        assert src.count("for v") == pattern.n
+
+    def test_source_attached_to_function(self):
+        func = compile_matcher(triangle_pattern())
+        assert "def count_pattern" in func.__source__
+
+
+class TestCompiledCorrectness:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    def test_matches_interpreter(self, pattern, small_er):
+        assert compiled_count(small_er, pattern) == count_matches(
+            small_er, pattern
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_on_random_graphs(self, seed):
+        g = erdos_renyi(30, 0.25, seed=seed)
+        for pattern in (triangle_pattern(), cycle_pattern(4), diamond_pattern()):
+            assert compiled_count(g, pattern) == count_matches(g, pattern)
+
+    def test_no_restrictions_counts_all_automorphic_images(self, small_er):
+        from repro.matching.pattern import automorphisms
+
+        pattern = triangle_pattern()
+        func = compile_matcher(pattern, restrictions=[])
+        adj, adjset = prepare_adjacency(small_er)
+        total = func(adj, adjset, small_er.num_vertices)
+        distinct = compiled_count(small_er, pattern)
+        assert total == len(automorphisms(pattern)) * distinct
+
+
+class TestCompiledSpeed:
+    def test_compiled_faster_than_interpreter(self):
+        """The AutoMine claim: specialization beats interpretation."""
+        g = barabasi_albert(300, 4, seed=5)
+        pattern = diamond_pattern()
+        order = Planner(GraphStats.of(g)).plan(pattern).order
+
+        t0 = time.perf_counter()
+        interpreted = count_matches(g, pattern, order=order)
+        t1 = time.perf_counter()
+
+        func = compile_matcher(pattern, order=order)
+        adj, adjset = prepare_adjacency(g)
+        t2 = time.perf_counter()
+        compiled = func(adj, adjset, g.num_vertices)
+        t3 = time.perf_counter()
+
+        assert compiled == interpreted
+        assert (t3 - t2) < (t1 - t0)  # strictly faster

@@ -1,0 +1,76 @@
+"""Densest-subgraph peeling: the Charikar 1/2-approximation."""
+
+import itertools
+
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+)
+from repro.matching.densest import densest_subgraph, density
+
+
+def brute_force_densest(graph: Graph) -> float:
+    best = 0.0
+    n = graph.num_vertices
+    for k in range(1, n + 1):
+        for combo in itertools.combinations(range(n), k):
+            best = max(best, density(graph, set(combo)))
+    return best
+
+
+class TestDensity:
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert density(g, set(range(6))) == pytest.approx(15 / 6)
+
+    def test_empty_set(self, small_er):
+        assert density(small_er, set()) == 0.0
+
+    def test_single_vertex(self, small_er):
+        assert density(small_er, {0}) == 0.0
+
+
+class TestDensestSubgraph:
+    def test_complete_graph_is_itself(self):
+        g = complete_graph(7)
+        vertices, d = densest_subgraph(g)
+        assert vertices == set(range(7))
+        assert d == pytest.approx(3.0)
+
+    def test_planted_clique_found(self):
+        # A sparse cycle plus a K6 on vertices 20..25: the clique wins.
+        edges = [(i, (i + 1) % 20) for i in range(20)]
+        edges += [
+            (u, v) for u in range(20, 26) for v in range(u + 1, 26)
+        ]
+        g = Graph.from_edges(edges, num_vertices=26)
+        vertices, d = densest_subgraph(g)
+        assert set(range(20, 26)) <= vertices
+        assert d >= 15 / 6 - 1e-9
+
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_half_approximation(self, seed):
+        g = erdos_renyi(11, 0.3, seed=seed)
+        _, greedy = densest_subgraph(g)
+        optimum = brute_force_densest(g)
+        assert greedy >= optimum / 2 - 1e-12
+        assert greedy <= optimum + 1e-12
+
+    def test_density_reported_matches_set(self, small_ba):
+        vertices, d = densest_subgraph(small_ba)
+        assert d == pytest.approx(density(small_ba, vertices))
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], num_vertices=0)
+        vertices, d = densest_subgraph(g)
+        assert vertices == set() and d == 0.0
+
+    def test_edgeless_graph(self):
+        g = Graph.from_edges([], num_vertices=5)
+        _, d = densest_subgraph(g)
+        assert d == 0.0

@@ -1,0 +1,99 @@
+"""Candidate filtering (the filter-and-join stage of GSI/EGSM)."""
+
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph.generators import erdos_renyi, random_labeled_graph
+from repro.matching.backtrack import MatchStats, count_matches, match
+from repro.matching.filtering import build_candidates, filtered_match
+from repro.matching.pattern import PatternGraph, diamond_pattern, triangle_pattern
+
+
+@pytest.fixture
+def labeled_graph():
+    return random_labeled_graph(80, 0.1, num_vertex_labels=3, seed=2)
+
+
+@pytest.fixture
+def labeled_pattern():
+    return PatternGraph(
+        Graph.from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3)], vertex_labels=[0, 1, 2, 0]
+        )
+    )
+
+
+class TestCandidateSets:
+    def test_ldf_respects_label_and_degree(self, labeled_graph, labeled_pattern):
+        candidates, _ = build_candidates(
+            labeled_graph, labeled_pattern, use_nlf=False, refine=False
+        )
+        for u in range(labeled_pattern.n):
+            for v in candidates[u]:
+                assert labeled_graph.vertex_label(v) == labeled_pattern.label(u)
+                assert labeled_graph.degree(v) >= labeled_pattern.degree(u)
+
+    def test_stages_monotonically_shrink(self, labeled_graph, labeled_pattern):
+        _, stats = build_candidates(labeled_graph, labeled_pattern)
+        for a, b, c in zip(stats.after_ldf, stats.after_nlf, stats.after_refinement):
+            assert a >= b >= c
+
+    def test_candidates_are_sound(self, labeled_graph, labeled_pattern):
+        """Every true embedding's vertices survive all filters."""
+        candidates, _ = build_candidates(labeled_graph, labeled_pattern)
+        embeddings = []
+        match(labeled_graph, labeled_pattern, on_match=embeddings.append)
+        for emb in embeddings:
+            for u, v in enumerate(emb):
+                assert v in candidates[u]
+
+    def test_refinement_counts_rounds(self, labeled_graph, labeled_pattern):
+        _, stats = build_candidates(labeled_graph, labeled_pattern)
+        assert stats.refinement_rounds >= 1
+
+    def test_unlabeled_graph_ok(self, small_er):
+        candidates, stats = build_candidates(small_er, triangle_pattern())
+        assert all(len(c) > 0 for c in candidates)
+
+
+class TestFilteredMatch:
+    def test_count_unchanged(self, labeled_graph, labeled_pattern):
+        exact = count_matches(labeled_graph, labeled_pattern)
+        filtered, _ = filtered_match(labeled_graph, labeled_pattern)
+        assert filtered == exact
+
+    def test_count_unchanged_unlabeled(self, small_er):
+        for pattern in (triangle_pattern(), diamond_pattern()):
+            exact = count_matches(small_er, pattern)
+            filtered, _ = filtered_match(small_er, pattern)
+            assert filtered == exact
+
+    def test_filtering_reduces_scanned_candidates(self, labeled_graph, labeled_pattern):
+        s_plain = MatchStats()
+        match(labeled_graph, labeled_pattern, stats=s_plain)
+        s_filtered = MatchStats()
+        filtered_match(labeled_graph, labeled_pattern, stats=s_filtered)
+        assert s_filtered.candidates_scanned <= s_plain.candidates_scanned
+
+    def test_empty_candidate_set_short_circuits(self, small_er):
+        # A pattern vertex label absent from the graph empties a set.
+        pattern = PatternGraph(
+            Graph.from_edges([(0, 1)], vertex_labels=[9, 9])
+        )
+        count, stats = filtered_match(small_er, pattern)
+        assert count == 0
+
+    def test_allowed_parameter_restricts_matches(self, small_er):
+        # Restricting vertex 0 of the pattern to a single data vertex
+        # equals anchoring there.
+        pattern = triangle_pattern()
+        anchor_vertex = next(
+            v for v in small_er.vertices() if small_er.degree(v) >= 2
+        )
+        allowed = [
+            {anchor_vertex} if u == 0 else set(small_er.vertices())
+            for u in range(3)
+        ]
+        restricted = match(small_er, pattern, allowed=allowed)
+        anchored = match(small_er, pattern, anchor=(0, anchor_vertex))
+        assert restricted == anchored

@@ -1,0 +1,84 @@
+"""k-truss decomposition vs networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    watts_strogatz,
+)
+from repro.matching.truss import k_truss, max_truss, truss_numbers
+from tests.conftest import to_networkx
+
+
+class TestTrussNumbers:
+    def test_complete_graph(self):
+        numbers = truss_numbers(complete_graph(6))
+        assert all(t == 6 for t in numbers.values())
+
+    def test_triangle_free(self):
+        numbers = truss_numbers(cycle_graph(8))
+        assert all(t == 2 for t in numbers.values())
+
+    def test_every_edge_assigned(self, small_er):
+        numbers = truss_numbers(small_er)
+        assert len(numbers) == small_er.num_edges
+
+    def test_directed_rejected(self):
+        g = Graph.from_edges([(0, 1)], directed=True)
+        with pytest.raises(ValueError):
+            truss_numbers(g)
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_matches_networkx(self, k, small_ws):
+        ours = k_truss(small_ws, k)
+        theirs = {
+            tuple(sorted(e))
+            for e in nx.k_truss(to_networkx(small_ws), k).edges()
+        }
+        assert ours == theirs
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_property_matches_networkx(self, seed):
+        g = erdos_renyi(22, 0.3, seed=seed)
+        for k in (3, 4):
+            ours = k_truss(g, k)
+            theirs = {
+                tuple(sorted(e))
+                for e in nx.k_truss(to_networkx(g), k).edges()
+            }
+            assert ours == theirs
+
+
+class TestTrussStructure:
+    def test_trusses_nested(self, small_ws):
+        t3 = k_truss(small_ws, 3)
+        t4 = k_truss(small_ws, 4)
+        assert t4 <= t3
+
+    def test_truss_internal_support(self, small_er):
+        """Definition check: inside the k-truss every edge closes
+        >= k - 2 triangles with other truss edges."""
+        k = 4
+        edges = k_truss(small_er, k)
+        adj = {}
+        for u, v in edges:
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
+        for u, v in edges:
+            common = adj.get(u, set()) & adj.get(v, set())
+            assert len(common) >= k - 2
+
+    def test_max_truss_values(self):
+        assert max_truss(complete_graph(5)) == 5
+        assert max_truss(cycle_graph(5)) == 2
+
+    def test_invalid_k(self, small_er):
+        with pytest.raises(ValueError):
+            k_truss(small_er, 1)

@@ -1,0 +1,50 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCLI:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "G-thinker" in out
+        assert "Dorylus" in out
+
+    def test_generate_and_analyze(self, tmp_path, capsys):
+        path = str(tmp_path / "g.txt")
+        assert main(["generate", "ba", path, "--n", "120", "--m", "3"]) == 0
+        assert main(["analyze", path]) == 0
+        out = capsys.readouterr().out
+        assert "triangles" in out
+        assert "max core" in out
+        assert "graphlets" in out
+
+    def test_generate_all_kinds(self, tmp_path):
+        for kind in ("er", "ba", "rmat", "ws", "grid"):
+            path = str(tmp_path / f"{kind}.txt")
+            args = ["generate", kind, path, "--n", "30", "--m", "2",
+                    "--p", "0.1", "--scale", "5"]
+            assert main(args) == 0
+
+    def test_match_planned_vs_worst_same_count(self, tmp_path, capsys):
+        path = str(tmp_path / "g.txt")
+        main(["generate", "er", path, "--n", "60", "--p", "0.15"])
+        capsys.readouterr()
+        assert main(["match", path, "triangle", "--order", "planned"]) == 0
+        planned = capsys.readouterr().out
+        assert main(["match", path, "triangle", "--order", "worst"]) == 0
+        worst = capsys.readouterr().out
+        count_planned = int(planned.split("instances:")[1].split()[0])
+        count_worst = int(worst.split("instances:")[1].split()[0])
+        assert count_planned == count_worst
+
+    def test_unknown_pattern_rejected(self, tmp_path):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["match", "g.txt", "pentagon"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,50 @@
+"""DESIGN.md's experiment index must match the benchmark suite."""
+
+import os
+import re
+
+import pytest
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+
+def _design_text() -> str:
+    with open(os.path.join(ROOT, "DESIGN.md")) as handle:
+        return handle.read()
+
+
+class TestExperimentIndex:
+    def test_every_indexed_bench_exists(self):
+        text = _design_text()
+        bench_refs = set(re.findall(r"`benchmarks/(bench_\w+\.py)`", text))
+        assert bench_refs, "experiment index lists no benches?"
+        for ref in bench_refs:
+            assert os.path.exists(os.path.join(ROOT, "benchmarks", ref)), ref
+
+    def test_every_bench_file_indexed(self):
+        text = _design_text()
+        on_disk = {
+            f
+            for f in os.listdir(os.path.join(ROOT, "benchmarks"))
+            if f.startswith("bench_") and f.endswith(".py")
+        }
+        indexed = set(re.findall(r"`benchmarks/(bench_\w+\.py)`", text))
+        assert on_disk == indexed
+
+    def test_every_experiment_in_experiments_md(self):
+        """Each experiment id of DESIGN.md appears in EXPERIMENTS.md."""
+        design = _design_text()
+        ids = set(re.findall(r"^\| (T\d|F\d|C\d+|X\d) \|", design, re.M))
+        with open(os.path.join(ROOT, "EXPERIMENTS.md")) as handle:
+            experiments = handle.read()
+        recorded = set(re.findall(r"^\| (T\d|F\d|C\d+|X\d) \|", experiments, re.M))
+        assert ids == recorded
+
+    def test_inventory_modules_importable(self):
+        """Every `repro.x.y` module named in DESIGN.md imports."""
+        import importlib
+
+        design = _design_text()
+        modules = set(re.findall(r"`(repro(?:\.\w+)+)`", design))
+        for name in sorted(modules):
+            importlib.import_module(name)

@@ -1,0 +1,165 @@
+"""Cross-cutting property-based tests: the invariants that hold the
+library together, attacked with hypothesis."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm.gspan import mine_frequent_subgraphs
+from repro.graph.csr import Graph, GraphBuilder
+from repro.graph.generators import erdos_renyi
+from repro.graph.partition import hash_partition, metis_like_partition
+from repro.graph.transactions import GraphTransaction, TransactionDatabase
+from repro.matching.backtrack import count_matches
+from repro.matching.pattern import (
+    PatternGraph,
+    cycle_pattern,
+    diamond_pattern,
+    triangle_pattern,
+)
+from repro.tlav import pagerank, wcc
+from tests.fsm.test_gspan import wl_hash
+
+
+def _permute_transaction(t: GraphTransaction, rng) -> GraphTransaction:
+    """Relabel a transaction's vertex ids by a random permutation."""
+    g = t.graph
+    n = g.num_vertices
+    perm = rng.permutation(n)
+    builder = GraphBuilder(directed=False)
+    builder.add_vertex(n - 1)
+    for u, v in g.edges():
+        label = g.edge_label(u, v) if g.edge_labels is not None else 0
+        builder.add_edge(int(perm[u]), int(perm[v]), label=label)
+    labels = [0] * n
+    for v in range(n):
+        labels[int(perm[v])] = g.vertex_label(v)
+    return GraphTransaction(
+        graph_id=t.graph_id,
+        graph=builder.build(num_vertices=n, vertex_labels=labels),
+    )
+
+
+class TestRelabelingInvariance:
+    """Canonicality: results must not depend on vertex numbering."""
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=5, deadline=None)
+    def test_gspan_invariant_under_relabeling(self, seed):
+        from repro.graph.generators import random_labeled_transactions
+
+        rng = np.random.default_rng(seed + 1)
+        db = TransactionDatabase(
+            random_labeled_transactions(6, 7, 0.3, 2, seed=seed)
+        )
+        permuted = TransactionDatabase(
+            [_permute_transaction(t, rng) for t in db]
+        )
+        a = mine_frequent_subgraphs(db, min_support=3, max_edges=2)
+        b = mine_frequent_subgraphs(permuted, min_support=3, max_edges=2)
+        assert sorted((wl_hash(p.to_graph()), p.support) for p in a) == sorted(
+            (wl_hash(p.to_graph()), p.support) for p in b
+        )
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=5, deadline=None)
+    def test_match_counts_invariant_under_relabeling(self, seed):
+        rng = np.random.default_rng(seed)
+        g = erdos_renyi(20, 0.3, seed=seed)
+        perm = rng.permutation(20)
+        relabeled = Graph.from_edges(
+            [(int(perm[u]), int(perm[v])) for u, v in g.edges()],
+            num_vertices=20,
+        )
+        for pattern in (triangle_pattern(), cycle_pattern(4), diamond_pattern()):
+            assert count_matches(g, pattern) == count_matches(
+                relabeled, pattern
+            )
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=5, deadline=None)
+    def test_pagerank_equivariant_under_relabeling(self, seed):
+        rng = np.random.default_rng(seed)
+        g = erdos_renyi(25, 0.2, seed=seed)
+        perm = rng.permutation(25)
+        relabeled = Graph.from_edges(
+            [(int(perm[u]), int(perm[v])) for u, v in g.edges()],
+            num_vertices=25,
+        )
+        pr = pagerank(g, iterations=20)
+        pr_relabeled = pagerank(relabeled, iterations=20)
+        for v in range(25):
+            assert pr[v] == pytest.approx(pr_relabeled[int(perm[v])])
+
+
+class TestEngineAgreement:
+    """Independent engines must agree on shared workloads."""
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=8, deadline=None)
+    def test_three_triangle_counters_agree(self, seed):
+        from repro.matching.codegen import compiled_count
+        from repro.matching.triangles import triangle_count
+        from repro.tlav.algorithms import triangle_count_tlav
+
+        g = erdos_renyi(22, 0.3, seed=seed)
+        serial = triangle_count(g)
+        assert compiled_count(g, triangle_pattern()) == serial
+        assert triangle_count_tlav(g)[0] == serial
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=8, deadline=None)
+    def test_wcc_partition_invariant(self, seed):
+        from repro.tlav.algorithms import WCCProgram
+        from repro.tlav.distributed import run_distributed
+
+        g = erdos_renyi(25, 0.08, seed=seed)
+        expected = wcc(g).tolist()
+        for parts in (2, 3):
+            values, _ = run_distributed(
+                g, WCCProgram(), hash_partition(g, parts)
+            )
+            assert values == expected
+
+    @given(st.integers(2, 5), st.integers(0, 50))
+    @settings(max_examples=8, deadline=None)
+    def test_partitions_always_cover(self, parts, seed):
+        g = erdos_renyi(30, 0.1, seed=seed)
+        for fn in (hash_partition, lambda g, k: metis_like_partition(g, k, seed=1)):
+            partition = fn(g, parts)
+            covered = np.zeros(30, dtype=bool)
+            for k in range(parts):
+                covered[partition.part(k)] = True
+            assert covered.all()
+
+
+class TestAutogradComposition:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_chain_rule_random_compositions(self, seed):
+        """tanh -> matmul -> sigmoid -> square -> sum, vs finite diff."""
+        from repro.gnn.tensor import Parameter
+
+        rng = np.random.default_rng(seed)
+        x = Parameter(rng.normal(size=(4, 3)))
+        w = rng.normal(size=(3, 2))
+        loss = ((x.tanh() @ w).sigmoid() ** 2).sum()
+        loss.backward()
+
+        def numpy_loss(data: np.ndarray) -> float:
+            hidden = np.tanh(data) @ w
+            squashed = 1.0 / (1.0 + np.exp(-hidden))
+            return float((squashed ** 2).sum())
+
+        eps = 1e-6
+        idx = (int(rng.integers(4)), int(rng.integers(3)))
+        orig = x.data[idx]
+        x.data[idx] = orig + eps
+        plus = numpy_loss(x.data)
+        x.data[idx] = orig - eps
+        minus = numpy_loss(x.data)
+        x.data[idx] = orig
+        numeric = (plus - minus) / (2 * eps)
+        assert x.grad[idx] == pytest.approx(numeric, abs=1e-4)

@@ -1,0 +1,72 @@
+"""G2-AIMD chunked BFS: bounded device residency, AIMD control loop."""
+
+import pytest
+
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.tlag.aimd import AimdStats, DeviceOverflow, aimd_enumerate
+from repro.tlag.bfs_engine import bfs_enumerate_connected
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_same_embeddings_as_plain_bfs(self, k, small_er):
+        embeddings, _ = aimd_enumerate(small_er, k, device_capacity=10_000)
+        reference = bfs_enumerate_connected(small_er, k)
+        assert sorted(embeddings) == sorted(reference.final_embeddings)
+
+    def test_tiny_capacity_still_exact(self, small_er):
+        embeddings, _ = aimd_enumerate(small_er, 3, device_capacity=60)
+        reference = bfs_enumerate_connected(small_er, 3)
+        assert sorted(embeddings) == sorted(reference.final_embeddings)
+
+
+class TestMemoryBound:
+    def test_device_residency_respected(self):
+        g = barabasi_albert(100, 4, seed=1)
+        capacity = 400
+        _, stats = aimd_enumerate(g, 3, device_capacity=capacity)
+        assert stats.peak_device_embeddings <= capacity
+
+    def test_non_adaptive_overflows(self):
+        """The failure mode AIMD eliminates (GSI/cuTS regime)."""
+        g = barabasi_albert(100, 4, seed=1)
+        with pytest.raises(DeviceOverflow):
+            aimd_enumerate(g, 3, device_capacity=400, adaptive=False)
+
+    def test_non_adaptive_fine_with_big_device(self, small_er):
+        embeddings, stats = aimd_enumerate(
+            small_er, 3, device_capacity=10**7, adaptive=False
+        )
+        reference = bfs_enumerate_connected(small_er, 3)
+        assert len(embeddings) == len(reference.final_embeddings)
+        # Whole-frontier launches: one per level.
+        assert stats.launches == 2
+
+
+class TestControlLoop:
+    def test_additive_increase_visible(self, small_er):
+        _, stats = aimd_enumerate(
+            small_er, 3, device_capacity=10**6,
+            initial_chunk=8, additive_increase=8,
+        )
+        # Chunks grow while capacity allows.
+        assert any(b > a for a, b in zip(stats.chunk_trace, stats.chunk_trace[1:]))
+
+    def test_multiplicative_decrease_on_pressure(self):
+        g = barabasi_albert(120, 4, seed=2)
+        _, stats = aimd_enumerate(
+            g, 3, device_capacity=300, initial_chunk=128
+        )
+        assert stats.decreases > 0
+
+    def test_more_launches_under_pressure(self):
+        g = erdos_renyi(60, 0.15, seed=4)
+        _, tight = aimd_enumerate(g, 3, device_capacity=200)
+        _, loose = aimd_enumerate(g, 3, device_capacity=10**7)
+        assert tight.launches > loose.launches
+
+    def test_host_buffer_tracks_spill(self):
+        g = barabasi_albert(100, 4, seed=3)
+        _, stats = aimd_enumerate(g, 3, device_capacity=300)
+        # Host buffering holds what the device cannot.
+        assert stats.peak_host_buffer > stats.peak_device_embeddings

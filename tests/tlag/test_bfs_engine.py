@@ -1,0 +1,105 @@
+"""BFS subgraph extension: exactness and the materialization explosion."""
+
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+)
+from repro.matching.cliques import count_k_cliques
+from repro.tlag.bfs_engine import (
+    BfsExplorer,
+    _canonical_generation,
+    bfs_enumerate_cliques,
+    bfs_enumerate_connected,
+)
+from repro.tlag.engine import TaskEngine
+from repro.tlag.programs import KCliqueProgram
+
+
+class TestCanonicality:
+    def test_canonical_order_is_connected_and_sorted_start(self, small_er):
+        result = bfs_enumerate_connected(small_er, 3)
+        for emb in result.final_embeddings:
+            assert emb[0] == min(emb)
+
+    def test_each_instance_exactly_once(self, small_er):
+        result = bfs_enumerate_connected(small_er, 3)
+        sets = [tuple(sorted(e)) for e in result.final_embeddings]
+        assert len(set(sets)) == len(sets)
+
+    def test_canonical_generation_deterministic(self, small_er):
+        result = bfs_enumerate_connected(small_er, 3)
+        for emb in result.final_embeddings[:50]:
+            assert emb == _canonical_generation(emb, small_er)
+
+    def test_disconnected_set_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            _canonical_generation((0, 3), g)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_clique_counts(self, k, small_er):
+        result = bfs_enumerate_cliques(small_er, k)
+        assert len(result.final_embeddings) == count_k_cliques(small_er, k)
+
+    def test_connected_subgraph_count_on_path(self):
+        # Path on n vertices has n - k + 1 connected k-subgraphs.
+        g = path_graph(8)
+        result = bfs_enumerate_connected(g, 3)
+        assert len(result.final_embeddings) == 6
+
+    def test_connected_count_matches_complete(self):
+        # K5: every k-subset is connected -> C(5, 3) = 10.
+        result = bfs_enumerate_connected(complete_graph(5), 3)
+        assert len(result.final_embeddings) == 10
+
+
+class TestExplosion:
+    def test_levels_recorded(self, small_er):
+        result = bfs_enumerate_connected(small_er, 4)
+        assert [s.level for s in result.levels] == [1, 2, 3, 4]
+        assert result.levels[0].kept == small_er.num_vertices
+
+    def test_materialization_grows_exponentially(self):
+        """The C2 claim: BFS holds exponentially many embeddings."""
+        g = barabasi_albert(120, 4, seed=0)
+        result = bfs_enumerate_connected(g, 4)
+        kept = [s.kept for s in result.levels]
+        assert kept[1] > kept[0]
+        assert kept[2] > 4 * kept[1]
+        assert result.peak_materialized == max(kept)
+
+    def test_dfs_engine_avoids_materialization(self):
+        """Same answers, no level materialization, in the task engine."""
+        g = erdos_renyi(40, 0.25, seed=2)
+        bfs_result = bfs_enumerate_cliques(g, 3)
+        engine = TaskEngine(g, KCliqueProgram(3), num_workers=1,
+                            collect_results=False)
+        engine.run()
+        assert engine.result_count == len(bfs_result.final_embeddings)
+        # The DFS engine materializes only pending tasks, never a level.
+        assert engine.stats.peak_pending_tasks < bfs_result.peak_materialized
+
+
+class TestFilters:
+    def test_filter_prunes_growth(self, small_er):
+        everything = bfs_enumerate_connected(small_er, 3)
+        cliques = bfs_enumerate_cliques(small_er, 3)
+        assert (
+            len(cliques.final_embeddings) <= len(everything.final_embeddings)
+        )
+        assert cliques.total_generated <= everything.total_generated
+
+    def test_filter_applied_at_every_level(self, small_er):
+        # A filter that rejects everything leaves nothing after level 1.
+        explorer = BfsExplorer(
+            small_er, max_size=3, keep_filter=lambda e, g: len(e) == 1
+        )
+        result = explorer.run()
+        assert result.levels[1].kept == 0
+        assert result.final_embeddings == []

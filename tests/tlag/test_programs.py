@@ -1,0 +1,99 @@
+"""Task programs vs their serial oracles."""
+
+import pytest
+
+from repro.graph.generators import complete_graph, erdos_renyi, random_labeled_graph
+from repro.matching.backtrack import count_matches, find_matches
+from repro.matching.cliques import count_k_cliques, maximal_cliques
+from repro.matching.pattern import (
+    PatternGraph,
+    clique_pattern,
+    diamond_pattern,
+    triangle_pattern,
+)
+from repro.matching.triangles import triangle_count
+from repro.tlag.engine import TaskEngine
+from repro.tlag.programs import (
+    KCliqueProgram,
+    MatchProgram,
+    MaximalCliqueProgram,
+    TriangleProgram,
+)
+
+
+class TestMaximalCliqueProgram:
+    def test_matches_serial(self, small_er):
+        engine = TaskEngine(small_er, MaximalCliqueProgram(), num_workers=4)
+        assert sorted(engine.run()) == sorted(maximal_cliques(small_er))
+
+    def test_min_size_filter(self, small_er):
+        engine = TaskEngine(
+            small_er, MaximalCliqueProgram(min_size=3), num_workers=2
+        )
+        results = engine.run()
+        expected = [c for c in maximal_cliques(small_er) if len(c) >= 3]
+        assert sorted(results) == sorted(expected)
+
+    def test_with_budget_on_dense_graph(self):
+        g = erdos_renyi(30, 0.5, seed=9)
+        engine = TaskEngine(
+            g, MaximalCliqueProgram(), num_workers=4, task_budget=10
+        )
+        assert sorted(engine.run()) == sorted(maximal_cliques(g))
+
+
+class TestKCliqueProgram:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_counts(self, k, small_er):
+        engine = TaskEngine(small_er, KCliqueProgram(k), num_workers=3)
+        results = engine.run()
+        assert len(results) == count_k_cliques(small_er, k)
+        assert len(set(results)) == len(results)
+
+    def test_with_budget(self, small_er):
+        engine = TaskEngine(
+            small_er, KCliqueProgram(3), num_workers=3, task_budget=4
+        )
+        assert len(engine.run()) == count_k_cliques(small_er, 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KCliqueProgram(1)
+
+
+class TestMatchProgram:
+    @pytest.mark.parametrize(
+        "pattern", [triangle_pattern(), clique_pattern(4), diamond_pattern()]
+    )
+    def test_counts_match_serial(self, pattern, small_er):
+        engine = TaskEngine(small_er, MatchProgram(pattern), num_workers=4)
+        results = engine.run()
+        assert len(results) == count_matches(small_er, pattern)
+
+    def test_embeddings_identical_to_serial(self, small_er):
+        pattern = triangle_pattern()
+        engine = TaskEngine(small_er, MatchProgram(pattern), num_workers=2)
+        parallel = {tuple(sorted(e)) for e in engine.run()}
+        serial = {tuple(sorted(e)) for e in find_matches(small_er, pattern)}
+        assert parallel == serial
+
+    def test_labeled_spawn_filtering(self):
+        g = random_labeled_graph(40, 0.2, num_vertex_labels=2, seed=3)
+        pattern = PatternGraph.from_edges([(0, 1)], vertex_labels=[0, 1])
+        program = MatchProgram(pattern)
+        spawned = list(program.spawn(g))
+        # Only label-0 vertices spawn tasks (first order vertex is label 0).
+        for task in spawned:
+            assert g.vertex_label(task.subgraph[0]) == 0
+
+
+class TestTriangleProgram:
+    def test_counts_match_serial(self, small_er):
+        engine = TaskEngine(small_er, TriangleProgram(), num_workers=3)
+        results = engine.run()
+        assert len(results) == triangle_count(small_er)
+
+    def test_complete_graph(self):
+        g = complete_graph(7)
+        engine = TaskEngine(g, TriangleProgram(), num_workers=2)
+        assert len(engine.run()) == 35

@@ -1,0 +1,85 @@
+"""Interactive query serving (G-thinkerQ)."""
+
+import pytest
+
+from repro.graph.generators import barabasi_albert, random_labeled_graph
+from repro.matching.backtrack import count_matches
+from repro.matching.pattern import (
+    PatternGraph,
+    clique_pattern,
+    diamond_pattern,
+    path_pattern,
+    triangle_pattern,
+)
+from repro.tlag.query import Query, QueryServer
+
+
+@pytest.fixture
+def graph():
+    return barabasi_albert(120, 3, seed=7)
+
+
+class TestQueryResults:
+    def test_single_query_correct(self, graph):
+        server = QueryServer(graph, num_workers=4)
+        server.submit(Query(triangle_pattern()))
+        results = server.serve()
+        assert results[0].embeddings == count_matches(graph, triangle_pattern())
+
+    def test_multiple_queries_all_correct(self, graph):
+        patterns = [triangle_pattern(), path_pattern(3), diamond_pattern()]
+        server = QueryServer(graph, num_workers=4)
+        for p in patterns:
+            server.submit(Query(p))
+        results = server.serve()
+        for res, p in zip(results, patterns):
+            assert res.embeddings == count_matches(graph, p)
+
+    def test_sequential_baseline_same_answers(self, graph):
+        patterns = [triangle_pattern(), diamond_pattern()]
+        shared = QueryServer(graph, num_workers=2)
+        seq = QueryServer(graph, num_workers=2)
+        for p in patterns:
+            shared.submit(Query(p))
+            seq.submit(Query(p))
+        a = shared.serve()
+        b = seq.run_sequentially()
+        assert [r.embeddings for r in a] == [r.embeddings for r in b]
+
+    def test_labeled_query_spawns_filtered(self):
+        g = random_labeled_graph(60, 0.15, num_vertex_labels=2, seed=1)
+        pattern = PatternGraph.from_edges([(0, 1)], vertex_labels=[0, 1])
+        server = QueryServer(g, num_workers=2)
+        server.submit(Query(pattern))
+        results = server.serve()
+        assert results[0].embeddings == count_matches(g, pattern)
+
+
+class TestScheduling:
+    def test_short_query_finishes_before_long_one(self, graph):
+        """The C15 claim: fair sharing lets small queries overtake."""
+        long_query = Query(diamond_pattern())   # heavy
+        short_query = Query(path_pattern(2))    # trivial
+        server = QueryServer(graph, num_workers=2)
+        server.submit(long_query)
+        server.submit(short_query)
+        results = server.serve()
+        assert results[1].completion_time <= results[0].completion_time
+
+    def test_shared_mean_response_not_worse(self, graph):
+        patterns = [diamond_pattern(), path_pattern(2), triangle_pattern()]
+        shared = QueryServer(graph, num_workers=2)
+        seq = QueryServer(graph, num_workers=2)
+        for p in patterns:
+            shared.submit(Query(p))
+            seq.submit(Query(p))
+        mean_shared = sum(r.completion_time for r in shared.serve()) / 3
+        mean_seq = sum(r.completion_time for r in seq.run_sequentially()) / 3
+        assert mean_shared <= mean_seq * 1.1
+
+    def test_arrival_times_respected(self, graph):
+        server = QueryServer(graph, num_workers=2)
+        server.submit(Query(triangle_pattern(), arrival=0))
+        server.submit(Query(path_pattern(2), arrival=10**9))
+        results = server.serve()
+        assert results[1].completion_time >= 10**9

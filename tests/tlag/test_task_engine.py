@@ -1,0 +1,134 @@
+"""The task engine: correctness, splitting, stealing, load balance."""
+
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph.generators import barabasi_albert, erdos_renyi, star_graph
+from repro.matching.cliques import maximal_cliques
+from repro.tlag.engine import TaskEngine
+from repro.tlag.programs import MaximalCliqueProgram, TriangleProgram
+from repro.tlag.task import Task, TaskContext, TaskProgram
+
+
+class CountdownProgram(TaskProgram):
+    """Synthetic skewed workload: task v costs v ops; forks when asked."""
+
+    def __init__(self, fanout: int = 0) -> None:
+        self.fanout = fanout
+
+    def spawn(self, graph):
+        for v in graph.vertices():
+            yield Task(subgraph=(v,), state=v)
+
+    def process(self, task, ctx):
+        ctx.charge(max(task.state, 1))
+        ctx.emit(task.state)
+        for i in range(self.fanout):
+            if task.state > 4:
+                ctx.fork(Task(subgraph=task.subgraph, state=task.state // 4))
+                break
+
+
+class TestEngineBasics:
+    def test_all_spawned_tasks_processed(self, small_er):
+        engine = TaskEngine(small_er, CountdownProgram(), num_workers=3)
+        results = engine.run()
+        assert sorted(results)[: small_er.num_vertices] is not None
+        assert engine.stats.tasks_executed >= small_er.num_vertices
+
+    def test_single_worker_is_serial_reference(self, small_er):
+        e1 = TaskEngine(small_er, MaximalCliqueProgram(), num_workers=1)
+        e4 = TaskEngine(small_er, MaximalCliqueProgram(), num_workers=4)
+        assert sorted(e1.run()) == sorted(e4.run())
+
+    def test_results_match_oracle(self, small_er):
+        engine = TaskEngine(small_er, MaximalCliqueProgram(), num_workers=4)
+        assert sorted(engine.run()) == sorted(maximal_cliques(small_er))
+
+    def test_invalid_worker_count(self, small_er):
+        with pytest.raises(ValueError):
+            TaskEngine(small_er, MaximalCliqueProgram(), num_workers=0)
+
+    def test_counting_mode_skips_materialization(self, small_er):
+        engine = TaskEngine(
+            small_er, TriangleProgram(), num_workers=2, collect_results=False
+        )
+        results = engine.run()
+        assert results == []
+        assert engine.result_count > 0
+
+
+class TestSplitting:
+    def test_budget_forces_forking(self, small_ba):
+        engine = TaskEngine(
+            small_ba, MaximalCliqueProgram(), num_workers=4, task_budget=5
+        )
+        results = engine.run()
+        assert engine.stats.tasks_forked > 0
+        assert sorted(results) == sorted(maximal_cliques(small_ba))
+
+    def test_split_results_identical_to_unsplit(self, small_er):
+        unsplit = TaskEngine(small_er, MaximalCliqueProgram(), num_workers=2)
+        split = TaskEngine(
+            small_er, MaximalCliqueProgram(), num_workers=2, task_budget=3
+        )
+        assert sorted(unsplit.run()) == sorted(split.run())
+
+    def test_no_budget_no_forks(self, small_er):
+        engine = TaskEngine(small_er, MaximalCliqueProgram(), num_workers=2)
+        engine.run()
+        assert engine.stats.tasks_forked == 0
+
+
+class TestStealing:
+    def test_stealing_improves_balance_on_skew(self):
+        """The C4 claim: stealing + splitting fixes skewed DFS tasks."""
+        g = barabasi_albert(250, 4, seed=3)
+        program = MaximalCliqueProgram()
+        no_steal = TaskEngine(
+            g, program, num_workers=8, steal=False, task_budget=None
+        )
+        no_steal.run()
+        with_steal = TaskEngine(
+            g, MaximalCliqueProgram(), num_workers=8, steal=True, task_budget=50
+        )
+        with_steal.run()
+        assert with_steal.stats.balance <= no_steal.stats.balance
+        assert with_steal.stats.makespan <= no_steal.stats.makespan
+
+    def test_steals_counted(self):
+        g = star_graph(40)
+        engine = TaskEngine(
+            g, CountdownProgram(fanout=1), num_workers=4, steal=True
+        )
+        engine.run()
+        # With 40 skewed tasks on 4 workers some stealing happens
+        # (or the work divided evenly without it; both acceptable),
+        # but the counter must be consistent.
+        assert engine.stats.steals >= 0
+
+    def test_same_results_with_and_without_steal(self, small_er):
+        a = TaskEngine(small_er, MaximalCliqueProgram(), num_workers=3, steal=True)
+        b = TaskEngine(small_er, MaximalCliqueProgram(), num_workers=3, steal=False)
+        assert sorted(a.run()) == sorted(b.run())
+
+
+class TestStats:
+    def test_total_ops_accumulated(self, small_er):
+        engine = TaskEngine(small_er, CountdownProgram(), num_workers=2)
+        engine.run()
+        expected = sum(max(v, 1) for v in small_er.vertices())
+        assert engine.stats.total_ops == expected
+
+    def test_makespan_at_least_ideal(self, small_er):
+        engine = TaskEngine(small_er, CountdownProgram(), num_workers=4)
+        engine.run()
+        ideal = engine.stats.total_ops / 4
+        assert engine.stats.makespan >= ideal * 0.99
+
+    def test_peak_pending_tracked(self, small_ba):
+        engine = TaskEngine(
+            small_ba, MaximalCliqueProgram(), num_workers=2, task_budget=5
+        )
+        engine.run()
+        assert engine.stats.peak_pending_tasks > 0

@@ -1,0 +1,182 @@
+"""TLAV vertex programs, cross-checked against serial oracles."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graph.properties import bfs_levels, connected_components
+from repro.matching.triangles import triangle_count
+from repro.tlav import (
+    bfs,
+    label_propagation,
+    pagerank,
+    random_walks,
+    sssp,
+    triangle_count_tlav,
+    wcc,
+)
+from tests.conftest import to_networkx
+
+
+class TestPageRank:
+    def test_sums_to_one(self, small_ba):
+        pr = pagerank(small_ba, iterations=20)
+        assert pr.sum() == pytest.approx(1.0)
+
+    def test_uniform_on_cycle(self):
+        pr = pagerank(cycle_graph(10), iterations=30)
+        assert np.allclose(pr, 0.1, atol=1e-6)
+
+    def test_hub_ranks_highest(self):
+        pr = pagerank(star_graph(10), iterations=30)
+        assert pr[0] == max(pr)
+
+    def test_matches_networkx(self, small_er):
+        ours = pagerank(small_er, iterations=60)
+        theirs = nx.pagerank(to_networkx(small_er), alpha=0.85, max_iter=200)
+        for v in small_er.vertices():
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-4)
+
+    def test_dangling_mass_redistributed(self):
+        # Vertex 2 is isolated (dangling): probability must not leak.
+        g = Graph.from_edges([(0, 1)], num_vertices=3)
+        pr = pagerank(g, iterations=40)
+        assert pr.sum() == pytest.approx(1.0)
+
+
+class TestSSSPAndBFS:
+    def test_sssp_matches_bfs_levels(self, small_er):
+        dist = sssp(small_er, 0)
+        levels = bfs_levels(small_er, 0)
+        for v in small_er.vertices():
+            if levels[v] >= 0:
+                assert dist[v] == levels[v]
+            else:
+                assert math.isinf(dist[v])
+
+    def test_bfs_program_matches_serial(self, small_ba):
+        ours = bfs(small_ba, 5)
+        serial = bfs_levels(small_ba, 5)
+        assert np.array_equal(ours, serial)
+
+    def test_bfs_unreachable(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=3)
+        assert bfs(g, 0)[2] == -1
+
+    def test_sssp_source_zero(self, small_er):
+        assert sssp(small_er, 3)[3] == 0.0
+
+
+class TestWCC:
+    def test_matches_serial_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4)], num_vertices=6)
+        ours = wcc(g)
+        serial = connected_components(g)
+        # Same partition into groups (labels are min member in both).
+        assert np.array_equal(ours, serial)
+
+    def test_single_component(self, small_ba):
+        assert len(set(wcc(small_ba).tolist())) == 1
+
+
+class TestLabelPropagation:
+    def test_two_cliques_get_two_labels(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(i, j) for i in range(5, 10) for j in range(i + 1, 10)]
+        edges.append((4, 5))  # weak bridge
+        g = Graph.from_edges(edges)
+        labels = label_propagation(g, iterations=10)
+        # Members of each clique agree with each other.
+        assert len(set(labels[:4].tolist())) == 1
+        assert len(set(labels[6:].tolist())) == 1
+
+    def test_converges_to_some_labeling(self, small_er):
+        labels = label_propagation(small_er, iterations=5)
+        assert labels.shape == (small_er.num_vertices,)
+
+
+class TestRandomWalks:
+    def test_walk_count_and_length(self, small_er):
+        walks = random_walks(small_er, walk_length=6, walks_per_vertex=2, seed=0)
+        assert len(walks) == 2 * small_er.num_vertices
+        assert all(len(w) == 7 for w in walks)
+
+    def test_walks_follow_edges(self, small_er):
+        walks = random_walks(small_er, walk_length=5, walks_per_vertex=1, seed=1)
+        for walk in walks:
+            for a, b in zip(walk, walk[1:]):
+                assert small_er.has_edge(a, b)
+
+    def test_isolated_vertex_walk_stops(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=3)
+        walks = random_walks(g, walk_length=4, walks_per_vertex=1, seed=0)
+        by_start = {w[0]: w for w in walks}
+        assert by_start[2] == [2]
+
+
+class TestTriangleTLAV:
+    def test_counts_match_serial(self, small_er):
+        count, _ = triangle_count_tlav(small_er)
+        assert count == triangle_count(small_er)
+
+    def test_complete_graph(self):
+        count, _ = triangle_count_tlav(complete_graph(6))
+        assert count == 20
+
+    def test_message_blowup_vs_serial_work(self):
+        # The C1 claim: TLAV messages dwarf the serial algorithm's work
+        # on a skewed graph.
+        from repro.graph.generators import barabasi_albert
+        from repro.matching.triangles import triangle_count_with_work
+
+        g = barabasi_albert(300, 4, seed=0)
+        count_tlav, messages = triangle_count_tlav(g)
+        count_serial, work = triangle_count_with_work(g)
+        assert count_tlav == count_serial
+        assert messages > work  # the quadratic-degree blow-up
+
+
+class TestLubyMIS:
+    def test_independence(self, small_ba):
+        from repro.tlav import luby_mis
+
+        mis = luby_mis(small_ba, seed=0)
+        for u, v in small_ba.edges():
+            assert not (mis[u] and mis[v])
+
+    def test_maximality(self, small_ba):
+        from repro.tlav import luby_mis
+
+        mis = luby_mis(small_ba, seed=0)
+        for v in small_ba.vertices():
+            if not mis[v]:
+                assert any(mis[int(w)] for w in small_ba.neighbors(v))
+
+    def test_complete_graph_single_member(self):
+        from repro.tlav import luby_mis
+
+        assert luby_mis(complete_graph(6), seed=1).sum() == 1
+
+    def test_edgeless_graph_everyone(self):
+        from repro.tlav import luby_mis
+
+        g = Graph.from_edges([], num_vertices=5)
+        assert luby_mis(g, seed=0).sum() == 5
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_different_seeds_valid(self, seed, small_er):
+        from repro.tlav import luby_mis
+
+        mis = luby_mis(small_er, seed=seed)
+        for u, v in small_er.edges():
+            assert not (mis[u] and mis[v])

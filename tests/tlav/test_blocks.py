@@ -1,0 +1,59 @@
+"""Block-centric (Blogel-style) computation tests."""
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.graph.generators import grid_graph, path_graph
+from repro.graph.partition import metis_like_partition, range_partition
+from repro.graph.properties import connected_components
+from repro.tlav.blocks import block_quotient_graph, wcc_blocks
+from repro.tlav.engine import PregelEngine
+from repro.tlav.algorithms import WCCProgram
+
+
+class TestQuotientGraph:
+    def test_quotient_edges(self):
+        g = path_graph(4)
+        partition = range_partition(g, 2)  # {0,1} {2,3}
+        quotient = block_quotient_graph(g, partition)
+        assert quotient[0] == {1}
+        assert quotient[1] == {0}
+
+    def test_no_cross_edges(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        partition = range_partition(g, 2)
+        quotient = block_quotient_graph(g, partition)
+        assert quotient[0] == set() and quotient[1] == set()
+
+
+class TestBlockWCC:
+    def test_matches_serial_components(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (4, 5)], num_vertices=7)
+        partition = range_partition(g, 3)
+        labels, rounds = wcc_blocks(g, partition)
+        serial = connected_components(g)
+        assert np.array_equal(labels, serial)
+
+    def test_matches_on_grid(self):
+        g = grid_graph(8, 8)
+        partition = metis_like_partition(g, 4, seed=0)
+        labels, _ = wcc_blocks(g, partition)
+        assert np.array_equal(labels, connected_components(g))
+
+    def test_fewer_rounds_than_tlav_on_long_path(self):
+        # Blogel's claim: block-level rounds << vertex-level supersteps
+        # on high-diameter graphs.
+        g = path_graph(60)
+        partition = range_partition(g, 4)
+        _, block_rounds = wcc_blocks(g, partition)
+        engine = PregelEngine(g, WCCProgram(), max_supersteps=200)
+        engine.run()
+        tlav_supersteps = engine.superstep
+        assert block_rounds < tlav_supersteps / 5
+
+    def test_single_block_one_round(self):
+        g = grid_graph(4, 4)
+        partition = range_partition(g, 1)
+        labels, rounds = wcc_blocks(g, partition)
+        assert rounds == 1  # everything local, one no-change round
+        assert np.array_equal(labels, connected_components(g))

@@ -1,0 +1,243 @@
+"""The presenter-lineage TLAV systems: Pregel+ mirroring, LWCP fault
+tolerance, GraphD out-of-core, Quegel query batching."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph.generators import barabasi_albert, grid_graph, path_graph
+from repro.graph.io import save_adjacency
+from repro.graph.partition import hash_partition, metis_like_partition
+from repro.graph.properties import bfs_levels
+from repro.tlav import (
+    CheckpointedEngine,
+    OutOfCoreEngine,
+    PointQuery,
+    QuegelEngine,
+    message_cost,
+    mirroring_plan,
+    optimal_threshold,
+    pagerank,
+    wcc,
+)
+from repro.tlav.algorithms import PageRankProgram, SSSPProgram, WCCProgram
+from repro.tlav.engine import Aggregator
+
+
+@pytest.fixture
+def graph():
+    return barabasi_albert(150, 3, seed=6)
+
+
+class TestMirroring:
+    def test_plan_selects_by_degree(self, graph):
+        partition = hash_partition(graph, 4)
+        plan = mirroring_plan(graph, partition, degree_threshold=10)
+        for v in plan.mirrors:
+            assert graph.degree(v) >= 10
+
+    def test_mirrors_only_on_remote_neighbor_workers(self, graph):
+        partition = hash_partition(graph, 4)
+        plan = mirroring_plan(graph, partition, degree_threshold=5)
+        for v, workers in plan.mirrors.items():
+            own = int(partition.assignment[v])
+            assert own not in workers
+            neighbor_workers = {
+                int(partition.assignment[int(w)]) for w in graph.neighbors(v)
+            }
+            assert workers <= neighbor_workers
+
+    def test_mirroring_never_increases_messages(self, graph):
+        partition = hash_partition(graph, 4)
+        for threshold in (2, 5, 10, 50):
+            plan = mirroring_plan(graph, partition, threshold)
+            baseline, with_plan = message_cost(graph, partition, plan)
+            assert with_plan <= baseline
+
+    def test_hub_mirroring_cuts_traffic(self, graph):
+        """The Pregel+ claim: mirroring hubs reduces broadcast traffic."""
+        partition = hash_partition(graph, 8)
+        plan = mirroring_plan(graph, partition, degree_threshold=10)
+        baseline, with_plan = message_cost(graph, partition, plan)
+        assert plan.num_mirrored_vertices > 0
+        assert with_plan < baseline
+
+    def test_threshold_infinity_is_baseline(self, graph):
+        partition = hash_partition(graph, 4)
+        plan = mirroring_plan(graph, partition, degree_threshold=10**9)
+        baseline, with_plan = message_cost(graph, partition, plan)
+        assert with_plan == baseline
+
+    def test_budget_limits_choice(self, graph):
+        partition = hash_partition(graph, 4)
+        unlimited, sweep = optimal_threshold(graph, partition, [2, 10, 10**9])
+        assert unlimited == 2  # message-count-optimal: mirror everything
+        tight, _ = optimal_threshold(
+            graph, partition, [2, 10, 10**9],
+            mirror_budget=sweep[10][1],
+        )
+        assert tight == 10  # the budget rules out full mirroring
+
+    def test_impossible_budget_raises(self, graph):
+        partition = hash_partition(graph, 4)
+        with pytest.raises(ValueError):
+            optimal_threshold(graph, partition, [2], mirror_budget=-1)
+
+
+class TestFaultTolerance:
+    def test_recovery_reproduces_failure_free_run(self, graph):
+        reference = wcc(graph)
+        for mode in ("light", "full"):
+            engine = CheckpointedEngine(
+                graph, WCCProgram(), checkpoint_interval=2, mode=mode
+            )
+            engine.inject_failure(3)
+            values = engine.run()
+            assert values == reference.tolist()
+            assert engine.stats.failures == 1
+
+    def test_no_failure_no_replay(self, graph):
+        engine = CheckpointedEngine(graph, WCCProgram(), checkpoint_interval=3)
+        engine.run()
+        assert engine.stats.supersteps_replayed == 0
+        assert engine.stats.checkpoints_taken >= 1
+
+    def test_light_checkpoints_smaller_than_full(self, graph):
+        """The LWCP claim: state-only checkpoints are cheaper."""
+        agg = {"dangling": Aggregator(reduce=lambda a, b: a + b)}
+        light = CheckpointedEngine(
+            graph, PageRankProgram(iterations=8), checkpoint_interval=2,
+            mode="light", aggregators=agg, max_supersteps=10,
+        )
+        light.run()
+        full = CheckpointedEngine(
+            graph, PageRankProgram(iterations=8), checkpoint_interval=2,
+            mode="full", aggregators=agg, max_supersteps=10,
+        )
+        full.run()
+        assert light.stats.checkpoint_bytes < full.stats.checkpoint_bytes
+
+    def test_replay_bounded_by_interval(self, graph):
+        engine = CheckpointedEngine(
+            graph, WCCProgram(), checkpoint_interval=4
+        )
+        engine.inject_failure(6)
+        engine.run()
+        assert engine.stats.supersteps_replayed <= 4
+
+    def test_failure_at_checkpoint_boundary_free(self, graph):
+        engine = CheckpointedEngine(graph, WCCProgram(), checkpoint_interval=2)
+        engine.inject_failure(2)
+        values = engine.run()
+        assert values == wcc(graph).tolist()
+        assert engine.stats.supersteps_replayed == 0
+
+    def test_invalid_configuration(self, graph):
+        with pytest.raises(ValueError):
+            CheckpointedEngine(graph, WCCProgram(), checkpoint_interval=0)
+        with pytest.raises(ValueError):
+            CheckpointedEngine(graph, WCCProgram(), mode="exotic")
+
+
+class TestOutOfCore:
+    @pytest.fixture
+    def edge_file(self, graph, tmp_path):
+        path = tmp_path / "graph.adj"
+        save_adjacency(graph, path)
+        return str(path)
+
+    def test_pagerank_matches_in_memory(self, graph, edge_file):
+        agg = {"dangling": Aggregator(reduce=lambda a, b: a + b)}
+        engine = OutOfCoreEngine(
+            edge_file, graph.num_vertices, PageRankProgram(iterations=8),
+            aggregators=agg, max_supersteps=10,
+        )
+        values = engine.run()
+        assert np.allclose(values, pagerank(graph, iterations=8))
+
+    def test_wcc_matches_in_memory(self, graph, edge_file):
+        engine = OutOfCoreEngine(
+            edge_file, graph.num_vertices, WCCProgram(), max_supersteps=200
+        )
+        values = engine.run()
+        assert values == wcc(graph).tolist()
+
+    def test_spilling_under_small_buffer(self, graph, edge_file):
+        """GraphD's regime: bounded memory forces message spills."""
+        engine = OutOfCoreEngine(
+            edge_file, graph.num_vertices, WCCProgram(),
+            max_supersteps=200, message_buffer_limit=50,
+        )
+        values = engine.run()
+        assert values == wcc(graph).tolist()
+        assert engine.io.message_bytes_spilled > 0
+        assert engine.io.peak_buffered_messages <= 50
+
+    def test_no_spill_with_big_buffer(self, graph, edge_file):
+        engine = OutOfCoreEngine(
+            edge_file, graph.num_vertices, WCCProgram(),
+            max_supersteps=200, message_buffer_limit=10**9,
+        )
+        engine.run()
+        assert engine.io.message_bytes_spilled == 0
+
+    def test_edge_bytes_scale_with_supersteps(self, graph, edge_file):
+        engine = OutOfCoreEngine(
+            edge_file, graph.num_vertices, WCCProgram(), max_supersteps=200
+        )
+        engine.run()
+        size = os.path.getsize(edge_file)
+        # The whole edge file is streamed once per superstep.
+        assert engine.io.edge_bytes_read >= size * engine.io.supersteps * 0.9
+
+
+class TestQuegel:
+    def test_distances_match_bfs(self, graph):
+        engine = QuegelEngine(graph)
+        rng = np.random.default_rng(1)
+        pairs = [
+            (int(rng.integers(150)), int(rng.integers(150))) for _ in range(6)
+        ]
+        for s, t in pairs:
+            engine.submit(PointQuery(s, t))
+        outcomes, _ = engine.run()
+        for (s, t), outcome in zip(pairs, outcomes):
+            expected = bfs_levels(graph, s)[t]
+            got = outcome.distance if outcome.distance is not None else -1
+            assert got == expected
+
+    def test_unreachable_target(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=4)
+        engine = QuegelEngine(g)
+        engine.submit(PointQuery(0, 3))
+        outcomes, _ = engine.run()
+        assert outcomes[0].distance is None
+
+    def test_source_equals_target(self, graph):
+        engine = QuegelEngine(graph)
+        engine.submit(PointQuery(5, 5))
+        outcomes, _ = engine.run()
+        assert outcomes[0].distance == 0
+
+    def test_shared_overhead_beats_sequential(self, graph):
+        """The Quegel claim: batching shares per-superstep overhead."""
+        engine = QuegelEngine(graph, superstep_overhead=1.0)
+        for s in range(0, 60, 10):
+            engine.submit(PointQuery(s, s + 5))
+        _, accounting = engine.run()
+        assert accounting["shared_overhead"] < accounting["sequential_overhead"]
+        assert accounting["overhead_saving"] > 0
+
+    def test_out_of_range_query_rejected(self, graph):
+        engine = QuegelEngine(graph)
+        with pytest.raises(ValueError):
+            engine.submit(PointQuery(0, 10**6))
+
+    def test_queries_touch_few_vertices(self, graph):
+        # Nearby targets retire early, touching a fraction of the graph.
+        engine = QuegelEngine(graph)
+        engine.submit(PointQuery(0, int(graph.neighbors(0)[0])))
+        outcomes, _ = engine.run()
+        assert outcomes[0].supersteps_used == 1

@@ -1,0 +1,113 @@
+"""Personalized PageRank and weighted shortest paths vs oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph, GraphBuilder
+from repro.graph.generators import barabasi_albert, cycle_graph, star_graph
+from repro.graph.weighted import dijkstra, edge_label_weight
+from repro.tlav.algorithms import SSSPProgram
+from repro.tlav.engine import PregelEngine
+from repro.tlav.ppr import ppr_forward_push, ppr_power_iteration
+from tests.conftest import to_networkx
+
+
+class TestPPRPowerIteration:
+    def test_sums_to_one(self, small_ba):
+        scores = ppr_power_iteration(small_ba, 0, iterations=200)
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_source_gets_most_mass(self, small_ba):
+        scores = ppr_power_iteration(small_ba, 5, alpha=0.3, iterations=200)
+        assert scores[5] == max(scores)
+
+    def test_matches_networkx(self, small_er):
+        ours = ppr_power_iteration(small_er, 3, alpha=0.15, iterations=300)
+        theirs = nx.pagerank(
+            to_networkx(small_er), alpha=0.85,
+            personalization={3: 1.0}, max_iter=500, tol=1e-12,
+        )
+        for v in small_er.vertices():
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-6)
+
+    def test_alpha_one_is_delta(self, small_ba):
+        scores = ppr_power_iteration(small_ba, 2, alpha=1.0, iterations=10)
+        assert scores[2] == pytest.approx(1.0)
+
+    def test_invalid_source(self, small_ba):
+        with pytest.raises(ValueError):
+            ppr_power_iteration(small_ba, 10**6)
+
+
+class TestForwardPush:
+    def test_per_vertex_error_bound(self, small_ba):
+        """The ACL guarantee: |est - exact| <= eps * degree."""
+        epsilon = 1e-5
+        exact = ppr_power_iteration(small_ba, 7, alpha=0.15, iterations=400)
+        approx, _ = ppr_forward_push(small_ba, 7, alpha=0.15, epsilon=epsilon)
+        deg = small_ba.degrees()
+        for v in small_ba.vertices():
+            bound = epsilon * max(int(deg[v]), 1) + 1e-12
+            assert abs(approx.get(v, 0.0) - exact[v]) <= bound * 1.05
+
+    def test_locality_with_loose_epsilon(self):
+        g = barabasi_albert(2000, 3, seed=5)
+        _, touched = ppr_forward_push(g, 0, alpha=0.2, epsilon=1e-3)
+        assert touched < g.num_vertices / 2  # local computation
+
+    def test_tighter_epsilon_touches_more(self, small_ba):
+        _, loose = ppr_forward_push(small_ba, 0, epsilon=1e-2)
+        _, tight = ppr_forward_push(small_ba, 0, epsilon=1e-6)
+        assert tight >= loose
+
+    def test_star_graph_hub_seed(self):
+        g = star_graph(20)
+        approx, _ = ppr_forward_push(g, 0, alpha=0.2, epsilon=1e-7)
+        exact = ppr_power_iteration(g, 0, alpha=0.2, iterations=500)
+        assert approx[0] == pytest.approx(exact[0], abs=1e-4)
+
+
+class TestWeightedSSSP:
+    @pytest.fixture
+    def weighted_graph(self):
+        rng = np.random.default_rng(1)
+        base = barabasi_albert(70, 3, seed=4)
+        builder = GraphBuilder()
+        for u, v in base.edges():
+            builder.add_edge(u, v, label=int(rng.integers(1, 9)))
+        return builder.build(num_vertices=70)
+
+    def test_dijkstra_matches_networkx(self, weighted_graph):
+        ref = dijkstra(weighted_graph, 0, weight=edge_label_weight(weighted_graph))
+        G = nx.Graph()
+        for u, v in weighted_graph.edges():
+            G.add_edge(u, v, weight=weighted_graph.edge_label(u, v))
+        theirs = nx.single_source_dijkstra_path_length(G, 0)
+        for v in weighted_graph.vertices():
+            assert ref[v] == pytest.approx(theirs.get(v, np.inf))
+
+    def test_tlav_sssp_matches_dijkstra(self, weighted_graph):
+        w = edge_label_weight(weighted_graph)
+        ref = dijkstra(weighted_graph, 0, weight=w)
+        engine = PregelEngine(
+            weighted_graph, SSSPProgram(0, weight=w), max_supersteps=2000
+        )
+        assert np.allclose(engine.run(), ref)
+
+    def test_unweighted_dijkstra_is_bfs(self, small_er):
+        from repro.graph.properties import bfs_levels
+
+        ref = dijkstra(small_er, 0)
+        levels = bfs_levels(small_er, 0)
+        for v in small_er.vertices():
+            expected = levels[v] if levels[v] >= 0 else np.inf
+            assert ref[v] == pytest.approx(expected)
+
+    def test_negative_weight_rejected(self, small_er):
+        with pytest.raises(ValueError):
+            dijkstra(small_er, 0, weight=lambda u, v: -1.0)
+
+    def test_invalid_source(self, small_er):
+        with pytest.raises(ValueError):
+            dijkstra(small_er, -1)
