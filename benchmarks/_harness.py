@@ -3,14 +3,20 @@
 Every bench regenerates one artifact of the paper (a table, the figure,
 or a quantified prose claim — see the experiment index in DESIGN.md).
 Results are printed and also written to ``benchmarks/results/<id>.txt``
-so ``pytest benchmarks/ --benchmark-only`` leaves a reviewable record;
-EXPERIMENTS.md summarizes paper-shape vs measured-shape.
+(human-readable) *and* ``benchmarks/results/<id>.json`` (headers +
+rows + optional metrics/span snapshot, machine-readable) so
+``pytest benchmarks/ --benchmark-only`` leaves a record trajectory
+tooling can diff mechanically; EXPERIMENTS.md summarizes paper-shape
+vs measured-shape.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.obs import json_safe
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -40,11 +46,44 @@ def _fmt(cell) -> str:
     return str(cell)
 
 
-def report(experiment_id: str, title: str, headers, rows) -> str:
-    """Print the table and persist it under benchmarks/results/."""
+def report(
+    experiment_id: str,
+    title: str,
+    headers,
+    rows,
+    obs: Optional[Any] = None,
+    spans: Optional[Any] = None,
+) -> str:
+    """Print the table and persist it under benchmarks/results/.
+
+    Writes ``<id>.txt`` (the fixed-width table) and a sibling
+    ``<id>.json``; pass ``obs`` (anything with ``as_dict()``, e.g. a
+    :class:`repro.obs.MetricsRegistry`) and/or ``spans`` (a tracer, a
+    result, or a list of spans) to embed an observability snapshot.
+    """
+    rows = list(rows)
     text = format_table(f"[{experiment_id}] {title}", headers, rows)
     print("\n" + text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{experiment_id}.txt"), "w") as handle:
         handle.write(text + "\n")
+    payload = {
+        "id": experiment_id,
+        "title": title,
+        "headers": list(headers),
+        "rows": json_safe(rows),
+    }
+    if obs is not None:
+        payload["obs"] = json_safe(obs.as_dict() if hasattr(obs, "as_dict") else obs)
+    if spans is not None:
+        if hasattr(spans, "spans"):  # Tracer-less PipelineResult
+            spans = spans.spans
+        if hasattr(spans, "roots"):  # a Tracer
+            spans = spans.roots
+        payload["spans"] = [
+            s.as_dict() if hasattr(s, "as_dict") else json_safe(s) for s in spans
+        ]
+    with open(os.path.join(RESULTS_DIR, f"{experiment_id}.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return text

@@ -6,23 +6,29 @@ ML.  This bench runs all four end to end on synthetic stand-ins for the
 figure's motivating applications (community detection for vertex
 paths, molecule classification for structure paths) and reports each
 path's artifact and quality.
+
+It also exercises the redesigned pipeline API: graphs/databases are
+passed to ``Pipeline.run`` directly, each run returns a
+``PipelineResult`` whose per-stage spans land in the JSON result file.
 """
 
 import numpy as np
 import pytest
 
 from _harness import report
-from repro.core.pipeline import Pipeline, PipelineContext, stages
+from repro.core.pipeline import Pipeline, stages
 from repro.graph.csr import Graph
 from repro.graph.generators import (
     planted_partition,
     random_labeled_transactions,
 )
 from repro.graph.transactions import TransactionDatabase
+from repro.obs import MetricsRegistry
 
 
-def _run():
+def _run(obs):
     rows = []
+    spans = []
     # Vertex-side input: a planted-community graph.
     g, labels = planted_partition(3, 25, p_in=0.25, p_out=0.015, seed=13)
     n = g.num_vertices
@@ -30,25 +36,29 @@ def _run():
     train = np.zeros(n, dtype=bool)
     train[rng.permutation(n)[: n // 2]] = True
 
-    # Path 1: vertex analytics.
-    ctx = Pipeline(
-        [stages.pagerank_scores(), stages.structural_vertex_features()]
-    ).run(PipelineContext(graph=g))
+    # Path 1: vertex analytics.  The graph goes straight into `run`.
+    res = Pipeline(
+        [stages.pagerank_scores(), stages.structural_vertex_features()],
+        obs=obs,
+    ).run(g)
+    spans.extend(res.spans)
     rows.append(
         ["1 vertex analytics", "PageRank + topology features",
-         f"{ctx.artifacts['features'].shape[1]} features/vertex",
-         f"pr sum {ctx.artifacts['scores'].sum():.3f}"]
+         f"{res['features'].shape[1]} features/vertex",
+         f"pr sum {res['scores'].sum():.3f}"]
     )
 
     # Path 2: vertex analytics + ML.
-    ctx2 = Pipeline(
+    res2 = Pipeline(
         [stages.deepwalk(dim=16, walks_per_vertex=6, seed=0),
-         stages.node_classifier(labels, train)]
-    ).run(PipelineContext(graph=g))
+         stages.node_classifier(labels, train)],
+        obs=obs,
+    ).run(g)
+    spans.extend(res2.spans)
     rows.append(
         ["2 vertex analytics + ML", "DeepWalk -> logistic classifier",
          "16-dim embeddings",
-         f"acc {ctx2.artifacts['node_ml']['accuracy']:.3f}"]
+         f"acc {res2['node_ml']['accuracy']:.3f}"]
     )
 
     # Structure-side input: two-class molecule database.
@@ -65,36 +75,46 @@ def _run():
     train_g[rng.permutation(len(db))[:18]] = True
 
     # Path 3: structure analytics.
-    ctx3 = Pipeline([stages.mine_maximal_cliques(min_size=3)]).run(
-        PipelineContext(graph=g)
-    )
+    res3 = Pipeline([stages.mine_maximal_cliques(min_size=3)], obs=obs).run(g)
+    spans.extend(res3.spans)
     rows.append(
         ["3 structure analytics", "maximal cliques >= 3",
-         f"{len(ctx3.artifacts['structures'])} cliques", "-"]
+         f"{len(res3['structures'])} cliques", "-"]
     )
 
-    # Path 4: structure analytics + ML.
-    ctx4 = Pipeline(
+    # Path 4: structure analytics + ML.  The database goes straight in.
+    res4 = Pipeline(
         [stages.pattern_features(min_support=7, max_edges=3),
-         stages.graph_classifier(y, train_g)]
-    ).run(PipelineContext(database=db))
+         stages.graph_classifier(y, train_g)],
+        obs=obs,
+    ).run(db)
+    spans.extend(res4.spans)
     rows.append(
         ["4 structure analytics + ML", "FSM features -> graph classifier",
-         f"{ctx4.artifacts['features'].shape[1]} pattern features",
-         f"acc {ctx4.artifacts['graph_ml']['accuracy']:.3f}"]
+         f"{res4['features'].shape[1]} pattern features",
+         f"acc {res4['graph_ml']['accuracy']:.3f}"]
     )
-    return rows
+    return rows, spans
 
 
 def test_fig1_pipeline(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    obs = MetricsRegistry()
+    rows, spans = benchmark.pedantic(_run, args=(obs,), rounds=1, iterations=1)
     report(
         "F1",
         "Figure 1: four analytics paths end to end",
         ["path", "stages", "artifact", "quality"],
         rows,
+        obs=obs,
+        spans=spans,
     )
     assert len(rows) == 4
+    # Per-stage timing spans came back with every run.
+    assert {s.name for s in spans} >= {"stage:pagerank", "stage:deepwalk"}
+    assert all(s.wall_seconds >= 0 for s in spans)
+    # The registry saw every stage execution.
+    stage_counter = obs.get("core.pipeline.stages")
+    assert stage_counter is not None and stage_counter.total >= 7
     acc2 = float(rows[1][3].split()[1])
     acc4 = float(rows[3][3].split()[1])
     assert acc2 > 0.7

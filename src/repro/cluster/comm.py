@@ -6,14 +6,23 @@ exchanges data through a :class:`Network`.  The network does not move
 real packets — workers are simulated in-process — but it faithfully
 accounts *what a real deployment would have sent*: message counts, bytes,
 and the per-link matrix that DGCL-style communication planning optimizes.
+
+Accounting lives in a :class:`~repro.obs.MetricsRegistry`:
+:class:`CommStats` is a *view* over the registry's ``cluster.*``
+counters, so its legacy attributes (``bytes_remote``, ``by_tag``, …)
+keep working while the same numbers appear in any shared registry
+snapshot.  Pass ``registry=`` to :class:`Network` to aggregate several
+networks (or a network plus an engine) into one observability surface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 import numpy as np
+
+from ..obs import MetricsRegistry, StatsViewMixin
 
 __all__ = ["Message", "CommStats", "Network"]
 
@@ -29,40 +38,68 @@ class Message:
     tag: str = ""
 
 
-@dataclass
-class CommStats:
-    """Accumulated traffic counters.
+class CommStats(StatsViewMixin):
+    """Traffic counters, as a view over a metrics registry.
 
     ``local`` counts messages whose source and destination worker are the
     same (these are free in a real deployment); ``remote`` counts
     cross-worker traffic — the quantity the surveyed systems fight to
-    reduce.
+    reduce.  The per-link byte matrix stays a dense ndarray (planners
+    consume it wholesale); everything scalar lives in the registry under
+    ``cluster.messages`` / ``cluster.bytes`` / ``cluster.bytes_by_tag``.
     """
 
-    num_workers: int
-    messages_local: int = 0
-    messages_remote: int = 0
-    bytes_local: int = 0
-    bytes_remote: int = 0
-    link_bytes: Optional[np.ndarray] = None
-    by_tag: Dict[str, int] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        if self.link_bytes is None:
-            self.link_bytes = np.zeros(
-                (self.num_workers, self.num_workers), dtype=np.int64
-            )
+    def __init__(
+        self, num_workers: int, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.num_workers = num_workers
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._messages = self.registry.counter(
+            "cluster.messages", "messages sent, by locality"
+        )
+        self._bytes = self.registry.counter(
+            "cluster.bytes", "payload bytes sent, by locality"
+        )
+        self._tag_bytes = self.registry.counter(
+            "cluster.bytes_by_tag", "payload bytes sent, by message tag"
+        )
+        self.link_bytes = np.zeros((num_workers, num_workers), dtype=np.int64)
 
     def record(self, msg: Message) -> None:
         if msg.src == msg.dst:
-            self.messages_local += 1
-            self.bytes_local += msg.nbytes
+            self._messages.inc(1, locality="local")
+            self._bytes.inc(msg.nbytes, locality="local")
         else:
-            self.messages_remote += 1
-            self.bytes_remote += msg.nbytes
+            self._messages.inc(1, locality="remote")
+            self._bytes.inc(msg.nbytes, locality="remote")
             self.link_bytes[msg.src, msg.dst] += msg.nbytes
         if msg.tag:
-            self.by_tag[msg.tag] = self.by_tag.get(msg.tag, 0) + msg.nbytes
+            self._tag_bytes.inc(msg.nbytes, tag=msg.tag)
+
+    # -- legacy attribute surface (now registry reads) ---------------------
+
+    @property
+    def messages_local(self) -> int:
+        return int(self._messages.value(locality="local"))
+
+    @property
+    def messages_remote(self) -> int:
+        return int(self._messages.value(locality="remote"))
+
+    @property
+    def bytes_local(self) -> int:
+        return int(self._bytes.value(locality="local"))
+
+    @property
+    def bytes_remote(self) -> int:
+        return int(self._bytes.value(locality="remote"))
+
+    @property
+    def by_tag(self) -> Dict[str, int]:
+        return {
+            key.split("tag=", 1)[1]: int(v)
+            for key, v in self._tag_bytes.series().items()
+        }
 
     @property
     def total_messages(self) -> int:
@@ -73,10 +110,38 @@ class CommStats:
         return self.bytes_local + self.bytes_remote
 
     def reset(self) -> None:
-        self.messages_local = self.messages_remote = 0
-        self.bytes_local = self.bytes_remote = 0
+        self._messages.reset()
+        self._bytes.reset()
+        self._tag_bytes.reset()
         self.link_bytes[:] = 0
-        self.by_tag.clear()
+
+    # -- StatsView ----------------------------------------------------------
+
+    def extra_dict(self) -> Dict[str, Any]:
+        return {
+            "num_workers": self.num_workers,
+            "messages_local": self.messages_local,
+            "messages_remote": self.messages_remote,
+            "bytes_local": self.bytes_local,
+            "bytes_remote": self.bytes_remote,
+            "by_tag": self.by_tag,
+            "link_bytes": self.link_bytes,
+        }
+
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Fold another network's traffic into this view (in place)."""
+        self._messages.merge(other._messages)
+        self._bytes.merge(other._bytes)
+        self._tag_bytes.merge(other._tag_bytes)
+        n = max(self.num_workers, other.num_workers)
+        if n > self.num_workers:
+            grown = np.zeros((n, n), dtype=np.int64)
+            grown[: self.num_workers, : self.num_workers] = self.link_bytes
+            self.link_bytes = grown
+            self.num_workers = n
+        m = other.num_workers
+        self.link_bytes[:m, :m] += other.link_bytes
+        return self
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -112,15 +177,24 @@ class Network:
     delivery round; ``deliver`` swaps the buffers, which gives the BSP
     semantics the TLAV engine needs.  Engines that want immediate
     delivery (the task engine's work stealing) use ``send_now``.
+
+    ``registry`` lets a caller aggregate this network's traffic
+    counters into a shared :class:`~repro.obs.MetricsRegistry`.
     """
 
-    def __init__(self, num_workers: int) -> None:
+    def __init__(
+        self, num_workers: int, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
         self.num_workers = num_workers
-        self.stats = CommStats(num_workers)
+        self.stats = CommStats(num_workers, registry=registry)
         self._inboxes: List[List[Message]] = [[] for _ in range(num_workers)]
         self._pending: List[List[Message]] = [[] for _ in range(num_workers)]
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.stats.registry
 
     def send(self, src: int, dst: int, payload: Any, tag: str = "", nbytes: Optional[int] = None) -> None:
         """Enqueue a message for delivery at the next :meth:`deliver`."""

@@ -15,6 +15,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import MetricsRegistry
+
 __all__ = [
     "LinkTopology",
     "ethernet_topology",
@@ -29,11 +31,14 @@ class LinkTopology:
     ``bandwidth[i, j]`` is GB/s from device ``i`` to device ``j``
     (``inf`` on the diagonal: local copies are free in this model).
     ``latency[i, j]`` is the per-message setup cost in microseconds.
+    When ``obs`` is set, every priced transfer is recorded into the
+    ``cluster.transfer_seconds`` histogram of that registry.
     """
 
     bandwidth: np.ndarray
     latency: Optional[np.ndarray] = None
     name: str = ""
+    obs: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         self.bandwidth = np.asarray(self.bandwidth, dtype=np.float64)
@@ -55,7 +60,12 @@ class LinkTopology:
         bw = self.bandwidth[src, dst]
         if bw <= 0:
             return float("inf")
-        return float(self.latency[src, dst] * 1e-6 + nbytes / (bw * 1e9))
+        seconds = float(self.latency[src, dst] * 1e-6 + nbytes / (bw * 1e9))
+        if self.obs is not None:
+            self.obs.histogram(
+                "cluster.transfer_seconds", "priced link transfer times"
+            ).observe(seconds, topology=self.name or "unnamed")
+        return seconds
 
     def price_traffic(self, link_bytes: np.ndarray) -> float:
         """Total serialized transfer time of a traffic matrix (seconds).

@@ -16,18 +16,28 @@ constructors cover the tutorial's examples — PageRank scoring, DeepWalk
 embeddings + logistic classification, clique/pattern mining, FSM
 features + graph classification.  Bench F1 runs all four paths
 end-to-end; the examples build custom ones.
+
+``Pipeline.run`` accepts a :class:`~repro.graph.csr.Graph` or a
+:class:`~repro.graph.transactions.TransactionDatabase` directly (the
+pipeline builds the context itself) and returns a
+:class:`PipelineResult`: the accumulated artifacts plus one
+:class:`~repro.obs.Span` per stage, so every run carries its own
+per-stage timing profile.  Passing a pre-built ``PipelineContext``
+still works — the result exposes ``.artifacts`` (the same dict object
+the context holds), so old call sites read it unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..graph.csr import Graph
 from ..graph.transactions import TransactionDatabase
 from ..matching.cliques import maximal_cliques
+from ..obs import MetricsRegistry, Span, StatsViewMixin, Tracer
 from ..tlav.algorithms import pagerank
 from .features import (
     deepwalk_embeddings,
@@ -36,7 +46,7 @@ from .features import (
 )
 from .structure_features import degree_histogram_features, pattern_feature_matrix
 
-__all__ = ["PipelineContext", "Stage", "Pipeline", "stages"]
+__all__ = ["PipelineContext", "PipelineResult", "Stage", "Pipeline", "stages"]
 
 
 @dataclass
@@ -67,23 +77,127 @@ class Stage:
     output: str = ""  # artifact key the result is stored under
 
 
-class Pipeline:
-    """An ordered list of stages executed over one context."""
+class PipelineResult(StatsViewMixin):
+    """What a pipeline run produced: artifacts plus per-stage spans.
 
-    def __init__(self, stages_list: Optional[Sequence[Stage]] = None) -> None:
+    ``artifacts`` is the *same* dict object the context accumulated
+    into, so code written against the old ``run(ctx).artifacts``
+    pattern reads it unchanged; ``result["key"]`` is a shorthand.
+    ``spans`` holds one finished :class:`~repro.obs.Span` per stage
+    (in execution order); ``stage_seconds`` flattens them to a
+    ``{stage_name: wall_seconds}`` dict for quick reporting.
+    """
+
+    def __init__(self, context: PipelineContext, spans: List[Span]) -> None:
+        self.context = context
+        self.artifacts = context.artifacts
+        self.spans = spans
+
+    @property
+    def graph(self) -> Optional[Graph]:
+        return self.context.graph
+
+    @property
+    def database(self) -> Optional[TransactionDatabase]:
+        return self.context.database
+
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        return {s.name: s.wall_seconds for s in self.spans}
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.wall_seconds for s in self.spans)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.artifacts[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.artifacts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.artifacts)
+
+    def extra_dict(self) -> Dict[str, Any]:
+        return {
+            "artifacts": sorted(self.artifacts),
+            "stage_seconds": self.stage_seconds,
+            "total_seconds": self.total_seconds,
+            "spans": [s.as_dict() for s in self.spans],
+        }
+
+    def merge(self, other: "PipelineResult") -> "PipelineResult":
+        """Adopt a later run's artifacts and spans (chained pipelines)."""
+        self.artifacts.update(other.artifacts)
+        self.spans.extend(other.spans)
+        return self
+
+
+PipelineInput = Union[PipelineContext, Graph, TransactionDatabase]
+
+
+class Pipeline:
+    """An ordered list of stages executed over one context.
+
+    ``obs`` and ``tracer`` are optional shared observability handles:
+    stage timings always come back on the :class:`PipelineResult`, and
+    additionally land in the given tracer (nested under any open span)
+    and as ``core.pipeline.*`` metrics in the given registry.
+    """
+
+    def __init__(
+        self,
+        stages_list: Optional[Sequence[Stage]] = None,
+        obs: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.stages: List[Stage] = list(stages_list) if stages_list else []
+        self.obs = obs
+        self.tracer = tracer
 
     def add(self, stage: Stage) -> "Pipeline":
         self.stages.append(stage)
         return self
 
-    def run(self, ctx: PipelineContext) -> PipelineContext:
-        """Execute stages in order, accumulating artifacts."""
+    @staticmethod
+    def _coerce(data: PipelineInput) -> PipelineContext:
+        if isinstance(data, PipelineContext):
+            return data  # legacy context-passing pattern
+        if isinstance(data, Graph):
+            return PipelineContext(graph=data)
+        if isinstance(data, TransactionDatabase):
+            return PipelineContext(database=data)
+        raise TypeError(
+            "Pipeline.run expects a Graph, TransactionDatabase, or "
+            f"PipelineContext, not {type(data).__name__}"
+        )
+
+    def run(self, data: PipelineInput) -> PipelineResult:
+        """Execute stages in order over ``data``; returns the result.
+
+        ``data`` may be a graph or transaction database (the pipeline
+        builds the context) or an explicit :class:`PipelineContext`
+        (the pre-redesign calling convention, kept working).
+        """
+        ctx = self._coerce(data)
+        tracer = self.tracer if self.tracer is not None else Tracer()
+        spans: List[Span] = []
         for stage in self.stages:
-            result = stage.run(ctx)
+            with tracer.span(f"stage:{stage.name}") as span:
+                result = stage.run(ctx)
             key = stage.output or stage.name
             ctx.artifacts[key] = result
-        return ctx
+            span.set("output", key)
+            spans.append(span)
+            if self.obs is not None:
+                self.obs.counter(
+                    "core.pipeline.stages", "pipeline stages executed"
+                ).inc(stage=stage.name)
+                self.obs.histogram(
+                    "core.pipeline.stage_seconds", "wall seconds per stage",
+                    buckets=(0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0),
+                ).observe(span.wall_seconds, stage=stage.name)
+        return PipelineResult(ctx, spans)
 
 
 class stages:

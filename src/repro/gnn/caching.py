@@ -18,11 +18,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, List, Protocol, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
 from ..graph.csr import Graph
+from ..obs import MetricsRegistry, StatsViewMixin, merge_counters
 from .sampling import NeighborSampler
 
 __all__ = [
@@ -75,7 +76,7 @@ class LRUCache:
 
 
 @dataclass
-class CacheReport:
+class CacheReport(StatsViewMixin):
     """Replay outcome."""
 
     accesses: int
@@ -94,6 +95,19 @@ class CacheReport:
     @property
     def bytes_saved(self) -> int:
         return self.hits * self.feature_dim * self.bytes_per_value
+
+    def extra_dict(self) -> Dict[str, Any]:
+        return {
+            "hit_rate": self.hit_rate,
+            "bytes_fetched": self.bytes_fetched,
+            "bytes_saved": self.bytes_saved,
+        }
+
+    def merge(self, other: "CacheReport") -> "CacheReport":
+        """Combine replays over the same cache geometry."""
+        if other.feature_dim != self.feature_dim:
+            raise ValueError("cannot merge reports with differing feature_dim")
+        return merge_counters(self, other, sum_fields=("accesses", "hits"))
 
 
 def access_trace_from_sampling(
@@ -119,7 +133,10 @@ def access_trace_from_sampling(
 
 
 def replay(
-    trace: Iterable[int], cache: FeatureCache, feature_dim: int = 64
+    trace: Iterable[int],
+    cache: FeatureCache,
+    feature_dim: int = 64,
+    obs: Optional[MetricsRegistry] = None,
 ) -> CacheReport:
     """Run an access trace through a cache."""
     accesses = hits = 0
@@ -127,4 +144,11 @@ def replay(
         accesses += 1
         if cache.lookup(v):
             hits += 1
-    return CacheReport(accesses=accesses, hits=hits, feature_dim=feature_dim)
+    report = CacheReport(accesses=accesses, hits=hits, feature_dim=feature_dim)
+    if obs is not None:
+        obs.counter("gnn.cache.accesses", "feature-cache lookups").inc(accesses)
+        obs.counter("gnn.cache.hits", "feature-cache hits").inc(hits)
+        obs.counter(
+            "gnn.cache.bytes_fetched", "feature bytes fetched on misses"
+        ).inc(report.bytes_fetched)
+    return report

@@ -31,6 +31,7 @@ import numpy as np
 from ..cluster.comm import Network
 from ..graph.csr import Graph
 from ..graph.partition import Partition
+from ..obs import MetricsRegistry
 from .layers import GraphTensors
 from .models import Adam, NodeClassifier, accuracy
 from .quantization import quantize_dequantize
@@ -66,9 +67,12 @@ class DistributedTrainer:
     error_feedback: bool = False
     grad_bits: Optional[int] = None
     seed: int = 0
+    obs: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
-        self.network = Network(self.partition.num_parts)
+        if self.obs is None:
+            self.obs = MetricsRegistry()
+        self.network = Network(self.partition.num_parts, registry=self.obs)
         self._gt = GraphTensors(self.graph)
         self._optimizer = Adam(self.model.parameters(), lr=self.lr)
         self._halos = halo_sets(self.graph, self.partition)
@@ -201,8 +205,9 @@ class DistributedTrainer:
             for dim in hidden_dims[:-1]:
                 self._price_halo_exchange(dim)
             self._price_gradient_sync()
-            report.losses.append(float(loss.data))
-            report.steps += 1
+            report.record_step(
+                float(loss.data), self.graph.num_vertices, obs=self.obs
+            )
             with no_grad():
                 out = self.model(self._gt, Tensor(self.features)).data
             report.train_accuracy.append(accuracy(out, self.labels, train_mask))

@@ -23,9 +23,11 @@ utilization — the quantities bench C9 reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
+
+from ..obs import StatsViewMixin
 
 __all__ = [
     "StageTimes",
@@ -47,7 +49,7 @@ class StageTimes:
 
 
 @dataclass
-class ScheduleResult:
+class ScheduleResult(StatsViewMixin):
     """Outcome of scheduling a batch sequence."""
 
     makespan: float
@@ -63,6 +65,19 @@ class ScheduleResult:
         if not self.busy:
             return 0.0
         return sum(self.utilization(s) for s in self.busy) / len(self.busy)
+
+    def extra_dict(self) -> Dict[str, Any]:
+        return {
+            "utilization": {s: self.utilization(s) for s in self.busy},
+            "mean_utilization": self.mean_utilization,
+        }
+
+    def merge(self, other: "ScheduleResult") -> "ScheduleResult":
+        """Sequential composition: makespans and busy times add."""
+        self.makespan += other.makespan
+        for stage, t in other.busy.items():
+            self.busy[stage] = self.busy.get(stage, 0.0) + t
+        return self
 
 
 def sequential_schedule(batches: Sequence[StageTimes]) -> ScheduleResult:

@@ -23,11 +23,12 @@ Section 3's "Model Synchronization" techniques:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..graph.csr import Graph
+from ..obs import StatsViewMixin, merge_counters
 from ..graph.partition import Partition
 from .distributed import halo_sets
 from .layers import GraphTensors
@@ -45,7 +46,7 @@ __all__ = [
 
 
 @dataclass
-class StalenessTrace:
+class StalenessTrace(StatsViewMixin):
     """Utilization outcome of one synchronization policy."""
 
     staleness: int
@@ -58,6 +59,18 @@ class StalenessTrace:
     def utilization(self) -> float:
         total = self.busy_time + self.idle_time
         return self.busy_time / total if total else 1.0
+
+    def extra_dict(self) -> Dict[str, Any]:
+        return {"utilization": self.utilization}
+
+    def merge(self, other: "StalenessTrace") -> "StalenessTrace":
+        """Combine shards: times add, makespan and staleness take max."""
+        return merge_counters(
+            self,
+            other,
+            sum_fields=("busy_time", "idle_time", "steps_per_worker"),
+            max_fields=("makespan", "staleness"),
+        )
 
 
 def simulate_staleness(

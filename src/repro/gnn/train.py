@@ -17,11 +17,12 @@ and tests can compare convergence as well as cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..graph.csr import Graph
+from ..obs import MetricsRegistry, StatsViewMixin, merge_counters
 from .layers import GraphTensors
 from .models import Adam, NodeClassifier, accuracy
 from .sampling import NeighborSampler
@@ -31,7 +32,7 @@ __all__ = ["TrainReport", "train_full_graph", "train_sampled"]
 
 
 @dataclass
-class TrainReport:
+class TrainReport(StatsViewMixin):
     """Trace of one training run."""
 
     losses: List[float] = field(default_factory=list)
@@ -48,6 +49,39 @@ class TrainReport:
     def final_loss(self) -> float:
         return self.losses[-1] if self.losses else float("nan")
 
+    def extra_dict(self) -> Dict[str, Any]:
+        return {
+            "final_loss": self.final_loss,
+            "final_val_accuracy": self.final_val_accuracy,
+        }
+
+    def merge(self, other: "TrainReport") -> "TrainReport":
+        """Append another run's trace (continuation) to this one."""
+        return merge_counters(
+            self,
+            other,
+            sum_fields=("gathered_features", "steps"),
+            concat_fields=("losses", "train_accuracy", "val_accuracy"),
+        )
+
+    def record_step(
+        self,
+        loss: float,
+        gathered: int,
+        obs: Optional[MetricsRegistry] = None,
+    ) -> None:
+        """Append one optimizer step, mirroring into ``obs`` if given."""
+        self.losses.append(loss)
+        self.steps += 1
+        self.gathered_features += gathered
+        if obs is not None:
+            obs.counter("gnn.train.steps", "optimizer steps taken").inc()
+            obs.counter(
+                "gnn.train.gathered_features",
+                "feature rows materialized by training",
+            ).inc(gathered)
+            obs.histogram("gnn.train.loss", "per-step training loss").observe(loss)
+
 
 def train_full_graph(
     model: NodeClassifier,
@@ -58,6 +92,7 @@ def train_full_graph(
     val_mask: Optional[np.ndarray] = None,
     epochs: int = 50,
     lr: float = 0.01,
+    obs: Optional[MetricsRegistry] = None,
 ) -> TrainReport:
     """Full-graph training with masked cross-entropy."""
     gt = GraphTensors(graph)
@@ -71,9 +106,7 @@ def train_full_graph(
         loss = logits.gather_rows(train_idx).cross_entropy(labels[train_idx])
         loss.backward()
         optimizer.step()
-        report.losses.append(float(loss.data))
-        report.steps += 1
-        report.gathered_features += graph.num_vertices
+        report.record_step(float(loss.data), graph.num_vertices, obs=obs)
         with no_grad():
             out = model(gt, x).data
         report.train_accuracy.append(accuracy(out, labels, train_mask))
@@ -94,6 +127,7 @@ def train_sampled(
     fanouts: Sequence[int] = (10, 10),
     lr: float = 0.01,
     seed: int = 0,
+    obs: Optional[MetricsRegistry] = None,
 ) -> TrainReport:
     """Mini-batch training over sampled neighborhood blocks.
 
@@ -116,9 +150,7 @@ def train_sampled(
             loss = seed_logits.cross_entropy(seed_labels)
             loss.backward()
             optimizer.step()
-            report.losses.append(float(loss.data))
-            report.steps += 1
-            report.gathered_features += block.gathered_nodes
+            report.record_step(float(loss.data), block.gathered_nodes, obs=obs)
         full_gt = GraphTensors(graph)
         with no_grad():
             out = model(full_gt, Tensor(features)).data

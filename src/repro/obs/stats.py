@@ -1,0 +1,110 @@
+"""The :class:`StatsView` protocol and helpers shared by all stats objects.
+
+Before this module the library had three inconsistent reporting shapes
+(``tlag.engine.EngineStats``, ``cluster.comm.CommStats``, the GNN
+trainers' report dataclasses).  ``StatsView`` is the common contract
+they all implement now:
+
+* ``as_dict()`` — a JSON-serializable dict of the object's counters;
+* ``merge(other)`` — fold another view of the same shape into this one
+  (in place) and return ``self``; used to combine per-worker stats;
+* ``to_json()`` — the dict, serialized.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["StatsView", "StatsViewMixin", "json_safe", "merge_counters"]
+
+
+@runtime_checkable
+class StatsView(Protocol):
+    """What every stats/report object in the library exposes."""
+
+    def as_dict(self) -> Dict[str, Any]:  # pragma: no cover - protocol
+        ...
+
+    def merge(self, other: Any) -> Any:  # pragma: no cover - protocol
+        ...
+
+    def to_json(self, indent: Any = None) -> str:  # pragma: no cover - protocol
+        ...
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively convert ``value`` into something ``json.dumps`` accepts.
+
+    numpy scalars become python scalars, arrays become nested lists,
+    dataclasses and objects with ``as_dict`` flatten to dicts, sets are
+    sorted into lists; anything else unknown falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if np.isfinite(value) else str(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return json_safe(float(value))
+    if isinstance(value, np.ndarray):
+        return [json_safe(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(json_safe(v) for v in value)
+    if hasattr(value, "as_dict"):
+        return json_safe(value.as_dict())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: json_safe(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    return str(value)
+
+
+def merge_counters(
+    target: Any,
+    other: Any,
+    sum_fields: tuple = (),
+    max_fields: tuple = (),
+    concat_fields: tuple = (),
+) -> Any:
+    """Field-wise merge helper: sum, max, or concatenate named attrs."""
+    for name in sum_fields:
+        setattr(target, name, getattr(target, name) + getattr(other, name))
+    for name in max_fields:
+        setattr(target, name, max(getattr(target, name), getattr(other, name)))
+    for name in concat_fields:
+        getattr(target, name).extend(getattr(other, name))
+    return target
+
+
+class StatsViewMixin:
+    """Default ``as_dict``/``to_json`` for dataclass-shaped stats.
+
+    ``as_dict`` serializes dataclass fields (skipping private ones) plus
+    whatever :meth:`extra_dict` contributes — subclasses list derived
+    properties (hit rates, makespans) there so exports carry them.
+    """
+
+    def extra_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if dataclasses.is_dataclass(self):
+            for f in dataclasses.fields(self):
+                if not f.name.startswith("_"):
+                    out[f.name] = json_safe(getattr(self, f.name))
+        out.update(json_safe(self.extra_dict()))
+        return out
+
+    def to_json(self, indent: Any = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)

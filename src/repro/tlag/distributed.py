@@ -34,13 +34,15 @@ import numpy as np
 from ..cluster.comm import Network
 from ..graph.csr import Graph
 from ..graph.partition import Partition
+from ..obs import MetricsRegistry, StatsViewMixin, Tracer
+from .engine import EngineStats
 from .task import Task, TaskContext, TaskProgram
 
 __all__ = ["CacheStats", "VertexCache", "DistributedTaskEngine"]
 
 
 @dataclass
-class CacheStats:
+class CacheStats(StatsViewMixin):
     """Adjacency-access counters for one worker (or aggregated)."""
 
     local_reads: int = 0
@@ -57,11 +59,15 @@ class CacheStats:
         remote_accesses = self.cache_hits + self.remote_pulls
         return self.cache_hits / remote_accesses if remote_accesses else 0.0
 
-    def merge(self, other: "CacheStats") -> None:
+    def extra_dict(self) -> Dict[str, Any]:
+        return {"total_reads": self.total_reads, "hit_rate": self.hit_rate}
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
         self.local_reads += other.local_reads
         self.cache_hits += other.cache_hits
         self.remote_pulls += other.remote_pulls
         self.bytes_pulled += other.bytes_pulled
+        return self
 
 
 class VertexCache:
@@ -164,12 +170,16 @@ class DistributedTaskEngine:
         task_budget: Optional[int] = None,
         steal: bool = True,
         collect_results: bool = True,
+        obs: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.graph = graph
         self.program = program
         self.partition = partition
         self.num_workers = partition.num_parts
-        self.network = Network(self.num_workers)
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.network = Network(self.num_workers, registry=self.obs)
         self.task_budget = task_budget
         self.steal = steal
         self.collect_results = collect_results
@@ -177,8 +187,24 @@ class DistributedTaskEngine:
         self.result_count = 0
         self.cache_stats = [CacheStats() for _ in range(self.num_workers)]
         self._caches = [VertexCache(cache_capacity) for _ in range(self.num_workers)]
-        self.steals = 0
-        self.tasks_executed = 0
+        self.stats = EngineStats(
+            self.num_workers, registry=self.obs,
+            worker_busy=[0] * self.num_workers,
+        )
+        self._c_cache_reads = self.obs.counter(
+            "tlag.cache.reads", "adjacency reads, by kind (local/hit/pull)"
+        )
+        self._c_cache_bytes = self.obs.counter(
+            "tlag.cache.bytes_pulled", "bytes fetched for remote adjacency"
+        )
+
+    @property
+    def steals(self) -> int:
+        return self.stats.steals
+
+    @property
+    def tasks_executed(self) -> int:
+        return self.stats.tasks_executed
 
     # -- the priced adjacency read -------------------------------------------
 
@@ -188,16 +214,20 @@ class DistributedTaskEngine:
         adjacency = self.graph.neighbors(v)
         if owner == worker:
             stats.local_reads += 1
+            self._c_cache_reads.inc(kind="local")
             return adjacency
         cached = self._caches[worker].get(v)
         if cached is not None:
             stats.cache_hits += 1
+            self._c_cache_reads.inc(kind="hit")
             return cached
         nbytes = int(adjacency.nbytes) + 8  # list + vertex id header
         self.network.send_now(owner, worker, None, tag="adj-pull", nbytes=nbytes)
         self.network.receive(worker)
         stats.remote_pulls += 1
         stats.bytes_pulled += nbytes
+        self._c_cache_reads.inc(kind="pull")
+        self._c_cache_bytes.inc(nbytes)
         self._caches[worker].put(v, adjacency)
         return adjacency
 
@@ -205,6 +235,20 @@ class DistributedTaskEngine:
 
     def run(self) -> List[Any]:
         """Execute all tasks; same results as the shared-memory engine."""
+        span = (
+            self.tracer.span("tlag.distributed.run", workers=self.num_workers)
+            if self.tracer is not None
+            else None
+        )
+        try:
+            return self._run()
+        finally:
+            if span is not None:
+                span.set_sim(0, self.stats.makespan)
+                span.set("tasks", self.tasks_executed)
+                span.__exit__(None, None, None)
+
+    def _run(self) -> List[Any]:
         queues: List[deque] = [deque() for _ in range(self.num_workers)]
         for task in self.program.spawn(self.graph):
             # Tasks spawn at the worker owning their first vertex
@@ -225,13 +269,14 @@ class DistributedTaskEngine:
             ctx = TaskContext(views[w], budget=self.task_budget)
             ctx.collect_results = self.collect_results
             self.program.process(task, ctx)
-            self.tasks_executed += 1
             clocks[w] = clock + max(ctx.ops, 1)
+            self.stats.record_task(w, ctx.ops, len(ctx.forked), clocks[w])
             self.result_count += ctx.result_count
             if self.collect_results:
                 self.results.extend(ctx.results)
             for child in ctx.forked:
                 queues[w].append(child)
+            self.stats.record_pending(sum(len(q) for q in queues))
             heapq.heappush(heap, (clocks[w], w))
             if self.steal:
                 in_heap = {entry[1] for entry in heap}
@@ -253,7 +298,7 @@ class DistributedTaskEngine:
             nbytes = 16 * (len(task.subgraph) + 2)
             self.network.send_now(victim, w, None, tag="steal", nbytes=nbytes)
             self.network.receive(w)
-            self.steals += 1
+            self.stats.record_steal()
             return task
         return None
 

@@ -17,6 +17,11 @@ clock next.  ``EngineStats`` then reports makespan (max clock), total
 work, per-worker busy time, steals and splits — exactly the load-balance
 quantities the G-thinker/STMatch papers plot.
 
+All counters live in a :class:`~repro.obs.MetricsRegistry` under the
+``tlag.*`` namespace; ``EngineStats`` is a read view over it, so the
+legacy attribute surface (``stats.steals`` etc.) is unchanged while the
+same numbers appear in any shared registry snapshot.
+
 Setting ``num_workers=1`` and ``task_budget=None`` degenerates to a
 plain serial DFS solver, which tests use as the reference.
 """
@@ -25,31 +30,105 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..graph.csr import Graph
+from ..obs import MetricsRegistry, StatsViewMixin, Tracer
 from .task import Task, TaskContext, TaskProgram
 
 __all__ = ["TaskEngine", "EngineStats"]
 
 
-@dataclass
-class EngineStats:
-    """Observability surface of a :class:`TaskEngine` run."""
+class EngineStats(StatsViewMixin):
+    """Observability surface of a :class:`TaskEngine` run.
 
-    num_workers: int
-    tasks_executed: int = 0
-    tasks_forked: int = 0
-    steals: int = 0
-    total_ops: int = 0
-    worker_busy: List[int] = field(default_factory=list)
-    peak_pending_tasks: int = 0
+    A view over ``tlag.*`` metrics in ``registry``; the engine writes
+    through the ``record_*`` methods and readers see plain attributes.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        registry: Optional[MetricsRegistry] = None,
+        worker_busy: Optional[List[int]] = None,
+    ) -> None:
+        self.num_workers = num_workers
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._c_tasks = self.registry.counter(
+            "tlag.tasks_executed", "tasks popped and processed"
+        )
+        self._c_forked = self.registry.counter(
+            "tlag.tasks_forked", "tasks created by budget-triggered splits"
+        )
+        self._c_steals = self.registry.counter(
+            "tlag.steals", "tasks stolen from another worker's deque"
+        )
+        self._c_ops = self.registry.counter(
+            "tlag.total_ops", "simulated operations charged by tasks"
+        )
+        self._g_busy = self.registry.gauge(
+            "tlag.worker_busy", "per-worker simulated clock (busy time)"
+        )
+        self._g_peak = self.registry.gauge(
+            "tlag.peak_pending_tasks", "peak queued tasks across all workers"
+        )
+        self._h_task_ops = self.registry.histogram(
+            "tlag.task_ops", "ops charged per task"
+        )
+        for w, busy in enumerate(worker_busy or []):
+            self._g_busy.set(busy, worker=w)
+
+    # -- write path (engine-only) ------------------------------------------
+
+    def record_task(self, worker: int, ops: int, forked: int, clock: int) -> None:
+        self._c_tasks.inc()
+        self._c_ops.inc(ops)
+        if forked:
+            self._c_forked.inc(forked)
+        self._g_busy.set(clock, worker=worker)
+        self._h_task_ops.observe(ops)
+
+    def record_steal(self) -> None:
+        self._c_steals.inc()
+
+    def record_pending(self, pending: int) -> None:
+        self._g_peak.set_max(pending)
+
+    # -- legacy attribute surface ------------------------------------------
+
+    @property
+    def tasks_executed(self) -> int:
+        return int(self._c_tasks.total)
+
+    @property
+    def tasks_forked(self) -> int:
+        return int(self._c_forked.total)
+
+    @property
+    def steals(self) -> int:
+        return int(self._c_steals.total)
+
+    @property
+    def total_ops(self) -> int:
+        return int(self._c_ops.total)
+
+    @property
+    def peak_pending_tasks(self) -> int:
+        return int(self._g_peak.value())
+
+    @property
+    def worker_busy(self) -> List[int]:
+        by_worker = {
+            int(dict(key)["worker"]): int(v)
+            for key, v in self._g_busy.values().items()
+        }
+        return [by_worker.get(w, 0) for w in range(self.num_workers)]
 
     @property
     def makespan(self) -> int:
         """Simulated finish time: the busiest worker's clock."""
-        return max(self.worker_busy) if self.worker_busy else 0
+        busy = self.worker_busy
+        return max(busy) if busy else 0
 
     @property
     def balance(self) -> float:
@@ -58,6 +137,31 @@ class EngineStats:
             return 1.0
         ideal = self.total_ops / self.num_workers
         return self.makespan / ideal if ideal else 1.0
+
+    # -- StatsView ----------------------------------------------------------
+
+    def extra_dict(self) -> Dict[str, Any]:
+        return {
+            "num_workers": self.num_workers,
+            "tasks_executed": self.tasks_executed,
+            "tasks_forked": self.tasks_forked,
+            "steals": self.steals,
+            "total_ops": self.total_ops,
+            "worker_busy": self.worker_busy,
+            "peak_pending_tasks": self.peak_pending_tasks,
+            "makespan": self.makespan,
+            "balance": self.balance,
+        }
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Combine runs: counters add, peaks/busy take per-worker max."""
+        self.num_workers = max(self.num_workers, other.num_workers)
+        for metric in (
+            self._c_tasks, self._c_forked, self._c_steals, self._c_ops,
+            self._g_busy, self._g_peak, self._h_task_ops,
+        ):
+            metric.merge(other.registry.get(metric.name))
+        return self
 
 
 class TaskEngine:
@@ -81,6 +185,13 @@ class TaskEngine:
         Keep emitted results (disable for counting-only runs to avoid
         materialization — the G-thinker "no instance materialization"
         property).
+    obs:
+        Optional shared :class:`~repro.obs.MetricsRegistry`; the engine
+        emits its ``tlag.*`` counters there (it creates a private one
+        when omitted).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; :meth:`run` is recorded as
+        a ``tlag.run`` span whose simulated clock is the makespan.
     """
 
     def __init__(
@@ -91,6 +202,8 @@ class TaskEngine:
         task_budget: Optional[int] = None,
         steal: bool = True,
         collect_results: bool = True,
+        obs: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -102,10 +215,28 @@ class TaskEngine:
         self.collect_results = collect_results
         self.results: List[Any] = []
         self.result_count = 0
-        self.stats = EngineStats(num_workers, worker_busy=[0] * num_workers)
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.stats = EngineStats(
+            num_workers, registry=self.obs, worker_busy=[0] * num_workers
+        )
 
     def run(self) -> List[Any]:
         """Execute to completion; returns collected results."""
+        span = (
+            self.tracer.span("tlag.run", workers=self.num_workers)
+            if self.tracer is not None
+            else None
+        )
+        try:
+            return self._run()
+        finally:
+            if span is not None:
+                span.set_sim(0, self.stats.makespan)
+                span.set("tasks", self.stats.tasks_executed)
+                span.__exit__(None, None, None)
+
+    def _run(self) -> List[Any]:
         queues: List[deque] = [deque() for _ in range(self.num_workers)]
         for i, task in enumerate(self.program.spawn(self.graph)):
             queues[i % self.num_workers].append(task)
@@ -115,7 +246,6 @@ class TaskEngine:
         clocks = [0] * self.num_workers
         heap = [(0, w) for w in range(self.num_workers)]
         heapq.heapify(heap)
-        live = self.num_workers
 
         while heap:
             clock, w = heapq.heappop(heap)
@@ -125,18 +255,15 @@ class TaskEngine:
             ctx = TaskContext(self.graph, budget=self.task_budget)
             ctx.collect_results = self.collect_results
             self.program.process(task, ctx)
-            self.stats.tasks_executed += 1
-            self.stats.total_ops += ctx.ops
-            self.stats.tasks_forked += len(ctx.forked)
             clocks[w] = clock + max(ctx.ops, 1)
-            self.stats.worker_busy[w] = clocks[w]
+            self.stats.record_task(w, ctx.ops, len(ctx.forked), clocks[w])
             self.result_count += ctx.result_count
             if self.collect_results:
                 self.results.extend(ctx.results)
             for child in ctx.forked:
                 queues[w].append(child)
             pending = sum(len(q) for q in queues)
-            self.stats.peak_pending_tasks = max(self.stats.peak_pending_tasks, pending)
+            self.stats.record_pending(pending)
             heapq.heappush(heap, (clocks[w], w))
             # Wake any retired workers if there is now surplus work.
             in_heap = {entry[1] for entry in heap}
@@ -155,6 +282,6 @@ class TaskEngine:
             return None
         victim = max(range(self.num_workers), key=lambda k: len(queues[k]))
         if queues[victim]:
-            self.stats.steals += 1
+            self.stats.record_steal()
             return queues[victim].popleft()
         return None

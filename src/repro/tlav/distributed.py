@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional
 from ..cluster.comm import Network
 from ..graph.csr import Graph
 from ..graph.partition import Partition
+from ..obs import MetricsRegistry
 from .engine import Aggregator, PregelEngine, VertexContext, VertexProgram
 
 __all__ = ["DistributedPregel"]
@@ -55,11 +56,16 @@ class DistributedPregel:
         aggregators: Optional[Dict[str, Aggregator]] = None,
         max_supersteps: int = 100,
         combine_remote: bool = True,
+        obs: Optional[MetricsRegistry] = None,
     ) -> None:
         self.graph = graph
         self.program = program
         self.partition = partition
-        self.network = Network(partition.num_parts)
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.network = Network(partition.num_parts, registry=self.obs)
+        self._c_supersteps = self.obs.counter(
+            "tlav.supersteps", "global BSP supersteps executed"
+        )
         self.max_supersteps = max_supersteps
         self.combine_remote = combine_remote and (
             type(program).combine is not VertexProgram.combine
@@ -130,6 +136,7 @@ class DistributedPregel:
                 self.program.compute(ctx, worker.inbox.pop(v, []))
         if not any_active:
             return False
+        self._c_supersteps.inc()
         self._route_messages()
         self.aggregated = self._agg_pending
         self._agg_pending = {}

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generic, Iterable, List, Optional, TypeVar
 
 from ..graph.csr import Graph
+from ..obs import MetricsRegistry, StatsViewMixin, Tracer
 
 __all__ = ["VertexProgram", "VertexContext", "PregelEngine", "SuperstepStats"]
 
@@ -118,13 +119,21 @@ class VertexContext(Generic[V, M]):
 
 
 @dataclass
-class SuperstepStats:
+class SuperstepStats(StatsViewMixin):
     """Per-superstep counters (the engine's observability surface)."""
 
     superstep: int
     active_vertices: int
     messages_sent: int
     messages_after_combine: int
+
+    def merge(self, other: "SuperstepStats") -> "SuperstepStats":
+        """Combine superstep records: counters add, index takes the max."""
+        self.superstep = max(self.superstep, other.superstep)
+        self.active_vertices += other.active_vertices
+        self.messages_sent += other.messages_sent
+        self.messages_after_combine += other.messages_after_combine
+        return self
 
 
 @dataclass
@@ -149,6 +158,13 @@ class PregelEngine(Generic[V, M]):
     max_supersteps:
         Safety limit; a run that hits it raises ``RuntimeError`` unless
         ``halt_at_limit`` is set.
+    obs:
+        Optional shared :class:`~repro.obs.MetricsRegistry`; the engine
+        emits ``tlav.*`` counters there (private registry if omitted).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; each superstep is recorded
+        as a ``tlav.superstep`` span whose simulated clock is the
+        superstep index.
     """
 
     def __init__(
@@ -158,11 +174,27 @@ class PregelEngine(Generic[V, M]):
         aggregators: Optional[Dict[str, Aggregator]] = None,
         max_supersteps: int = 100,
         halt_at_limit: bool = True,
+        obs: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.graph = graph
         self.program = program
         self.max_supersteps = max_supersteps
         self.halt_at_limit = halt_at_limit
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._c_supersteps = self.obs.counter(
+            "tlav.supersteps", "global BSP supersteps executed"
+        )
+        self._c_messages = self.obs.counter(
+            "tlav.messages_sent", "vertex messages sent (before combining)"
+        )
+        self._c_delivered = self.obs.counter(
+            "tlav.messages_delivered", "vertex messages delivered (after combining)"
+        )
+        self._h_active = self.obs.histogram(
+            "tlav.active_vertices", "active vertices per superstep"
+        )
         self.superstep = 0
         self.values: List[Any] = [program.init(v, graph) for v in graph.vertices()]
         self.aggregators = aggregators or {}
@@ -221,19 +253,34 @@ class PregelEngine(Generic[V, M]):
         ]
         if not active:
             return False
+        span = (
+            self.tracer.span("tlav.superstep", superstep=self.superstep)
+            if self.tracer is not None
+            else None
+        )
         self._messages_sent = 0
         for v in active:
             self._halted[v] = False
             ctx = VertexContext(v, self)
             self.program.compute(ctx, self._inbox.pop(v, []))
+        delivered = sum(len(b) for b in self._outbox.values())
         self.history.append(
             SuperstepStats(
                 superstep=self.superstep,
                 active_vertices=len(active),
                 messages_sent=self._messages_sent,
-                messages_after_combine=sum(len(b) for b in self._outbox.values()),
+                messages_after_combine=delivered,
             )
         )
+        self._c_supersteps.inc()
+        self._c_messages.inc(self._messages_sent)
+        self._c_delivered.inc(delivered)
+        self._h_active.observe(len(active))
+        if span is not None:
+            span.set_sim(self.superstep, self.superstep + 1)
+            span.set("active", len(active))
+            span.set("messages", self._messages_sent)
+            span.__exit__(None, None, None)
         self._inbox = self._outbox
         self._outbox = {}
         self.aggregated = self._agg_pending

@@ -1,0 +1,251 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        c = Counter("x")
+        assert c.value() == 0
+        assert c.total == 0
+
+    def test_inc_default_and_amount(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labeled_series_are_independent(self):
+        c = Counter("bytes")
+        c.inc(10, locality="local")
+        c.inc(3, locality="remote")
+        c.inc(2, locality="remote")
+        assert c.value(locality="local") == 10
+        assert c.value(locality="remote") == 5
+        assert c.total == 15
+
+    def test_label_order_is_irrelevant(self):
+        c = Counter("x")
+        c.inc(1, a="1", b="2")
+        c.inc(1, b="2", a="1")
+        assert c.value(a="1", b="2") == 2
+
+    def test_monotonic(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_merge_adds_by_series(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc(1, k="a")
+        b.inc(2, k="a")
+        b.inc(5, k="b")
+        a.merge(b)
+        assert a.value(k="a") == 3
+        assert a.value(k="b") == 5
+
+    def test_merge_rejects_other_kinds_and_names(self):
+        with pytest.raises(ValueError):
+            Counter("x").merge(Gauge("x"))
+        with pytest.raises(ValueError):
+            Counter("x").merge(Counter("y"))
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3, k="a")
+        c.reset()
+        assert c.total == 0
+
+    def test_series_rendering(self):
+        c = Counter("x")
+        c.inc(2, worker="0")
+        c.inc(1)
+        assert c.series() == {"": 1, "worker=0": 2}
+
+
+class TestGauge:
+    def test_set_and_value(self):
+        g = Gauge("depth")
+        g.set(7)
+        assert g.value() == 7
+
+    def test_inc_dec(self):
+        g = Gauge("depth")
+        g.inc(3)
+        g.dec()
+        assert g.value() == 2
+
+    def test_set_max_keeps_peak(self):
+        g = Gauge("peak")
+        g.set_max(5)
+        g.set_max(3)
+        g.set_max(9)
+        assert g.value() == 9
+
+    def test_merge_takes_max_per_series(self):
+        a, b = Gauge("peak"), Gauge("peak")
+        a.set(5, worker="0")
+        b.set(3, worker="0")
+        b.set(8, worker="1")
+        a.merge(b)
+        assert a.value(worker="0") == 5
+        assert a.value(worker="1") == 8
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        h = Histogram("ops")
+        for v in (1, 2, 3, 10):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == 16
+        assert h.mean() == 4.0
+
+    def test_min_max_tracked(self):
+        h = Histogram("ops")
+        h.observe(5)
+        h.observe(100)
+        s = h.series()[""]
+        assert s["min"] == 5
+        assert s["max"] == 100
+
+    def test_custom_buckets_and_overflow(self):
+        h = Histogram("t", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5)
+        h.observe(50)  # overflow bucket
+        buckets = h.series()[""]["buckets"]
+        assert buckets == {"1.0": 1, "10.0": 1, "+inf": 1}
+
+    def test_percentile_estimate(self):
+        h = Histogram("t", buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in (1, 1, 2, 2, 8):
+            h.observe(v)
+        assert h.percentile(0.5) <= 2.0
+        assert h.percentile(1.0) == 8.0
+
+    def test_percentile_empty(self):
+        assert Histogram("t").percentile(0.5) == 0.0
+
+    def test_labeled_series(self):
+        h = Histogram("t")
+        h.observe(1, stage="a")
+        h.observe(2, stage="b")
+        assert h.count(stage="a") == 1
+        assert h.count(stage="b") == 1
+        assert h.count() == 0
+
+    def test_merge_combines_counts(self):
+        a, b = Histogram("t"), Histogram("t")
+        a.observe(1)
+        b.observe(100)
+        a.merge(b)
+        assert a.count() == 2
+        assert a.series()[""]["min"] == 1
+        assert a.series()[""]["max"] == 100
+
+    def test_merge_rejects_differing_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=(1,)).merge(Histogram("t", buckets=(2,)))
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_contains_get_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert "a" in reg and "b" in reg
+        assert reg.get("c") is None
+        assert reg.names() == ["a", "b"]
+
+    def test_as_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "a counter").inc(2)
+        snap = reg.as_dict()
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["description"] == "a counter"
+        assert snap["c"]["series"] == {"": 2}
+
+    def test_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2, k="v")
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3)
+        parsed = json.loads(reg.to_json(indent=2))
+        assert parsed == reg.as_dict()
+
+    def test_reset_clears_all(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(1)
+        reg.reset()
+        assert reg.counter("c").total == 0
+        assert reg.histogram("h").count() == 0
+
+
+def _registry(counter=0, gauge=0, hist=()):
+    reg = MetricsRegistry()
+    if counter:
+        reg.counter("c").inc(counter)
+    if gauge:
+        reg.gauge("g").set(gauge)
+    for v in hist:
+        reg.histogram("h").observe(v)
+    return reg
+
+
+class TestRegistryMerge:
+    def test_merge_disjoint_metrics(self):
+        a = _registry(counter=1)
+        b = MetricsRegistry()
+        b.gauge("other").set(5)
+        a.merge(b)
+        assert a.counter("c").total == 1
+        assert a.gauge("other").value() == 5
+
+    def test_merge_does_not_alias_source(self):
+        a, b = MetricsRegistry(), _registry(counter=3)
+        a.merge(b)
+        a.counter("c").inc(10)
+        assert b.counter("c").total == 3  # source untouched
+
+    def test_merge_is_associative(self):
+        def snap(*regs):
+            acc = MetricsRegistry()
+            for r in regs:
+                acc.merge(r)
+            return acc.as_dict()
+
+        a = _registry(counter=1, gauge=5, hist=(1, 2))
+        b = _registry(counter=2, gauge=9, hist=(100,))
+        c = _registry(counter=4, gauge=7, hist=(3,))
+        # (a + b) + c == a + (b + c), element-wise on the snapshot.
+        left = MetricsRegistry().merge(a).merge(b).merge(c).as_dict()
+        bc = MetricsRegistry().merge(b).merge(c)
+        right = MetricsRegistry().merge(a).merge(bc).as_dict()
+        assert left == right == snap(a, b, c)
+
+    def test_merge_is_commutative(self):
+        a = _registry(counter=1, gauge=5, hist=(1, 2))
+        b = _registry(counter=2, gauge=9, hist=(100,))
+        ab = MetricsRegistry().merge(a).merge(b).as_dict()
+        ba = MetricsRegistry().merge(b).merge(a).as_dict()
+        assert ab == ba

@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -20,6 +22,33 @@ class TestCLI:
         assert "triangles" in out
         assert "max core" in out
         assert "graphlets" in out
+
+    def test_analyze_json(self, tmp_path, capsys):
+        path = str(tmp_path / "g.txt")
+        main(["generate", "ba", path, "--n", "120", "--m", "3"])
+        capsys.readouterr()
+        assert main(["analyze", path, "--json"]) == 0
+        profile = json.loads(capsys.readouterr().out)
+        assert profile["num_vertices"] == 120
+        assert profile["degree"]["min"] >= 1
+        assert "triangles" in profile
+        assert "graphlets" in profile
+
+    def test_obs_demo(self, capsys):
+        assert main(["obs-demo", "--workers", "3"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        metrics = snapshot["metrics"]
+        # All three engines reported into the one shared registry.
+        assert "tlag.tasks_executed" in metrics
+        assert "tlav.supersteps" in metrics
+        assert "cluster.messages" in metrics
+        assert "core.pipeline.stages" in metrics
+        (root,) = snapshot["spans"]
+        assert root["name"] == "obs-demo"
+        child_names = {c["name"] for c in root["children"]}
+        assert "tlag.run" in child_names
+        assert "stage:pagerank" in child_names
+        assert snapshot["workload"]["workers"] == 3
 
     def test_generate_all_kinds(self, tmp_path):
         for kind in ("er", "ba", "rmat", "ws", "grid"):
