@@ -24,6 +24,9 @@ def _run():
         ("static (no steal)", dict(steal=False, task_budget=None)),
         ("steal only", dict(steal=True, task_budget=None)),
         ("steal + split", dict(steal=True, task_budget=100)),
+        # Same knob the repro.parallel executor chunks by: a coarse
+        # initial deal leans harder on stealing to rebalance.
+        ("steal + split, chunk=8", dict(steal=True, task_budget=100, chunk_size=8)),
     ]
     reference = None
     for name, kwargs in configs:
@@ -56,8 +59,10 @@ def test_claim_c4_work_stealing(benchmark):
         ["config", "tasks", "forked", "steals", "makespan", "balance"],
         rows,
     )
-    static, steal, split = rows
+    static, steal, split, chunked = rows
     assert steal[5] <= static[5]               # stealing improves balance
     assert split[5] <= static[5]               # so does steal + split
     assert split[4] <= static[4]               # makespan improves
     assert split[2] > 0 and split[3] > 0       # splitting/stealing active
+    assert chunked[5] <= static[5]             # chunked deal still balances
+    assert chunked[3] >= split[3]              # coarser deal -> more steals

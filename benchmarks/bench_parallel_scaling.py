@@ -1,0 +1,99 @@
+"""C17 — multicore scaling of matching, triangles and PageRank.
+
+Paper claim (Section 1): single-machine systems increasingly exploit
+shared-memory parallelism — the same CSR arrays served to many cores —
+instead of distribution; speedup then hinges on load balance and on
+keeping per-task state tiny (zero-copy graph sharing).
+
+Reproduced shape: the ``repro.parallel`` executor fans root-level task
+chunks over 1/2/4/8 workers.  Every worker count returns *identical*
+counts (and chunk-deterministic PageRank vectors), and on a multicore
+host the process backend reaches >= 2.5x at 4 workers on the matching
+workload.  On single-core CI runners the speedup assertions are skipped
+but the equivalence assertions still run; the report records whatever
+the host measured (artifact: ``results/parallel_scaling.json``).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _harness import report
+from repro.graph.generators import barabasi_albert
+from repro.matching.backtrack import count_matches
+from repro.matching.pattern import clique_pattern
+from repro.matching.triangles import triangle_count
+from repro.parallel import ParallelExecutor
+from repro.tlav import pagerank_dense
+
+#: Honour the repo-wide backend knob; default to real processes since
+#: that is the backend whose scaling the claim is about.
+BACKEND = os.environ.get("REPRO_BACKEND") or "process"
+WORKER_COUNTS = (1, 2, 4, 8)
+CORES = os.cpu_count() or 1
+
+
+def _workloads(g):
+    return [
+        ("matching k4", lambda ex: count_matches(g, clique_pattern(4), executor=ex)),
+        ("triangles", lambda ex: triangle_count(g, executor=ex)),
+        ("pagerank", lambda ex: pagerank_dense(g, iterations=10, executor=ex)),
+    ]
+
+
+def _same(reference, result):
+    if isinstance(reference, np.ndarray):
+        # Chunk layout varies with the worker count, so cross-worker
+        # PageRank is allclose; bit-equality across *backends* at a fixed
+        # layout is asserted in tests/parallel/test_backends.py.
+        return np.allclose(reference, result, rtol=0, atol=1e-12)
+    return reference == result
+
+
+def _run():
+    g = barabasi_albert(3000, 5, seed=2)
+    rows = []
+    for name, fn in _workloads(g):
+        serial_start = time.perf_counter()
+        reference = fn(None)
+        serial_seconds = time.perf_counter() - serial_start
+        for workers in WORKER_COUNTS:
+            with ParallelExecutor(backend=BACKEND, workers=workers) as ex:
+                start = time.perf_counter()
+                result = fn(ex)
+                seconds = time.perf_counter() - start
+                efficiency = ex.efficiency
+            assert _same(reference, result), (name, workers)
+            rows.append(
+                [
+                    name,
+                    BACKEND,
+                    workers,
+                    round(serial_seconds, 4),
+                    round(seconds, 4),
+                    round(serial_seconds / seconds, 2),
+                    round(efficiency, 3),
+                ]
+            )
+    return rows
+
+
+def test_claim_c17_parallel_scaling(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "parallel_scaling",
+        f"Multicore scaling ({BACKEND} backend) on BA(3000, 5), {CORES} cores",
+        ["workload", "backend", "workers", "serial_s", "parallel_s",
+         "speedup", "efficiency"],
+        rows,
+    )
+    by_key = {(r[0], r[2]): r for r in rows}
+    if BACKEND == "process" and CORES >= 4:
+        # The headline acceptance number needs real cores under it.
+        assert by_key[("matching k4", 4)][5] >= 2.5
+        assert by_key[("triangles", 4)][5] >= 1.5
+    # Equivalence held for every row (asserted in _run); efficiency is a
+    # well-formed gauge everywhere.
+    assert all(0.0 <= r[6] <= 1.0 for r in rows)

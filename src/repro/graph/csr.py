@@ -207,14 +207,20 @@ class Graph:
         """
         if self.directed:
             raise ValueError("orientation is defined for undirected graphs")
+        n = self.num_vertices
         deg = self.degrees()
-        builder = GraphBuilder(directed=True)
-        for u, v in self.edges():
-            if (deg[u], u) < (deg[v], v):
-                builder.add_edge(u, v)
-            else:
-                builder.add_edge(v, u)
-        return builder.build(num_vertices=self.num_vertices)
+        # Each undirected edge appears as both (u, v) and (v, u) in the
+        # CSR; keep exactly the copy pointing up the (degree, id) order.
+        src = np.repeat(np.arange(n, dtype=np.int64), deg)
+        dst = self.indices
+        keep = (deg[src] < deg[dst]) | ((deg[src] == deg[dst]) & (src < dst))
+        src, dst = src[keep], dst[keep]
+        # src is CSR-ordered and dst sorted within each source slice, so
+        # the filtered arrays are already a valid CSR layout.
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return Graph(indptr, dst, directed=True)
 
     # ------------------------------------------------------------------
 

@@ -14,18 +14,23 @@ measures it by running this same kernel under different plans.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..graph.csr import Graph
+from ..graph.kernels import intersect_multi
+from ..obs import StatsViewMixin, merge_counters
 from .pattern import PatternGraph, default_order, symmetry_breaking_restrictions
 
 __all__ = ["MatchStats", "match", "count_matches", "find_matches"]
 
 
-class MatchStats:
-    """Work counters for one matching run."""
+class MatchStats(StatsViewMixin):
+    """Work counters for one matching run (a :class:`~repro.obs.StatsView`).
+
+    Parallel runs keep one instance per worker and fold them with
+    :meth:`merge`; all four counters are additive, so merged stats equal
+    what a serial run over the same roots would have recorded.
+    """
 
     __slots__ = ("embeddings", "nodes_visited", "intersections", "candidates_scanned")
 
@@ -34,6 +39,27 @@ class MatchStats:
         self.nodes_visited = 0
         self.intersections = 0
         self.candidates_scanned = 0
+
+    def merge(self, other: "MatchStats") -> "MatchStats":
+        """Fold another worker's counters into this one (in place)."""
+        return merge_counters(
+            self,
+            other,
+            sum_fields=(
+                "embeddings",
+                "nodes_visited",
+                "intersections",
+                "candidates_scanned",
+            ),
+        )
+
+    def extra_dict(self) -> Dict[str, Any]:
+        return {
+            "embeddings": self.embeddings,
+            "nodes_visited": self.nodes_visited,
+            "intersections": self.intersections,
+            "candidates_scanned": self.candidates_scanned,
+        }
 
 
 def _validate_order(pattern: PatternGraph, order: Sequence[int]) -> List[int]:
@@ -55,6 +81,7 @@ def match(
     stats: Optional[MatchStats] = None,
     anchor: Optional[Tuple[int, int]] = None,
     allowed: Optional[Sequence[set]] = None,
+    roots: Optional[Sequence[int]] = None,
 ) -> int:
     """Enumerate embeddings of ``pattern`` in ``graph``.
 
@@ -80,6 +107,11 @@ def match(
         Optional per-pattern-vertex candidate sets (indexed by pattern
         vertex id); a step only considers data vertices in the set.
         Produced by :mod:`repro.matching.filtering`.
+    roots:
+        Optional data vertices to consider for the *first* order vertex
+        (default: all).  Embeddings partition exactly by their root, so
+        disjoint root chunks sum to the full count — the task fan-out
+        :func:`count_matches` uses for multicore execution.
 
     Returns the embedding count.
     """
@@ -124,28 +156,18 @@ def match(
         want_label = pattern.label(pv)
         back = backward_neighbors[step]
         if not back:
-            # Unconstrained start vertex: scan all data vertices.
-            cand_iter: Iterator[int] = iter(range(graph.num_vertices))
+            # Unconstrained start vertex: scan the root set (all data
+            # vertices, unless a parallel fan-out pinned a chunk).
+            cand_iter: Iterator[int] = iter(
+                range(graph.num_vertices) if roots is None else roots
+            )
         else:
             # Intersect adjacency lists of the already-matched neighbors,
-            # starting from the smallest list (the merge-join kernel).
-            lists = sorted(
-                (graph.neighbors(embedding[j]) for j in back), key=lambda a: a.size
-            )
+            # smallest list first — one batched binary search per list
+            # instead of a per-element probe (the merge-join kernel).
+            lists = [graph.neighbors(embedding[j]) for j in back]
             stats.intersections += len(lists) - 1 if len(lists) > 1 else 0
-            base = lists[0]
-            cand: List[int] = []
-            for x in base:
-                x = int(x)
-                ok = True
-                for other in lists[1:]:
-                    k = int(np.searchsorted(other, x))
-                    if k >= other.size or other[k] != x:
-                        ok = False
-                        break
-                if ok:
-                    cand.append(x)
-            cand_iter = iter(cand)
+            cand_iter = iter(int(x) for x in intersect_multi(lists))
         lo = max((embedding[j] for j in gt_at_step[step]), default=-1)
         hi = min((embedding[j] for j in lt_at_step[step]), default=graph.num_vertices)
         for x in cand_iter:
@@ -203,15 +225,61 @@ def match(
     return stats.embeddings
 
 
+def _count_roots_task(graph: Graph, payload: Tuple) -> MatchStats:
+    """Process-pool task: count embeddings rooted in ``[lo, hi)``.
+
+    Module-level so the process backend can pickle it by reference; the
+    graph arrives through the executor (shared memory, not the payload).
+    """
+    pattern, order, restrictions, lo, hi = payload
+    stats = MatchStats()
+    match(
+        graph,
+        pattern,
+        order=order,
+        restrictions=restrictions,
+        stats=stats,
+        roots=range(lo, hi),
+    )
+    return stats
+
+
 def count_matches(
     graph: Graph,
     pattern: PatternGraph,
     order: Optional[Sequence[int]] = None,
     distinct: bool = True,
+    executor: Optional["ParallelExecutor"] = None,
+    stats: Optional[MatchStats] = None,
 ) -> int:
-    """Count embeddings; ``distinct=True`` counts subgraph instances once."""
-    restrictions = None if distinct else []
-    return match(graph, pattern, order=order, restrictions=restrictions)
+    """Count embeddings; ``distinct=True`` counts subgraph instances once.
+
+    With an ``executor`` (:class:`repro.parallel.ParallelExecutor`), the
+    candidates of the first order vertex are split into root chunks and
+    counted concurrently — every embedding has exactly one root, so the
+    chunk counts sum to the serial answer for any backend and chunking.
+    Per-worker :class:`MatchStats` are folded into ``stats`` (when given)
+    via :meth:`MatchStats.merge`, so merged counters equal a serial run.
+    """
+    restrictions: Optional[Sequence[Tuple[int, int]]] = None if distinct else []
+    if executor is None:
+        return match(
+            graph, pattern, order=order, restrictions=restrictions, stats=stats
+        )
+    if order is None:
+        order = default_order(pattern)
+    order = tuple(_validate_order(pattern, order))
+    if restrictions is None:
+        restrictions = symmetry_breaking_restrictions(pattern)
+    restrictions = tuple(restrictions)
+    payloads = [
+        (pattern, order, restrictions, lo, hi)
+        for lo, hi in executor.spans(graph.num_vertices)
+    ]
+    merged = stats if stats is not None else MatchStats()
+    for part in executor.map_graph(_count_roots_task, graph, payloads):
+        merged.merge(part)
+    return merged.embeddings
 
 
 def find_matches(

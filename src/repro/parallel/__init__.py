@@ -1,0 +1,46 @@
+"""Real multicore execution: executors, shared-memory CSR, chunking.
+
+Until this package the library *simulated* parallelism (the TLAG engine
+advances virtual worker clocks).  ``repro.parallel`` runs the same
+workloads on actual cores:
+
+* :class:`ParallelExecutor` — one ``map_graph(fn, graph, payloads)``
+  fan-out API over ``serial`` / ``thread`` / ``process`` backends,
+  selectable per call site or globally via ``$REPRO_BACKEND`` /
+  ``$REPRO_WORKERS``;
+* :mod:`~repro.parallel.shm` — the process backend shares the immutable
+  CSR arrays zero-copy through ``multiprocessing.shared_memory`` instead
+  of pickling the graph into every task;
+* :mod:`~repro.parallel.chunking` — the chunking policy shared with the
+  TLAG task engine (one knob for bench C4 and the real backend).
+
+Hot paths accept an ``executor=``:
+``repro.matching.count_matches`` / ``triangle_count`` fan out over root
+chunks, and ``repro.tlav.vectorized.pagerank_dense`` partitions vertex
+ranges per superstep.  Results are backend-independent by construction
+(chunk-deterministic reduction; see DESIGN.md, *Parallel execution*).
+"""
+
+from .chunking import chunk_list, chunk_spans, default_chunk_size
+from .executor import (
+    BACKENDS,
+    ParallelExecutor,
+    available_workers,
+    resolve_backend,
+    resolve_workers,
+)
+from .shm import SharedGraph, SharedGraphHandle, attach_graph
+
+__all__ = [
+    "BACKENDS",
+    "ParallelExecutor",
+    "SharedGraph",
+    "SharedGraphHandle",
+    "attach_graph",
+    "available_workers",
+    "chunk_list",
+    "chunk_spans",
+    "default_chunk_size",
+    "resolve_backend",
+    "resolve_workers",
+]

@@ -1,0 +1,53 @@
+"""The chunking policy shared by every task fan-out in the library.
+
+Root-level parallel matching, the dense TLAV vertex partitions, and the
+TLAG task engine's initial deal all split an index range into contiguous
+chunks.  Keeping the policy in one place means the work-stealing bench
+(C4) and the real multicore backend turn the *same knob*: a chunk is the
+unit a worker claims, so smaller chunks trade scheduling overhead for
+balance exactly as task splitting does in the simulated engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["default_chunk_size", "chunk_spans", "chunk_list"]
+
+T = TypeVar("T")
+
+#: Chunks per worker the default policy aims for: enough surplus chunks
+#: that the slowest chunk cannot dominate the makespan, few enough that
+#: per-chunk dispatch cost stays negligible.
+OVERSUBSCRIPTION = 4
+
+
+def default_chunk_size(num_items: int, workers: int) -> int:
+    """Chunk size giving each worker ~``OVERSUBSCRIPTION`` chunks."""
+    if num_items <= 0:
+        return 1
+    target_chunks = max(1, workers) * OVERSUBSCRIPTION
+    return max(1, -(-num_items // target_chunks))
+
+
+def chunk_spans(
+    num_items: int, chunk_size: Optional[int] = None, workers: int = 1
+) -> List[Tuple[int, int]]:
+    """Split ``range(num_items)`` into contiguous ``(lo, hi)`` spans."""
+    if num_items <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = default_chunk_size(num_items, workers)
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [
+        (lo, min(lo + chunk_size, num_items))
+        for lo in range(0, num_items, chunk_size)
+    ]
+
+
+def chunk_list(
+    items: Sequence[T], chunk_size: Optional[int] = None, workers: int = 1
+) -> List[List[T]]:
+    """Split a concrete list of items along :func:`chunk_spans`."""
+    return [list(items[lo:hi]) for lo, hi in chunk_spans(len(items), chunk_size, workers)]

@@ -1,0 +1,261 @@
+"""The executor abstraction: one fan-out API, three backends.
+
+``ParallelExecutor.map_graph(fn, graph, payloads)`` applies a
+module-level function ``fn(graph, payload)`` to every payload and
+returns the results in order.  The backend decides what that costs:
+
+* ``serial`` — a plain loop in the calling process (the reference
+  semantics every other backend must reproduce bit-for-bit);
+* ``thread`` — a ``ThreadPoolExecutor``; useful when ``fn`` spends its
+  time in numpy kernels that release the GIL;
+* ``process`` — a ``ProcessPoolExecutor`` where the graph is shared
+  zero-copy through :mod:`repro.parallel.shm`: workers attach the CSR
+  segments once and every task ships only its payload (a chunk
+  descriptor, not the graph).
+
+Determinism contract: callers split work with the chunking policy of
+:mod:`repro.parallel.chunking` and reduce results *in payload order*.
+Because the chunk structure — not the backend — fixes the computation
+graph, every backend produces identical output (see DESIGN.md).
+
+The executor meters itself into a :class:`~repro.obs.MetricsRegistry`
+(``parallel.*``): per-worker busy seconds, chunk latency histogram, and
+the ``parallel.efficiency`` gauge ``busy / (wall * workers)`` — 1.0
+means perfect scaling, 1/workers means the fan-out bought nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..graph.csr import Graph
+from ..obs import MetricsRegistry
+from .chunking import chunk_spans, default_chunk_size
+from .shm import SharedGraph, attach_graph
+
+__all__ = [
+    "BACKENDS",
+    "ParallelExecutor",
+    "available_workers",
+    "resolve_backend",
+    "resolve_workers",
+]
+
+BACKENDS = ("serial", "thread", "process")
+
+#: Environment knobs: ``REPRO_BACKEND`` picks the default backend,
+#: ``REPRO_WORKERS`` the default worker count.
+ENV_BACKEND = "REPRO_BACKEND"
+ENV_WORKERS = "REPRO_WORKERS"
+
+
+def available_workers() -> int:
+    """Usable CPUs (cgroup/affinity-aware where the platform allows)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Explicit argument, else ``$REPRO_BACKEND``, else ``serial``."""
+    if backend is None:
+        backend = os.environ.get(ENV_BACKEND, "serial")
+    backend = backend.lower()
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    return backend
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument, else ``$REPRO_WORKERS``, else all CPUs."""
+    if workers is None:
+        env = os.environ.get(ENV_WORKERS)
+        workers = int(env) if env else available_workers()
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    return workers
+
+
+def _timed(fn: Callable[[Graph, Any], Any], graph: Graph, payload: Any):
+    start = time.perf_counter()
+    result = fn(graph, payload)
+    return result, time.perf_counter() - start
+
+
+def _process_task(handle, fn, payload):
+    """Process-backend task: reattach the shared graph, run the chunk."""
+    graph = attach_graph(handle)
+    return _timed(fn, graph, payload)
+
+
+class ParallelExecutor:
+    """Backend-selectable fan-out over an immutable graph.
+
+    Parameters
+    ----------
+    backend:
+        ``serial`` / ``thread`` / ``process``; ``None`` consults
+        ``$REPRO_BACKEND``.
+    workers:
+        Worker count; ``None`` consults ``$REPRO_WORKERS`` then the CPU
+        count.  The serial backend always reports 1.
+    chunk_size:
+        Default chunk size for :meth:`spans`; ``None`` derives one from
+        the item count and worker count (the shared chunking policy).
+    obs:
+        Optional shared :class:`~repro.obs.MetricsRegistry` receiving the
+        ``parallel.*`` metrics (private registry when omitted).
+    """
+
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        obs: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.backend = resolve_backend(backend)
+        self.workers = 1 if self.backend == "serial" else resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self._pool: Optional[_FuturesExecutor] = None
+        self._shared: Optional[SharedGraph] = None
+        # Strong reference, not an id(): ids are reused after gc, which
+        # would let a dead graph's shared segments serve a new graph.
+        self._shared_graph: Optional[Graph] = None
+        self._c_maps = self.obs.counter("parallel.maps", "map_graph fan-outs issued")
+        self._c_chunks = self.obs.counter("parallel.chunks", "chunk tasks executed")
+        self._c_busy = self.obs.counter(
+            "parallel.busy_seconds", "summed in-chunk compute seconds"
+        )
+        self._c_wall = self.obs.counter(
+            "parallel.wall_seconds", "wall seconds spent inside map_graph"
+        )
+        self._h_chunk = self.obs.histogram(
+            "parallel.chunk_seconds",
+            "per-chunk latency (seconds)",
+            buckets=tuple(10.0 ** e for e in range(-6, 3)),
+        )
+        self._g_workers = self.obs.gauge("parallel.workers", "configured workers")
+        self._g_efficiency = self.obs.gauge(
+            "parallel.efficiency", "busy / (wall * workers) of the last fan-out"
+        )
+        self._g_shared = self.obs.gauge(
+            "parallel.shared_bytes", "bytes of CSR state in shared memory"
+        )
+        self._g_workers.set(self.workers, backend=self.backend)
+
+    # -- chunking ----------------------------------------------------------
+
+    def spans(self, num_items: int):
+        """Contiguous ``(lo, hi)`` chunks under this executor's policy."""
+        return chunk_spans(num_items, self.chunk_size, self.workers)
+
+    def effective_chunk_size(self, num_items: int) -> int:
+        return (
+            self.chunk_size
+            if self.chunk_size is not None
+            else default_chunk_size(num_items, self.workers)
+        )
+
+    # -- fan-out -----------------------------------------------------------
+
+    def map_graph(
+        self,
+        fn: Callable[[Graph, Any], Any],
+        graph: Graph,
+        payloads: Sequence[Any],
+    ) -> List[Any]:
+        """Apply ``fn(graph, payload)`` per payload; results in order.
+
+        ``fn`` must be a module-level function for the process backend
+        (it is pickled by reference; the graph never is).
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        wall_start = time.perf_counter()
+        if self.backend == "serial":
+            timed = [_timed(fn, graph, p) for p in payloads]
+        elif self.backend == "thread":
+            pool = self._thread_pool()
+            timed = list(pool.map(lambda p: _timed(fn, graph, p), payloads))
+        else:
+            handle = self._share(graph).handle
+            pool = self._process_pool()
+            timed = list(
+                pool.map(_process_task, *zip(*[(handle, fn, p) for p in payloads]))
+            )
+        wall = time.perf_counter() - wall_start
+        self._record(len(payloads), [t for _, t in timed], wall)
+        return [r for r, _ in timed]
+
+    # -- backend plumbing --------------------------------------------------
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool  # type: ignore[return-value]
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool  # type: ignore[return-value]
+
+    def _share(self, graph: Graph) -> SharedGraph:
+        """Publish ``graph`` to shared memory (cached across fan-outs)."""
+        if self._shared is not None and self._shared_graph is graph:
+            return self._shared
+        if self._shared is not None:
+            self._shared.close()
+        self._shared = SharedGraph(graph)
+        self._shared_graph = graph
+        self._g_shared.set(self._shared.nbytes)
+        return self._shared
+
+    def _record(self, chunks: int, chunk_seconds: List[float], wall: float) -> None:
+        busy = sum(chunk_seconds)
+        self._c_maps.inc()
+        self._c_chunks.inc(chunks, backend=self.backend)
+        self._c_busy.inc(busy, backend=self.backend)
+        self._c_wall.inc(wall, backend=self.backend)
+        for sec in chunk_seconds:
+            self._h_chunk.observe(sec, backend=self.backend)
+        if wall > 0:
+            self._g_efficiency.set(
+                min(1.0, busy / (wall * self.workers)), backend=self.backend
+            )
+
+    @property
+    def efficiency(self) -> float:
+        """The ``parallel.efficiency`` gauge for this backend."""
+        return float(self._g_efficiency.value(backend=self.backend))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down and unlink shared segments (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+            self._shared_graph = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelExecutor(backend={self.backend!r}, workers={self.workers}, "
+            f"chunk_size={self.chunk_size})"
+        )

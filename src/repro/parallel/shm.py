@@ -1,0 +1,142 @@
+"""Zero-copy sharing of the immutable CSR graph across processes.
+
+The process backend's whole point is that the data graph is *not*
+pickled into every task.  A :class:`SharedGraph` copies the graph's
+arrays (``indptr``, ``indices``, optional vertex/edge labels) once into
+``multiprocessing.shared_memory`` segments; workers receive only a tiny
+:class:`SharedGraphHandle` (segment names + dtypes + shapes) and rebuild
+a :class:`~repro.graph.csr.Graph` whose numpy arrays are *views over the
+same physical pages*.  Attach cost is O(1) per worker regardless of
+graph size, and the OS shares one copy among all workers — the
+shared-memory analogue of G-thinker's "the data graph is partitioned
+once, tasks carry only their frontier".
+
+Lifecycle: the creating process owns the segments and must call
+:meth:`SharedGraph.close` (or use it as a context manager) to unlink
+them; workers attach read-only views cached per process and only ever
+``close()`` their mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = ["SharedGraph", "SharedGraphHandle", "attach_graph"]
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Where one numpy array lives: segment name, dtype, and shape."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """The picklable descriptor a worker needs to reattach the graph."""
+
+    directed: bool
+    arrays: Tuple[Tuple[str, _ArraySpec], ...]
+
+    def cache_key(self) -> Tuple[str, ...]:
+        return tuple(spec.name for _, spec in self.arrays)
+
+
+class SharedGraph:
+    """Owner-side wrapper: graph arrays copied into shared memory once."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        arrays: List[Tuple[str, _ArraySpec]] = []
+        fields: Dict[str, Optional[np.ndarray]] = {
+            "indptr": graph.indptr,
+            "indices": graph.indices,
+            "vertex_labels": graph.vertex_labels,
+            "edge_labels": graph.edge_labels,
+        }
+        for field_name, array in fields.items():
+            if array is None:
+                continue
+            array = np.ascontiguousarray(array)
+            seg = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
+            view[...] = array
+            self._segments.append(seg)
+            arrays.append(
+                (field_name, _ArraySpec(seg.name, str(array.dtype), array.shape))
+            )
+        self.handle = SharedGraphHandle(
+            directed=graph.directed, arrays=tuple(arrays)
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Total shared bytes (what pickling would have copied per task)."""
+        return sum(seg.size for seg in self._segments)
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+# Per-process cache: one attached graph per handle.  A worker typically
+# serves many chunks of the same run; attaching once per process is the
+# zero-copy contract.
+_ATTACHED: Dict[Tuple[str, ...], Tuple[Graph, List[shared_memory.SharedMemory]]] = {}
+
+
+def attach_graph(handle: SharedGraphHandle) -> Graph:
+    """Rebuild the shared :class:`Graph` inside a worker (cached)."""
+    key = handle.cache_key()
+    cached = _ATTACHED.get(key)
+    if cached is not None:
+        return cached[0]
+    # A worker only ever serves one graph at a time; drop stale mappings.
+    for old_key in list(_ATTACHED):
+        _, old_segments = _ATTACHED.pop(old_key)
+        for seg in old_segments:
+            seg.close()
+    segments: List[shared_memory.SharedMemory] = []
+    views: Dict[str, np.ndarray] = {}
+    for field_name, spec in handle.arrays:
+        seg = shared_memory.SharedMemory(name=spec.name)
+        segments.append(seg)
+        views[field_name] = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf
+        )
+    graph = Graph(
+        views["indptr"],
+        views["indices"],
+        directed=handle.directed,
+        vertex_labels=views.get("vertex_labels"),
+        edge_labels=views.get("edge_labels"),
+    )
+    _ATTACHED[key] = (graph, segments)
+    return graph

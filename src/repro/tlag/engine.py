@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional
 
 from ..graph.csr import Graph
 from ..obs import MetricsRegistry, StatsViewMixin, Tracer
+from ..parallel.chunking import chunk_list
 from .task import Task, TaskContext, TaskProgram
 
 __all__ = ["TaskEngine", "EngineStats"]
@@ -185,6 +186,13 @@ class TaskEngine:
         Keep emitted results (disable for counting-only runs to avoid
         materialization — the G-thinker "no instance materialization"
         property).
+    chunk_size:
+        Unit of the initial task deal: contiguous chunks of this many
+        spawned tasks go to workers round-robin (``None`` keeps the
+        task-at-a-time deal).  This is the *same* chunking policy
+        (:mod:`repro.parallel.chunking`) the multicore executor uses, so
+        bench C4 and the real backend share one knob: bigger chunks mean
+        cheaper scheduling but coarser stealing granularity.
     obs:
         Optional shared :class:`~repro.obs.MetricsRegistry`; the engine
         emits its ``tlag.*`` counters there (it creates a private one
@@ -204,14 +212,18 @@ class TaskEngine:
         collect_results: bool = True,
         obs: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         self.graph = graph
         self.program = program
         self.num_workers = num_workers
         self.task_budget = task_budget
         self.steal = steal
+        self.chunk_size = chunk_size
         self.collect_results = collect_results
         self.results: List[Any] = []
         self.result_count = 0
@@ -238,8 +250,13 @@ class TaskEngine:
 
     def _run(self) -> List[Any]:
         queues: List[deque] = [deque() for _ in range(self.num_workers)]
-        for i, task in enumerate(self.program.spawn(self.graph)):
-            queues[i % self.num_workers].append(task)
+        if self.chunk_size is None:
+            for i, task in enumerate(self.program.spawn(self.graph)):
+                queues[i % self.num_workers].append(task)
+        else:
+            spawned = list(self.program.spawn(self.graph))
+            for i, chunk in enumerate(chunk_list(spawned, self.chunk_size)):
+                queues[i % self.num_workers].extend(chunk)
 
         # Event-driven simulation: always advance the worker whose clock
         # is smallest (ties by id for determinism).

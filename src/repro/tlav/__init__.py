@@ -17,6 +17,7 @@ from .ooc import IOStats, OutOfCoreEngine
 from .ppr import ppr_forward_push, ppr_power_iteration
 from .queries import PointQuery, QuegelEngine, QueryOutcome
 from .engine import Aggregator, PregelEngine, VertexContext, VertexProgram
+from .vectorized import bfs_dense, pagerank_dense, wcc_dense
 
 __all__ = [
     "Aggregator",
@@ -46,4 +47,7 @@ __all__ = [
     "QueryOutcome",
     "ppr_power_iteration",
     "ppr_forward_push",
+    "pagerank_dense",
+    "bfs_dense",
+    "wcc_dense",
 ]

@@ -1,0 +1,158 @@
+"""Frontier-at-a-time (dense) TLAV supersteps.
+
+The per-vertex :class:`~repro.tlav.engine.PregelEngine` pays Python
+function-call overhead for every vertex in every superstep.  For the
+data-parallel programs of the Figure-1 "vertex analytics" path —
+PageRank-style fixed-point iterations, BFS/WCC-style label spreading —
+a superstep is just a gather/scatter over the CSR arrays, so this module
+runs it as whole-frontier numpy kernels (:mod:`repro.graph.kernels`).
+
+Equivalence contract
+--------------------
+``pagerank_dense`` is **bit-identical** to the per-vertex engine's
+:func:`repro.tlav.algorithms.pagerank`, not merely close.  Three facts
+make that work:
+
+1. the engine's sender-side combiner folds messages per destination in
+   ascending-source order (``compute`` runs vertices in id order);
+2. ``np.add.at`` applies increments in element order, and the CSR edge
+   array is source-major — so the dense scatter-add performs the *same
+   additions in the same order*;
+3. the dangling-mass aggregator is folded in ascending vertex order,
+   which the dense path reproduces with an explicit left fold.
+
+``bfs_dense`` / ``wcc_dense`` are integer label spreads, equal to their
+engine counterparts by construction.
+
+Parallel partitions
+-------------------
+Pass an ``executor`` (:class:`repro.parallel.ParallelExecutor`) to
+partition each superstep's scatter over contiguous source ranges.
+Results are then *chunk-deterministic*: fixed by the chunk layout, not
+the backend — serial/thread/process with the same chunking agree
+bit-for-bit (floating-point partial sums are folded in chunk order).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.kernels import expand_frontier, scatter_add_ordered
+from ..obs import MetricsRegistry
+
+__all__ = ["pagerank_dense", "bfs_dense", "wcc_dense"]
+
+
+def _scatter_shares_task(graph: Graph, payload: Tuple) -> np.ndarray:
+    """Partial incoming-mass vector from the source range ``[lo, hi)``.
+
+    Module-level so the process backend can ship it; the CSR arrays come
+    from shared memory, the payload carries only the span and the current
+    share vector.
+    """
+    lo, hi, shares = payload
+    indptr, indices = graph.indptr, graph.indices
+    degrees = indptr[lo + 1: hi + 1] - indptr[lo: hi]
+    partial = np.zeros(graph.num_vertices, dtype=np.float64)
+    dst = indices[indptr[lo]: indptr[hi]]
+    scatter_add_ordered(partial, dst, np.repeat(shares[lo:hi], degrees))
+    return partial
+
+
+def pagerank_dense(
+    graph: Graph,
+    damping: float = 0.85,
+    iterations: int = 20,
+    obs: Optional[MetricsRegistry] = None,
+    executor: Optional["ParallelExecutor"] = None,
+) -> np.ndarray:
+    """PageRank as dense supersteps; bit-identical to the engine path.
+
+    Without an ``executor`` every superstep is one vectorized
+    gather/scatter.  With one, the scatter partitions over source-range
+    chunks that run on real cores; partial vectors fold in chunk order,
+    so any backend with the same chunking yields the same bits.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    obs = obs if obs is not None else MetricsRegistry()
+    c_steps = obs.counter("tlav.dense.supersteps", "dense supersteps executed")
+    c_edges = obs.counter(
+        "tlav.dense.edges_processed", "CSR edges gathered/scattered"
+    )
+    indptr, indices = graph.indptr, graph.indices
+    degrees = np.diff(indptr)
+    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    dangling_vertices = np.flatnonzero(degrees == 0)
+    has_out = degrees > 0
+    values = np.full(n, 1.0 / n, dtype=np.float64)
+    spans = None if executor is None else executor.spans(n)
+    for _ in range(iterations):
+        shares = np.divide(
+            values, degrees, out=np.zeros(n, dtype=np.float64), where=has_out
+        )
+        # Left fold in ascending vertex order — the aggregator's order.
+        dangling = 0.0
+        for v in dangling_vertices:
+            dangling += values[v]
+        incoming = np.zeros(n, dtype=np.float64)
+        if executor is None:
+            scatter_add_ordered(incoming, indices, shares[src])
+        else:
+            payloads = [(lo, hi, shares) for lo, hi in spans]
+            for partial in executor.map_graph(_scatter_shares_task, graph, payloads):
+                incoming += partial
+        values = (1.0 - damping) / n + damping * (incoming + dangling / n)
+        c_steps.inc()
+        c_edges.inc(int(indices.size))
+    return values
+
+
+def bfs_dense(graph: Graph, source: int) -> np.ndarray:
+    """BFS levels from ``source`` as whole-frontier gathers.
+
+    Equal to :func:`repro.tlav.algorithms.bfs` (and to
+    :func:`repro.graph.properties.bfs_levels`): unreachable vertices
+    keep ``-1``.
+    """
+    n = graph.num_vertices
+    level = np.full(n, -1, dtype=np.int64)
+    level[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        _, neighbors = expand_frontier(graph.indptr, graph.indices, frontier)
+        fresh = neighbors[level[neighbors] < 0]
+        if fresh.size == 0:
+            break
+        frontier = np.unique(fresh)
+        depth += 1
+        level[frontier] = depth
+    return level
+
+
+def wcc_dense(graph: Graph, max_rounds: Optional[int] = None) -> np.ndarray:
+    """Hash-min connected components as dense scatter-min rounds.
+
+    Equal to :func:`repro.tlav.algorithms.wcc`: every vertex ends with
+    the smallest vertex id in its (weakly) connected component.
+    """
+    n = graph.num_vertices
+    labels = np.arange(n, dtype=np.int64)
+    degrees = np.diff(graph.indptr)
+    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    dst = graph.indices
+    rounds = n if max_rounds is None else max_rounds
+    for _ in range(rounds):
+        spread = labels.copy()
+        # Labels travel along out-edges, exactly like the vertex program
+        # (for undirected graphs the CSR holds both directions).
+        np.minimum.at(spread, dst, labels[src])
+        if np.array_equal(spread, labels):
+            break
+        labels = spread
+    return labels

@@ -1,0 +1,206 @@
+"""Backend equivalence: serial / thread / process give identical answers.
+
+The determinism contract (DESIGN.md): with the same chunk layout, every
+backend performs the same computation graph, so integer counts are equal
+and floating-point vectors are *bit*-identical across backends.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    random_labeled_graph,
+)
+from repro.matching.backtrack import MatchStats, count_matches
+from repro.matching.pattern import (
+    PatternGraph,
+    clique_pattern,
+    cycle_pattern,
+    diamond_pattern,
+)
+from repro.matching.triangles import triangle_count
+from repro.obs import MetricsRegistry
+from repro.parallel import (
+    ParallelExecutor,
+    SharedGraph,
+    attach_graph,
+    chunk_spans,
+    default_chunk_size,
+    resolve_backend,
+    resolve_workers,
+)
+from repro.tlav import pagerank_dense
+
+SEEDS = [0, 1, 2]
+
+
+@pytest.fixture(scope="module")
+def executors():
+    """One executor per backend, identical chunking so results match."""
+    execs = {
+        "serial": ParallelExecutor(backend="serial", chunk_size=16),
+        "thread": ParallelExecutor(backend="thread", workers=2, chunk_size=16),
+        "process": ParallelExecutor(backend="process", workers=2, chunk_size=16),
+    }
+    yield execs
+    for ex in execs.values():
+        ex.close()
+
+
+class TestCountMatchesEquivalence:
+    def _assert_all_equal(self, graph, pattern, executors):
+        expected = count_matches(graph, pattern)
+        for name, ex in executors.items():
+            assert count_matches(graph, pattern, executor=ex) == expected, name
+        return expected
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cliques_on_random_graphs(self, seed, executors):
+        g = erdos_renyi(80, 0.15, seed=seed)
+        self._assert_all_equal(g, clique_pattern(4), executors)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cycles_on_skewed_graphs(self, seed, executors):
+        g = barabasi_albert(120, 3, seed=seed)
+        self._assert_all_equal(g, cycle_pattern(4), executors)
+
+    def test_labeled_pattern(self, executors):
+        g = random_labeled_graph(80, 0.12, num_vertex_labels=3, seed=7)
+        pattern = PatternGraph.from_edges(
+            [(0, 1), (1, 2), (2, 0)], vertex_labels=[0, 1, 2]
+        )
+        self._assert_all_equal(g, pattern, executors)
+
+    def test_symmetric_pattern_with_restrictions(self, executors):
+        # The diamond has a nontrivial automorphism group, so distinct
+        # counting relies on symmetry-breaking restrictions; the parallel
+        # fan-out must apply them identically in every chunk.
+        g = erdos_renyi(70, 0.15, seed=11)
+        self._assert_all_equal(g, diamond_pattern(), executors)
+
+    def test_merged_worker_stats_equal_serial_stats(self, executors):
+        # Every root's search subtree is chunk-independent, so the merged
+        # per-worker counters must equal one serial pass over all roots.
+        g = erdos_renyi(80, 0.15, seed=3)
+        pattern = clique_pattern(4)
+        serial = MatchStats()
+        count_matches(g, pattern, stats=serial)
+        for name, ex in executors.items():
+            merged = MatchStats()
+            count_matches(g, pattern, executor=ex, stats=merged)
+            assert merged.as_dict() == serial.as_dict(), name
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_serial_and_thread_agree(self, seed):
+        g = erdos_renyi(50, 0.2, seed=seed)
+        pattern = clique_pattern(3)
+        expected = count_matches(g, pattern)
+        with ParallelExecutor(backend="thread", workers=2, chunk_size=7) as ex:
+            assert count_matches(g, pattern, executor=ex) == expected
+
+
+class TestTriangleEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_backends(self, seed, executors):
+        g = barabasi_albert(250, 4, seed=seed)
+        expected = triangle_count(g)
+        for name, ex in executors.items():
+            assert triangle_count(g, executor=ex) == expected, name
+
+
+class TestPageRankDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bit_identical_across_backends(self, seed, executors):
+        g = erdos_renyi(150, 0.05, seed=seed)
+        reference = pagerank_dense(g, iterations=10, executor=executors["serial"])
+        for name in ("thread", "process"):
+            got = pagerank_dense(g, iterations=10, executor=executors[name])
+            assert np.array_equal(got, reference), name
+        # The unchunked path folds partial sums in a different association
+        # order, so it is close but not required to be bit-equal.
+        solo = pagerank_dense(g, iterations=10)
+        np.testing.assert_allclose(reference, solo, rtol=0, atol=1e-14)
+
+
+class TestResolution:
+    def test_backend_env_and_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        assert resolve_backend() == "thread"
+        assert resolve_backend("process") == "process"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert resolve_backend() == "serial"
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+
+    def test_workers_env_and_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+        assert resolve_workers(2) == 2
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_serial_backend_reports_one_worker(self):
+        with ParallelExecutor(backend="serial", workers=8) as ex:
+            assert ex.workers == 1
+
+    def test_executor_honours_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        with ParallelExecutor() as ex:
+            assert ex.backend == "thread"
+            assert ex.workers == 2
+
+
+class TestChunking:
+    @given(st.integers(0, 500), st.integers(1, 64), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_spans_partition_the_range(self, n, chunk, workers):
+        spans = chunk_spans(n, chunk, workers)
+        assert all(lo < hi for lo, hi in spans)
+        flat = [i for lo, hi in spans for i in range(lo, hi)]
+        assert flat == list(range(n))
+
+    def test_default_size_oversubscribes_workers(self):
+        # Enough chunks per worker that stealing/imbalance can average out.
+        size = default_chunk_size(1000, 4)
+        assert 1 <= size <= 1000
+        assert len(chunk_spans(1000, None, 4)) >= 4
+
+    def test_zero_items(self):
+        assert chunk_spans(0, None, 4) == []
+
+
+class TestSharedGraph:
+    def test_round_trip_preserves_csr_and_labels(self):
+        g = random_labeled_graph(
+            50, 0.1, num_vertex_labels=3, num_edge_labels=2, seed=1
+        )
+        with SharedGraph(g) as shared:
+            attached = attach_graph(shared.handle)
+            assert attached.directed == g.directed
+            assert np.array_equal(attached.indptr, g.indptr)
+            assert np.array_equal(attached.indices, g.indices)
+            for v in range(g.num_vertices):
+                assert attached.vertex_label(v) == g.vertex_label(v)
+
+    def test_close_is_idempotent(self):
+        shared = SharedGraph(erdos_renyi(20, 0.2, seed=0))
+        shared.close()
+        shared.close()
+
+
+class TestObservability:
+    def test_efficiency_gauge_and_counters(self):
+        obs = MetricsRegistry()
+        g = erdos_renyi(120, 0.05, seed=0)
+        with ParallelExecutor(backend="serial", obs=obs) as ex:
+            triangle_count(g, executor=ex)
+            assert 0.0 < ex.efficiency <= 1.0
+        assert obs.get("parallel.maps").total >= 1
+        assert obs.get("parallel.chunks").total >= 1
+        assert obs.get("parallel.workers").value(backend="serial") == 1

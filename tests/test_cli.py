@@ -34,6 +34,37 @@ class TestCLI:
         assert "triangles" in profile
         assert "graphlets" in profile
 
+    def test_analyze_parallel_flags(self, tmp_path, capsys):
+        path = str(tmp_path / "g.txt")
+        main(["generate", "ba", path, "--n", "150", "--m", "3"])
+        capsys.readouterr()
+        assert main(["analyze", path, "--backend", "thread",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=thread" in out
+        assert "workers=2" in out
+        assert "efficiency=" in out
+
+    def test_analyze_parallel_json_profile(self, tmp_path, capsys):
+        path = str(tmp_path / "g.txt")
+        main(["generate", "er", path, "--n", "100", "--p", "0.08"])
+        capsys.readouterr()
+        # Serial baseline and a threaded run must count identically.
+        assert main(["analyze", path, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["analyze", path, "--json", "--backend", "thread",
+                     "--workers", "2"]) == 0
+        threaded = json.loads(capsys.readouterr().out)
+        assert serial["parallel"]["backend"] == "serial"
+        assert threaded["parallel"]["backend"] == "thread"
+        assert threaded["parallel"]["workers"] == 2
+        assert threaded["triangles"] == serial["triangles"]
+        assert 0.0 < threaded["parallel"]["efficiency"] <= 1.0
+
+    def test_analyze_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "g.txt", "--backend", "gpu"])
+
     def test_obs_demo(self, capsys):
         assert main(["obs-demo", "--workers", "3"]) == 0
         snapshot = json.loads(capsys.readouterr().out)
