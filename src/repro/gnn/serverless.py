@@ -25,9 +25,18 @@ Value-per-dollar = 1 / (makespan * dollars), Dorylus's metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict, Optional
 
-__all__ = ["DeploymentCost", "Workload", "estimate_costs"]
+from ..obs import MetricsRegistry, StatsViewMixin, merge_counters
+from ..resilience import FaultInjector, RetryPolicy
+
+__all__ = [
+    "DeploymentCost",
+    "FleetStats",
+    "Workload",
+    "estimate_costs",
+    "simulate_fleet",
+]
 
 
 @dataclass
@@ -112,3 +121,152 @@ def estimate_costs(
         "cpu": DeploymentCost("cpu", cpu_time, cpu_cost),
         "cpu+lambda": DeploymentCost("cpu+lambda", hybrid_time, hybrid_cost),
     }
+
+
+@dataclass
+class FleetStats(StatsViewMixin):
+    """Outcome accounting of one simulated lambda-fleet stage.
+
+    ``busy_seconds`` is productive compute, ``wasted_seconds`` is time
+    burned by failed or killed attempts, ``backoff_seconds`` the summed
+    retry delays — the cost Dorylus's tail-latency argument is about.
+    """
+
+    invocations: int = 0
+    attempts: int = 0
+    failures: int = 0
+    stragglers: int = 0
+    retries: int = 0
+    exhausted: int = 0
+    busy_seconds: float = 0.0
+    wasted_seconds: float = 0.0
+    backoff_seconds: float = 0.0
+    makespan: float = 0.0
+
+    def extra_dict(self) -> Dict[str, Any]:
+        total = self.busy_seconds + self.wasted_seconds + self.backoff_seconds
+        return {
+            "goodput": self.busy_seconds / total if total > 0 else 1.0,
+        }
+
+    def merge(self, other: "FleetStats") -> "FleetStats":
+        return merge_counters(
+            self,
+            other,
+            sum_fields=(
+                "invocations", "attempts", "failures", "stragglers",
+                "retries", "exhausted", "busy_seconds", "wasted_seconds",
+                "backoff_seconds",
+            ),
+            max_fields=("makespan",),
+        )
+
+
+def simulate_fleet(
+    invocations: int,
+    duration_s: float,
+    parallelism: int,
+    injector: Optional[FaultInjector] = None,
+    retry: Optional[RetryPolicy] = None,
+    straggler_factor: float = 8.0,
+    overhead_s: float = 0.010,
+    obs: Optional[MetricsRegistry] = None,
+) -> FleetStats:
+    """Simulate one lambda stage under faults, retries and stragglers.
+
+    Each of ``invocations`` lambda calls runs ``duration_s`` of useful
+    work on the earliest-free of ``parallelism`` slots.  The
+    ``injector``'s ``fail_lambda`` plan decides each attempt's fate:
+
+    * ``fail`` — the attempt dies halfway (detection costs the overhead
+      plus half the duration); with a ``retry`` policy it is re-invoked
+      after the deterministic backoff, otherwise (or past the attempt
+      budget) the work is forced through once more and counted under
+      ``exhausted`` — the fleet never loses gradients, it only pays.
+    * ``straggler`` — with a ``retry`` policy the attempt is killed at
+      the policy's ``timeout`` and re-invoked (Dorylus's tail cure);
+      without one the slot crawls for ``duration_s * straggler_factor``.
+
+    Everything is deterministic given the injector's seed, so the chaos
+    suite can assert exact costs.  Counted under ``resilience.*`` when
+    ``obs`` is given.
+    """
+    if invocations < 0:
+        raise ValueError("invocations must be >= 0")
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    stats = FleetStats(invocations=invocations)
+    slots = [0.0] * parallelism
+    c_attempts = c_retries = c_backoff = None
+    if obs is not None:
+        c_attempts = obs.counter(
+            "resilience.lambda_attempts", "lambda attempts, by outcome"
+        )
+        c_retries = obs.counter("resilience.retries", "retried operations, by op")
+        c_backoff = obs.counter(
+            "resilience.backoff_seconds", "summed (simulated) backoff delay"
+        )
+    max_attempts = retry.max_attempts if retry is not None else 1
+    for inv in range(invocations):
+        slot = min(range(parallelism), key=lambda s: (slots[s], s))
+        t = slots[slot]
+        attempt = 0
+        while True:
+            stats.attempts += 1
+            outcome = (
+                injector.lambda_outcome(inv, attempt)
+                if injector is not None
+                else "ok"
+            )
+            can_retry = retry is not None and attempt + 1 < max_attempts
+            if outcome == "ok":
+                t += overhead_s + duration_s
+                stats.busy_seconds += duration_s
+                if c_attempts is not None:
+                    c_attempts.inc(outcome="ok")
+                break
+            if outcome == "fail":
+                stats.failures += 1
+                wasted = overhead_s + 0.5 * duration_s
+                t += wasted
+                stats.wasted_seconds += wasted
+                if c_attempts is not None:
+                    c_attempts.inc(outcome="fail")
+                if not can_retry:
+                    # Out of budget (or no policy): force the work
+                    # through so no gradient is lost, but count it.
+                    stats.exhausted += 1
+                    t += overhead_s + duration_s
+                    stats.busy_seconds += duration_s
+                    break
+            else:  # straggler
+                stats.stragglers += 1
+                if c_attempts is not None:
+                    c_attempts.inc(outcome="straggler")
+                if retry is None:
+                    # No tail cure: the slot crawls to completion.
+                    slow = overhead_s + duration_s * straggler_factor
+                    t += slow
+                    stats.busy_seconds += duration_s
+                    stats.wasted_seconds += slow - duration_s - overhead_s
+                    break
+                # Kill at the per-attempt deadline and re-invoke.
+                wasted = overhead_s + retry.timeout
+                t += wasted
+                stats.wasted_seconds += wasted
+                if not can_retry:
+                    stats.exhausted += 1
+                    t += overhead_s + duration_s
+                    stats.busy_seconds += duration_s
+                    break
+            attempt += 1
+            stats.retries += 1
+            pause = retry.delay(attempt, key=("lambda", inv))
+            t += pause
+            stats.backoff_seconds += pause
+            if c_retries is not None:
+                c_retries.inc(op="lambda")
+                c_backoff.inc(pause)
+        slots[slot] = t
+    stats.makespan = max(slots) if slots else 0.0
+    return stats

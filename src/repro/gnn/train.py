@@ -22,13 +22,56 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..graph.csr import Graph
-from ..obs import MetricsRegistry, StatsViewMixin, merge_counters
+from ..obs import MetricsRegistry, StatsViewMixin, Tracer, merge_counters
+from ..resilience import FaultInjector, SnapshotStore
 from .layers import GraphTensors
 from .models import Adam, NodeClassifier, accuracy
 from .sampling import NeighborSampler
 from .tensor import Tensor, no_grad
 
 __all__ = ["TrainReport", "train_full_graph", "train_sampled"]
+
+SNAPSHOT_TAG = "gnn"
+
+
+def _training_state(
+    epoch: int, model: NodeClassifier, optimizer: Adam, report: TrainReport
+) -> Dict[str, Any]:
+    """Everything a resumed run needs to be bit-identical: weights,
+    Adam moments + step count, and the report trace so far."""
+    return {
+        "epoch": epoch,
+        "params": [p.data for p in model.parameters()],
+        "adam": {"t": optimizer.t, "m": optimizer.m, "v": optimizer.v},
+        "report": {
+            "losses": report.losses,
+            "train_accuracy": report.train_accuracy,
+            "val_accuracy": report.val_accuracy,
+            "gathered_features": report.gathered_features,
+            "steps": report.steps,
+        },
+    }
+
+
+def _restore_training_state(
+    state: Dict[str, Any],
+    model: NodeClassifier,
+    optimizer: Adam,
+    report: TrainReport,
+) -> int:
+    for p, data in zip(model.parameters(), state["params"]):
+        p.data = data
+        p.zero_grad()
+    optimizer.t = state["adam"]["t"]
+    optimizer.m = state["adam"]["m"]
+    optimizer.v = state["adam"]["v"]
+    rep = state["report"]
+    report.losses[:] = rep["losses"]
+    report.train_accuracy[:] = rep["train_accuracy"]
+    report.val_accuracy[:] = rep["val_accuracy"]
+    report.gathered_features = rep["gathered_features"]
+    report.steps = rep["steps"]
+    return int(state["epoch"])
 
 
 @dataclass
@@ -93,14 +136,49 @@ def train_full_graph(
     epochs: int = 50,
     lr: float = 0.01,
     obs: Optional[MetricsRegistry] = None,
+    injector: Optional[FaultInjector] = None,
+    snapshots: Optional[SnapshotStore] = None,
+    checkpoint_every: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> TrainReport:
-    """Full-graph training with masked cross-entropy."""
+    """Full-graph training with masked cross-entropy.
+
+    With an ``injector``, ``fail_epoch`` faults crash the loop at the
+    start of that epoch; training resumes from the latest ``gnn``
+    snapshot (weights + Adam moments + epoch), replaying the epochs
+    since.  ``checkpoint_every`` sets the snapshot cadence (a baseline
+    is always taken before epoch 0 when resilience is on).
+    """
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
     gt = GraphTensors(graph)
     x = Tensor(features)
     optimizer = Adam(model.parameters(), lr=lr)
     report = TrainReport()
     train_idx = np.nonzero(train_mask)[0]
-    for _ in range(epochs):
+    resilient = injector is not None or checkpoint_every is not None
+    if snapshots is None and resilient:
+        snapshots = SnapshotStore(obs=obs)
+    if snapshots is not None:
+        snapshots.save(
+            SNAPSHOT_TAG, 0, _training_state(0, model, optimizer, report)
+        )
+    epoch = 0
+    while epoch < epochs:
+        if injector is not None and injector.take_epoch_failure(epoch):
+            assert snapshots is not None
+            state = snapshots.restore_latest(SNAPSHOT_TAG)
+            resumed = _restore_training_state(state, model, optimizer, report)
+            if tracer is not None:
+                with tracer.span(
+                    "resilience.recover",
+                    engine="gnn",
+                    epoch=epoch,
+                    replayed=epoch - resumed,
+                ):
+                    pass
+            epoch = resumed
+            continue
         optimizer.zero_grad()
         logits = model(gt, x)
         loss = logits.gather_rows(train_idx).cross_entropy(labels[train_idx])
@@ -112,6 +190,17 @@ def train_full_graph(
         report.train_accuracy.append(accuracy(out, labels, train_mask))
         if val_mask is not None:
             report.val_accuracy.append(accuracy(out, labels, val_mask))
+        epoch += 1
+        if (
+            snapshots is not None
+            and checkpoint_every is not None
+            and epoch % checkpoint_every == 0
+        ):
+            snapshots.save(
+                SNAPSHOT_TAG,
+                epoch,
+                _training_state(epoch, model, optimizer, report),
+            )
     return report
 
 

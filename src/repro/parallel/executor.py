@@ -22,18 +22,31 @@ The executor meters itself into a :class:`~repro.obs.MetricsRegistry`
 (``parallel.*``): per-worker busy seconds, chunk latency histogram, and
 the ``parallel.efficiency`` gauge ``busy / (wall * workers)`` — 1.0
 means perfect scaling, 1/workers means the fan-out bought nothing.
+
+Crash tolerance: chunks are pure functions of ``(graph, payload)``, so
+a dead worker costs work, never answers.  When a process worker dies —
+organically (``BrokenProcessPool``) or under an injected
+:class:`~repro.resilience.FaultPlan` — the executor rebuilds the pool
+and re-dispatches the unfinished ``(lo, hi)`` spans to the survivors;
+after ``max_pool_failures`` pool losses in one fan-out it degrades the
+backend to ``thread`` and finishes there.  Shared-memory segments are
+unlinked on every failure path.  Recovery is metered under
+``resilience.*`` (re-dispatched chunks, pool failures, degradations)
+and traced as ``resilience.recover`` spans.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..graph.csr import Graph
-from ..obs import MetricsRegistry
+from ..obs import MetricsRegistry, Tracer
+from ..resilience import FaultInjector
 from .chunking import chunk_spans, default_chunk_size
 from .shm import SharedGraph, attach_graph
 
@@ -87,8 +100,15 @@ def _timed(fn: Callable[[Graph, Any], Any], graph: Graph, payload: Any):
     return result, time.perf_counter() - start
 
 
-def _process_task(handle, fn, payload):
-    """Process-backend task: reattach the shared graph, run the chunk."""
+def _process_task(handle, fn, payload, crash=False):
+    """Process-backend task: reattach the shared graph, run the chunk.
+
+    ``crash=True`` is the injected worker death: the child exits hard
+    (no exception back, no cleanup), which surfaces in the parent as the
+    genuine ``BrokenProcessPool`` a production failure produces.
+    """
+    if crash:
+        os._exit(3)
     graph = attach_graph(handle)
     return _timed(fn, graph, payload)
 
@@ -110,6 +130,17 @@ class ParallelExecutor:
     obs:
         Optional shared :class:`~repro.obs.MetricsRegistry` receiving the
         ``parallel.*`` metrics (private registry when omitted).
+    injector:
+        Optional :class:`~repro.resilience.FaultInjector`; its
+        ``crash_worker(chunk=c)`` faults kill the worker executing
+        payload index ``c`` (a real ``os._exit`` under the process
+        backend, a re-dispatched attempt under serial/thread).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; every recovery wave is
+        recorded as a ``resilience.recover`` span.
+    max_pool_failures:
+        Pool losses tolerated within one fan-out before the executor
+        degrades the backend to ``thread`` for the rest of its life.
     """
 
     def __init__(
@@ -118,11 +149,17 @@ class ParallelExecutor:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         obs: Optional[MetricsRegistry] = None,
+        injector: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
+        max_pool_failures: int = 2,
     ) -> None:
         self.backend = resolve_backend(backend)
         self.workers = 1 if self.backend == "serial" else resolve_workers(workers)
         self.chunk_size = chunk_size
         self.obs = obs if obs is not None else MetricsRegistry()
+        self.injector = injector
+        self.tracer = tracer
+        self.max_pool_failures = max_pool_failures
         self._pool: Optional[_FuturesExecutor] = None
         self._shared: Optional[SharedGraph] = None
         # Strong reference, not an id(): ids are reused after gc, which
@@ -147,6 +184,17 @@ class ParallelExecutor:
         )
         self._g_shared = self.obs.gauge(
             "parallel.shared_bytes", "bytes of CSR state in shared memory"
+        )
+        self._c_redispatched = self.obs.counter(
+            "resilience.redispatched_chunks",
+            "chunk spans re-dispatched after a worker death",
+        )
+        self._c_pool_failures = self.obs.counter(
+            "resilience.pool_failures", "process pools lost and rebuilt"
+        )
+        self._g_degraded = self.obs.gauge(
+            "resilience.degraded",
+            "1 once the executor fell back to a weaker backend",
         )
         self._g_workers.set(self.workers, backend=self.backend)
 
@@ -180,20 +228,131 @@ class ParallelExecutor:
         if not payloads:
             return []
         wall_start = time.perf_counter()
-        if self.backend == "serial":
-            timed = [_timed(fn, graph, p) for p in payloads]
-        elif self.backend == "thread":
-            pool = self._thread_pool()
-            timed = list(pool.map(lambda p: _timed(fn, graph, p), payloads))
-        else:
-            handle = self._share(graph).handle
-            pool = self._process_pool()
-            timed = list(
-                pool.map(_process_task, *zip(*[(handle, fn, p) for p in payloads]))
-            )
+        try:
+            if self.backend == "process":
+                timed = self._map_process(fn, graph, payloads)
+            else:
+                timed = self._map_local(fn, graph, payloads)
+        except BaseException:
+            # Failure path: never leave shared segments behind, whatever
+            # the caller does with the exception.
+            self._release_shared()
+            raise
         wall = time.perf_counter() - wall_start
         self._record(len(payloads), [t for _, t in timed], wall)
         return [r for r, _ in timed]
+
+    # -- resilient fan-out paths -------------------------------------------
+
+    def _attempt_chunk(
+        self, fn: Callable[[Graph, Any], Any], graph: Graph, payload: Any, index: int
+    ) -> Tuple[Any, float, int]:
+        """Run one chunk, re-dispatching past injected worker deaths.
+
+        Serial/thread analogue of the process backend's pool rebuild:
+        a crashed attempt costs nothing but time, the chunk is simply
+        run again.  Returns ``(result, seconds, redispatches)``.
+        """
+        redispatches = 0
+        while self.injector is not None and self.injector.take_worker_crash(index):
+            redispatches += 1
+        result, secs = _timed(fn, graph, payload)
+        return result, secs, redispatches
+
+    def _map_local(
+        self, fn: Callable[[Graph, Any], Any], graph: Graph, payloads: List[Any]
+    ) -> List[Tuple[Any, float]]:
+        indexed = list(enumerate(payloads))
+        if self.backend == "serial":
+            attempts = [self._attempt_chunk(fn, graph, p, i) for i, p in indexed]
+        else:
+            pool = self._thread_pool()
+            attempts = list(
+                pool.map(lambda ip: self._attempt_chunk(fn, graph, ip[1], ip[0]), indexed)
+            )
+        redispatched = sum(n for _, _, n in attempts)
+        if redispatched:
+            self._c_redispatched.inc(redispatched, backend=self.backend)
+            self._recover_span(redispatched, rebuilt_pool=False)
+        return [(r, s) for r, s, _ in attempts]
+
+    def _map_process(
+        self, fn: Callable[[Graph, Any], Any], graph: Graph, payloads: List[Any]
+    ) -> List[Tuple[Any, float]]:
+        n = len(payloads)
+        timed: List[Optional[Tuple[Any, float]]] = [None] * n
+        remaining = list(range(n))
+        pool_losses = 0
+        while remaining:
+            handle = self._share(graph).handle
+            pool = self._process_pool()
+            futures: List[Tuple[int, Any]] = []
+            failed: List[int] = []
+            try:
+                for i in remaining:
+                    crash = (
+                        self.injector is not None
+                        and self.injector.take_worker_crash(i)
+                    )
+                    futures.append(
+                        (i, pool.submit(_process_task, handle, fn, payloads[i], crash))
+                    )
+            except BrokenExecutor:
+                failed.extend(i for i in remaining
+                              if i not in {j for j, _ in futures})
+            for i, fut in futures:
+                try:
+                    timed[i] = fut.result()
+                except BrokenExecutor:
+                    failed.append(i)
+            if not failed:
+                break
+            # A worker died and took the pool with it: rebuild and
+            # re-dispatch the spans it left unfinished.
+            pool_losses += 1
+            self._c_pool_failures.inc()
+            self._c_redispatched.inc(len(failed), backend="process")
+            self._teardown_pool()
+            failed.sort()
+            if pool_losses >= self.max_pool_failures:
+                self._degrade_to_thread()
+                self._recover_span(len(failed), rebuilt_pool=False, degraded=True)
+                pool = self._thread_pool()
+                for i, attempt in zip(
+                    failed,
+                    pool.map(
+                        lambda i: self._attempt_chunk(fn, graph, payloads[i], i),
+                        failed,
+                    ),
+                ):
+                    timed[i] = attempt[:2]
+                break
+            self._recover_span(len(failed), rebuilt_pool=True)
+            remaining = failed
+        assert all(t is not None for t in timed)
+        return timed  # type: ignore[return-value]
+
+    def _recover_span(
+        self, redispatched: int, rebuilt_pool: bool, degraded: bool = False
+    ) -> None:
+        if self.tracer is None:
+            return
+        with self.tracer.span(
+            "resilience.recover",
+            engine="executor",
+            backend=self.backend,
+            redispatched=redispatched,
+            rebuilt_pool=rebuilt_pool,
+            degraded=degraded,
+        ):
+            pass
+
+    def _degrade_to_thread(self) -> None:
+        """Give up on process workers; survive on threads instead."""
+        self._release_shared()
+        self.backend = "thread"
+        self._g_degraded.set(1, to="thread")
+        self._g_workers.set(self.workers, backend=self.backend)
 
     # -- backend plumbing --------------------------------------------------
 
@@ -238,15 +397,22 @@ class ParallelExecutor:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def close(self) -> None:
-        """Shut the pool down and unlink shared segments (idempotent)."""
+    def _teardown_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def _release_shared(self) -> None:
         if self._shared is not None:
             self._shared.close()
             self._shared = None
             self._shared_graph = None
+            self._g_shared.set(0)
+
+    def close(self) -> None:
+        """Shut the pool down and unlink shared segments (idempotent)."""
+        self._teardown_pool()
+        self._release_shared()
 
     def __enter__(self) -> "ParallelExecutor":
         return self

@@ -14,11 +14,17 @@ once, tasks carry only their frontier".
 Lifecycle: the creating process owns the segments and must call
 :meth:`SharedGraph.close` (or use it as a context manager) to unlink
 them; workers attach read-only views cached per process and only ever
-``close()`` their mapping.
+``close()`` their mapping.  Unlink is guaranteed even on ugly exits:
+partially-built owners unlink what they managed to create, and an
+``atexit`` guard sweeps any owner still live when the parent
+interpreter dies (a crashed fan-out must not leave stale ``/dev/shm``
+segments behind).
 """
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
@@ -28,6 +34,17 @@ import numpy as np
 from ..graph.csr import Graph
 
 __all__ = ["SharedGraph", "SharedGraphHandle", "attach_graph"]
+
+# Every live owner, so the atexit sweep can unlink segments whose
+# executor never reached close() (worker crash, KeyboardInterrupt, ...).
+# A WeakSet: normal close() drops the owner and gc keeps the set tidy.
+_LIVE: "weakref.WeakSet[SharedGraph]" = weakref.WeakSet()
+
+
+@atexit.register
+def _unlink_leaked_segments() -> None:  # pragma: no cover - exit path
+    for owner in list(_LIVE):
+        owner.close()
 
 
 @dataclass(frozen=True)
@@ -62,20 +79,28 @@ class SharedGraph:
             "vertex_labels": graph.vertex_labels,
             "edge_labels": graph.edge_labels,
         }
-        for field_name, array in fields.items():
-            if array is None:
-                continue
-            array = np.ascontiguousarray(array)
-            seg = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
-            view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
-            view[...] = array
-            self._segments.append(seg)
-            arrays.append(
-                (field_name, _ArraySpec(seg.name, str(array.dtype), array.shape))
-            )
+        try:
+            for field_name, array in fields.items():
+                if array is None:
+                    continue
+                array = np.ascontiguousarray(array)
+                seg = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
+                view[...] = array
+                self._segments.append(seg)
+                arrays.append(
+                    (field_name, _ArraySpec(seg.name, str(array.dtype), array.shape))
+                )
+        except BaseException:
+            # A half-built owner must not leak the segments it did create.
+            self.close()
+            raise
         self.handle = SharedGraphHandle(
             directed=graph.directed, arrays=tuple(arrays)
         )
+        _LIVE.add(self)
 
     @property
     def nbytes(self) -> int:
@@ -91,6 +116,7 @@ class SharedGraph:
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
         self._segments = []
+        _LIVE.discard(self)
 
     def __enter__(self) -> "SharedGraph":
         return self

@@ -1,0 +1,334 @@
+"""Deterministic fault injection: the plan and its injector.
+
+A :class:`FaultPlan` is a declarative schedule of failures — *what*
+should go wrong — built with chainable methods::
+
+    plan = (FaultPlan(seed=7)
+            .crash_worker(chunk=3)          # executor: worker dies mid-fan-out
+            .fail_superstep(4)              # TLAV: crash before superstep 4
+            .fail_task(10)                  # TLAG: crash before task #10
+            .fail_epoch(2)                  # GNN: crash before epoch 2
+            .lossy_network(drop=0.2, duplicate=0.05)
+            .fail_lambda(0.1, straggler=0.05))
+
+A :class:`FaultInjector` (``plan.build()``) is the runtime half that
+engines consult.  Two determinism properties make recovery testable:
+
+* **scheduled faults** (crash at chunk c / superstep s / task n /
+  epoch e) fire a fixed number of times (default once) and then stay
+  quiet, so a recovered run does not re-crash at the same point;
+* **probabilistic faults** (message fates, lambda outcomes) are pure
+  functions of ``(seed, stream, event-key, attempt)`` — drawing one
+  event's fate never advances a shared RNG, so retransmissions and
+  replays leave every other event's fate unchanged.
+
+Every fault taken increments the ``resilience.faults_injected`` counter
+(labelled by ``kind``) in the injector's metrics registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs import MetricsRegistry
+
+__all__ = [
+    "ENV_FAULT_SEED",
+    "FaultError",
+    "FaultPlan",
+    "FaultInjector",
+    "MessageFate",
+    "resolve_fault_seed",
+]
+
+#: Environment knob: the default seed for :class:`FaultPlan` (CI pins it
+#: so the chaos suite replays the exact same failure schedule).
+ENV_FAULT_SEED = "REPRO_FAULT_SEED"
+
+
+def resolve_fault_seed(seed: Optional[int] = None) -> int:
+    """Explicit argument, else ``$REPRO_FAULT_SEED``, else 0."""
+    if seed is not None:
+        return int(seed)
+    env = os.environ.get(ENV_FAULT_SEED)
+    return int(env) if env else 0
+
+
+class FaultError(RuntimeError):
+    """An injected failure (distinguishable from organic bugs)."""
+
+    def __init__(self, kind: str, **info: Any) -> None:
+        self.kind = kind
+        self.info = info
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(info.items()))
+        super().__init__(f"injected fault: {kind}" + (f" ({detail})" if detail else ""))
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """What the lossy link does to one transmission attempt."""
+
+    action: str  # "deliver" | "drop" | "duplicate" | "delay"
+    delay_rounds: int = 0
+
+
+@dataclass
+class _Scheduled:
+    """A point fault that fires ``times`` times at a given event key."""
+
+    kind: str
+    key: Any
+    times: int = 1
+
+
+class FaultPlan:
+    """Declarative, seeded schedule of failures (chainable builder)."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.seed = resolve_fault_seed(seed)
+        self._scheduled: List[_Scheduled] = []
+        self.drop_rate = 0.0
+        self.duplicate_rate = 0.0
+        self.delay_rate = 0.0
+        self.max_delay_rounds = 1
+        self.lambda_fail_rate = 0.0
+        self.lambda_straggler_rate = 0.0
+
+    # -- scheduled (point) faults ------------------------------------------
+
+    def crash_worker(self, chunk: int, times: int = 1) -> "FaultPlan":
+        """Kill the worker executing payload index ``chunk`` of a fan-out."""
+        self._scheduled.append(_Scheduled("worker_crash", int(chunk), times))
+        return self
+
+    def fail_superstep(self, superstep: int, times: int = 1) -> "FaultPlan":
+        """Crash the TLAV engine just before ``superstep`` executes."""
+        self._scheduled.append(_Scheduled("superstep_failure", int(superstep), times))
+        return self
+
+    def fail_task(self, index: int, times: int = 1) -> "FaultPlan":
+        """Crash the TLAG engine just before its ``index``-th task runs."""
+        self._scheduled.append(_Scheduled("task_failure", int(index), times))
+        return self
+
+    def fail_epoch(self, epoch: int, times: int = 1) -> "FaultPlan":
+        """Crash the GNN training loop just before ``epoch`` runs."""
+        self._scheduled.append(_Scheduled("epoch_failure", int(epoch), times))
+        return self
+
+    def drop_message(self, seq: int, times: int = 1) -> "FaultPlan":
+        """Drop the first transmission of send-sequence ``seq``."""
+        self._scheduled.append(_Scheduled("message_drop", int(seq), times))
+        return self
+
+    def duplicate_message(self, seq: int, times: int = 1) -> "FaultPlan":
+        """Deliver send-sequence ``seq`` twice."""
+        self._scheduled.append(_Scheduled("message_duplicate", int(seq), times))
+        return self
+
+    def delay_message(self, seq: int, rounds: int = 1, times: int = 1) -> "FaultPlan":
+        """Hold send-sequence ``seq`` for ``rounds`` delivery rounds."""
+        self._scheduled.append(
+            _Scheduled("message_delay", (int(seq), int(rounds)), times)
+        )
+        return self
+
+    # -- probabilistic faults ----------------------------------------------
+
+    def lossy_network(
+        self,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        max_delay_rounds: int = 1,
+    ) -> "FaultPlan":
+        """Make every transmission fail independently with these rates."""
+        for name, p in (("drop", drop), ("duplicate", duplicate), ("delay", delay)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {p}")
+        self.drop_rate = drop
+        self.duplicate_rate = duplicate
+        self.delay_rate = delay
+        self.max_delay_rounds = max(1, int(max_delay_rounds))
+        return self
+
+    def fail_lambda(self, p: float, straggler: float = 0.0) -> "FaultPlan":
+        """Each lambda invocation fails with probability ``p`` (and
+        straggles — runs far past its deadline — with ``straggler``)."""
+        for name, q in (("p", p), ("straggler", straggler)):
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {q}")
+        self.lambda_fail_rate = p
+        self.lambda_straggler_rate = straggler
+        return self
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return not self._scheduled and not any(
+            (
+                self.drop_rate,
+                self.duplicate_rate,
+                self.delay_rate,
+                self.lambda_fail_rate,
+                self.lambda_straggler_rate,
+            )
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "scheduled": [
+                {"kind": s.kind, "key": s.key, "times": s.times}
+                for s in self._scheduled
+            ],
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "delay_rate": self.delay_rate,
+            "max_delay_rounds": self.max_delay_rounds,
+            "lambda_fail_rate": self.lambda_fail_rate,
+            "lambda_straggler_rate": self.lambda_straggler_rate,
+        }
+
+    def build(self, obs: Optional[MetricsRegistry] = None) -> "FaultInjector":
+        """Instantiate the runtime injector for one run."""
+        return FaultInjector(self, obs=obs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan(seed={self.seed}, {len(self._scheduled)} scheduled)"
+
+
+class FaultInjector:
+    """Runtime oracle the engines consult; deterministic under ``seed``.
+
+    One injector serves one run.  Scheduled faults are consumed (they
+    fire ``times`` times then disarm); probabilistic fates are stateless
+    hashes, so the injector can be shared across subsystems without any
+    draw-order coupling.
+    """
+
+    def __init__(
+        self, plan: Optional[FaultPlan] = None, obs: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self._c_injected = self.obs.counter(
+            "resilience.faults_injected", "faults fired by the injector, by kind"
+        )
+        # Remaining fire-budget per (kind, key).
+        self._armed: Dict[Tuple[str, Any], int] = {}
+        for s in self.plan._scheduled:
+            self._armed[(s.kind, s.key)] = (
+                self._armed.get((s.kind, s.key), 0) + s.times
+            )
+
+    # -- internals ---------------------------------------------------------
+
+    def arm(self, kind: str, key: Any, times: int = 1) -> None:
+        """Schedule an extra point fault on a live injector (shim path)."""
+        self._armed[(kind, key)] = self._armed.get((kind, key), 0) + times
+
+    def _take(self, kind: str, key: Any) -> bool:
+        """Consume one firing of a scheduled fault, if armed."""
+        left = self._armed.get((kind, key), 0)
+        if left <= 0:
+            return False
+        self._armed[(kind, key)] = left - 1
+        self._c_injected.inc(kind=kind)
+        return True
+
+    def _roll(self, stream: str, *key: Any) -> float:
+        """Uniform [0,1) determined purely by (seed, stream, key).
+
+        Hashed with blake2b rather than ``random.Random(tuple)`` because
+        python's ``hash()`` of strings is salted per process — fates must
+        agree across workers and CI runs.
+        """
+        data = repr((self.plan.seed, stream) + key).encode()
+        digest = hashlib.blake2b(data, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    # -- point-fault queries (one per engine) ------------------------------
+
+    def take_worker_crash(self, chunk: int) -> bool:
+        """Executor: should the worker running this chunk die now?"""
+        return self._take("worker_crash", int(chunk))
+
+    def take_superstep_failure(self, superstep: int) -> bool:
+        """TLAV: should the engine crash before this superstep?"""
+        return self._take("superstep_failure", int(superstep))
+
+    def take_task_failure(self, task_index: int) -> bool:
+        """TLAG: should the engine crash before this task?"""
+        return self._take("task_failure", int(task_index))
+
+    def take_epoch_failure(self, epoch: int) -> bool:
+        """GNN: should training crash before this epoch?"""
+        return self._take("epoch_failure", int(epoch))
+
+    # -- network fates ------------------------------------------------------
+
+    def message_fate(self, seq: int, attempt: int = 0) -> MessageFate:
+        """Fate of transmission ``attempt`` of send-sequence ``seq``.
+
+        Scheduled per-message faults apply to the first attempt only
+        (a retransmission is a fresh packet); the probabilistic rates
+        apply to every attempt independently.
+        """
+        if attempt == 0:
+            if self._take("message_drop", int(seq)):
+                return MessageFate("drop")
+            if self._take("message_duplicate", int(seq)):
+                return MessageFate("duplicate")
+            for (kind, key), left in list(self._armed.items()):
+                if kind == "message_delay" and key[0] == int(seq) and left > 0:
+                    self._take(kind, key)
+                    return MessageFate("delay", delay_rounds=key[1])
+        p = self.plan
+        if p.drop_rate or p.duplicate_rate or p.delay_rate:
+            u = self._roll("net", int(seq), int(attempt))
+            if u < p.drop_rate:
+                self._c_injected.inc(kind="message_drop")
+                return MessageFate("drop")
+            if u < p.drop_rate + p.duplicate_rate:
+                self._c_injected.inc(kind="message_duplicate")
+                return MessageFate("duplicate")
+            if u < p.drop_rate + p.duplicate_rate + p.delay_rate:
+                self._c_injected.inc(kind="message_delay")
+                rounds = 1 + int(
+                    self._roll("net-delay", int(seq), int(attempt))
+                    * p.max_delay_rounds
+                )
+                return MessageFate("delay", delay_rounds=min(rounds, p.max_delay_rounds))
+        return MessageFate("deliver")
+
+    # -- lambda outcomes -----------------------------------------------------
+
+    def lambda_outcome(self, invocation: int, attempt: int = 0) -> str:
+        """``"ok"`` / ``"fail"`` / ``"straggler"`` for one invocation."""
+        p = self.plan
+        if p.lambda_fail_rate or p.lambda_straggler_rate:
+            u = self._roll("lambda", int(invocation), int(attempt))
+            if u < p.lambda_fail_rate:
+                self._c_injected.inc(kind="lambda_failure")
+                return "fail"
+            if u < p.lambda_fail_rate + p.lambda_straggler_rate:
+                self._c_injected.inc(kind="lambda_straggler")
+                return "straggler"
+        return "ok"
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def faults_injected(self) -> int:
+        return int(self._c_injected.total)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultInjector(seed={self.plan.seed}, "
+            f"injected={self.faults_injected})"
+        )

@@ -1,0 +1,126 @@
+"""Retry with capped exponential backoff and deterministic jitter.
+
+The policy every resilient path shares: the lossy network retransmits
+un-acked messages with it, the serverless fleet re-invokes failed and
+straggling lambdas with it, and the crash-tolerant executor bounds its
+pool rebuilds with it.
+
+Jitter is the textbook cure for retry storms (everyone who failed
+together retrying together), but random jitter would make recovery
+runs unreproducible — so the jitter here is a pure hash of
+``(seed, key, attempt)``: spread out across keys, identical across
+runs.  Delays are *simulated* by default (accounted, not slept), which
+keeps the chaos suite fast; pass a real ``sleep`` to deploy it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple, Type
+
+from ..obs import MetricsRegistry
+
+__all__ = ["RetryPolicy"]
+
+
+def _jitter_unit(seed: int, key: Any, attempt: int) -> float:
+    """Deterministic uniform [0,1) from (seed, key, attempt)."""
+    data = repr((seed, key, attempt)).encode()
+    digest = hashlib.blake2b(data, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + capped exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts *total* tries (1 = no retries).  The delay
+    before retry ``a`` (1-based) is::
+
+        min(max_delay, base_delay * multiplier**(a-1)) * (1 ± jitter)
+
+    with the ± drawn deterministically from ``(seed, key, a)``.
+    ``timeout`` is the per-attempt deadline consumers that model time
+    (the lambda fleet) charge before declaring an attempt dead.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.1
+    timeout: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.timeout < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    # -- delay schedule -----------------------------------------------------
+
+    def delay(self, attempt: int, key: Any = 0) -> float:
+        """Backoff before retry ``attempt`` (1-based) for event ``key``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter == 0:
+            return base
+        u = _jitter_unit(self.seed, key, attempt)
+        return base * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def delays(self, key: Any = 0) -> List[float]:
+        """The full backoff schedule (one delay per possible retry)."""
+        return [self.delay(a, key) for a in range(1, self.max_attempts)]
+
+    def total_backoff(self, key: Any = 0) -> float:
+        """Worst-case summed backoff if every attempt fails."""
+        return sum(self.delays(key))
+
+    # -- execution ----------------------------------------------------------
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        key: Any = 0,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        sleep: Optional[Callable[[float], None]] = None,
+        obs: Optional[MetricsRegistry] = None,
+        op: str = "call",
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn`` with retries; re-raises after ``max_attempts``.
+
+        ``sleep=None`` (the default) only *accounts* the backoff into
+        the ``resilience.backoff_seconds`` counter — simulated time, the
+        same convention the engines use.  Retries are counted under
+        ``resilience.retries`` labelled by ``op``.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as exc:
+                last = exc
+                if attempt + 1 >= self.max_attempts:
+                    break
+                pause = self.delay(attempt + 1, key)
+                if obs is not None:
+                    obs.counter(
+                        "resilience.retries", "retried operations, by op"
+                    ).inc(op=op)
+                    obs.counter(
+                        "resilience.backoff_seconds",
+                        "summed (simulated) backoff delay",
+                    ).inc(pause)
+                if sleep is not None:
+                    sleep(pause)
+        assert last is not None
+        raise last

@@ -1,0 +1,127 @@
+"""The unified checkpoint/restore protocol (LWCP, generalized).
+
+LWCP's insight for Pregel systems — snapshot the cheap durable state,
+regenerate the rest by replay — applies to every engine in this stack
+once "state" is named per engine:
+
+===========  ====================================================
+engine       what a snapshot holds
+===========  ====================================================
+TLAV         vertex values + halted votes (+ inbox when ``full``)
+TLAG         pending task queues + worker clocks + emitted results
+executor     nothing — chunks are pure, recovery is re-dispatch
+GNN          model weights + optimizer state (Adam m/v/t) + epoch
+===========  ====================================================
+
+A :class:`SnapshotStore` keeps the latest :class:`Snapshot` per tag
+(engines use one tag per run), prices every checkpoint in pickled
+bytes — the cost axis of the LWCP evaluation — and counts traffic
+under ``resilience.checkpoints`` / ``resilience.checkpoint_bytes`` /
+``resilience.restores``.  Snapshots are deep copies (via pickle), so a
+restored engine cannot alias live state that later mutates.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..obs import MetricsRegistry
+
+__all__ = ["Snapshot", "SnapshotStore"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One immutable checkpoint: pickled state plus its coordinates."""
+
+    tag: str
+    step: int
+    payload: bytes
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    def restore(self) -> Any:
+        """Materialize a fresh deep copy of the checkpointed state."""
+        return pickle.loads(self.payload)
+
+
+class SnapshotStore:
+    """Latest-checkpoint-per-tag store with byte accounting.
+
+    ``keep`` > 1 retains a short history (the chaos CLI uses it to show
+    the recovery point chosen); engines only ever need ``latest``.
+    """
+
+    def __init__(
+        self, obs: Optional[MetricsRegistry] = None, keep: int = 1
+    ) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.keep = keep
+        self._by_tag: Dict[str, list] = {}
+        self._c_checkpoints = self.obs.counter(
+            "resilience.checkpoints", "snapshots taken, by tag"
+        )
+        self._c_bytes = self.obs.counter(
+            "resilience.checkpoint_bytes", "pickled snapshot bytes, by tag"
+        )
+        self._c_restores = self.obs.counter(
+            "resilience.restores", "snapshot restores, by tag"
+        )
+
+    def save(
+        self, tag: str, step: int, state: Any, billed_bytes: Optional[int] = None
+    ) -> Snapshot:
+        """Checkpoint ``state`` (deep-copied via pickle) at ``step``.
+
+        ``billed_bytes`` overrides the bytes *accounted* (not stored):
+        LWCP's light checkpoints keep the inbox in the simulation so
+        recovery stays exact, but bill only the state a real system
+        would persist.
+        """
+        snap = Snapshot(tag, int(step), pickle.dumps(state))
+        history = self._by_tag.setdefault(tag, [])
+        history.append(snap)
+        del history[: -self.keep]
+        self._c_checkpoints.inc(tag=tag)
+        self._c_bytes.inc(
+            snap.nbytes if billed_bytes is None else int(billed_bytes), tag=tag
+        )
+        return snap
+
+    def latest(self, tag: str) -> Optional[Snapshot]:
+        history = self._by_tag.get(tag)
+        return history[-1] if history else None
+
+    def restore_latest(self, tag: str) -> Any:
+        """Restore the newest snapshot for ``tag`` (raises if none)."""
+        snap = self.latest(tag)
+        if snap is None:
+            raise KeyError(f"no snapshot for tag {tag!r}")
+        self._c_restores.inc(tag=tag)
+        return snap.restore()
+
+    # -- accounting ---------------------------------------------------------
+
+    def checkpoints_taken(self, tag: Optional[str] = None) -> int:
+        c = self._c_checkpoints
+        return int(c.value(tag=tag) if tag is not None else c.total)
+
+    def checkpoint_bytes(self, tag: Optional[str] = None) -> int:
+        c = self._c_bytes
+        return int(c.value(tag=tag) if tag is not None else c.total)
+
+    def restores(self, tag: Optional[str] = None) -> int:
+        c = self._c_restores
+        return int(c.value(tag=tag) if tag is not None else c.total)
+
+    def tags(self) -> list:
+        return sorted(self._by_tag)
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._by_tag

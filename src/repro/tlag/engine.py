@@ -35,9 +35,12 @@ from typing import Any, Dict, List, Optional
 from ..graph.csr import Graph
 from ..obs import MetricsRegistry, StatsViewMixin, Tracer
 from ..parallel.chunking import chunk_list
+from ..resilience import FaultInjector, SnapshotStore
 from .task import Task, TaskContext, TaskProgram
 
 __all__ = ["TaskEngine", "EngineStats"]
+
+SNAPSHOT_TAG = "tlag"
 
 
 class EngineStats(StatsViewMixin):
@@ -200,6 +203,18 @@ class TaskEngine:
     tracer:
         Optional :class:`~repro.obs.Tracer`; :meth:`run` is recorded as
         a ``tlag.run`` span whose simulated clock is the makespan.
+    injector:
+        Optional :class:`~repro.resilience.FaultInjector`; its
+        ``fail_task`` faults crash the engine just before the n-th task
+        executes, losing every queue back to the last checkpoint.
+    snapshots:
+        Optional shared :class:`~repro.resilience.SnapshotStore` for the
+        ``tlag``-tagged checkpoints (pending task queues + worker
+        clocks + results so far).  A private one is created when an
+        injector or cadence is given without a store.
+    checkpoint_every:
+        Tasks between checkpoints (``None`` keeps only the pre-run
+        snapshot, i.e. recovery restarts the deal).
     """
 
     def __init__(
@@ -213,11 +228,16 @@ class TaskEngine:
         obs: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         chunk_size: Optional[int] = None,
+        injector: Optional[FaultInjector] = None,
+        snapshots: Optional[SnapshotStore] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.graph = graph
         self.program = program
         self.num_workers = num_workers
@@ -229,6 +249,12 @@ class TaskEngine:
         self.result_count = 0
         self.obs = obs if obs is not None else MetricsRegistry()
         self.tracer = tracer
+        self.injector = injector
+        self.checkpoint_every = checkpoint_every
+        resilient = injector is not None or checkpoint_every is not None
+        if snapshots is None and resilient:
+            snapshots = SnapshotStore(obs=self.obs)
+        self.snapshots = snapshots
         self.stats = EngineStats(
             num_workers, registry=self.obs, worker_busy=[0] * num_workers
         )
@@ -263,12 +289,22 @@ class TaskEngine:
         clocks = [0] * self.num_workers
         heap = [(0, w) for w in range(self.num_workers)]
         heapq.heapify(heap)
+        executed = 0  # monotonic task index, the fail_task coordinate
+        if self.snapshots is not None:
+            self._checkpoint(queues, clocks, heap, executed)
 
         while heap:
             clock, w = heapq.heappop(heap)
             task = self._next_task(w, queues)
             if task is None:
                 continue  # worker retires (re-queued below if work appears)
+            if self.injector is not None and self.injector.take_task_failure(
+                executed
+            ):
+                # Crash: every deque, clock and partial result is volatile;
+                # fall back to the last checkpoint and re-execute from there.
+                queues, clocks, heap, executed = self._recover(executed)
+                continue
             ctx = TaskContext(self.graph, budget=self.task_budget)
             ctx.collect_results = self.collect_results
             self.program.process(task, ctx)
@@ -289,7 +325,52 @@ class TaskEngine:
                     if other not in in_heap and pending > 0:
                         heapq.heappush(heap, (max(clocks[other], clock), other))
                         in_heap.add(other)
+            executed += 1
+            if (
+                self.snapshots is not None
+                and self.checkpoint_every is not None
+                and executed % self.checkpoint_every == 0
+            ):
+                self._checkpoint(queues, clocks, heap, executed)
         return self.results
+
+    # -- checkpoint/restore (unified Snapshot protocol, tag "tlag") ---------
+
+    def _checkpoint(
+        self,
+        queues: List[deque],
+        clocks: List[int],
+        heap: List[Any],
+        executed: int,
+    ) -> None:
+        assert self.snapshots is not None
+        state = {
+            "queues": queues,
+            "clocks": clocks,
+            "heap": heap,
+            "executed": executed,
+            "results": self.results,
+            "result_count": self.result_count,
+        }
+        self.snapshots.save(SNAPSHOT_TAG, executed, state)
+
+    def _recover(self, executed: int) -> Any:
+        assert self.snapshots is not None
+        state = self.snapshots.restore_latest(SNAPSHOT_TAG)
+        replayed = executed - state["executed"]
+        if self.tracer is not None:
+            with self.tracer.span(
+                "resilience.recover",
+                engine="tlag",
+                task=executed,
+                replayed=replayed,
+            ):
+                pass
+        self.results = state["results"]
+        self.result_count = state["result_count"]
+        heap = state["heap"]
+        heapq.heapify(heap)
+        return state["queues"], state["clocks"], heap, state["executed"]
 
     def _next_task(self, w: int, queues: List[deque]) -> Optional[Task]:
         """Pop local LIFO work, or steal FIFO from the most loaded worker."""

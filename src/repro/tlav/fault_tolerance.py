@@ -12,27 +12,34 @@ program with:
 * configurable checkpoint interval;
 * two checkpoint flavours — ``full`` (state + inbox, the classic
   scheme) and ``light`` (state only, LWCP);
-* :meth:`inject_failure` — crash at a given superstep; recovery rolls
-  back to the last checkpoint and re-executes;
+* crash injection through the unified
+  :class:`~repro.resilience.FaultInjector` (``fail_superstep`` faults);
+  :meth:`inject_failure` remains as a one-call shim over it;
+* checkpoints stored in a :class:`~repro.resilience.SnapshotStore`
+  (tag ``tlav``), so checkpoint bytes, restores and recovery spans
+  surface under ``resilience.*`` next to every other engine's;
 * accounting of checkpoint bytes, lost supersteps, and recovery
   supersteps, so the interval trade-off (checkpoint cost vs recovery
   cost) is measurable — the LWCP evaluation's axes.
 
 The wrapped run is deterministic, so tests assert the recovered run's
-final values are identical to a failure-free run.
+final values are bit-identical to a failure-free run.
 """
 
 from __future__ import annotations
 
-import copy
 import pickle
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..graph.csr import Graph
+from ..obs import MetricsRegistry, Tracer
+from ..resilience import FaultInjector, Snapshot, SnapshotStore
 from .engine import Aggregator, PregelEngine, VertexProgram
 
 __all__ = ["FaultStats", "CheckpointedEngine"]
+
+SNAPSHOT_TAG = "tlav"
 
 
 @dataclass
@@ -47,7 +54,22 @@ class FaultStats:
 
 
 class CheckpointedEngine:
-    """A Pregel engine with periodic checkpoints and crash recovery."""
+    """A Pregel engine with periodic checkpoints and crash recovery.
+
+    Parameters beyond the classic ones:
+
+    injector:
+        Optional :class:`~repro.resilience.FaultInjector` consulted
+        before every superstep; its ``fail_superstep`` faults crash the
+        engine, which then restores the latest snapshot and replays.
+    snapshots:
+        Optional shared :class:`~repro.resilience.SnapshotStore`
+        (private one if omitted) holding the ``tlav``-tagged
+        checkpoints.
+    obs / tracer:
+        Shared observability; recoveries appear as
+        ``resilience.recover`` spans with the replay distance.
+    """
 
     def __init__(
         self,
@@ -57,6 +79,10 @@ class CheckpointedEngine:
         mode: str = "light",
         aggregators: Optional[Dict[str, Aggregator]] = None,
         max_supersteps: int = 100,
+        injector: Optional[FaultInjector] = None,
+        snapshots: Optional[SnapshotStore] = None,
+        obs: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if mode not in ("light", "full"):
             raise ValueError("mode must be 'light' or 'full'")
@@ -64,73 +90,94 @@ class CheckpointedEngine:
             raise ValueError("checkpoint_interval must be >= 1")
         self.mode = mode
         self.checkpoint_interval = checkpoint_interval
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.injector = injector
+        self.snapshots = (
+            snapshots if snapshots is not None else SnapshotStore(obs=self.obs)
+        )
+        self.tracer = tracer
         self.stats = FaultStats()
         self._engine = PregelEngine(
-            graph, program, aggregators=aggregators, max_supersteps=max_supersteps
+            graph,
+            program,
+            aggregators=aggregators,
+            max_supersteps=max_supersteps,
+            obs=self.obs,
         )
-        self._fail_at: Optional[int] = None
-        self._checkpoint: Optional[dict] = None
+        self._checkpoint: Optional[Snapshot] = None
         self._take_checkpoint()  # superstep-0 baseline
 
     def inject_failure(self, superstep: int) -> None:
-        """Crash (once) when reaching ``superstep``."""
-        self._fail_at = superstep
+        """Crash (once) when reaching ``superstep``.
+
+        Shim over the unified fault API: equivalent to running under
+        ``FaultPlan().fail_superstep(superstep)``.
+        """
+        if self.injector is None:
+            self.injector = FaultInjector(obs=self.obs)
+        self.injector.arm("superstep_failure", int(superstep))
 
     # -- checkpointing ------------------------------------------------------
 
     def _take_checkpoint(self) -> None:
         engine = self._engine
-        snapshot = {
+        state = {
             "superstep": engine.superstep,
-            "values": copy.deepcopy(engine.values),
-            "halted": list(engine._halted),
-            "aggregated": copy.deepcopy(engine.aggregated),
+            "values": engine.values,
+            "halted": engine._halted,
+            "aggregated": engine.aggregated,
+            # LWCP: a real light checkpoint regenerates messages by
+            # replaying the superstep that produced them; the simulation
+            # keeps the inbox so recovery stays exact and *bills* only
+            # what the light scheme would persist (below).
+            "inbox": engine._inbox,
         }
+        billed = {"values": engine.values, "halted": engine._halted}
         if self.mode == "full":
-            snapshot["inbox"] = copy.deepcopy(engine._inbox)
-        else:
-            # LWCP: messages are regenerated by replaying the superstep
-            # that produced them, so only vertex state is stored.
-            snapshot["inbox"] = copy.deepcopy(engine._inbox)
-            # The light flavour still needs *which* vertices had mail to
-            # reactivate them, but not the payloads; we model the byte
-            # saving below and keep the simulation exact.
-        self._checkpoint = snapshot
+            billed["inbox"] = engine._inbox
+        billed_bytes = len(pickle.dumps(billed))
+        self._checkpoint = self.snapshots.save(
+            SNAPSHOT_TAG, engine.superstep, state, billed_bytes=billed_bytes
+        )
         self.stats.checkpoints_taken += 1
-        payload = {
-            "values": snapshot["values"],
-            "halted": snapshot["halted"],
-        }
-        if self.mode == "full":
-            payload["inbox"] = snapshot["inbox"]
-        self.stats.checkpoint_bytes += len(pickle.dumps(payload))
+        self.stats.checkpoint_bytes += billed_bytes
 
     def _restore(self) -> None:
-        snapshot = self._checkpoint
+        assert self._checkpoint is not None
+        state = self.snapshots.restore_latest(SNAPSHOT_TAG)
         engine = self._engine
-        engine.superstep = snapshot["superstep"]
-        engine.values = copy.deepcopy(snapshot["values"])
-        engine._halted = list(snapshot["halted"])
-        engine.aggregated = copy.deepcopy(snapshot["aggregated"])
-        engine._inbox = copy.deepcopy(snapshot["inbox"])
+        engine.superstep = state["superstep"]
+        engine.values = state["values"]
+        engine._halted = state["halted"]
+        engine.aggregated = state["aggregated"]
+        engine._inbox = state["inbox"]
         engine._outbox = {}
         engine._agg_pending = {}
 
     # -- execution ------------------------------------------------------------
 
     def run(self) -> List[Any]:
-        """Run to convergence, surviving the injected failure if any."""
+        """Run to convergence, surviving any injected failures."""
         while True:
-            if (
-                self._fail_at is not None
-                and self._engine.superstep == self._fail_at
+            if self.injector is not None and self.injector.take_superstep_failure(
+                self._engine.superstep
             ):
                 # Crash: lose all volatile state since the checkpoint.
                 self.stats.failures += 1
-                lost = self._engine.superstep - self._checkpoint["superstep"]
+                assert self._checkpoint is not None
+                lost = self._engine.superstep - self._checkpoint.step
                 self.stats.supersteps_replayed += lost
-                self._fail_at = None
-                self._restore()
+                if self.tracer is not None:
+                    with self.tracer.span(
+                        "resilience.recover",
+                        engine="tlav",
+                        superstep=self._engine.superstep,
+                        replayed=lost,
+                        mode=self.mode,
+                    ):
+                        self._restore()
+                else:
+                    self._restore()
                 continue
             progressed = self._engine.step()
             if not progressed:

@@ -98,3 +98,132 @@ class TestNetwork:
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
             Network(0)
+
+
+class TestLossyNetwork:
+    """Drop/duplicate/delay under the FaultInjector, with retransmit."""
+
+    @staticmethod
+    def _lossy(seed=3, retry=True, reliable=True, **rates):
+        from repro.resilience import FaultPlan, RetryPolicy
+
+        plan = FaultPlan(seed=seed).lossy_network(**rates)
+        return Network(
+            2,
+            injector=plan.build(),
+            retry=RetryPolicy(max_attempts=4, seed=seed) if retry else None,
+            reliable=reliable,
+        )
+
+    def test_scheduled_drop_retransmits_and_delivers(self):
+        from repro.resilience import FaultPlan, RetryPolicy
+
+        net = Network(
+            2,
+            injector=FaultPlan(seed=0).drop_message(0).build(),
+            retry=RetryPolicy(max_attempts=3),
+        )
+        net.send(0, 1, "x")
+        net.deliver()
+        assert [m.payload for m in net.receive(1)] == ["x"]
+        assert net.stats.dropped == 1
+        assert net.stats.retransmits == 1
+        assert net.stats.retransmitted_bytes == 1
+
+    def test_duplicate_deduplicated_at_receiver(self):
+        from repro.resilience import FaultPlan
+
+        net = Network(2, injector=FaultPlan(seed=0).duplicate_message(0).build())
+        net.send(0, 1, "x")
+        net.deliver()
+        assert len(net.receive(1)) == 1
+        assert net.stats.duplicates == 1
+
+    def test_delay_surfaces_in_a_later_round(self):
+        from repro.resilience import FaultPlan
+
+        net = Network(
+            2, injector=FaultPlan(seed=0).delay_message(0, rounds=2).build()
+        )
+        net.send(0, 1, "late")
+        net.deliver()
+        assert net.receive(1) == []
+        assert net.has_pending()
+        net.deliver()
+        assert net.receive(1) == []
+        net.deliver()
+        assert [m.payload for m in net.receive(1)] == ["late"]
+        assert not net.has_pending()
+
+    def test_deliver_order_is_stable_by_seq(self):
+        from repro.resilience import FaultPlan
+
+        # seq 0 is delayed one round; in that later round it must sort
+        # *before* the fresher seq 2 even though it matured last.
+        net = Network(2, injector=FaultPlan(seed=0).delay_message(0).build())
+        net.send(0, 1, "a")  # seq 0, delayed
+        net.send(0, 1, "b")  # seq 1
+        net.deliver()
+        assert [m.payload for m in net.receive(1)] == ["b"]
+        net.send(0, 1, "c")  # seq 2
+        net.deliver()
+        assert [m.payload for m in net.receive(1)] == ["a", "c"]
+
+    def test_reliable_exhaustion_still_delivers(self):
+        net = self._lossy(drop=1.0)
+        net.send(0, 1, "x")
+        net.deliver()
+        assert len(net.receive(1)) == 1
+        assert net.stats.retry_exhausted == 1
+        assert net.stats.lost == 0
+
+    def test_unreliable_exhaustion_loses(self):
+        net = self._lossy(drop=1.0, reliable=False)
+        net.send(0, 1, "x")
+        net.deliver()
+        assert net.receive(1) == []
+        assert net.stats.lost == 1
+
+    def test_send_now_is_lossy_too(self):
+        from repro.resilience import FaultPlan
+
+        net = Network(2, injector=FaultPlan(seed=0).duplicate_message(0).build())
+        net.send_now(0, 1, "x")
+        assert len(net.receive(1)) == 1  # deduplicated immediately
+
+    def test_stats_round_trip_with_retry_fields(self):
+        net = self._lossy(drop=0.4, duplicate=0.2)
+        for i in range(40):
+            net.send(0, 1, i)
+        while net.has_pending():
+            net.deliver()
+            net.receive(1)
+        d = net.stats.as_dict()
+        for field in ("dropped", "duplicates", "delayed", "lost",
+                      "retransmits", "retransmitted_bytes", "retry_exhausted"):
+            assert field in d
+        merged = CommStats(2).merge(net.stats)
+        assert merged.retransmits == net.stats.retransmits
+        assert merged.retransmitted_bytes == net.stats.retransmitted_bytes
+        assert merged.dropped == net.stats.dropped
+
+    def test_merge_is_additive(self):
+        a = self._lossy(drop=0.4)
+        b = self._lossy(drop=0.4)
+        for net in (a, b):
+            for i in range(20):
+                net.send(0, 1, i)
+            while net.has_pending():
+                net.deliver()
+                net.receive(1)
+        total = a.stats.retransmits + b.stats.retransmits
+        assert a.stats.merge(b.stats).retransmits == total
+
+    def test_reset_clears_retry_fields(self):
+        net = self._lossy(drop=1.0)
+        net.send(0, 1, "x")
+        net.deliver()
+        net.stats.reset()
+        assert net.stats.retransmits == 0
+        assert net.stats.retry_exhausted == 0
+        assert net.stats.dropped == 0

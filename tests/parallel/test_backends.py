@@ -204,3 +204,133 @@ class TestObservability:
         assert obs.get("parallel.maps").total >= 1
         assert obs.get("parallel.chunks").total >= 1
         assert obs.get("parallel.workers").value(backend="serial") == 1
+
+
+def _boom_task(graph, span):
+    raise RuntimeError("chunk exploded")
+
+
+class TestCrashTolerance:
+    """Injected worker deaths: re-dispatch, pool rebuild, degradation."""
+
+    def _graph(self):
+        return barabasi_albert(150, 3, seed=2)
+
+    def test_serial_and_thread_redispatch(self):
+        from repro.resilience import FaultPlan
+
+        g = self._graph()
+        expected = triangle_count(g)
+        for backend in ("serial", "thread"):
+            obs = MetricsRegistry()
+            injector = FaultPlan(seed=1).crash_worker(chunk=0).build(obs)
+            with ParallelExecutor(
+                backend=backend, workers=2, obs=obs, injector=injector
+            ) as ex:
+                assert triangle_count(g, executor=ex) == expected
+            assert (
+                obs.counter("resilience.redispatched_chunks").value(
+                    backend=backend
+                )
+                == 1
+            )
+
+    def test_process_pool_rebuild_and_redispatch(self):
+        from repro.resilience import FaultPlan
+
+        g = self._graph()
+        expected = triangle_count(g)
+        obs = MetricsRegistry()
+        injector = FaultPlan(seed=1).crash_worker(chunk=1).build(obs)
+        with ParallelExecutor(
+            backend="process", workers=2, obs=obs, injector=injector
+        ) as ex:
+            assert triangle_count(g, executor=ex) == expected
+            assert ex.backend == "process"
+            # The rebuilt pool keeps serving later fan-outs.
+            assert triangle_count(g, executor=ex) == expected
+        assert obs.counter("resilience.pool_failures").total == 1
+        assert obs.counter("resilience.redispatched_chunks").total >= 1
+
+    def test_degradation_after_repeated_pool_losses(self):
+        from repro.resilience import FaultPlan
+
+        g = self._graph()
+        expected = triangle_count(g)
+        obs = MetricsRegistry()
+        injector = FaultPlan(seed=1).crash_worker(chunk=0, times=2).build(obs)
+        with ParallelExecutor(
+            backend="process", workers=2, obs=obs,
+            injector=injector, max_pool_failures=2,
+        ) as ex:
+            assert triangle_count(g, executor=ex) == expected
+            assert ex.backend == "thread"
+            assert obs.gauge("resilience.degraded").value(to="thread") == 1
+
+
+class TestSharedMemoryHygiene:
+    """No stale /dev/shm segments, whatever kills a fan-out."""
+
+    def test_failing_chunk_releases_segments(self):
+        g = erdos_renyi(80, 0.1, seed=0)
+        ex = ParallelExecutor(backend="process", workers=2)
+        names = [seg.name for seg in ex._share(g)._segments]
+        assert names
+        with pytest.raises(RuntimeError, match="chunk exploded"):
+            ex.map_graph(_boom_task, g, ex.spans(g.num_vertices))
+        assert ex._shared is None  # failure path released the cache
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        ex.close()
+
+    def test_atexit_guard_sweeps_unclosed_owners(self):
+        import subprocess
+        import sys
+
+        code = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.graph.generators import erdos_renyi\n"
+            "from repro.parallel.shm import SharedGraph\n"
+            "shared = SharedGraph(erdos_renyi(50, 0.1, seed=0))\n"
+            "print('\\n'.join(seg.name for seg in shared._segments))\n"
+            # no close(): the atexit guard must unlink at interpreter exit
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            check=True, cwd=".",
+        ).stdout
+        names = [n for n in out.splitlines() if n]
+        assert names
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_partial_construction_unlinks(self, monkeypatch):
+        from multiprocessing import shared_memory as shm_mod
+
+        from repro.parallel import shm as shm_module
+
+        created = []
+        real = shm_mod.SharedMemory
+
+        def flaky(*args, **kwargs):
+            if kwargs.get("create") and created:
+                raise OSError("shm exhausted")
+            seg = real(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(seg.name)
+            return seg
+
+        monkeypatch.setattr(shm_module.shared_memory, "SharedMemory", flaky)
+        with pytest.raises(OSError, match="shm exhausted"):
+            SharedGraph(erdos_renyi(40, 0.1, seed=0))
+        monkeypatch.undo()
+        assert created
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                real(name=name)

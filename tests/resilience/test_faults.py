@@ -1,0 +1,169 @@
+"""FaultPlan/FaultInjector: scheduling, determinism, accounting."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import (
+    ENV_FAULT_SEED,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    resolve_fault_seed,
+)
+
+
+class TestSeedResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_SEED, "9")
+        assert resolve_fault_seed(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_SEED, "42")
+        assert resolve_fault_seed() == 42
+        assert FaultPlan().seed == 42
+
+    def test_default_zero(self, monkeypatch):
+        monkeypatch.delenv(ENV_FAULT_SEED, raising=False)
+        assert resolve_fault_seed() == 0
+
+
+class TestScheduledFaults:
+    def test_point_fault_fires_once_then_disarms(self):
+        inj = FaultPlan(seed=1).fail_superstep(4).build()
+        assert not inj.take_superstep_failure(3)
+        assert inj.take_superstep_failure(4)
+        assert not inj.take_superstep_failure(4)  # recovered run is safe
+        assert inj.faults_injected == 1
+
+    def test_times_budget(self):
+        inj = FaultPlan(seed=1).crash_worker(chunk=2, times=3).build()
+        fired = sum(inj.take_worker_crash(2) for _ in range(10))
+        assert fired == 3
+
+    def test_each_engine_stream_is_independent(self):
+        inj = (
+            FaultPlan(seed=1)
+            .crash_worker(chunk=0)
+            .fail_superstep(0)
+            .fail_task(0)
+            .fail_epoch(0)
+            .build()
+        )
+        assert inj.take_worker_crash(0)
+        assert inj.take_superstep_failure(0)
+        assert inj.take_task_failure(0)
+        assert inj.take_epoch_failure(0)
+        assert inj.faults_injected == 4
+
+    def test_arm_on_live_injector(self):
+        inj = FaultInjector()
+        inj.arm("task_failure", 7)
+        assert inj.take_task_failure(7)
+        assert not inj.take_task_failure(7)
+
+    def test_counter_labelled_by_kind(self):
+        obs = MetricsRegistry()
+        inj = FaultPlan(seed=0).fail_task(1).fail_epoch(2).build(obs)
+        inj.take_task_failure(1)
+        inj.take_epoch_failure(2)
+        counter = obs.counter("resilience.faults_injected")
+        assert counter.value(kind="task_failure") == 1
+        assert counter.value(kind="epoch_failure") == 1
+
+
+class TestMessageFates:
+    def test_scheduled_message_faults(self):
+        inj = (
+            FaultPlan(seed=3)
+            .drop_message(5)
+            .duplicate_message(6)
+            .delay_message(7, rounds=2)
+            .build()
+        )
+        assert inj.message_fate(5).action == "drop"
+        assert inj.message_fate(6).action == "duplicate"
+        fate = inj.message_fate(7)
+        assert fate.action == "delay" and fate.delay_rounds == 2
+        assert inj.message_fate(8).action == "deliver"
+
+    def test_scheduled_faults_spare_retransmissions(self):
+        inj = FaultPlan(seed=3).drop_message(5).build()
+        assert inj.message_fate(5, attempt=0).action == "drop"
+        assert inj.message_fate(5, attempt=1).action == "deliver"
+
+    def test_probabilistic_fates_are_pure(self):
+        plan = FaultPlan(seed=11).lossy_network(drop=0.3, duplicate=0.2)
+        a, b = plan.build(), plan.build()
+        fates_a = [a.message_fate(s).action for s in range(200)]
+        fates_b = [b.message_fate(s, attempt=0).action for s in range(200)]
+        assert fates_a == fates_b
+        assert "drop" in fates_a and "duplicate" in fates_a
+
+    def test_query_order_does_not_matter(self):
+        plan = FaultPlan(seed=11).lossy_network(drop=0.3)
+        forward = [plan.build().message_fate(s).action for s in range(50)]
+        backward = [
+            plan.build().message_fate(s).action for s in reversed(range(50))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        fates = [
+            tuple(
+                FaultPlan(seed=s).lossy_network(drop=0.5).build().message_fate(k).action
+                for k in range(64)
+            )
+            for s in (0, 1)
+        ]
+        assert fates[0] != fates[1]
+
+    def test_delay_rounds_bounded(self):
+        inj = FaultPlan(seed=2).lossy_network(delay=1.0, max_delay_rounds=3).build()
+        for seq in range(100):
+            fate = inj.message_fate(seq)
+            assert fate.action == "delay"
+            assert 1 <= fate.delay_rounds <= 3
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan().lossy_network(drop=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan().fail_lambda(-0.1)
+
+
+class TestLambdaOutcomes:
+    def test_deterministic_and_mixed(self):
+        plan = FaultPlan(seed=5).fail_lambda(0.3, straggler=0.2)
+        outcomes = [plan.build().lambda_outcome(i) for i in range(200)]
+        assert outcomes == [plan.build().lambda_outcome(i) for i in range(200)]
+        assert {"ok", "fail", "straggler"} <= set(outcomes)
+
+    def test_attempts_are_independent(self):
+        inj = FaultPlan(seed=5).fail_lambda(0.5).build()
+        per_attempt = [inj.lambda_outcome(0, attempt=a) for a in range(40)]
+        assert "ok" in per_attempt  # retries eventually clear
+
+    def test_no_rates_means_ok(self):
+        assert FaultInjector().lambda_outcome(0) == "ok"
+
+
+class TestPlanIntrospection:
+    def test_empty(self):
+        assert FaultPlan().empty
+        assert not FaultPlan().fail_task(0).empty
+        assert not FaultPlan().lossy_network(drop=0.1).empty
+
+    def test_as_dict_round_trip_fields(self):
+        plan = FaultPlan(seed=9).fail_task(3, times=2).lossy_network(drop=0.25)
+        d = plan.as_dict()
+        assert d["seed"] == 9
+        assert d["scheduled"] == [
+            {"kind": "task_failure", "key": 3, "times": 2}
+        ]
+        assert d["drop_rate"] == 0.25
+
+    def test_fault_error_carries_context(self):
+        err = FaultError("worker_crash", chunk=3)
+        assert err.kind == "worker_crash"
+        assert err.info == {"chunk": 3}
+        assert "worker_crash" in str(err) and "chunk=3" in str(err)

@@ -1,0 +1,93 @@
+"""RetryPolicy: backoff schedule, deterministic jitter, call()."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import RetryPolicy
+
+
+class TestSchedule:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0,
+            max_delay=0.5, jitter=0.0,
+        )
+        assert policy.delays() == [0.1, 0.2, 0.4, 0.5, 0.5]
+        assert policy.total_backoff() == pytest.approx(1.7)
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.2, seed=3)
+        d1 = policy.delay(1, key="msg-7")
+        assert 0.08 <= d1 <= 0.12
+        assert d1 == RetryPolicy(base_delay=0.1, jitter=0.2, seed=3).delay(
+            1, key="msg-7"
+        )
+
+    def test_jitter_spreads_keys(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=0)
+        delays = {policy.delay(1, key=k) for k in range(32)}
+        assert len(delays) > 16  # not a thundering herd
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestCall:
+    def test_retries_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "done"
+
+        obs = MetricsRegistry()
+        policy = RetryPolicy(max_attempts=4, jitter=0.0)
+        assert policy.call(flaky, obs=obs, op="unit") == "done"
+        assert len(attempts) == 3
+        assert obs.counter("resilience.retries").value(op="unit") == 2
+        assert obs.counter("resilience.backoff_seconds").total > 0
+
+    def test_raises_after_budget(self):
+        def always_broken():
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            RetryPolicy(max_attempts=3).call(always_broken)
+
+    def test_retry_on_filters_exceptions(self):
+        def typed():
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            RetryPolicy(max_attempts=5).call(typed, retry_on=(OSError,))
+
+    def test_simulated_sleep_by_default(self):
+        calls = []
+
+        def fail_once():
+            calls.append(1)
+            if len(calls) == 1:
+                raise OSError()
+            return 1
+
+        slept = []
+        policy = RetryPolicy(max_attempts=2, base_delay=0.5, jitter=0.0)
+        # Default: no real sleeping (fast chaos suite) ...
+        assert policy.call(fail_once) == 1
+        # ... but an explicit sleep hook receives the exact schedule.
+        calls.clear()
+        assert policy.call(fail_once, sleep=slept.append) == 1
+        assert slept == [0.5]

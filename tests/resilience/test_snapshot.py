@@ -1,0 +1,67 @@
+"""Snapshot/SnapshotStore: deep-copy semantics and byte accounting."""
+
+import pickle
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import SnapshotStore
+
+
+class TestSnapshotStore:
+    def test_restore_is_a_deep_copy(self):
+        store = SnapshotStore()
+        state = {"values": [1, 2, 3]}
+        store.save("engine", 0, state)
+        state["values"].append(4)  # live state mutates after checkpoint
+        restored = store.restore_latest("engine")
+        assert restored == {"values": [1, 2, 3]}
+        restored["values"].clear()
+        assert store.restore_latest("engine") == {"values": [1, 2, 3]}
+
+    def test_latest_per_tag(self):
+        store = SnapshotStore()
+        store.save("a", 1, "one")
+        store.save("a", 2, "two")
+        store.save("b", 9, "nine")
+        assert store.latest("a").step == 2
+        assert store.restore_latest("a") == "two"
+        assert store.restore_latest("b") == "nine"
+        assert store.tags() == ["a", "b"]
+        assert "a" in store and "missing" not in store
+
+    def test_keep_bounds_history(self):
+        store = SnapshotStore(keep=2)
+        for step in range(5):
+            store.save("t", step, step)
+        assert len(store._by_tag["t"]) == 2
+        assert store.latest("t").step == 4
+
+    def test_missing_tag_raises(self):
+        with pytest.raises(KeyError):
+            SnapshotStore().restore_latest("nope")
+
+    def test_invalid_keep(self):
+        with pytest.raises(ValueError):
+            SnapshotStore(keep=0)
+
+    def test_byte_accounting(self):
+        obs = MetricsRegistry()
+        store = SnapshotStore(obs=obs)
+        state = {"values": list(range(100))}
+        snap = store.save("t", 0, state)
+        assert snap.nbytes == len(pickle.dumps(state))
+        assert store.checkpoints_taken("t") == 1
+        assert store.checkpoint_bytes("t") == snap.nbytes
+        store.restore_latest("t")
+        assert store.restores("t") == 1
+        assert obs.counter("resilience.checkpoints").value(tag="t") == 1
+
+    def test_billed_bytes_override(self):
+        # LWCP light checkpoints store the inbox (exact recovery) but
+        # bill only the state a real system would persist.
+        store = SnapshotStore()
+        snap = store.save("t", 0, {"state": [1] * 50, "inbox": [2] * 500},
+                          billed_bytes=10)
+        assert snap.nbytes > 10  # stored in full
+        assert store.checkpoint_bytes("t") == 10  # billed light

@@ -108,3 +108,53 @@ class TestCLI:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestChaosCLI:
+    def test_chaos_all_scenarios_recover(self, capsys):
+        assert main(["chaos", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        for scenario in ("executor", "network", "tlav", "tlag", "gnn",
+                         "lambda"):
+            assert f"{scenario}" in out
+        assert "FAILED" not in out
+        assert "fault seed 7" in out
+
+    def test_chaos_json_report(self, capsys):
+        assert main(["chaos", "--scenario", "tlav", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["fault_seed"] == 0
+        assert report["scenarios"]["tlav"]["ok"] is True
+        assert "resilience.faults_injected" in report["resilience_metrics"]
+        assert any(
+            s["attrs"]["engine"] == "tlav" for s in report["recover_spans"]
+        )
+
+    def test_chaos_single_scenario(self, capsys):
+        assert main(["chaos", "--scenario", "network"]) == 0
+        out = capsys.readouterr().out
+        assert "retransmits=" in out
+        assert "tlav" not in out
+
+    def test_chaos_seed_defaults_to_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "13")
+        assert main(["chaos", "--scenario", "lambda"]) == 0
+        assert "fault seed 13" in capsys.readouterr().out
+
+    def test_analyze_chaos_reports_recovery(self, tmp_path, capsys):
+        path = str(tmp_path / "g.txt")
+        main(["generate", "ba", path, "--n", "150", "--m", "3"])
+        capsys.readouterr()
+        # Failure-free profile as reference ...
+        assert main(["analyze", path, "--json"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert reference["resilience"]["faults_injected"] == 0
+        # ... and the chaotic run must still report the same triangles.
+        assert main(["analyze", path, "--json", "--chaos",
+                     "--backend", "thread", "--workers", "2"]) == 0
+        chaotic = json.loads(capsys.readouterr().out)
+        assert chaotic["triangles"] == reference["triangles"]
+        res = chaotic["resilience"]
+        assert res["faults_injected"] == 1
+        assert res["redispatched_chunks"] == 1
+        assert res["recover_spans"][0]["attrs"]["engine"] == "executor"
