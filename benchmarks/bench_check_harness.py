@@ -1,0 +1,121 @@
+"""Differential harness economics: what a correctness gate costs.
+
+The ``repro.check`` harness is a CI gate, so its cost profile matters:
+a suite too slow gets skipped, a shrinker too slow leaves reproducers
+unminimised.  This bench measures both halves on the real registry:
+
+* **suite cost per subsystem**: wall-clock and case counts for the
+  quick suite, seed 0 — the exact configuration the CI gate runs.
+* **shrinking economics**: evaluations and size reduction when
+  minimising synthetic failures with known thresholds, confirming the
+  greedy shrinker lands on the decision boundary in a bounded number
+  of oracle evaluations.
+
+Writes ``benchmarks/results/check_harness.json`` alongside the usual
+table artifacts.
+"""
+
+import json
+import os
+from collections import defaultdict
+
+from _harness import RESULTS_DIR, report
+from repro.check import load_all, run_suite
+from repro.check.registry import INVARIANT, Check
+from repro.check.shrink import shrink_case
+from repro.obs import MetricsRegistry
+
+
+def _suite_cost():
+    """Per-subsystem cost of the CI-gate configuration (quick, seed 0)."""
+    registry = load_all()
+    obs = MetricsRegistry()
+    report_ = run_suite(suite="quick", seed=0, registry=registry, obs=obs)
+    per_subsystem = defaultdict(lambda: {"cases": 0, "seconds": 0.0})
+    for result in report_.results:
+        bucket = per_subsystem[result.subsystem]
+        bucket["cases"] += 1
+        bucket["seconds"] += result.seconds
+    return report_, {k: dict(v) for k, v in sorted(per_subsystem.items())}
+
+
+def _shrink_economics():
+    """Known-threshold failures: evals spent vs reduction achieved."""
+    scenarios = [
+        ("one_axis", {"n": 1 << 20}, {"n": 1},
+         lambda p: ["bad"] if p["n"] >= 37 else []),
+        ("two_axis", {"a": 5000, "b": 9000}, {"a": 1, "b": 1},
+         lambda p: ["bad"] if p["a"] >= 12 and p["b"] >= 30 else []),
+        ("crash", {"n": 4096}, {"n": 1},
+         lambda p: (_ for _ in ()).throw(RuntimeError("boom"))
+         if p["n"] >= 5 else []),
+    ]
+    rows = []
+    for name, start, floors, run in scenarios:
+        check = Check(
+            name=f"bench.{name}", subsystem="bench", relation=INVARIANT,
+            gen=lambda rng: {}, run=run, floors=floors,
+        )
+        result = shrink_case(check, dict(start))
+        before = sum(v for v in start.values())
+        after = sum(v for v in result.params.values())
+        rows.append({
+            "scenario": name,
+            "start": dict(start),
+            "shrunk": result.params,
+            "evals": result.evals,
+            "steps": result.steps,
+            "reduction": 1.0 - after / before,
+        })
+    return rows
+
+
+def _run():
+    suite_report, per_subsystem = _suite_cost()
+    shrink_rows = _shrink_economics()
+
+    rows = [
+        [sub, stats["cases"], f"{stats['seconds']:.3f}s", "suite"]
+        for sub, stats in per_subsystem.items()
+    ]
+    rows += [
+        [r["scenario"], r["evals"], f"{r['reduction']:.1%}", "shrink"]
+        for r in shrink_rows
+    ]
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "check_harness.json"), "w") as fh:
+        json.dump(
+            {
+                "suite": suite_report.as_dict(),
+                "per_subsystem": per_subsystem,
+                "shrink": shrink_rows,
+            },
+            fh, indent=2, sort_keys=True,
+        )
+        fh.write("\n")
+    return suite_report, per_subsystem, shrink_rows, rows
+
+
+def test_check_harness_economics(benchmark):
+    suite_report, per_subsystem, shrink_rows, rows = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    report(
+        "check_gate",
+        "Differential harness: suite cost per subsystem, shrink economics",
+        ["target", "cases/evals", "cost", "kind"],
+        rows,
+    )
+    # The CI-gate configuration is green and covers every subsystem.
+    assert suite_report.ok
+    assert suite_report.pairs_run >= 12
+    assert len(per_subsystem) >= 6
+    # Greedy shrinking lands on the decision boundary...
+    by_name = {r["scenario"]: r for r in shrink_rows}
+    assert by_name["one_axis"]["shrunk"] == {"n": 37}
+    assert by_name["two_axis"]["shrunk"] == {"a": 12, "b": 30}
+    assert by_name["crash"]["shrunk"] == {"n": 5}
+    # ...with bounded oracle evaluations despite huge starting points.
+    assert all(r["evals"] <= 200 for r in shrink_rows)
+    assert all(r["reduction"] > 0.99 for r in shrink_rows)

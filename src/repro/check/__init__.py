@@ -1,0 +1,86 @@
+"""Differential correctness harness.
+
+Every engine family in this repository exists at least twice — an
+in-memory reference plus out-of-core, vectorized, distributed, parallel
+or compiled re-implementations of the *same* computation.  This package
+turns that redundancy into an enforced oracle relation:
+
+* :mod:`repro.check.registry` — declarations: every redundant pair and
+  structural invariant, with its equivalence relation (bit-identical,
+  permutation, bounded-error) and shrink floors;
+* :mod:`repro.check.invariants` — the shared comparators and the
+  structural invariants (CSR well-formedness, partition-metric
+  consistency, stats-merge equality);
+* :mod:`repro.check.shrink` — greedy minimization of failing cases to
+  committable reproducers;
+* :mod:`repro.check.runner` — suite/corpus execution, reporting, and
+  ``check.*`` observability.
+
+Run it via ``python -m repro check --suite quick --seed 0`` (the CI
+gate) or ``--suite full`` for every registered pair.
+"""
+
+from .invariants import (
+    bounded_error,
+    csr_well_formed,
+    partition_consistent,
+    same_bits,
+    same_multiset,
+    same_stats,
+    same_values,
+)
+from .registry import (
+    BIT_IDENTICAL,
+    BOUNDED_ERROR,
+    INVARIANT,
+    PERMUTATION,
+    REGISTRY,
+    Check,
+    CheckRegistry,
+    case_rng,
+    invariant,
+    load_all,
+    pair,
+)
+from .runner import (
+    CaseResult,
+    CheckReport,
+    default_corpus_dir,
+    load_case,
+    run_case,
+    run_corpus,
+    run_suite,
+    save_case,
+)
+from .shrink import ShrinkResult, shrink_case
+
+__all__ = [
+    "BIT_IDENTICAL",
+    "BOUNDED_ERROR",
+    "INVARIANT",
+    "PERMUTATION",
+    "REGISTRY",
+    "CaseResult",
+    "Check",
+    "CheckRegistry",
+    "CheckReport",
+    "ShrinkResult",
+    "bounded_error",
+    "case_rng",
+    "csr_well_formed",
+    "default_corpus_dir",
+    "invariant",
+    "load_all",
+    "load_case",
+    "pair",
+    "partition_consistent",
+    "run_case",
+    "run_corpus",
+    "run_suite",
+    "same_bits",
+    "same_multiset",
+    "same_stats",
+    "same_values",
+    "save_case",
+    "shrink_case",
+]

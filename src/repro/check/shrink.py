@@ -1,0 +1,121 @@
+"""Greedy shrinking of failing differential cases.
+
+When an oracle pair fails on a randomly generated workload, the raw
+parameters are usually far larger than needed to show the bug.  The
+shrinker reduces every *shrinkable* parameter (those the check declared
+a floor for) toward its floor, keeping any reduction under which the
+check still fails, until no single-parameter reduction fails — a local
+minimum, which in practice is a minimal reproducer small enough to
+read, commit to ``tests/check/corpus/``, and debug by hand.
+
+The strategy is delta-debugging flavoured but deliberately simple:
+
+1. for each shrinkable parameter (alphabetical, for determinism), try
+   in order: the floor itself, the midpoint toward the floor, and one
+   step down;
+2. the first candidate that still fails is accepted and the scan
+   restarts;
+3. stop at a fixpoint or after ``max_evals`` check executions.
+
+Seeds are intentionally *not* shrunk — they select the workload rather
+than size it, and replaying a reproducer requires them pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .registry import Check
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one failing case."""
+
+    params: Dict
+    violations: List[str]
+    evals: int
+    steps: int
+    trail: List[Dict] = field(default_factory=list)
+
+
+def _candidates(value, floor) -> List:
+    """Smaller values to try for one parameter, most aggressive first."""
+    out: List = []
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return out
+    if isinstance(value, int):
+        floor = int(floor)
+        if value <= floor:
+            return out
+        mid = (value + floor) // 2
+        for cand in (floor, mid, value - 1):
+            if floor <= cand < value and cand not in out:
+                out.append(cand)
+    else:
+        floor = float(floor)
+        if value <= floor:
+            return out
+        for cand in (floor, (value + floor) / 2.0):
+            if floor <= cand < value and cand not in out:
+                out.append(cand)
+    return out
+
+
+def shrink_case(
+    check: Check,
+    params: Dict,
+    max_evals: int = 200,
+    still_fails: Optional[Callable[[Dict], Tuple[bool, List[str]]]] = None,
+) -> ShrinkResult:
+    """Greedily minimize ``params`` while ``check`` keeps failing.
+
+    ``still_fails`` may override the failure predicate (the runner
+    passes one that reuses its exception handling); the default treats
+    a non-empty violation list *or* any exception as failing.
+    """
+
+    def default_predicate(p: Dict) -> Tuple[bool, List[str]]:
+        try:
+            violations = check.run(dict(p))
+        except Exception as exc:  # a crash is a failure too
+            return True, [f"exception: {type(exc).__name__}: {exc}"]
+        return bool(violations), list(violations)
+
+    predicate = still_fails or default_predicate
+
+    failing, last_violations = predicate(params)
+    evals = 1
+    if not failing:
+        # Not actually failing (flaky caller?) — nothing to shrink.
+        return ShrinkResult(dict(params), [], evals, steps=0)
+
+    current = dict(params)
+    trail: List[Dict] = []
+    steps = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for name in sorted(check.floors):
+            if name not in current:
+                continue
+            for cand in _candidates(current[name], check.floors[name]):
+                if evals >= max_evals:
+                    break
+                trial = dict(current)
+                trial[name] = cand
+                fails, violations = predicate(trial)
+                evals += 1
+                if fails:
+                    current = trial
+                    last_violations = violations
+                    trail.append({name: cand})
+                    steps += 1
+                    improved = True
+                    break
+            if improved:
+                break
+    return ShrinkResult(current, last_violations, evals, steps, trail)

@@ -1,0 +1,78 @@
+"""Randomized workloads for the differential suite.
+
+Checks draw *parameter dicts* (JSON-serializable, so failing cases can
+be committed to the corpus verbatim) and rebuild concrete graphs from
+them through :func:`make_graph`.  Rebuild-from-params rather than
+passing graph objects keeps every case replayable across processes and
+shrinkable one scalar at a time.
+
+``make_graph`` clamps structurally-dependent parameters (``m < n`` for
+Barabási–Albert, even ``k < n`` for Watts–Strogatz) instead of raising,
+so the shrinker can lower ``n`` through any combination without turning
+a differential failure into a generator error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    grid_graph,
+    watts_strogatz,
+)
+
+__all__ = ["GRAPH_KINDS", "gen_graph_params", "make_graph"]
+
+GRAPH_KINDS = ("er", "ba", "ws", "grid")
+
+#: Shrink floors for the parameters gen_graph_params emits.
+GRAPH_FLOORS = {"n": 4}
+
+
+def gen_graph_params(
+    rng: np.random.Generator,
+    n_range: Tuple[int, int] = (8, 96),
+    kinds: Sequence[str] = ("er", "ba", "ws"),
+) -> Dict:
+    """Draw one random graph configuration."""
+    kind = str(kinds[int(rng.integers(len(kinds)))])
+    n = int(rng.integers(n_range[0], n_range[1] + 1))
+    params: Dict = {"kind": kind, "n": n, "graph_seed": int(rng.integers(1 << 20))}
+    if kind == "er":
+        params["p"] = round(float(rng.uniform(0.03, 0.25)), 4)
+    elif kind == "ba":
+        params["m"] = int(rng.integers(1, 4))
+    elif kind == "ws":
+        params["k"] = 2 * int(rng.integers(1, 4))
+        params["p"] = round(float(rng.uniform(0.0, 0.3)), 4)
+    return params
+
+
+def make_graph(params: Dict) -> Graph:
+    """Rebuild the graph a parameter dict describes (clamped, total)."""
+    kind = params["kind"]
+    n = max(int(params["n"]), 2)
+    seed = int(params.get("graph_seed", 0))
+    if kind == "er":
+        return erdos_renyi(n, float(params.get("p", 0.1)), seed=seed)
+    if kind == "ba":
+        m = max(1, min(int(params.get("m", 2)), n - 1))
+        return barabasi_albert(n, m, seed=seed)
+    if kind == "ws":
+        k = int(params.get("k", 2))
+        k = max(2, min(k - (k % 2), n - 1 - ((n - 1) % 2 == 0 and 0 or 1)))
+        # k must be even and < n:
+        k = max(2, min(k - (k % 2), (n - 1) - ((n - 1) % 2)))
+        if k >= n:
+            return erdos_renyi(n, 0.3, seed=seed)
+        return watts_strogatz(n, k, float(params.get("p", 0.1)), seed=seed)
+    if kind == "grid":
+        side = max(2, int(math.isqrt(n)))
+        return grid_graph(side, side)
+    raise ValueError(f"unknown graph kind {kind!r}")

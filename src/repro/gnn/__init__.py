@@ -5,7 +5,13 @@ from .activation_compression import (
     activation_memory,
     train_compressed,
 )
-from .caching import LRUCache, StaticDegreeCache, access_trace_from_sampling, replay
+from .caching import (
+    CacheStats,
+    LRUCache,
+    StaticDegreeCache,
+    access_trace_from_sampling,
+    replay,
+)
 from .comm_plan import (
     flat_broadcast_time,
     flat_ring_allreduce_time,
@@ -115,6 +121,7 @@ __all__ = [
     "data_parallel_bytes_per_step",
     "p3_bytes_per_step",
     "StaticDegreeCache",
+    "CacheStats",
     "LRUCache",
     "access_trace_from_sampling",
     "replay",

@@ -28,6 +28,7 @@ from .sampling import NeighborSampler
 
 __all__ = [
     "FeatureCache",
+    "CacheStats",
     "StaticDegreeCache",
     "LRUCache",
     "CacheReport",
@@ -43,6 +44,28 @@ class FeatureCache(Protocol):
         ...
 
 
+@dataclass
+class CacheStats:
+    """A cache's own books, updated on every ``lookup``.
+
+    ``replay`` cross-checks its externally counted hits against these,
+    so a cache whose bookkeeping drifts from its behaviour cannot
+    produce a plausible-looking :class:`CacheReport`.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    admissions: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.admissions, self.evictions)
+
+
 class StaticDegreeCache:
     """Pin the highest-degree vertices; contents never change."""
 
@@ -51,9 +74,14 @@ class StaticDegreeCache:
         degrees = graph.degrees()
         top = np.argsort(-degrees, kind="stable")[:capacity]
         self._pinned = frozenset(int(v) for v in top)
+        self.stats = CacheStats(admissions=len(self._pinned))
 
     def lookup(self, vertex: int) -> bool:
-        return vertex in self._pinned
+        if vertex in self._pinned:
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
 
 
 class LRUCache:
@@ -62,16 +90,22 @@ class LRUCache:
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self._entries: OrderedDict = OrderedDict()
+        self.stats = CacheStats()
 
     def lookup(self, vertex: int) -> bool:
         if self.capacity <= 0:
+            self.stats.misses += 1
             return False
         if vertex in self._entries:
             self._entries.move_to_end(vertex)
+            self.stats.hits += 1
             return True
+        self.stats.misses += 1
+        self.stats.admissions += 1
         self._entries[vertex] = True
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.stats.evictions += 1
         return False
 
 
@@ -138,12 +172,27 @@ def replay(
     feature_dim: int = 64,
     obs: Optional[MetricsRegistry] = None,
 ) -> CacheReport:
-    """Run an access trace through a cache."""
+    """Run an access trace through a cache.
+
+    If the cache keeps its own :class:`CacheStats`, the externally
+    counted hits are cross-checked against the cache's delta over the
+    replay — disagreement means the cache's bookkeeping does not match
+    its behaviour, and the report would be meaningless.
+    """
+    before = cache.stats.snapshot() if hasattr(cache, "stats") else None
     accesses = hits = 0
     for v in trace:
         accesses += 1
         if cache.lookup(v):
             hits += 1
+    if before is not None:
+        own_hits = cache.stats.hits - before.hits
+        own_accesses = cache.stats.accesses - before.accesses
+        if own_hits != hits or own_accesses != accesses:
+            raise RuntimeError(
+                f"cache accounting drift: cache recorded {own_hits} hits / "
+                f"{own_accesses} accesses, replay observed {hits} / {accesses}"
+            )
     report = CacheReport(accesses=accesses, hits=hits, feature_dim=feature_dim)
     if obs is not None:
         obs.counter("gnn.cache.accesses", "feature-cache lookups").inc(accesses)

@@ -1,0 +1,182 @@
+"""Differential checks for the GNN training systems.
+
+Quantization is the canonical *bounded-error* pair (the reconstruction
+must stay within half a quantization step of the input), and the
+feature caches are checked against an independent trace simulation —
+the check that flushed out the cache accounting bug: ``replay`` counted
+hits externally while the cache kept no books of its own, so nothing
+tied ``CacheReport.bytes_saved`` to what the cache actually admitted
+and evicted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+import numpy as np
+
+from ..check.invariants import bounded_error, same_values
+from ..check.registry import BIT_IDENTICAL, BOUNDED_ERROR, pair
+from .caching import LRUCache, StaticDegreeCache, replay
+from .quantization import quantize, quantize_dequantize
+
+
+def _gen_quantize(rng: np.random.Generator) -> Dict:
+    return {
+        "rows": int(rng.integers(1, 33)),
+        "cols": int(rng.integers(1, 65)),
+        "bits": int(rng.integers(2, 9)),
+        "value_seed": int(rng.integers(1 << 16)),
+        "stochastic": int(rng.integers(2)),
+    }
+
+
+@pair(
+    "gnn.quantize.roundtrip_bounded", "gnn", BOUNDED_ERROR,
+    gen=_gen_quantize,
+    floors={"rows": 1, "cols": 1, "bits": 2, "stochastic": 0},
+    description="quantize -> dequantize stays within one quantization "
+    "step of the input (half a step for round-to-nearest), for any "
+    "shape, bit width, and rounding mode.",
+)
+def _check_quantize(params: Dict) -> List[str]:
+    rng = np.random.default_rng(int(params["value_seed"]))
+    values = rng.normal(
+        size=(int(params["rows"]), int(params["cols"]))
+    ) * rng.uniform(0.1, 10.0)
+    bits = int(params["bits"])
+    _, _, scale = quantize(values, bits)
+    step = float(np.max(scale))
+    if int(params.get("stochastic", 0)):
+        round_rng = np.random.default_rng(int(params["value_seed"]) + 1)
+        restored = quantize_dequantize(values, bits, rng=round_rng)
+        atol = step + 1e-12
+    else:
+        restored = quantize_dequantize(values, bits)
+        atol = step / 2.0 + 1e-12
+    return bounded_error(values, restored, atol=atol, label="roundtrip")
+
+
+def _sim_lru(trace, capacity: int) -> Dict[str, int]:
+    """Independent LRU simulation (OrderedDict reimplementation)."""
+    entries: "OrderedDict[int, bool]" = OrderedDict()
+    hits = misses = admissions = evictions = 0
+    for v in trace:
+        if capacity <= 0:
+            misses += 1
+            continue
+        if v in entries:
+            entries.move_to_end(v)
+            hits += 1
+        else:
+            misses += 1
+            admissions += 1
+            entries[v] = True
+            if len(entries) > capacity:
+                entries.popitem(last=False)
+                evictions += 1
+    return {
+        "hits": hits,
+        "misses": misses,
+        "admissions": admissions,
+        "evictions": evictions,
+    }
+
+
+def _zipfish_trace(rng: np.random.Generator, n: int, length: int):
+    """Skewed trace: mostly a hot head, with a uniform tail."""
+    hot = max(1, n // 8)
+    heads = rng.integers(0, hot, size=length)
+    tails = rng.integers(0, n, size=length)
+    pick_hot = rng.random(length) < 0.7
+    return [int(h if p else t) for h, t, p in zip(heads, tails, pick_hot)]
+
+
+def _gen_lru(rng: np.random.Generator) -> Dict:
+    n = int(rng.integers(16, 257))
+    return {
+        "n": n,
+        "capacity": int(rng.integers(1, max(2, n // 2))),
+        "trace_len": int(rng.integers(64, 2049)),
+        "trace_seed": int(rng.integers(1 << 16)),
+        "feature_dim": int(rng.integers(1, 129)),
+    }
+
+
+@pair(
+    "gnn.cache.lru_vs_trace_sim", "gnn", BIT_IDENTICAL,
+    gen=_gen_lru,
+    floors={"n": 2, "capacity": 1, "trace_len": 1, "feature_dim": 1},
+    description="LRUCache replay vs an independent OrderedDict "
+    "simulation: identical hits, and the cache's own accounting "
+    "(hits/misses/admissions/evictions) must agree with both the "
+    "simulation and CacheReport.bytes_saved.",
+)
+def _check_lru(params: Dict) -> List[str]:
+    rng = np.random.default_rng(int(params["trace_seed"]))
+    trace = _zipfish_trace(rng, int(params["n"]), int(params["trace_len"]))
+    capacity = int(params["capacity"])
+    feature_dim = int(params["feature_dim"])
+    expected = _sim_lru(trace, capacity)
+    cache = LRUCache(capacity)
+    report = replay(trace, cache, feature_dim=feature_dim)
+    out = same_values(expected["hits"], report.hits, "report.hits")
+    stats = cache.stats  # the cache must keep its own books
+    for key in ("hits", "misses", "admissions", "evictions"):
+        out += same_values(expected[key], getattr(stats, key), f"cache.{key}")
+    out += same_values(
+        expected["hits"] * feature_dim * report.bytes_per_value,
+        report.bytes_saved,
+        "report.bytes_saved",
+    )
+    out += same_values(
+        stats.hits * feature_dim * report.bytes_per_value,
+        report.bytes_saved,
+        "cache_vs_report.bytes_saved",
+    )
+    return out
+
+
+def _gen_uniform(rng: np.random.Generator) -> Dict:
+    n = int(rng.integers(32, 129))
+    return {
+        "n": n,
+        "degree": 3,
+        "capacity": int(rng.integers(4, max(5, n // 2))),
+        "trace_len": int(rng.integers(4000, 8001)),
+        "trace_seed": int(rng.integers(1 << 16)),
+        "graph_seed": int(rng.integers(1 << 16)),
+    }
+
+
+@pair(
+    "gnn.cache.static_vs_lru_uniform", "gnn", BOUNDED_ERROR,
+    gen=_gen_uniform,
+    floors={"n": 8, "capacity": 1, "trace_len": 500},
+    description="On a uniform access trace neither recency nor degree "
+    "carries signal, so StaticDegreeCache and LRUCache hit rates must "
+    "both converge to capacity/n.",
+)
+def _check_static_vs_lru(params: Dict) -> List[str]:
+    from ..graph.generators import erdos_renyi
+
+    n = int(params["n"])
+    capacity = int(params["capacity"])
+    rng = np.random.default_rng(int(params["trace_seed"]))
+    trace = [int(v) for v in rng.integers(0, n, size=int(params["trace_len"]))]
+    graph = erdos_renyi(n, 0.1, seed=int(params.get("graph_seed", 0)))
+    static = replay(trace, StaticDegreeCache(graph, capacity))
+    lru = replay(trace, LRUCache(capacity))
+    expected = capacity / n
+    # 4000+ samples of a Bernoulli(c/n): 0.06 is many standard errors.
+    out = bounded_error(
+        [expected], [static.hit_rate], atol=0.06, label="static.hit_rate"
+    )
+    out += bounded_error(
+        [expected], [lru.hit_rate], atol=0.06, label="lru.hit_rate"
+    )
+    out += bounded_error(
+        [static.hit_rate], [lru.hit_rate], atol=0.08, label="static_vs_lru"
+    )
+    return out

@@ -1,0 +1,104 @@
+"""Differential checks for the graph substrate.
+
+Structural invariants over every generated workload (CSR
+well-formedness, partition-metric consistency across *all* five
+partitioners — which is the check that flushed out the vertex-cut
+``edge_cut_fraction`` bug) plus the I/O round-trip oracle pair.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, List
+
+import numpy as np
+
+from ..check.invariants import csr_well_formed, partition_consistent, same_bits
+from ..check.registry import BIT_IDENTICAL, invariant, pair
+from ..check.workloads import gen_graph_params, make_graph
+from .io import load_edge_list, save_edge_list
+from .partition import (
+    Partition,
+    bfs_voronoi_partition,
+    hash_partition,
+    metis_like_partition,
+    range_partition,
+    vertex_cut_partition,
+)
+
+PARTITIONERS = ("hash", "range", "metis", "bfs_voronoi", "vertex_cut")
+
+
+def build_partition(graph, params: Dict) -> Partition:
+    """Build the partition a parameter dict describes."""
+    name = PARTITIONERS[int(params["partitioner"]) % len(PARTITIONERS)]
+    parts = max(1, int(params["num_parts"]))
+    seed = int(params.get("part_seed", 0))
+    n = graph.num_vertices
+    if name == "hash":
+        return hash_partition(graph, parts, seed=seed)
+    if name == "range":
+        return range_partition(graph, parts)
+    if name == "metis":
+        return metis_like_partition(graph, parts, seed=seed)
+    if name == "bfs_voronoi":
+        stride = max(1, n // max(2 * parts, 1))
+        seeds = list(range(0, n, stride))[: max(parts, 1)]
+        return bfs_voronoi_partition(graph, parts, seeds or [0], seed=seed)
+    return vertex_cut_partition(graph, parts, seed=seed)
+
+
+def _gen_graph(rng: np.random.Generator) -> Dict:
+    return gen_graph_params(rng)
+
+
+@invariant(
+    "graph.csr.well_formed", "graph", gen=_gen_graph, floors={"n": 4},
+    description="Generated CSR graphs satisfy the structural contract "
+    "every kernel assumes (monotone indptr, sorted in-range rows, "
+    "symmetry when undirected).",
+)
+def _check_csr(params: Dict) -> List[str]:
+    return csr_well_formed(make_graph(params))
+
+
+def _gen_partition(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 64))
+    params["num_parts"] = int(rng.integers(2, 6))
+    params["partitioner"] = int(rng.integers(len(PARTITIONERS)))
+    params["part_seed"] = int(rng.integers(1 << 16))
+    return params
+
+
+@invariant(
+    "graph.partition.metrics_consistent", "graph", gen=_gen_partition,
+    floors={"n": 4, "num_parts": 2, "partitioner": 0},
+    description="Partition coverage/balance plus the edge-cut vs "
+    "replication tie: vertex-cut partitions must report zero edge cut "
+    "(their cost is replication), vertex partitions must not report "
+    "more replication than their cut edges can induce.",
+)
+def _check_partition(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    partition = build_partition(graph, params)
+    return partition_consistent(graph, partition)
+
+
+@pair(
+    "graph.io.edge_list_roundtrip", "graph", BIT_IDENTICAL,
+    gen=_gen_graph, floors={"n": 4},
+    description="save_edge_list -> load_edge_list reproduces the exact "
+    "CSR (indptr, indices, direction).",
+)
+def _check_io_roundtrip(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    with tempfile.TemporaryDirectory(prefix="check-io-") as tmp:
+        path = os.path.join(tmp, "graph.edges")
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path, directed=graph.directed)
+    out = same_bits(graph.indptr, loaded.indptr, "indptr")
+    out += same_bits(graph.indices, loaded.indices, "indices")
+    if graph != loaded:
+        out.append("roundtrip: Graph equality failed")
+    return out

@@ -40,6 +40,7 @@ __all__ = [
     "vertex_cut_partition",
     "edge_cut_fraction",
     "replication_factor",
+    "replica_sets",
     "balance",
 ]
 
@@ -368,15 +369,56 @@ def vertex_cut_partition(graph: Graph, num_parts: int, seed: int = 0) -> Partiti
 # ----------------------------------------------------------------------
 
 
+def replica_sets(graph: Graph, partition: Partition) -> List[set]:
+    """Workers holding a copy of each vertex, per the partition kind.
+
+    For edge (vertex-cut) partitions the replica set is exactly the
+    workers owning one of the vertex's edges; isolated vertices live
+    only on their assigned worker.  For vertex partitions a vertex is
+    replicated on its owner plus every worker owning a neighbor (the
+    halo the GNN gather step must fetch).
+    """
+    n = graph.num_vertices
+    replicas: List[set] = [set() for _ in range(n)]
+    if partition.edge_assignment is not None:
+        for (u, v), k in partition.edge_assignment.items():
+            replicas[u].add(int(k))
+            replicas[v].add(int(k))
+        for v in range(n):
+            if not replicas[v]:
+                replicas[v].add(int(partition.assignment[v]))
+        return replicas
+    for v in range(n):
+        replicas[v].add(int(partition.assignment[v]))
+        for w in graph.neighbors(v):
+            replicas[v].add(int(partition.assignment[int(w)]))
+    return replicas
+
+
 def edge_cut_fraction(graph: Graph, partition: Partition) -> float:
-    """Fraction of edges whose endpoints live on different workers."""
+    """Fraction of edges whose endpoints share no worker.
+
+    For vertex partitions this is the classic cut (endpoints assigned
+    to different workers).  For vertex-cut (edge) partitions every edge
+    is wholly local to the worker it is assigned to — that worker holds
+    replicas of both endpoints by construction — so the cut is 0 and
+    the communication cost shows up in :func:`replication_factor`
+    instead.  (Deciding via ``partition.assignment`` alone reported the
+    phantom vertex-hash cut for vertex-cut partitions.)
+    """
     if graph.num_edges == 0:
         return 0.0
-    cut = sum(
-        1
-        for u, v in graph.edges()
-        if partition.assignment[u] != partition.assignment[v]
-    )
+    if partition.edge_assignment is not None:
+        replicas = replica_sets(graph, partition)
+        cut = sum(
+            1 for u, v in graph.edges() if replicas[u].isdisjoint(replicas[v])
+        )
+    else:
+        cut = sum(
+            1
+            for u, v in graph.edges()
+            if partition.assignment[u] != partition.assignment[v]
+        )
     return cut / graph.num_edges
 
 
@@ -391,18 +433,7 @@ def replication_factor(graph: Graph, partition: Partition) -> float:
     n = graph.num_vertices
     if n == 0:
         return 0.0
-    if partition.edge_assignment is not None:
-        replicas = [set() for _ in range(n)]
-        for (u, v), k in partition.edge_assignment.items():
-            replicas[u].add(k)
-            replicas[v].add(k)
-        return sum(max(len(r), 1) for r in replicas) / n
-    replicas = [set() for _ in range(n)]
-    for v in range(n):
-        replicas[v].add(int(partition.assignment[v]))
-        for w in graph.neighbors(v):
-            replicas[v].add(int(partition.assignment[int(w)]))
-    return sum(len(r) for r in replicas) / n
+    return sum(len(r) for r in replica_sets(graph, partition)) / n
 
 
 def balance(partition: Partition) -> float:

@@ -1,0 +1,164 @@
+"""Differential checks for the real-multicore backend.
+
+The design contract of :mod:`repro.parallel` is *backend independence*:
+with the same chunking, serial / thread / process backends produce the
+same bits, and per-worker stats folded with ``merge`` equal the serial
+run's stats exactly (all counters are additive integers).  These checks
+enforce that contract on random workloads, plus the chunk-span policy
+invariant both the executor and the TLAG engine rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..check.invariants import bounded_error, same_bits, same_stats, same_values
+from ..check.registry import BIT_IDENTICAL, invariant, pair
+from ..check.workloads import gen_graph_params, make_graph
+from ..matching.backtrack import MatchStats, count_matches
+from ..matching.pattern import triangle_pattern
+from ..matching.triangles import triangle_count
+from ..tlav.vectorized import pagerank_dense
+from .chunking import chunk_spans
+from .executor import ParallelExecutor
+
+
+def _gen_parallel(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 64))
+    params["workers"] = int(rng.integers(2, 5))
+    params["chunk_size"] = int(rng.integers(1, 9))
+    return params
+
+
+@pair(
+    "parallel.matching.thread_vs_serial", "parallel", BIT_IDENTICAL,
+    gen=_gen_parallel, floors={"n": 4, "workers": 2, "chunk_size": 1},
+    description="Root-chunked matching on the thread backend: same "
+    "count and *exactly* the same merged work counters as the serial "
+    "run (additive integers, no tolerance).",
+)
+def _check_matching_thread(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    pattern = triangle_pattern()
+    serial_stats = MatchStats()
+    serial = count_matches(graph, pattern, stats=serial_stats)
+    executor = ParallelExecutor(
+        backend="thread",
+        workers=int(params["workers"]),
+        chunk_size=int(params["chunk_size"]),
+    )
+    try:
+        threaded_stats = MatchStats()
+        threaded = count_matches(
+            graph, pattern, executor=executor, stats=threaded_stats
+        )
+    finally:
+        executor.close()
+    out = same_values(serial, threaded, "count")
+    out += same_stats(serial_stats, threaded_stats, "match_stats")
+    return out
+
+
+def _gen_pagerank(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 80))
+    params["workers"] = int(rng.integers(2, 5))
+    params["chunk_size"] = int(rng.integers(4, 33))
+    params["iterations"] = int(rng.integers(1, 13))
+    return params
+
+
+@pair(
+    "parallel.pagerank_dense.thread_vs_serial", "parallel", BIT_IDENTICAL,
+    gen=_gen_pagerank,
+    floors={"n": 4, "workers": 2, "chunk_size": 1, "iterations": 1},
+    description="Chunk-deterministic scatter reduction: with the same "
+    "chunk_size, the thread backend reproduces the serial backend's "
+    "bits exactly (partial vectors fold in chunk order); against the "
+    "*unchunked* single-scatter path the sums re-associate, so that "
+    "comparison is bounded-error only.",
+)
+def _check_pagerank_thread(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    iters = int(params["iterations"])
+    chunk = int(params["chunk_size"])
+    with ParallelExecutor(backend="serial", chunk_size=chunk) as serial:
+        reference = pagerank_dense(graph, iterations=iters, executor=serial)
+    with ParallelExecutor(
+        backend="thread", workers=int(params["workers"]), chunk_size=chunk
+    ) as threads:
+        threaded = pagerank_dense(graph, iterations=iters, executor=threads)
+    out = same_bits(reference, threaded, "pagerank")
+    out += bounded_error(
+        pagerank_dense(graph, iterations=iters), threaded, atol=1e-12,
+        label="pagerank_vs_unchunked",
+    )
+    return out
+
+
+def _gen_process(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(16, 64))
+    params["workers"] = 2
+    params["chunk_size"] = int(rng.integers(4, 17))
+    return params
+
+
+@pair(
+    "parallel.triangles.process_vs_serial", "parallel", BIT_IDENTICAL,
+    gen=_gen_process, floors={"n": 4, "workers": 2, "chunk_size": 1},
+    suites=("full",),
+    description="The process backend (shared-memory CSR, pickled "
+    "payloads) counts the same triangles as serial; full suite only — "
+    "pool spin-up dominates quick-gate latency.",
+)
+def _check_triangles_process(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    reference = triangle_count(graph)
+    executor = ParallelExecutor(
+        backend="process",
+        workers=int(params["workers"]),
+        chunk_size=int(params["chunk_size"]),
+    )
+    try:
+        parallel = triangle_count(graph, executor=executor)
+    finally:
+        executor.close()
+    return same_values(reference, parallel, "triangles")
+
+
+def _gen_spans(rng: np.random.Generator) -> Dict:
+    return {
+        "num_items": int(rng.integers(0, 200)),
+        "chunk_size": int(rng.integers(1, 17)),
+        "workers": int(rng.integers(1, 9)),
+    }
+
+
+@invariant(
+    "parallel.chunking.spans_cover", "parallel", gen=_gen_spans,
+    floors={"num_items": 0, "chunk_size": 1, "workers": 1},
+    description="chunk_spans partitions range(num_items) exactly: "
+    "contiguous, disjoint, in order, nothing dropped — the property "
+    "both the executor and crash re-dispatch assume.",
+)
+def _check_spans(params: Dict) -> List[str]:
+    num_items = int(params["num_items"])
+    spans = chunk_spans(
+        num_items,
+        chunk_size=int(params["chunk_size"]),
+        workers=int(params["workers"]),
+    )
+    out: List[str] = []
+    cursor = 0
+    for lo, hi in spans:
+        if lo != cursor:
+            out.append(f"spans: gap or overlap at {lo} (expected {cursor})")
+            break
+        if hi <= lo:
+            out.append(f"spans: empty or inverted span ({lo}, {hi})")
+            break
+        cursor = hi
+    if not out and cursor != num_items:
+        out.append(f"spans: cover {cursor} of {num_items} items")
+    return out

@@ -1,0 +1,315 @@
+"""Differential checks for the TLAV engine family.
+
+The in-memory :class:`~repro.tlav.engine.PregelEngine` is the reference;
+the vectorized, out-of-core and distributed engines each promise a
+declared relation against it:
+
+* vectorized (``*_dense``) — bit-identical (same float operations in
+  the same order, just whole-frontier at a time);
+* out-of-core GraphD — bit-identical (streaming changes *where* state
+  lives, never what is computed).  The random-walk pair is the one that
+  flushed out the ``neighbors()``-returns-a-list contract violation;
+* distributed — BFS/WCC bit-identical (min combiners are
+  order-insensitive), PageRank bounded-error (per-worker combining
+  re-associates float sums).
+
+Plus the out-of-core spill-accounting invariant: every spilled byte is
+read back exactly once, and the buffer never exceeds its limit.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, List
+
+import numpy as np
+
+from ..check.invariants import bounded_error, same_bits, same_values
+from ..check.registry import BIT_IDENTICAL, BOUNDED_ERROR, invariant, pair
+from ..check.workloads import gen_graph_params, make_graph
+from ..graph.io import save_adjacency
+from ..graph.partition import hash_partition, metis_like_partition
+from .algorithms import (
+    PageRankProgram,
+    RandomWalkProgram,
+    bfs,
+    pagerank,
+    random_walks,
+    wcc,
+)
+from .distributed import run_distributed
+from .engine import Aggregator, PregelEngine
+from .ooc import OutOfCoreEngine
+from .vectorized import bfs_dense, pagerank_dense, wcc_dense
+
+
+def _gen_graph(rng: np.random.Generator) -> Dict:
+    return gen_graph_params(rng, n_range=(8, 80))
+
+
+def _gen_pagerank(rng: np.random.Generator) -> Dict:
+    params = _gen_graph(rng)
+    params["iterations"] = int(rng.integers(1, 13))
+    return params
+
+
+def _gen_source(rng: np.random.Generator) -> Dict:
+    params = _gen_graph(rng)
+    params["source"] = int(rng.integers(1 << 16))
+    return params
+
+
+def _ooc_engine(graph, program, tmp: str, **kwargs) -> OutOfCoreEngine:
+    path = os.path.join(tmp, "graph.adj")
+    save_adjacency(graph, path)
+    return OutOfCoreEngine(
+        path, graph.num_vertices, program, workdir=tmp, **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# Engine vs vectorized
+# ----------------------------------------------------------------------
+
+
+@pair(
+    "tlav.pagerank.engine_vs_dense", "tlav", BIT_IDENTICAL,
+    gen=_gen_pagerank, floors={"n": 4, "iterations": 1},
+)
+def _check_pr_dense(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    iters = int(params["iterations"])
+    return same_bits(
+        pagerank(graph, iterations=iters),
+        pagerank_dense(graph, iterations=iters),
+        "pagerank",
+    )
+
+
+@pair(
+    "tlav.bfs.engine_vs_dense", "tlav", BIT_IDENTICAL,
+    gen=_gen_source, floors={"n": 4, "source": 0},
+)
+def _check_bfs_dense(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    source = int(params["source"]) % graph.num_vertices
+    return same_bits(bfs(graph, source), bfs_dense(graph, source), "bfs")
+
+
+@pair(
+    "tlav.wcc.engine_vs_dense", "tlav", BIT_IDENTICAL,
+    gen=_gen_graph, floors={"n": 4},
+)
+def _check_wcc_dense(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    return same_bits(wcc(graph), wcc_dense(graph), "wcc")
+
+
+# ----------------------------------------------------------------------
+# Engine vs out-of-core (GraphD)
+# ----------------------------------------------------------------------
+
+
+def _gen_ooc(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 48))
+    params["iterations"] = int(rng.integers(1, 9))
+    # Deliberately tiny limits: mid-superstep spills are the point.
+    params["buffer_limit"] = int(rng.integers(1, 65))
+    return params
+
+
+@pair(
+    "tlav.pagerank.engine_vs_ooc", "tlav", BIT_IDENTICAL,
+    gen=_gen_ooc, floors={"n": 4, "iterations": 1, "buffer_limit": 1},
+    description="Streaming from disk with any message_buffer_limit "
+    "(including 1: spill after every send) is bit-identical to the "
+    "in-memory engine.",
+)
+def _check_pr_ooc(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    iters = int(params["iterations"])
+    with tempfile.TemporaryDirectory(prefix="check-ooc-") as tmp:
+        engine = _ooc_engine(
+            graph,
+            PageRankProgram(0.85, iters),
+            tmp,
+            aggregators={
+                "dangling": Aggregator(reduce=lambda a, b: a + b, initial=0.0)
+            },
+            max_supersteps=iters + 2,
+            message_buffer_limit=int(params["buffer_limit"]),
+        )
+        got = np.asarray(engine.run(), dtype=np.float64)
+    return same_bits(pagerank(graph, iterations=iters), got, "pagerank")
+
+
+def _gen_walks(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(6, 32))
+    params["walk_length"] = int(rng.integers(2, 7))
+    params["walks_per_vertex"] = int(rng.integers(1, 3))
+    params["walk_seed"] = int(rng.integers(1 << 16))
+    params["buffer_limit"] = int(rng.integers(1, 33))
+    return params
+
+
+@pair(
+    "tlav.random_walks.engine_vs_ooc", "tlav", BIT_IDENTICAL,
+    gen=_gen_walks,
+    floors={"n": 4, "walk_length": 2, "walks_per_vertex": 1, "buffer_limit": 1},
+    description="Random walks must not depend on which engine runs the "
+    "program — this pair caught the out-of-core context handing "
+    "programs a plain list where the engine contract says ndarray.",
+)
+def _check_walks_ooc(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    length = int(params["walk_length"])
+    per_vertex = int(params["walks_per_vertex"])
+    seed = int(params.get("walk_seed", 0))
+    reference = random_walks(
+        graph, walk_length=length, walks_per_vertex=per_vertex, seed=seed
+    )
+    with tempfile.TemporaryDirectory(prefix="check-ooc-") as tmp:
+        engine = _ooc_engine(
+            graph,
+            RandomWalkProgram(length, per_vertex, seed),
+            tmp,
+            max_supersteps=length + 3,
+            message_buffer_limit=int(params["buffer_limit"]),
+        )
+        values = engine.run()
+    got = [list(path) for collected in values for path in collected]
+    return same_values(reference, got, "walks")
+
+
+def _gen_spill(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 40))
+    params["iterations"] = int(rng.integers(1, 6))
+    params["buffer_limit"] = int(rng.integers(1, 17))
+    return params
+
+
+@invariant(
+    "tlav.ooc.spill_accounting", "tlav", gen=_gen_spill,
+    floors={"n": 4, "iterations": 1, "buffer_limit": 1},
+    description="Out-of-core I/O accounting: bytes read back equal "
+    "bytes spilled, the buffer never holds more than its limit, and "
+    "edge traffic is a whole multiple of the adjacency file size.",
+)
+def _check_spill_accounting(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    iters = int(params["iterations"])
+    limit = int(params["buffer_limit"])
+    out: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="check-ooc-") as tmp:
+        engine = _ooc_engine(
+            graph,
+            PageRankProgram(0.85, iters),
+            tmp,
+            aggregators={
+                "dangling": Aggregator(reduce=lambda a, b: a + b, initial=0.0)
+            },
+            max_supersteps=iters + 2,
+            message_buffer_limit=limit,
+        )
+        path = engine.edge_path
+        engine.run()
+        io = engine.io
+        file_bytes = os.path.getsize(path)
+    if io.message_bytes_read != io.message_bytes_spilled:
+        out.append(
+            f"spill: read {io.message_bytes_read} bytes back but spilled "
+            f"{io.message_bytes_spilled}"
+        )
+    if io.peak_buffered_messages > max(limit, 1):
+        out.append(
+            f"spill: peak_buffered_messages {io.peak_buffered_messages} "
+            f"exceeds message_buffer_limit {limit}"
+        )
+    if file_bytes and io.edge_bytes_read % file_bytes:
+        out.append(
+            f"spill: edge_bytes_read {io.edge_bytes_read} is not a whole "
+            f"number of adjacency-file passes ({file_bytes} bytes each)"
+        )
+    if io.supersteps and io.edge_bytes_read < io.supersteps * file_bytes:
+        out.append(
+            f"spill: {io.supersteps} supersteps but only "
+            f"{io.edge_bytes_read} edge bytes read"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Engine vs distributed
+# ----------------------------------------------------------------------
+
+
+def _gen_distributed(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 64))
+    params["num_parts"] = int(rng.integers(2, 6))
+    params["part_seed"] = int(rng.integers(1 << 16))
+    params["metis"] = int(rng.integers(2))
+    params["source"] = int(rng.integers(1 << 16))
+    params["iterations"] = int(rng.integers(1, 9))
+    return params
+
+
+def _partition_for(graph, params: Dict):
+    parts = max(1, int(params["num_parts"]))
+    seed = int(params.get("part_seed", 0))
+    if int(params.get("metis", 0)):
+        return metis_like_partition(graph, parts, seed=seed)
+    return hash_partition(graph, parts, seed=seed)
+
+
+@pair(
+    "tlav.bfs.engine_vs_distributed", "tlav", BIT_IDENTICAL,
+    gen=_gen_distributed,
+    floors={"n": 4, "num_parts": 2, "source": 0, "metis": 0},
+    description="BFS under per-worker min-combining is exact: min is "
+    "associative/commutative/idempotent, so worker boundaries cannot "
+    "change any level.",
+)
+def _check_bfs_distributed(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    source = int(params["source"]) % graph.num_vertices
+    from .algorithms import BFSProgram
+
+    engine = PregelEngine(
+        graph, BFSProgram(source), max_supersteps=graph.num_vertices + 1
+    )
+    reference = engine.run()
+    values, _ = run_distributed(
+        graph,
+        BFSProgram(source),
+        _partition_for(graph, params),
+        max_supersteps=graph.num_vertices + 1,
+    )
+    return same_values(list(reference), list(values), "bfs")
+
+
+@pair(
+    "tlav.pagerank.engine_vs_distributed", "tlav", BOUNDED_ERROR,
+    gen=_gen_distributed,
+    floors={"n": 4, "num_parts": 2, "iterations": 1, "metis": 0},
+    description="Distributed PageRank re-associates float sums at "
+    "worker boundaries (combiners), so it is bounded-error (1e-12), "
+    "never bit-identical.",
+)
+def _check_pr_distributed(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    iters = int(params["iterations"])
+    reference = pagerank(graph, iterations=iters)
+    values, _ = run_distributed(
+        graph,
+        PageRankProgram(0.85, iters),
+        _partition_for(graph, params),
+        aggregators={
+            "dangling": Aggregator(reduce=lambda a, b: a + b, initial=0.0)
+        },
+        max_supersteps=iters + 2,
+    )
+    return bounded_error(
+        reference, np.asarray(values, dtype=np.float64), atol=1e-12,
+        label="pagerank",
+    )

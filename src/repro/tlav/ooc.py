@@ -26,6 +26,8 @@ import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
 from .engine import Aggregator, VertexProgram
 
 __all__ = ["IOStats", "OutOfCoreEngine"]
@@ -47,7 +49,7 @@ class _StreamContext:
 
     __slots__ = ("vertex", "engine", "_neighbors")
 
-    def __init__(self, vertex: int, engine: "OutOfCoreEngine", neighbors: List[int]):
+    def __init__(self, vertex: int, engine: "OutOfCoreEngine", neighbors: np.ndarray):
         self.vertex = vertex
         self.engine = engine
         self._neighbors = neighbors
@@ -68,11 +70,13 @@ class _StreamContext:
     def value(self, new_value: Any) -> None:
         self.engine.values[self.vertex] = new_value
 
-    def neighbors(self):
+    def neighbors(self) -> np.ndarray:
+        # Same contract as VertexContext.neighbors(): an int64 array
+        # (programs use array ops — RandomWalkProgram reads .size).
         return self._neighbors
 
     def degree(self) -> int:
-        return len(self._neighbors)
+        return int(self._neighbors.size)
 
     def send(self, dst: int, message: Any) -> None:
         self.engine._send(dst, message)
@@ -115,6 +119,8 @@ class OutOfCoreEngine:
         message_buffer_limit: int = 10_000,
         workdir: Optional[str] = None,
     ) -> None:
+        if message_buffer_limit < 1:
+            raise ValueError("message_buffer_limit must be >= 1")
         self.edge_path = edge_path
         self.num_vertices = num_vertices
         self.program = program
@@ -219,7 +225,9 @@ class OutOfCoreEngine:
                     continue
                 active_exists = True
                 self._halted[v] = False
-                neighbors = [int(w) for w in rest.split()]
+                neighbors = np.asarray(
+                    [int(w) for w in rest.split()], dtype=np.int64
+                )
                 ctx = _StreamContext(v, self, neighbors)
                 self.program.compute(ctx, self._inbox.pop(v, []))
         if not active_exists:

@@ -1,0 +1,61 @@
+"""The ``repro check`` CLI subcommand (the CI gate's entry point)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCheckCli:
+    def test_list(self, capsys):
+        assert main(["check", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "tlav.pagerank.engine_vs_dense" in out
+        assert "bit_identical" in out
+
+    def test_single_check_runs_green(self, capsys):
+        code = main(["check", "--only", "parallel.chunking.spans_cover"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "0 failures" in out
+
+    def test_json_report(self, capsys):
+        code = main([
+            "check", "--only", "graph.csr.well_formed", "--json", "--cases", "2",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["cases"] == 2
+        assert payload["results"][0]["check"] == "graph.csr.well_formed"
+        assert "check.cases" in payload["metrics"]
+
+    def test_corpus_suite_green(self, capsys):
+        assert main(["check", "--suite", "corpus"]) == 0
+        assert "corpus" in capsys.readouterr().out
+
+    def test_subsystem_filter(self, capsys):
+        code = main([
+            "check", "--subsystem", "matching", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["subsystems"] == ["matching"]
+
+    def test_exit_one_on_failure(self, tmp_path, capsys, monkeypatch):
+        """A failing corpus case must fail the gate (exit 1)."""
+        bad = {
+            "check": "graph.csr.well_formed",
+            # A graph kind the generator does not know crashes the
+            # check, which the runner reports as a failure.
+            "params": {"kind": "mystery", "n": 4, "graph_seed": 0},
+            "note": "synthetic failing case",
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        code = main(["check", "--suite", "corpus", "--corpus-dir", str(tmp_path)])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out

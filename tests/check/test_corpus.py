@@ -1,0 +1,62 @@
+"""The pinned corpus: every shrunk reproducer stays green forever.
+
+Each JSON file under ``tests/check/corpus/`` is a minimal failing case
+the harness once found (and that a fix made pass).  Replaying them here
+makes every historical bug a permanent tier-1 regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.check import load_all, load_case, run_case
+from repro.check.runner import default_corpus_dir
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CASES = sorted(
+    name for name in os.listdir(CORPUS_DIR) if name.endswith(".json")
+)
+
+
+def test_default_corpus_dir_points_here():
+    assert os.path.samefile(default_corpus_dir(), CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    """The satellites each pinned at least one reproducer."""
+    assert len(CASES) >= 3
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_corpus_case_is_well_formed(name):
+    payload = load_case(os.path.join(CORPUS_DIR, name))
+    assert payload["check"] in load_all()
+    assert isinstance(payload["params"], dict)
+    assert payload.get("note"), f"{name}: corpus cases must explain their bug"
+    # Strictly JSON-scalar params: replayable anywhere, shrinkable.
+    for key, value in payload["params"].items():
+        assert isinstance(value, (int, float, str, bool)), (name, key)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_corpus_case_passes(name):
+    """The bug each reproducer pinned must stay fixed."""
+    payload = load_case(os.path.join(CORPUS_DIR, name))
+    check = load_all().get(payload["check"])
+    result = run_case(check, payload["params"], source=f"corpus:{name}")
+    assert result.ok, (
+        f"{name} regressed: error={result.error} "
+        f"violations={result.violations}"
+    )
+
+
+def test_corpus_covers_the_three_satellite_bugs():
+    checks = {
+        load_case(os.path.join(CORPUS_DIR, name))["check"] for name in CASES
+    }
+    assert "graph.partition.metrics_consistent" in checks  # vertex-cut metric
+    assert "tlav.random_walks.engine_vs_ooc" in checks  # ooc neighbors
+    assert "gnn.cache.lru_vs_trace_sim" in checks  # cache accounting

@@ -1,0 +1,133 @@
+"""Comparators and structural invariants used by every check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.invariants import (
+    bounded_error,
+    csr_well_formed,
+    partition_consistent,
+    same_bits,
+    same_multiset,
+    same_stats,
+    same_values,
+)
+from repro.graph.csr import Graph
+from repro.graph.generators import erdos_renyi
+from repro.graph.partition import (
+    Partition,
+    hash_partition,
+    vertex_cut_partition,
+)
+from repro.matching.backtrack import MatchStats
+
+
+class TestSameBits:
+    def test_equal_arrays(self):
+        a = np.arange(5, dtype=np.int64)
+        assert same_bits(a, a.copy()) == []
+
+    def test_value_mismatch_reports_first_index(self):
+        a = np.zeros(4)
+        b = a.copy()
+        b[2] = 1.0
+        (msg,) = same_bits(a, b)
+        assert "flat index 2" in msg
+
+    def test_dtype_mismatch_is_a_violation(self):
+        a = np.zeros(3, dtype=np.int64)
+        assert same_bits(a, a.astype(np.int32))
+
+    def test_shape_mismatch(self):
+        assert same_bits(np.zeros(3), np.zeros(4))
+
+    def test_array_vs_list_is_a_type_violation(self):
+        assert same_bits(np.zeros(3), [0.0, 0.0, 0.0])
+
+    def test_scalars_fall_back_to_values(self):
+        assert same_bits(3, 3) == []
+        assert same_bits(3, 4)
+
+
+class TestComparators:
+    def test_same_values_first_difference(self):
+        (msg,) = same_values([1, 2, 3], [1, 9, 3])
+        assert "[1]" in msg
+
+    def test_same_multiset_accepts_permutation(self):
+        assert same_multiset([(1, 2), (3, 4)], [(3, 4), (1, 2)]) == []
+
+    def test_same_multiset_catches_multiplicity(self):
+        assert same_multiset([1, 1, 2], [1, 2, 2])
+
+    def test_bounded_error_within(self):
+        assert bounded_error([1.0, 2.0], [1.0 + 1e-13, 2.0], atol=1e-12) == []
+
+    def test_bounded_error_exceeded(self):
+        (msg,) = bounded_error([1.0], [1.1], atol=1e-3)
+        assert "exceed" in msg
+
+    def test_same_stats_on_statsviews(self):
+        a, b = MatchStats(), MatchStats()
+        a.embeddings = b.embeddings = 7
+        assert same_stats(a, b) == []
+        b.embeddings = 8
+        assert any("embeddings" in m for m in same_stats(a, b))
+
+
+class TestCsrWellFormed:
+    def test_generated_graph_passes(self):
+        assert csr_well_formed(erdos_renyi(40, 0.2, seed=1)) == []
+
+    def test_catches_out_of_range_neighbor(self):
+        graph = erdos_renyi(12, 0.3, seed=2)
+        indices = graph.indices.copy()
+        indices[0] = 99
+        bad = Graph(graph.indptr.copy(), indices, directed=graph.directed)
+        assert csr_well_formed(bad)
+
+    def test_catches_asymmetric_undirected_graph(self):
+        # 0->1 present, 1->0 absent.
+        indptr = np.array([0, 1, 1], dtype=np.int64)
+        indices = np.array([1], dtype=np.int64)
+        bad = Graph(indptr, indices, directed=False)
+        assert csr_well_formed(bad)
+
+    def test_catches_unsorted_rows(self):
+        indptr = np.array([0, 2, 3, 4], dtype=np.int64)
+        indices = np.array([2, 1, 0, 0], dtype=np.int64)
+        bad = Graph(indptr, indices, directed=True)
+        assert any("sorted" in m for m in csr_well_formed(bad))
+
+
+class TestPartitionConsistent:
+    def test_hash_partition_consistent(self):
+        graph = erdos_renyi(40, 0.15, seed=3)
+        assert partition_consistent(graph, hash_partition(graph, 4)) == []
+
+    def test_vertex_cut_consistent_after_fix(self):
+        graph = erdos_renyi(40, 0.15, seed=3)
+        part = vertex_cut_partition(graph, 4, seed=1)
+        assert partition_consistent(graph, part) == []
+
+    def test_catches_phantom_vertex_cut_edge_cut(self):
+        """A vertex-cut partition reporting cut > 0 must be flagged.
+
+        Simulated by dropping edges from edge_assignment so the replica
+        sets no longer cover both endpoints (the pre-fix symptom).
+        """
+        graph = erdos_renyi(20, 0.25, seed=4)
+        part = vertex_cut_partition(graph, 3, seed=1)
+        broken = dict(list(part.edge_assignment.items())[: graph.num_edges // 2])
+        bad = Partition(
+            part.num_parts, part.assignment.copy(), edge_assignment=broken
+        )
+        violations = partition_consistent(graph, bad)
+        assert violations  # coverage and/or nonzero-cut flagged
+
+    def test_catches_incomplete_assignment(self):
+        graph = erdos_renyi(10, 0.3, seed=5)
+        bad = Partition(2, np.zeros(5, dtype=np.int64))
+        assert partition_consistent(graph, bad)

@@ -1,0 +1,89 @@
+"""Greedy shrinking of failing cases."""
+
+from __future__ import annotations
+
+from repro.check.registry import Check, INVARIANT
+from repro.check.shrink import shrink_case
+
+
+def make_check(run, floors):
+    return Check(
+        name="t.shrink", subsystem="t", relation=INVARIANT,
+        gen=lambda rng: {}, run=run, floors=floors,
+    )
+
+
+class TestShrink:
+    def test_shrinks_to_threshold(self):
+        """Failure iff n >= 10: the shrinker must land exactly on 10."""
+        check = make_check(
+            lambda p: ["too big"] if p["n"] >= 10 else [], floors={"n": 1}
+        )
+        result = shrink_case(check, {"n": 1000})
+        assert result.params["n"] == 10
+        assert result.violations == ["too big"]
+        assert result.steps >= 1
+
+    def test_multiple_parameters_all_reduced(self):
+        check = make_check(
+            lambda p: ["bad"] if p["a"] >= 3 and p["b"] >= 5 else [],
+            floors={"a": 1, "b": 1},
+        )
+        result = shrink_case(check, {"a": 50, "b": 40})
+        assert result.params == {"a": 3, "b": 5}
+
+    def test_respects_floors(self):
+        check = make_check(lambda p: ["always"], floors={"n": 4})
+        result = shrink_case(check, {"n": 100})
+        assert result.params["n"] == 4
+
+    def test_unfloored_parameters_untouched(self):
+        """Seeds (no floor declared) must never be shrunk."""
+        check = make_check(lambda p: ["always"], floors={"n": 1})
+        result = shrink_case(check, {"n": 8, "seed": 12345})
+        assert result.params["seed"] == 12345
+        assert result.params["n"] == 1
+
+    def test_exception_counts_as_failing(self):
+        def run(p):
+            if p["n"] >= 2:
+                raise RuntimeError("boom")
+            return []
+
+        check = make_check(run, floors={"n": 1})
+        result = shrink_case(check, {"n": 64})
+        assert result.params["n"] == 2
+        assert "RuntimeError" in result.violations[0]
+
+    def test_non_failing_case_returned_unchanged(self):
+        check = make_check(lambda p: [], floors={"n": 1})
+        result = shrink_case(check, {"n": 9})
+        assert result.params == {"n": 9}
+        assert result.steps == 0
+
+    def test_max_evals_bounds_work(self):
+        calls = []
+
+        def run(p):
+            calls.append(p)
+            return ["always"]
+
+        check = make_check(run, floors={"n": 1})
+        shrink_case(check, {"n": 1 << 40}, max_evals=17)
+        assert len(calls) <= 17
+
+    def test_float_parameters_shrink(self):
+        check = make_check(
+            lambda p: ["bad"] if p["p"] > 0.25 else [], floors={"p": 0.0}
+        )
+        result = shrink_case(check, {"p": 0.9})
+        assert 0.25 < result.params["p"] <= 0.9
+        assert result.params["p"] < 0.9  # strictly reduced
+
+    def test_trail_records_each_accepted_step(self):
+        check = make_check(
+            lambda p: ["bad"] if p["n"] >= 6 else [], floors={"n": 1}
+        )
+        result = shrink_case(check, {"n": 24})
+        assert result.trail
+        assert all(list(step) == ["n"] for step in result.trail)

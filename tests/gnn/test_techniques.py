@@ -157,6 +157,68 @@ class TestCaching:
         assert total == len(accesses) * 64 * 8
 
 
+class TestCacheAccounting:
+    """Regression: caches keep their own books and replay audits them.
+
+    Pre-fix neither cache tracked its own hits/misses, so ``replay``'s
+    external tally was unverifiable and accounting bugs were invisible.
+    Pinned in the differential corpus as ``gnn-lru-accounting.json``.
+    """
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        g = barabasi_albert(400, 4, seed=1)
+        return g, access_trace_from_sampling(
+            g, list(range(0, 400, 4)), fanouts=(5, 5), batch_size=20,
+            epochs=2, seed=0,
+        )
+
+    def test_lru_stats_match_replayed_counts(self):
+        cache = LRUCache(2)
+        trace = [1, 1, 2, 3, 1, 3, 3]
+        report = replay(trace, cache)
+        assert cache.stats.hits == report.hits
+        assert cache.stats.accesses == len(trace)
+        assert cache.stats.admissions == cache.stats.evictions + len(
+            cache._entries
+        )
+
+    def test_zero_capacity_lru_counts_misses(self):
+        cache = LRUCache(0)
+        replay([1, 2, 3], cache)
+        assert cache.stats.misses == 3
+        assert cache.stats.admissions == 0 and cache.stats.evictions == 0
+
+    def test_static_cache_stats(self, trace):
+        g, accesses = trace
+        cache = StaticDegreeCache(g, 50)
+        assert cache.stats.admissions == 50
+        report = replay(accesses, cache)
+        assert cache.stats.hits == report.hits
+        assert cache.stats.evictions == 0  # pinned contents never change
+
+    def test_bytes_saved_backed_by_cache_books(self, trace):
+        g, accesses = trace
+        cache = StaticDegreeCache(g, 100)
+        report = replay(accesses, cache, feature_dim=32)
+        assert report.bytes_saved == cache.stats.hits * 32 * 8
+
+    def test_replay_detects_accounting_drift(self):
+        class LyingCache(LRUCache):
+            def lookup(self, vertex):
+                hit = super().lookup(vertex)
+                self.stats.hits += 1  # cook the books
+                return hit
+
+        with pytest.raises(RuntimeError, match="accounting drift"):
+            replay([1, 2, 1, 2], LyingCache(4))
+
+    def test_stats_snapshot_is_independent(self):
+        cache = LRUCache(4)
+        snap = cache.stats.snapshot()
+        cache.lookup(1)
+        assert snap.accesses == 0 and cache.stats.accesses == 1
+
 class TestQuantization:
     def test_round_trip_error_bounded_by_step(self):
         rng = np.random.default_rng(0)

@@ -131,3 +131,65 @@ class TestDeterminism:
         g = erdos_renyi(30, 0.1, seed=1)
         partition = hash_partition(g, k)
         _check_cover(g, partition)
+
+
+class TestVertexCutMetrics:
+    """Regression: edge_cut_fraction must respect edge_assignment.
+
+    Pre-fix it read ``partition.assignment`` for every partition kind,
+    reporting a phantom cut for vertex-cut partitions whose edges are
+    all local to their assigned worker.  Pinned in the differential
+    corpus as ``graph-vertexcut-edgecut.json``.
+    """
+
+    def test_vertex_cut_reports_zero_edge_cut(self):
+        g = erdos_renyi(60, 0.1, seed=3)
+        part = vertex_cut_partition(g, 4, seed=1)
+        assert edge_cut_fraction(g, part) == 0.0
+
+    def test_vertex_cut_cost_is_replication(self):
+        g = barabasi_albert(80, 3, seed=2)
+        part = vertex_cut_partition(g, 4, seed=0)
+        assert edge_cut_fraction(g, part) == 0.0
+        assert replication_factor(g, part) > 1.0
+
+    def test_vertex_partition_cut_unchanged(self):
+        """The classic cut for vertex partitions must not change."""
+        g = erdos_renyi(40, 0.15, seed=5)
+        part = hash_partition(g, 3, seed=0)
+        expected = sum(
+            1 for u, v in g.edges()
+            if part.assignment[u] != part.assignment[v]
+        ) / g.num_edges
+        assert edge_cut_fraction(g, part) == expected
+
+    def test_replica_sets_cover_incident_workers(self):
+        from repro.graph.partition import replica_sets
+
+        g = erdos_renyi(30, 0.2, seed=7)
+        part = vertex_cut_partition(g, 3, seed=2)
+        replicas = replica_sets(g, part)
+        for (u, v), k in part.edge_assignment.items():
+            assert k in replicas[u] and k in replicas[v]
+
+    def test_replica_sets_isolated_vertex_single_copy(self):
+        # 4 vertices, one edge: vertices 2 and 3 are isolated.
+        g = Graph(
+            np.array([0, 1, 2, 2, 2], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+        )
+        from repro.graph.partition import replica_sets
+
+        part = vertex_cut_partition(g, 2, seed=0)
+        replicas = replica_sets(g, part)
+        assert len(replicas[2]) == 1 and len(replicas[3]) == 1
+        assert replication_factor(g, part) >= 1.0
+
+    def test_halo_bound_ties_cut_to_replication(self):
+        """(rf - 1) * |V| <= 2 * cut edges for vertex partitions."""
+        g = barabasi_albert(60, 3, seed=4)
+        for k in (2, 4):
+            part = metis_like_partition(g, k, seed=0)
+            cut_edges = edge_cut_fraction(g, part) * g.num_edges
+            rf = replication_factor(g, part)
+            assert (rf - 1.0) * g.num_vertices <= 2.0 * cut_edges + 1e-9

@@ -241,3 +241,83 @@ class TestQuegel:
         engine.submit(PointQuery(0, int(graph.neighbors(0)[0])))
         outcomes, _ = engine.run()
         assert outcomes[0].supersteps_used == 1
+
+
+class TestOutOfCoreContract:
+    """Regression: the streaming context honours the engine contract.
+
+    Pre-fix ``_StreamContext.neighbors()`` returned a plain list, so
+    any program using array operations (RandomWalkProgram reads
+    ``nbrs.size``) crashed on the out-of-core engine.  Pinned in the
+    differential corpus as ``tlav-ooc-neighbors-contract.json``.
+    """
+
+    @pytest.fixture
+    def small_graph(self):
+        return barabasi_albert(24, 2, seed=9)
+
+    @pytest.fixture
+    def small_edge_file(self, small_graph, tmp_path):
+        path = tmp_path / "small.adj"
+        save_adjacency(small_graph, path)
+        return str(path)
+
+    def test_neighbors_is_int64_ndarray(self, small_graph, small_edge_file):
+        from repro.tlav.engine import VertexProgram
+
+        seen = {}
+
+        class ProbeProgram(VertexProgram):
+            def init(self, vertex, graph):
+                return 0
+
+            def compute(self, ctx, messages):
+                seen[ctx.vertex] = ctx.neighbors()
+
+        engine = OutOfCoreEngine(
+            small_edge_file, small_graph.num_vertices, ProbeProgram(),
+            max_supersteps=1,
+        )
+        engine.run()
+        nbrs = seen[0]
+        assert isinstance(nbrs, np.ndarray)
+        assert nbrs.dtype == np.int64
+        assert nbrs.tolist() == small_graph.neighbors(0).tolist()
+
+    def test_random_walks_match_in_memory_engine(
+        self, small_graph, small_edge_file
+    ):
+        from repro.tlav.algorithms import RandomWalkProgram, random_walks
+
+        reference = random_walks(
+            small_graph, walk_length=4, walks_per_vertex=2, seed=3
+        )
+        engine = OutOfCoreEngine(
+            small_edge_file, small_graph.num_vertices,
+            RandomWalkProgram(4, 2, 3),
+            max_supersteps=7, message_buffer_limit=8,
+        )
+        values = engine.run()
+        walks = [list(p) for collected in values for p in collected]
+        assert walks == reference
+
+    def test_message_buffer_limit_validated(self, small_graph, small_edge_file):
+        from repro.tlav.algorithms import WCCProgram
+
+        with pytest.raises(ValueError, match="message_buffer_limit"):
+            OutOfCoreEngine(
+                small_edge_file, small_graph.num_vertices, WCCProgram(),
+                message_buffer_limit=0,
+            )
+
+    def test_spill_bytes_read_equals_spilled(self, small_graph, small_edge_file):
+        from repro.tlav.algorithms import WCCProgram
+
+        engine = OutOfCoreEngine(
+            small_edge_file, small_graph.num_vertices, WCCProgram(),
+            max_supersteps=100, message_buffer_limit=1,
+        )
+        engine.run()
+        assert engine.io.message_bytes_spilled > 0
+        assert engine.io.message_bytes_read == engine.io.message_bytes_spilled
+        assert engine.io.peak_buffered_messages <= 1
