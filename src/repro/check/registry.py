@@ -69,6 +69,7 @@ CHECK_MODULES = (
     "repro.gnn.checks",
     "repro.parallel.checks",
     "repro.resilience.checks",
+    "repro.serve.checks",
 )
 
 

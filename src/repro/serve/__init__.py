@@ -1,0 +1,77 @@
+"""Multi-tenant serving layer over every engine family.
+
+The tutorial's interactive-query thread (G-thinkerQ's shared-server
+argument, reproduced for subgraph matching in
+:mod:`repro.tlag.query`) and the GNN-systems survey's convergence of
+graph-processing schedulers with DL serving both call for the same
+missing piece: a *front door* that multiplexes concurrent requests
+from many tenants across all of the repository's engines.  This
+package is that front door:
+
+* :mod:`~repro.serve.endpoints` — the **endpoint registry** exposing
+  one named handler per engine family (TLAV analytics, subgraph
+  matching, GNN node inference, TLAG subgraph queries) plus the
+  **graph registry** whose *epoch* bumps whenever a graph is mutated
+  or replaced;
+* :mod:`~repro.serve.scheduler` — the request lifecycle: bounded
+  admission queues with backpressure shedding, per-tenant fair sharing
+  (generalizing :class:`repro.tlag.query.QueryServer`'s least-served
+  policy), priority lanes, and deadline enforcement, all on the same
+  simulated-ops clock the engines use;
+* :mod:`~repro.serve.batcher` — the **micro-batcher** that coalesces
+  compatible queued requests (same endpoint + graph epoch + canonical
+  params, or mergeable GNN inference) into one engine call;
+* :mod:`~repro.serve.cache` — the **versioned result cache** keyed by
+  ``(endpoint, graph, epoch, canonical_params)``, invalidated by
+  construction when the graph registry bumps an epoch;
+* :mod:`~repro.serve.loadgen` — deterministic closed-loop and
+  open-loop (seeded Poisson) load generators and the named scenarios
+  behind ``python -m repro serve --scenario ...``;
+* :mod:`~repro.serve.checks` — serve-path oracles for
+  ``repro check --subsystem serve``: served == direct, cache hit ==
+  cold miss, batched == unbatched, and the admission ledger invariant.
+
+Everything reports through :mod:`repro.obs`: per-endpoint latency
+histograms (p50/p95/p99 in simulated ops), queue-depth and in-flight
+gauges, cache hit rates, shed and deadline-miss counters, and one
+``serve.request`` span per request.
+"""
+
+from .batcher import MicroBatcher
+from .cache import ResultCache
+from .endpoints import (
+    Endpoint,
+    EndpointRegistry,
+    GraphRecord,
+    GraphRegistry,
+    builtin_endpoints,
+    canonical_params,
+)
+from .loadgen import (
+    SCENARIOS,
+    ClosedLoop,
+    open_loop,
+    run_scenario,
+    scenario_requests,
+)
+from .scheduler import Request, Response, Server, ServeStats
+
+__all__ = [
+    "SCENARIOS",
+    "ClosedLoop",
+    "Endpoint",
+    "EndpointRegistry",
+    "GraphRecord",
+    "GraphRegistry",
+    "MicroBatcher",
+    "Request",
+    "Response",
+    "ResultCache",
+    "ServeStats",
+    "Server",
+    "builtin_endpoints",
+    "canonical_params",
+    "open_loop",
+    "run_scenario",
+    "scenario_requests",
+]

@@ -1,0 +1,123 @@
+"""Versioned LRU result cache for served requests.
+
+Keys are ``(endpoint, graph, epoch, canonical_params)``.  Because the
+graph epoch is *inside* the key, a registry epoch bump invalidates every
+cached result for that graph by construction — a stale entry can never
+be returned, only left behind.  The cache additionally subscribes to
+the :class:`~repro.serve.endpoints.GraphRegistry` so bumped entries are
+reclaimed eagerly instead of waiting for LRU pressure.
+
+Hits and misses are counted per endpoint under ``serve.cache.*`` so
+the scenario reports can quote a hit rate next to the latency
+distribution it produced.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs import MetricsRegistry
+
+__all__ = ["ResultCache"]
+
+CacheKey = Tuple[str, str, int, Tuple]
+
+
+class ResultCache:
+    """Bounded LRU over ``(endpoint, graph, epoch, canonical_params)``."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        obs: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.registry = obs if obs is not None else MetricsRegistry()
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self._c_hits = self.registry.counter(
+            "serve.cache.hits", "served from the versioned result cache"
+        )
+        self._c_misses = self.registry.counter(
+            "serve.cache.misses", "cache lookups that fell through to an engine"
+        )
+        self._c_evictions = self.registry.counter(
+            "serve.cache.evictions", "entries dropped by LRU pressure"
+        )
+        self._c_invalidated = self.registry.counter(
+            "serve.cache.invalidated", "entries reclaimed by graph epoch bumps"
+        )
+
+    @staticmethod
+    def key(endpoint: str, graph: str, epoch: int, canon: Tuple) -> CacheKey:
+        return (endpoint, graph, int(epoch), canon)
+
+    def lookup(self, key: CacheKey) -> Tuple[bool, Any]:
+        """``(hit, value)``; counts the outcome under the endpoint label."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._c_hits.inc(endpoint=key[0])
+            return True, self._entries[key]
+        self._c_misses.inc(endpoint=key[0])
+        return False, None
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._c_evictions.inc()
+
+    def invalidate_graph(self, name: str, current_epoch: Optional[int] = None) -> int:
+        """Reclaim entries for ``name`` (older than ``current_epoch``)."""
+        stale = [
+            k for k in self._entries
+            if k[1] == name and (current_epoch is None or k[2] < current_epoch)
+        ]
+        for k in stale:
+            del self._entries[k]
+        if stale:
+            self._c_invalidated.inc(len(stale))
+        return len(stale)
+
+    def attach(self, graphs) -> "ResultCache":
+        """Subscribe to a GraphRegistry's epoch bumps; returns self."""
+        graphs.subscribe(
+            lambda name, epoch: self.invalidate_graph(name, current_epoch=epoch)
+        )
+        return self
+
+    # -- readings ----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return int(self._c_hits.total)
+
+    @property
+    def misses(self) -> int:
+        return int(self._c_misses.total)
+
+    @property
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": int(self._c_evictions.total),
+            "invalidated": int(self._c_invalidated.total),
+        }

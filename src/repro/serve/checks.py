@@ -1,0 +1,276 @@
+"""Differential checks for the serving layer.
+
+The serving layer must be a *transparent* front door: queueing,
+fairness, batching and caching may reorder and coalesce work, but the
+bytes a tenant receives must be exactly what a direct engine call
+returns.  Four oracle families enforce that:
+
+* ``serve.served_vs_direct.<family>`` — one request through the full
+  scheduler equals the endpoint handler called directly, bit for bit,
+  for every engine family (tlav, matching, gnn, tlag);
+* ``serve.cache_hit_vs_cold`` — a cache hit returns the same bits as
+  the cold miss that populated it, and an epoch bump forces a re-miss
+  whose answer equals a fresh direct call on the new graph;
+* ``serve.batched_vs_unbatched`` — the same request stream served with
+  the micro-batcher enabled and disabled yields per-request identical
+  values, whatever batch cut the window produced;
+* ``serve.queue_accounting`` — the admission ledger:
+  ``admitted == completed + shed + expired`` with zero in flight after
+  a drain, response statuses match the counters, and the queue never
+  exceeded its bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..check.invariants import same_bits, same_values
+from ..check.registry import BIT_IDENTICAL, invariant, pair
+from ..check.workloads import GRAPH_FLOORS, gen_graph_params, make_graph
+from .endpoints import GraphRegistry, builtin_endpoints
+from .scheduler import Request, Server
+
+#: Per-family endpoint + parameter draw used by the served-vs-direct
+#: oracles.  Params stay JSON-scalar so failing cases are committable.
+_FAMILY_DRAWS = {
+    "tlav": lambda rng, n: (
+        ("tlav.pagerank", {"iterations": int(rng.integers(2, 9))}),
+        ("tlav.bfs", {"source": int(rng.integers(n))}),
+        ("tlav.wcc", {}),
+    )[int(rng.integers(3))],
+    "matching": lambda rng, n: (
+        ("matching.count",
+         {"pattern": str(rng.choice(["triangle", "diamond", "path3", "c4"]))}),
+        ("matching.cliques", {"k": int(rng.integers(3, 5))}),
+    )[int(rng.integers(2))],
+    "gnn": lambda rng, n: (
+        "gnn.predict",
+        {"nodes": sorted(int(v) for v in rng.integers(0, n, size=3))},
+    ),
+    "tlag": lambda rng, n: (
+        "tlag.subgraph_query",
+        {"pattern": str(rng.choice(["triangle", "tailed-triangle", "house"]))},
+    ),
+}
+
+
+def _registry_for(params: Dict) -> GraphRegistry:
+    graphs = GraphRegistry()
+    graphs.register("default", make_graph(params))
+    return graphs
+
+
+def _server(graphs: GraphRegistry, params: Dict, **overrides) -> Server:
+    kwargs = dict(
+        endpoints=builtin_endpoints(),
+        num_workers=max(1, int(params.get("workers", 2))),
+        queue_bound=int(params.get("queue_bound", 64)),
+        batch_window=int(params.get("batch_window", 0)),
+        enable_cache=bool(params.get("cache", True)),
+    )
+    kwargs.update(overrides)
+    return Server(graphs, **kwargs)
+
+
+def _gen_family(family: str):
+    def gen(rng: np.random.Generator) -> Dict:
+        params = gen_graph_params(rng, n_range=(8, 48))
+        n = max(2, int(params["n"]))
+        endpoint, ep_params = _FAMILY_DRAWS[family](rng, n)
+        params.update(
+            endpoint=endpoint, ep_params=ep_params,
+            workers=int(rng.integers(1, 4)),
+            batch_window=int(rng.integers(0, 3)) * 32,
+        )
+        return params
+
+    return gen
+
+
+def _make_served_vs_direct(family: str):
+    def run(params: Dict) -> List[str]:
+        graphs = _registry_for(params)
+        endpoints = builtin_endpoints()
+        record = graphs.get("default")
+        endpoint = endpoints.get(params["endpoint"])
+        direct, _ = endpoint.run(record, dict(params["ep_params"]))
+
+        server = _server(graphs, params, endpoints=endpoints)
+        server.submit(Request(
+            endpoint=params["endpoint"], params=dict(params["ep_params"]),
+        ))
+        (response,) = server.run()
+        violations = same_values(response.status, "ok", "status")
+        violations += same_bits(direct, response.value, "served result")
+        return violations
+
+    return run
+
+
+for _family in ("tlav", "matching", "gnn", "tlag"):
+    pair(
+        f"serve.served_vs_direct.{_family}",
+        "serve",
+        BIT_IDENTICAL,
+        _gen_family(_family),
+        floors=dict(GRAPH_FLOORS),
+        description=(
+            f"one {_family} request through admission/scheduling/batching "
+            "equals the direct engine call"
+        ),
+    )(_make_served_vs_direct(_family))
+
+
+def _gen_cache(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 40))
+    n = max(2, int(params["n"]))
+    family = ("tlav", "matching", "gnn", "tlag")[int(rng.integers(4))]
+    endpoint, ep_params = _FAMILY_DRAWS[family](rng, n)
+    params.update(endpoint=endpoint, ep_params=ep_params, workers=1)
+    params["bump_seed"] = int(rng.integers(1 << 20))
+    return params
+
+
+@pair(
+    "serve.cache_hit_vs_cold",
+    "serve",
+    BIT_IDENTICAL,
+    _gen_cache,
+    floors=dict(GRAPH_FLOORS),
+)
+def _run_cache_hit_vs_cold(params: Dict) -> List[str]:
+    """A cache hit equals the cold miss; an epoch bump re-misses and
+    equals a fresh direct call on the new graph."""
+    graphs = _registry_for(params)
+    server = _server(graphs, params, enable_cache=True)
+    request = dict(
+        endpoint=params["endpoint"], params=dict(params["ep_params"])
+    )
+
+    server.submit(Request(**request, arrival=0))
+    (cold,) = server.run()
+    server.submit(Request(**request, arrival=server.clock))
+    (hot,) = server.run()
+    violations = same_values(hot.cache_hit, True, "second request cache_hit")
+    violations += same_bits(cold.value, hot.value, "hit vs cold result")
+
+    # Replace the graph: the epoch bump must force a re-miss whose
+    # answer matches a direct call against the *new* graph.
+    new_params = dict(params, graph_seed=params["bump_seed"])
+    graphs.replace("default", make_graph(new_params))
+    record = graphs.get("default")
+    direct, _ = builtin_endpoints().get(params["endpoint"]).run(
+        record, dict(params["ep_params"])
+    )
+    server.submit(Request(**request, arrival=server.clock))
+    (fresh,) = server.run()
+    violations += same_values(fresh.cache_hit, False, "post-bump cache_hit")
+    violations += same_bits(direct, fresh.value, "post-bump result")
+    return violations
+
+
+def _gen_stream(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 40))
+    n = max(2, int(params["n"]))
+    requests = []
+    for _ in range(int(rng.integers(4, 13))):
+        family = ("tlav", "matching", "gnn", "tlag")[int(rng.integers(4))]
+        endpoint, ep_params = _FAMILY_DRAWS[family](rng, n)
+        requests.append({
+            "endpoint": endpoint,
+            "params": ep_params,
+            "tenant": str(rng.choice(["a", "b"])),
+            "priority": int(rng.integers(2)),
+            "arrival": int(rng.integers(0, 2000)),
+        })
+    params.update(
+        requests=requests,
+        workers=int(rng.integers(1, 4)),
+        batch_window=int(rng.integers(1, 5)) * 64,
+        max_batch=int(rng.integers(2, 9)),
+    )
+    return params
+
+
+def _serve_stream(params: Dict, batching: bool, cache: bool):
+    graphs = _registry_for(params)
+    server = _server(
+        graphs, params, enable_cache=cache,
+        batch_window=int(params["batch_window"]) if batching else 0,
+        max_batch=int(params["max_batch"]) if batching else 1,
+    )
+    for spec in params["requests"]:
+        server.submit(Request(
+            endpoint=spec["endpoint"], params=dict(spec["params"]),
+            tenant=spec["tenant"], priority=int(spec["priority"]),
+            arrival=int(spec["arrival"]),
+        ))
+    return server, server.run()
+
+
+@pair(
+    "serve.batched_vs_unbatched",
+    "serve",
+    BIT_IDENTICAL,
+    _gen_stream,
+    floors=dict(GRAPH_FLOORS),
+)
+def _run_batched_vs_unbatched(params: Dict) -> List[str]:
+    """Micro-batching must not change any per-request value, whatever
+    batch cut the window and size cap produce."""
+    _, unbatched = _serve_stream(params, batching=False, cache=False)
+    server, batched = _serve_stream(params, batching=True, cache=False)
+    violations: List[str] = []
+    for a, b in zip(unbatched, batched):
+        violations += same_values(b.status, a.status, f"req {a.request.id} status")
+        violations += same_bits(a.value, b.value, f"req {a.request.id} value")
+    return violations
+
+
+@invariant(
+    "serve.queue_accounting",
+    "serve",
+    _gen_stream,
+    floors=dict(GRAPH_FLOORS),
+)
+def _run_queue_accounting(params: Dict) -> List[str]:
+    """Admission ledger: admitted == completed + shed + expired after a
+    drain, statuses match counters, and the bound was never exceeded."""
+    queue_bound = 2 + int(params["max_batch"])
+    graphs = _registry_for(params)
+    server = _server(graphs, params, queue_bound=queue_bound)
+    for spec in params["requests"]:
+        server.submit(Request(
+            endpoint=spec["endpoint"], params=dict(spec["params"]),
+            tenant=spec["tenant"], priority=int(spec["priority"]),
+            arrival=int(spec["arrival"]),
+            deadline=int(spec["arrival"]) + 5_000,
+        ))
+    responses = server.run()
+    stats = server.stats
+    violations: List[str] = []
+    by_status: Dict[str, int] = {}
+    for response in responses:
+        by_status[response.status] = by_status.get(response.status, 0) + 1
+    completed = by_status.get("ok", 0) + by_status.get("error", 0)
+    violations += same_values(
+        stats.admitted, len(params["requests"]), "admitted"
+    )
+    violations += same_values(stats.completed, completed, "completed counter")
+    violations += same_values(stats.shed, by_status.get("shed", 0), "shed counter")
+    violations += same_values(
+        stats.expired, by_status.get("expired", 0), "expired counter"
+    )
+    violations += same_values(stats.in_flight, 0, "in_flight after drain")
+    violations += same_values(
+        stats.admitted,
+        stats.completed + stats.shed + stats.expired,
+        "ledger admitted == completed + shed + expired",
+    )
+    if stats.peak_queue_depth > queue_bound:
+        violations.append(
+            f"queue depth {stats.peak_queue_depth} exceeded bound {queue_bound}"
+        )
+    return violations

@@ -1,0 +1,437 @@
+"""Endpoint and graph registries: what the serving layer can run, on what.
+
+An :class:`Endpoint` wraps one engine entry point behind a uniform
+contract: ``run(record, params, executor=None) -> (result, cost_ops)``.
+The *result* is the real engine answer (the serve-vs-direct oracles in
+:mod:`repro.serve.checks` demand bit-identity); the *cost* is the
+simulated-ops price the scheduler charges a worker clock, drawn from
+the engines' own work counters (candidate scans for matching, edge
+traversals for TLAV supersteps, message counts for GNN aggregation) so
+latency distributions are deterministic at a fixed seed.
+
+The :class:`GraphRegistry` names the graphs requests may target.  Each
+:class:`GraphRecord` carries an **epoch** that bumps whenever the graph
+is replaced or mutated in place; the epoch is part of every result
+cache key and every batch key, so a bump invalidates stale cached
+results *by construction* (no flush races) and prevents cross-version
+batching.  Subscribers (the server's cache) are notified on bumps so
+stale entries are also reclaimed eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..matching import pattern as patterns
+from ..matching.backtrack import MatchStats, count_matches
+from ..matching.cliques import count_k_cliques
+from ..matching.plan import GraphStats, Planner
+
+__all__ = [
+    "Endpoint",
+    "EndpointRegistry",
+    "GraphRecord",
+    "GraphRegistry",
+    "builtin_endpoints",
+    "canonical_params",
+    "named_pattern",
+]
+
+
+# ----------------------------------------------------------------------
+# Canonical parameters
+# ----------------------------------------------------------------------
+
+
+def _canon_value(value: Any) -> Any:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon_value(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _canon_value(v)) for k, v in value.items()))
+    return value
+
+
+def canonical_params(params: Dict[str, Any]) -> Tuple:
+    """Hashable, order-independent form of a request's parameter dict.
+
+    Two requests with equal canonical params are *the same computation*
+    — the unit of result-cache identity and of duplicate coalescing in
+    the micro-batcher.
+    """
+    return tuple(sorted((str(k), _canon_value(v)) for k, v in params.items()))
+
+
+#: Named patterns a request may ask for (JSON-friendly: params carry
+#: the name, not the PatternGraph object).
+PATTERNS: Dict[str, Callable[[], "patterns.PatternGraph"]] = {
+    "edge": lambda: patterns.path_pattern(2),
+    "path3": lambda: patterns.path_pattern(3),
+    "triangle": patterns.triangle_pattern,
+    "star3": lambda: patterns.star_pattern(3),
+    "c4": lambda: patterns.cycle_pattern(4),
+    "diamond": patterns.diamond_pattern,
+    "tailed-triangle": patterns.tailed_triangle_pattern,
+    "house": patterns.house_pattern,
+    "k4": lambda: patterns.clique_pattern(4),
+}
+
+
+def named_pattern(name: str) -> "patterns.PatternGraph":
+    try:
+        return PATTERNS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown pattern {name!r}; known: {sorted(PATTERNS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Graph registry
+# ----------------------------------------------------------------------
+
+
+class GraphRecord:
+    """One served graph plus its version epoch and lazy GNN artifacts."""
+
+    def __init__(
+        self,
+        name: str,
+        graph: Graph,
+        features: Optional[np.ndarray] = None,
+        model: Optional[Any] = None,
+        gnn_seed: int = 0,
+        num_classes: int = 3,
+    ) -> None:
+        self.name = name
+        self.graph = graph
+        self.epoch = 0
+        self.features = features
+        self.model = model
+        self.gnn_seed = gnn_seed
+        self.num_classes = num_classes
+        self._gt: Optional[Any] = None
+        self._gt_epoch = -1
+        self._planner: Optional[Planner] = None
+        self._planner_epoch = -1
+
+    # -- lazy, epoch-keyed derived state -----------------------------------
+
+    def tensors(self):
+        """Edge tensors for GNN inference, rebuilt after an epoch bump."""
+        if self._gt is None or self._gt_epoch != self.epoch:
+            from ..gnn.layers import GraphTensors
+
+            self._gt = GraphTensors(self.graph)
+            self._gt_epoch = self.epoch
+        return self._gt
+
+    def planner(self) -> Planner:
+        if self._planner is None or self._planner_epoch != self.epoch:
+            self._planner = Planner(GraphStats.of(self.graph))
+            self._planner_epoch = self.epoch
+        return self._planner
+
+    def ensure_gnn(self, in_dim: int = 8) -> None:
+        """Materialize deterministic features/model when none were bound."""
+        n = self.graph.num_vertices
+        if self.features is None or self.features.shape[0] != n:
+            rng = np.random.default_rng(self.gnn_seed)
+            self.features = rng.normal(size=(n, in_dim))
+        if self.model is None:
+            from ..gnn.models import NodeClassifier
+
+            self.model = NodeClassifier(
+                self.features.shape[1], 16, self.num_classes, seed=self.gnn_seed
+            )
+
+
+class GraphRegistry:
+    """Named graphs with version epochs and bump notification."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, GraphRecord] = {}
+        self._listeners: List[Callable[[str, int], None]] = []
+
+    def register(self, name: str, graph: Graph, **kwargs: Any) -> GraphRecord:
+        if name in self._records:
+            raise ValueError(f"graph {name!r} already registered; use replace()")
+        record = GraphRecord(name, graph, **kwargs)
+        self._records[name] = record
+        return record
+
+    def get(self, name: str) -> GraphRecord:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown graph {name!r}; known: {sorted(self._records)}"
+            ) from None
+
+    def epoch(self, name: str) -> int:
+        return self.get(name).epoch
+
+    def replace(self, name: str, graph: Graph) -> GraphRecord:
+        """Swap in a new version of the graph; bumps the epoch."""
+        record = self.get(name)
+        record.graph = graph
+        self._bump(record)
+        return record
+
+    def bump_epoch(self, name: str) -> int:
+        """Declare an in-place mutation of the named graph."""
+        record = self.get(name)
+        self._bump(record)
+        return record.epoch
+
+    def _bump(self, record: GraphRecord) -> None:
+        record.epoch += 1
+        for listener in self._listeners:
+            listener(record.name, record.epoch)
+
+    def subscribe(self, callback: Callable[[str, int], None]) -> None:
+        """``callback(name, new_epoch)`` on every bump (cache reclaim)."""
+        self._listeners.append(callback)
+
+    def names(self) -> List[str]:
+        return sorted(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def __iter__(self) -> Iterator[GraphRecord]:
+        return iter(self._records.values())
+
+
+# ----------------------------------------------------------------------
+# Endpoints
+# ----------------------------------------------------------------------
+
+
+class Endpoint:
+    """One served engine entry point.
+
+    ``run(record, params, executor=None)`` returns ``(result, cost)``
+    where ``cost`` is the simulated ops the scheduler charges.  When
+    ``merge_batch`` is set the endpoint also supports
+    ``run_batch(record, params_list, executor=None)`` returning
+    ``(results, cost)`` — one engine call serving requests whose params
+    *differ* (DL-serving style micro-batching; GNN node inference
+    shares the full-graph forward pass across every request).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        family: str,
+        run: Callable[..., Tuple[Any, int]],
+        run_batch: Optional[Callable[..., Tuple[List[Any], int]]] = None,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.family = family
+        self._run = run
+        self._run_batch = run_batch
+        self.description = description
+
+    @property
+    def merge_batch(self) -> bool:
+        return self._run_batch is not None
+
+    def run(self, record: GraphRecord, params: Dict, executor=None) -> Tuple[Any, int]:
+        result, cost = self._run(record, params, executor)
+        return result, max(1, int(cost))
+
+    def run_batch(
+        self, record: GraphRecord, params_list: List[Dict], executor=None
+    ) -> Tuple[List[Any], int]:
+        if self._run_batch is None:
+            raise TypeError(f"endpoint {self.name!r} does not merge batches")
+        results, cost = self._run_batch(record, params_list, executor)
+        return results, max(1, int(cost))
+
+    def canonicalize(self, params: Dict) -> Tuple:
+        return canonical_params(params)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Endpoint({self.name!r}, family={self.family!r})"
+
+
+class EndpointRegistry:
+    """Name-keyed collection of :class:`Endpoint` declarations."""
+
+    def __init__(self) -> None:
+        self._endpoints: Dict[str, Endpoint] = {}
+
+    def register(self, endpoint: Endpoint) -> Endpoint:
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"duplicate endpoint {endpoint.name!r}")
+        self._endpoints[endpoint.name] = endpoint
+        return endpoint
+
+    def get(self, name: str) -> Endpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown endpoint {name!r}; known: {sorted(self._endpoints)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    def families(self) -> List[str]:
+        return sorted({e.family for e in self._endpoints.values()})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._endpoints
+
+    def __iter__(self) -> Iterator[Endpoint]:
+        return iter(
+            sorted(self._endpoints.values(), key=lambda e: e.name)
+        )
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+
+# ----------------------------------------------------------------------
+# Built-in endpoints: one or more per engine family
+# ----------------------------------------------------------------------
+
+
+def _run_pagerank(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
+    from ..tlav.algorithms import pagerank
+    from ..tlav.vectorized import pagerank_dense
+
+    iterations = int(params.get("iterations", 20))
+    damping = float(params.get("damping", 0.85))
+    if executor is not None:
+        values = pagerank_dense(
+            record.graph, damping=damping, iterations=iterations, executor=executor
+        )
+    else:
+        values = pagerank(record.graph, damping=damping, iterations=iterations)
+    cost = iterations * max(int(record.graph.indices.size), 1)
+    return values, cost
+
+
+def _run_bfs(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
+    from ..tlav.algorithms import bfs
+
+    source = int(params.get("source", 0)) % max(record.graph.num_vertices, 1)
+    levels = bfs(record.graph, source)
+    # Every edge is examined once per direction plus the frontier scans.
+    cost = int(record.graph.indices.size) + record.graph.num_vertices
+    return levels, cost
+
+
+def _run_wcc(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
+    from ..tlav.algorithms import wcc
+
+    labels = wcc(record.graph)
+    rounds = int(np.log2(max(record.graph.num_vertices, 2))) + 1
+    cost = rounds * (int(record.graph.indices.size) + record.graph.num_vertices)
+    return labels, cost
+
+
+def _run_count(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
+    pattern = named_pattern(str(params.get("pattern", "triangle")))
+    stats = MatchStats()
+    count = count_matches(record.graph, pattern, stats=stats, executor=executor)
+    return count, max(stats.candidates_scanned, 1)
+
+
+def _run_cliques(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
+    k = max(2, int(params.get("k", 3)))
+    count = count_k_cliques(record.graph, k)
+    cost = int(record.graph.indices.size) + count * k
+    return count, cost
+
+
+def _gnn_predictions(record: GraphRecord) -> Tuple[np.ndarray, int]:
+    from ..gnn.tensor import Tensor
+
+    record.ensure_gnn()
+    gt = record.tensors()
+    predicted = record.model.predict(gt, Tensor(record.features))
+    cost = gt.num_messages * record.model.num_layers
+    return predicted, cost
+
+
+def _slice_nodes(predicted: np.ndarray, params: Dict, n: int) -> List[int]:
+    nodes = params.get("nodes")
+    if nodes is None:
+        return [int(v) for v in predicted]
+    return [int(predicted[int(v) % max(n, 1)]) for v in nodes]
+
+
+def _run_predict(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
+    predicted, cost = _gnn_predictions(record)
+    return _slice_nodes(predicted, params, record.graph.num_vertices), cost
+
+
+def _run_predict_batch(
+    record: GraphRecord, params_list: List[Dict], executor
+) -> Tuple[List[Any], int]:
+    """One full-graph forward pass serves every request in the batch."""
+    predicted, cost = _gnn_predictions(record)
+    n = record.graph.num_vertices
+    return [_slice_nodes(predicted, p, n) for p in params_list], cost
+
+
+def _run_subgraph_query(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
+    """TLAG interactive subgraph query (the G-thinkerQ backend).
+
+    The same compile path :class:`repro.tlag.query.QueryServer` uses:
+    plan the matching order for this graph's statistics, then count with
+    symmetry breaking; the cost is the candidate scans the matcher did —
+    the ops unit QueryServer charges its simulated workers.
+    """
+    pattern = named_pattern(str(params.get("pattern", "triangle")))
+    order = record.planner().plan(pattern).order
+    stats = MatchStats()
+    count = count_matches(
+        record.graph, pattern, order=order, stats=stats, executor=executor
+    )
+    return count, max(stats.candidates_scanned, 1)
+
+
+def builtin_endpoints() -> EndpointRegistry:
+    """The default registry: at least one endpoint per engine family."""
+    registry = EndpointRegistry()
+    registry.register(Endpoint(
+        "tlav.pagerank", "tlav", _run_pagerank,
+        description="PageRank scores (params: iterations, damping)",
+    ))
+    registry.register(Endpoint(
+        "tlav.bfs", "tlav", _run_bfs,
+        description="BFS levels from a source vertex (params: source)",
+    ))
+    registry.register(Endpoint(
+        "tlav.wcc", "tlav", _run_wcc,
+        description="weakly connected component labels",
+    ))
+    registry.register(Endpoint(
+        "matching.count", "matching", _run_count,
+        description="embedding count of a named pattern (params: pattern)",
+    ))
+    registry.register(Endpoint(
+        "matching.cliques", "matching", _run_cliques,
+        description="k-clique count (params: k)",
+    ))
+    registry.register(Endpoint(
+        "gnn.predict", "gnn", _run_predict, run_batch=_run_predict_batch,
+        description="node-classification inference (params: nodes)",
+    ))
+    registry.register(Endpoint(
+        "tlag.subgraph_query", "tlag", _run_subgraph_query,
+        description="planned interactive subgraph query (params: pattern)",
+    ))
+    return registry

@@ -1,0 +1,420 @@
+"""Deterministic load generation and the named serving scenarios.
+
+Two classic shapes, both seeded and fully deterministic:
+
+* :func:`open_loop` — Poisson arrivals (exponential inter-arrival times
+  drawn from one ``numpy`` generator) over a weighted endpoint mix;
+  offered load does not react to the server, so queues grow when the
+  system saturates — the regime where admission control and shedding
+  earn their keep;
+* :class:`ClosedLoop` — each client (tenant) keeps exactly one request
+  outstanding and submits the next one ``think_ops`` after the previous
+  response, via the server's ``feedback`` hook; offered load self-limits,
+  the classic interactive regime.
+
+:func:`run_scenario` drives the named scenarios behind
+``python -m repro serve --scenario ...`` and returns the JSON-shaped
+report: per-endpoint latency percentiles (exact, over simulated-ops
+response times), throughput, cache hit rate, shed/expired/deadline-miss
+counts, and the admission ledger.  At a fixed seed the whole report is
+reproducible bit-for-bit, which is what lets CI pin it as an artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.generators import barabasi_albert, watts_strogatz
+from ..obs import MetricsRegistry, Tracer
+from .endpoints import EndpointRegistry, GraphRegistry, builtin_endpoints
+from .scheduler import Request, Response, Server
+
+__all__ = [
+    "MixEntry",
+    "ClosedLoop",
+    "open_loop",
+    "SCENARIOS",
+    "scenario_requests",
+    "run_scenario",
+]
+
+
+@dataclass
+class MixEntry:
+    """One endpoint in a workload mix."""
+
+    endpoint: str
+    gen_params: Callable[[np.random.Generator], Dict]
+    weight: float = 1.0
+    graph: str = "default"
+    priority: int = 0
+    deadline_slack: Optional[int] = None  # deadline = arrival + slack
+
+
+def _pick(rng: np.random.Generator, mix: Sequence[MixEntry]) -> MixEntry:
+    weights = np.array([m.weight for m in mix], dtype=np.float64)
+    return mix[int(rng.choice(len(mix), p=weights / weights.sum()))]
+
+
+def _make_request(
+    rng: np.random.Generator, entry: MixEntry, tenant: str, arrival: int
+) -> Request:
+    return Request(
+        endpoint=entry.endpoint,
+        params=entry.gen_params(rng),
+        graph=entry.graph,
+        tenant=tenant,
+        priority=entry.priority,
+        arrival=arrival,
+        deadline=(
+            None if entry.deadline_slack is None
+            else arrival + entry.deadline_slack
+        ),
+    )
+
+
+def open_loop(
+    mix: Sequence[MixEntry],
+    num_requests: int,
+    mean_interarrival: float,
+    tenants: Sequence[str] = ("default",),
+    seed: int = 0,
+    start: int = 0,
+) -> List[Request]:
+    """Seeded Poisson arrival stream over a weighted endpoint mix."""
+    rng = np.random.default_rng(seed)
+    requests: List[Request] = []
+    t = start
+    for _ in range(num_requests):
+        t += 1 + int(rng.exponential(mean_interarrival))
+        entry = _pick(rng, mix)
+        tenant = str(tenants[int(rng.integers(len(tenants)))])
+        requests.append(_make_request(rng, entry, tenant, t))
+    return requests
+
+
+class ClosedLoop:
+    """N clients, one outstanding request each, deterministic think time.
+
+    Submit :meth:`initial_requests`, then pass :meth:`feedback` to
+    :meth:`repro.serve.Server.run`: each completion for a client
+    triggers its next request ``think_ops`` later, until the client's
+    budget is spent.
+    """
+
+    def __init__(
+        self,
+        mix: Sequence[MixEntry],
+        clients: Sequence[str],
+        requests_per_client: int,
+        think_ops: int = 100,
+        seed: int = 0,
+        start: int = 0,
+    ) -> None:
+        self.mix = list(mix)
+        self.clients = list(clients)
+        self.think_ops = think_ops
+        self._rng = np.random.default_rng(seed)
+        self._remaining = {c: requests_per_client - 1 for c in clients}
+        self._start = start
+        self.submitted = 0
+
+    def initial_requests(self) -> List[Request]:
+        requests = []
+        for i, client in enumerate(self.clients):
+            entry = _pick(self._rng, self.mix)
+            requests.append(_make_request(
+                self._rng, entry, client, self._start + i
+            ))
+            self.submitted += 1
+        return requests
+
+    def feedback(self, response: Response) -> Optional[Request]:
+        client = response.request.tenant
+        if self._remaining.get(client, 0) <= 0:
+            return None
+        self._remaining[client] -= 1
+        self.submitted += 1
+        entry = _pick(self._rng, self.mix)
+        return _make_request(
+            self._rng, entry, client,
+            response.completed + self.think_ops,
+        )
+
+
+# ----------------------------------------------------------------------
+# Named scenarios
+# ----------------------------------------------------------------------
+
+
+def _family_mix(
+    n: int, rng_patterns: Sequence[str] = ("triangle", "diamond")
+) -> List[MixEntry]:
+    """A mix touching every engine family on the ``default`` graph."""
+    return [
+        MixEntry("tlav.pagerank", lambda r: {"iterations": 5}, weight=1.5),
+        MixEntry(
+            "tlav.bfs",
+            lambda r: {"source": int(r.integers(n))},
+            weight=2.0, priority=1, deadline_slack=200_000,
+        ),
+        MixEntry("tlav.wcc", lambda r: {}, weight=1.0),
+        MixEntry(
+            "matching.count",
+            lambda r: {"pattern": str(r.choice(list(rng_patterns)))},
+            weight=2.0,
+        ),
+        MixEntry("matching.cliques", lambda r: {"k": 3}, weight=1.0),
+        MixEntry(
+            "gnn.predict",
+            lambda r: {"nodes": sorted(int(v) for v in r.choice(n, 4, replace=False))},
+            weight=2.5, priority=1, deadline_slack=300_000,
+        ),
+        MixEntry(
+            "tlag.subgraph_query",
+            lambda r: {"pattern": str(r.choice(["triangle", "tailed-triangle"]))},
+            weight=1.5,
+        ),
+    ]
+
+
+def _build_smoke(seed: int) -> Dict[str, Any]:
+    graphs = GraphRegistry()
+    graphs.register("default", barabasi_albert(120, 3, seed=1))
+    mix = _family_mix(120)
+    requests = open_loop(
+        mix, num_requests=48, mean_interarrival=300,
+        tenants=("alice", "bob"), seed=seed,
+    )
+    return {
+        "graphs": graphs,
+        "waves": [{"requests": requests}],
+        "server": {"num_workers": 2, "queue_bound": 64, "batch_window": 64},
+    }
+
+
+def _build_mixed(seed: int) -> Dict[str, Any]:
+    """Two graphs, open + closed loops, an epoch bump between waves."""
+    graphs = GraphRegistry()
+    graphs.register("default", barabasi_albert(160, 3, seed=2))
+    graphs.register("mesh", watts_strogatz(144, 4, 0.1, seed=3))
+    mix = _family_mix(160) + [
+        MixEntry(
+            "tlav.pagerank", lambda r: {"iterations": 4},
+            weight=1.0, graph="mesh",
+        ),
+        MixEntry(
+            "matching.count", lambda r: {"pattern": "c4"},
+            weight=1.0, graph="mesh",
+        ),
+    ]
+    wave1 = open_loop(
+        mix, num_requests=40, mean_interarrival=500,
+        tenants=("alice", "bob", "carol"), seed=seed,
+    )
+    closed = ClosedLoop(
+        mix, clients=("dan", "erin"), requests_per_client=6,
+        think_ops=400, seed=seed + 1,
+    )
+    wave2 = open_loop(
+        mix, num_requests=24, mean_interarrival=500,
+        tenants=("alice", "bob", "carol"), seed=seed + 2,
+    )
+    return {
+        "graphs": graphs,
+        "waves": [
+            {"requests": wave1 + closed.initial_requests(),
+             "feedback": closed.feedback},
+            # The default graph is replaced between waves: every cached
+            # result for it is invalidated by the epoch bump.
+            {"before": lambda g: g.replace(
+                "default", barabasi_albert(160, 3, seed=12)
+            ), "requests": wave2},
+        ],
+        "server": {"num_workers": 4, "queue_bound": 48, "batch_window": 128},
+    }
+
+
+def _build_burst(seed: int) -> Dict[str, Any]:
+    """Overload: a tight burst against a small bound — shedding regime."""
+    graphs = GraphRegistry()
+    graphs.register("default", barabasi_albert(120, 3, seed=4))
+    mix = [
+        MixEntry(
+            "tlav.bfs", lambda r: {"source": int(r.integers(120))},
+            weight=3.0, priority=1, deadline_slack=2_000,
+        ),
+        MixEntry("tlav.pagerank", lambda r: {"iterations": 6}, weight=1.0),
+        MixEntry(
+            "matching.count",
+            lambda r: {"pattern": str(r.choice(["triangle", "diamond", "house"]))},
+            weight=2.0, deadline_slack=6_000,
+        ),
+        MixEntry(
+            "gnn.predict",
+            lambda r: {"nodes": [int(r.integers(120))]},
+            weight=3.0, priority=1, deadline_slack=2_500,
+        ),
+        MixEntry(
+            "tlag.subgraph_query", lambda r: {"pattern": "triangle"},
+            weight=1.0,
+        ),
+    ]
+    requests = open_loop(
+        mix, num_requests=96, mean_interarrival=40,
+        tenants=("alice", "bob", "carol", "dan"), seed=seed,
+    )
+    return {
+        "graphs": graphs,
+        "waves": [{"requests": requests}],
+        "server": {"num_workers": 2, "queue_bound": 16, "batch_window": 32},
+    }
+
+
+SCENARIOS: Dict[str, Callable[[int], Dict[str, Any]]] = {
+    "smoke": _build_smoke,
+    "mixed": _build_mixed,
+    "burst": _build_burst,
+}
+
+
+def scenario_requests(name: str, seed: int = 0) -> Dict[str, Any]:
+    """Build (graphs, waves, server kwargs) for a named scenario."""
+    try:
+        build = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+    return build(seed)
+
+
+# ----------------------------------------------------------------------
+# Scenario runner + report
+# ----------------------------------------------------------------------
+
+
+def _exact_percentile(sorted_latencies: Sequence[int], q: float) -> int:
+    """Exact order-statistic percentile (deterministic integer)."""
+    if not sorted_latencies:
+        return 0
+    rank = max(1, int(np.ceil(q * len(sorted_latencies))))
+    return int(sorted_latencies[rank - 1])
+
+
+def summarize(
+    responses: Sequence[Response], server: Server, makespan: int
+) -> Dict[str, Any]:
+    """The report dict a scenario run produces."""
+    by_endpoint: Dict[str, List[Response]] = {}
+    for response in responses:
+        by_endpoint.setdefault(response.request.endpoint, []).append(response)
+
+    endpoints: Dict[str, Any] = {}
+    for name in sorted(by_endpoint):
+        group = by_endpoint[name]
+        served = sorted(r.latency for r in group if r.status in ("ok", "error"))
+        endpoints[name] = {
+            "count": len(group),
+            "ok": sum(1 for r in group if r.ok),
+            "shed": sum(1 for r in group if r.status == "shed"),
+            "expired": sum(1 for r in group if r.status == "expired"),
+            "errors": sum(1 for r in group if r.status == "error"),
+            "deadline_misses": sum(1 for r in group if r.deadline_missed),
+            "cache_hits": sum(1 for r in group if r.cache_hit),
+            "p50": _exact_percentile(served, 0.50),
+            "p95": _exact_percentile(served, 0.95),
+            "p99": _exact_percentile(served, 0.99),
+            "mean": (
+                round(float(np.mean(served)), 1) if served else 0.0
+            ),
+            "mean_batch_size": (
+                round(float(np.mean([r.batch_size for r in group if r.ok])), 2)
+                if any(r.ok for r in group) else 0.0
+            ),
+        }
+
+    stats = server.stats
+    cache = server.cache
+    completed = stats.completed
+    qps = 1000.0 * completed / makespan if makespan > 0 else 0.0
+    return {
+        "endpoints": endpoints,
+        "overall": {
+            "admitted": stats.admitted,
+            "completed": completed,
+            "shed": stats.shed,
+            "expired": stats.expired,
+            "in_flight": stats.in_flight,
+            "deadline_misses": stats.deadline_misses,
+            "peak_queue_depth": stats.peak_queue_depth,
+            "makespan_ops": makespan,
+            "qps_per_kops": round(qps, 3),
+            "cache_hits": cache.hits if cache else 0,
+            "cache_hit_rate": round(cache.hit_rate, 4) if cache else 0.0,
+            "ledger_ok": (
+                stats.in_flight == 0
+                and stats.admitted
+                == completed + stats.shed + stats.expired
+            ),
+        },
+        "tenants": {
+            t: int(w) for t, w in sorted(server.tenant_work.items())
+        },
+    }
+
+
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    queue_bound: Optional[int] = None,
+    batch_window: Optional[int] = None,
+    max_batch: int = 8,
+    cache: bool = True,
+    endpoints: Optional[EndpointRegistry] = None,
+    obs: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Dict[str, Any]:
+    """Run one named scenario end to end; returns the JSON-shaped report."""
+    spec = scenario_requests(name, seed)
+    server_kwargs = dict(spec.get("server", {}))
+    if workers is not None:
+        server_kwargs["num_workers"] = workers
+    if queue_bound is not None:
+        server_kwargs["queue_bound"] = queue_bound
+    if batch_window is not None:
+        server_kwargs["batch_window"] = batch_window
+    server_kwargs["max_batch"] = max_batch
+    server = Server(
+        spec["graphs"],
+        endpoints=endpoints if endpoints is not None else builtin_endpoints(),
+        enable_cache=cache, obs=obs, tracer=tracer, **server_kwargs,
+    )
+    responses: List[Response] = []
+    for wave in spec["waves"]:
+        before = wave.get("before")
+        if before is not None:
+            before(spec["graphs"])
+        for request in wave["requests"]:
+            server.submit(request)
+        responses.extend(server.run(feedback=wave.get("feedback")))
+
+    arrivals = [r.request.arrival for r in responses]
+    completions = [r.completed for r in responses]
+    makespan = (max(completions) - min(arrivals)) if responses else 0
+    report = {
+        "scenario": name,
+        "seed": seed,
+        "workers": server.num_workers,
+        "queue_bound": server.queue_bound,
+        "batch_window": server.batcher.window,
+        "max_batch": server.batcher.max_batch,
+        "cache": cache,
+        "requests": len(responses),
+    }
+    report.update(summarize(responses, server, makespan))
+    return report

@@ -1,0 +1,490 @@
+"""The request lifecycle: admission, fair scheduling, dispatch, completion.
+
+:class:`Server` is a discrete-event simulation in the same style as
+:class:`repro.tlag.query.QueryServer` and the TLAG task engine: worker
+clocks advance by the simulated-ops *cost* each engine call reports, so
+latency distributions (and therefore every p50/p95/p99 this layer
+quotes) are deterministic at a fixed seed while the engine calls
+themselves run for real and return real answers.
+
+The lifecycle of one request:
+
+1. **Admission** — at its arrival time the request enters the bounded
+   queue; if the queue already holds ``queue_bound`` requests it is
+   **shed** immediately (backpressure beats unbounded latency).
+2. **Expiry** — a queued request whose deadline passes before dispatch
+   is dropped as ``expired`` (a deadline miss without wasted work).
+3. **Selection** — the free worker picks from the highest occupied
+   **priority lane**; inside the lane, the tenant with the least work
+   served so far (max-min fairness, generalizing QueryServer's
+   least-served-query policy); inside the tenant, FIFO.
+4. **Cache** — a hit on the versioned result cache completes in one
+   simulated op without touching an engine.
+5. **Batching** — on a miss the worker may wait out the batch window
+   and coalesces compatible queued requests into one engine call.
+6. **Execution** — the engine call runs under the
+   :class:`~repro.resilience.RetryPolicy` (transient errors retry with
+   deterministic backoff; exhausted retries yield an ``error``
+   response).  Completing after the deadline still returns the answer
+   but counts a **deadline miss**.
+
+Accounting keeps the ledger invariant the ``serve.queue_accounting``
+oracle enforces: ``admitted == completed + shed + in_flight`` at every
+instant, with ``in_flight == 0`` once :meth:`Server.run` drains.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..obs import MetricsRegistry, StatsViewMixin, Tracer
+from ..resilience import RetryPolicy
+from .batcher import MicroBatcher
+from .cache import ResultCache
+from .endpoints import EndpointRegistry, GraphRegistry, builtin_endpoints
+
+__all__ = ["Request", "Response", "ServeStats", "Server"]
+
+#: Simulated ops a cache hit costs (lookup + serialization, not an engine).
+CACHE_HIT_COST = 1
+
+OK = "ok"
+SHED = "shed"
+EXPIRED = "expired"
+ERROR = "error"
+
+
+@dataclass
+class Request:
+    """One tenant request against a served endpoint."""
+
+    endpoint: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    graph: str = "default"
+    tenant: str = "default"
+    priority: int = 0  # higher = more urgent lane
+    arrival: int = 0  # simulated-ops submission time
+    deadline: Optional[int] = None  # absolute simulated-ops deadline
+    id: int = -1  # assigned at submit()
+
+
+@dataclass
+class Response:
+    """Terminal outcome of one request."""
+
+    request: Request
+    status: str  # ok | shed | expired | error
+    value: Any = None
+    dispatched: Optional[int] = None
+    completed: int = 0
+    cost: int = 0
+    cache_hit: bool = False
+    batch_size: int = 1
+    deadline_missed: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def latency(self) -> int:
+        """Response time in simulated ops (completion − arrival)."""
+        return self.completed - self.request.arrival
+
+    @property
+    def queue_wait(self) -> int:
+        start = self.dispatched if self.dispatched is not None else self.completed
+        return start - self.request.arrival
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.request.id,
+            "endpoint": self.request.endpoint,
+            "tenant": self.request.tenant,
+            "status": self.status,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+            "cost": self.cost,
+            "cache_hit": self.cache_hit,
+            "batch_size": self.batch_size,
+            "deadline_missed": self.deadline_missed,
+        }
+
+
+class ServeStats(StatsViewMixin):
+    """Registry view over the ``serve.*`` metrics one server emits."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._c_requests = self.registry.counter(
+            "serve.requests", "terminal responses, by endpoint and status"
+        )
+        self._c_admitted = self.registry.counter(
+            "serve.admitted", "requests accepted into the system"
+        )
+        self._c_deadline_miss = self.registry.counter(
+            "serve.deadline_miss", "requests expired in queue or finished late"
+        )
+        self._c_batches = self.registry.counter(
+            "serve.batches", "engine calls that served a coalesced batch"
+        )
+        self._c_batched_requests = self.registry.counter(
+            "serve.batched_requests", "requests that rode in a batch of >= 2"
+        )
+        self._c_engine_ops = self.registry.counter(
+            "serve.engine_ops", "simulated ops charged by engine calls"
+        )
+        self._g_queue_depth = self.registry.gauge(
+            "serve.queue_depth", "peak admission-queue occupancy"
+        )
+        self._g_in_flight = self.registry.gauge(
+            "serve.in_flight", "peak requests admitted but not yet terminal"
+        )
+        self._h_latency = self.registry.histogram(
+            "serve.latency_ops", "response time in simulated ops, by endpoint"
+        )
+        self._h_queue_wait = self.registry.histogram(
+            "serve.queue_wait_ops", "simulated ops spent queued before dispatch"
+        )
+        self._h_batch_size = self.registry.histogram(
+            "serve.batch_size", "requests per engine call",
+            buckets=[1, 2, 4, 8, 16, 32],
+        )
+
+    # -- write path (server-only) ------------------------------------------
+
+    def record_admitted(self) -> None:
+        self._c_admitted.inc()
+
+    def record_response(self, response: Response) -> None:
+        self._c_requests.inc(
+            endpoint=response.request.endpoint, status=response.status
+        )
+        if response.status in (OK, ERROR):
+            self._h_latency.observe(
+                response.latency, endpoint=response.request.endpoint
+            )
+            self._h_queue_wait.observe(response.queue_wait)
+        if response.deadline_missed:
+            self._c_deadline_miss.inc(endpoint=response.request.endpoint)
+
+    def record_batch(self, size: int, cost: int) -> None:
+        self._c_batches.inc()
+        self._c_engine_ops.inc(cost)
+        self._h_batch_size.observe(size)
+        if size >= 2:
+            self._c_batched_requests.inc(size)
+
+    def record_queue_depth(self, depth: int) -> None:
+        self._g_queue_depth.set_max(depth)
+
+    def record_in_flight(self, count: int) -> None:
+        self._g_in_flight.set_max(count)
+
+    # -- read path ---------------------------------------------------------
+
+    def _status_total(self, status: str) -> int:
+        return int(sum(
+            v for k, v in self._c_requests.series().items()
+            if f"status={status}" in k
+        ))
+
+    @property
+    def admitted(self) -> int:
+        return int(self._c_admitted.total)
+
+    @property
+    def completed(self) -> int:
+        return self._status_total(OK) + self._status_total(ERROR)
+
+    @property
+    def shed(self) -> int:
+        return self._status_total(SHED)
+
+    @property
+    def expired(self) -> int:
+        return self._status_total(EXPIRED)
+
+    @property
+    def deadline_misses(self) -> int:
+        return int(self._c_deadline_miss.total)
+
+    @property
+    def in_flight(self) -> int:
+        """Admitted but not yet terminal — zero once a run drains."""
+        return self.admitted - self.completed - self.shed - self.expired
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return int(self._g_queue_depth.value())
+
+    def latency_percentile(self, q: float, endpoint: str) -> float:
+        return self._h_latency.percentile(q, endpoint=endpoint)
+
+    def extra_dict(self) -> Dict[str, Any]:
+        return {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "expired": self.expired,
+            "in_flight": self.in_flight,
+            "deadline_misses": self.deadline_misses,
+            "peak_queue_depth": self.peak_queue_depth,
+        }
+
+
+class Server:
+    """Multi-tenant front door over the endpoint and graph registries."""
+
+    def __init__(
+        self,
+        graphs: GraphRegistry,
+        endpoints: Optional[EndpointRegistry] = None,
+        num_workers: int = 4,
+        queue_bound: int = 64,
+        batch_window: int = 0,
+        max_batch: int = 8,
+        cache_capacity: int = 256,
+        enable_cache: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        executor=None,
+        obs: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if queue_bound < 1:
+            raise ValueError("queue_bound must be >= 1")
+        self.graphs = graphs
+        self.endpoints = endpoints if endpoints is not None else builtin_endpoints()
+        self.num_workers = num_workers
+        self.queue_bound = queue_bound
+        self.batcher = MicroBatcher(window=batch_window, max_batch=max_batch)
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=2)
+        self.executor = executor
+        self.stats = ServeStats(self.obs)
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_capacity, obs=self.obs).attach(graphs)
+            if enable_cache else None
+        )
+        self._arrivals: List[Tuple[int, int, Request]] = []  # heap
+        self._queue: List[Request] = []
+        self._worker_clocks = [0] * num_workers
+        self._next_id = 0
+        self._tenant_work: Dict[str, int] = {}
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: Request) -> int:
+        """Queue a request for the next :meth:`run`; returns its id."""
+        if request.endpoint not in self.endpoints:
+            raise KeyError(f"unknown endpoint {request.endpoint!r}")
+        if request.graph not in self.graphs:
+            raise KeyError(f"unknown graph {request.graph!r}")
+        request.id = self._next_id
+        self._next_id += 1
+        heapq.heappush(
+            self._arrivals, (request.arrival, request.id, request)
+        )
+        self.stats.record_admitted()
+        return request.id
+
+    # -- the event loop ----------------------------------------------------
+
+    def run(
+        self,
+        feedback: Optional[Callable[[Response], Optional[Request]]] = None,
+    ) -> List[Response]:
+        """Drain every submitted request; returns responses in id order.
+
+        ``feedback`` implements closed loops: called on each terminal
+        response, it may return the follow-up request (arrival no
+        earlier than the completion it reacts to).
+        """
+        responses: List[Response] = []
+
+        def finish(response: Response) -> None:
+            self.stats.record_response(response)
+            if self.tracer is not None:
+                with self.tracer.span(
+                    "serve.request",
+                    endpoint=response.request.endpoint,
+                    tenant=response.request.tenant,
+                    status=response.status,
+                    cache_hit=response.cache_hit,
+                ) as span:
+                    span.set_sim(response.request.arrival, response.completed)
+            responses.append(response)
+            if feedback is not None:
+                follow = feedback(response)
+                if follow is not None:
+                    if follow.arrival < response.completed:
+                        follow.arrival = response.completed
+                    self.submit(follow)
+
+        heap = [(self._worker_clocks[w], w) for w in range(self.num_workers)]
+        heapq.heapify(heap)
+
+        while self._arrivals or self._queue:
+            clock, w = heapq.heappop(heap)
+            self._absorb(clock, finish)
+            self._expire(clock, finish)
+            if not self._queue:
+                if not self._arrivals:
+                    heapq.heappush(heap, (clock, w))
+                    break
+                # Idle worker: jump to the next arrival.
+                heapq.heappush(
+                    heap, (max(clock, self._arrivals[0][0]), w)
+                )
+                continue
+            busy = sum(1 for t, _ in heap if t > clock) + 1
+            self.stats.record_in_flight(len(self._queue) + busy)
+            completed = self._dispatch(clock, finish)
+            self._worker_clocks[w] = completed
+            heapq.heappush(heap, (completed, w))
+
+        for t, w in heap:
+            self._worker_clocks[w] = max(self._worker_clocks[w], t)
+        responses.sort(key=lambda r: r.request.id)
+        return responses
+
+    # -- internals ---------------------------------------------------------
+
+    def _absorb(
+        self, clock: int, finish: Callable[[Response], None]
+    ) -> None:
+        """Admit (or shed) every arrival up to ``clock``, in order."""
+        while self._arrivals and self._arrivals[0][0] <= clock:
+            _, _, request = heapq.heappop(self._arrivals)
+            if len(self._queue) >= self.queue_bound:
+                finish(Response(
+                    request=request, status=SHED, completed=request.arrival,
+                ))
+                continue
+            self._queue.append(request)
+            self.stats.record_queue_depth(len(self._queue))
+
+    def _expire(
+        self, clock: int, finish: Callable[[Response], None]
+    ) -> None:
+        """Drop queued requests whose deadline already passed."""
+        live: List[Request] = []
+        for request in self._queue:
+            if request.deadline is not None and request.deadline < clock:
+                finish(Response(
+                    request=request, status=EXPIRED, completed=clock,
+                    deadline_missed=True,
+                ))
+            else:
+                live.append(request)
+        self._queue = live
+
+    def _select(self) -> Request:
+        """Priority lane, then least-served tenant, then FIFO."""
+        lane = max(r.priority for r in self._queue)
+        candidates = [r for r in self._queue if r.priority == lane]
+        tenant = min(
+            (self._tenant_work.get(r.tenant, 0), r.tenant)
+            for r in candidates
+        )[1]
+        return next(r for r in candidates if r.tenant == tenant)
+
+    def _dispatch(
+        self, clock: int, finish: Callable[[Response], None]
+    ) -> int:
+        """Serve one head request (possibly a batch); returns the new
+        worker clock."""
+        head = self._select()
+        endpoint = self.endpoints.get(head.endpoint)
+        record = self.graphs.get(head.graph)
+        canon = endpoint.canonicalize(head.params)
+
+        if self.cache is not None:
+            key = ResultCache.key(head.endpoint, head.graph, record.epoch, canon)
+            hit, value = self.cache.lookup(key)
+            if hit:
+                self._queue.remove(head)
+                completed = clock + CACHE_HIT_COST
+                self._charge(head.tenant, CACHE_HIT_COST)
+                finish(Response(
+                    request=head, status=OK, value=value, dispatched=clock,
+                    completed=completed, cost=CACHE_HIT_COST, cache_hit=True,
+                    deadline_missed=(
+                        head.deadline is not None and completed > head.deadline
+                    ),
+                ))
+                return completed
+
+        t_dispatch = self.batcher.dispatch_time(clock, head.arrival)
+        if t_dispatch > clock:
+            # Waiting out the batch window lets later arrivals join.
+            self._absorb(t_dispatch, finish)
+        batch = self.batcher.collect(
+            head, self._queue, endpoint, record.epoch, canon
+        )
+        for request in batch:
+            self._queue.remove(request)
+
+        error: Optional[str] = None
+        try:
+            values, cost = self.retry.call(
+                self.batcher.execute, endpoint, record, batch,
+                executor=self.executor, key=("serve", head.id),
+                obs=self.obs, op=f"serve:{head.endpoint}",
+            )
+        except Exception as exc:  # exhausted retries: an error response
+            values, cost = [None] * len(batch), CACHE_HIT_COST
+            error = f"{type(exc).__name__}: {exc}"
+
+        completed = t_dispatch + cost
+        self.stats.record_batch(len(batch), cost)
+        share = max(1, cost // len(batch))
+        for request, value in zip(batch, values):
+            self._charge(request.tenant, share)
+            canon_r = endpoint.canonicalize(request.params)
+            if self.cache is not None and error is None:
+                self.cache.put(
+                    ResultCache.key(
+                        request.endpoint, request.graph, record.epoch, canon_r
+                    ),
+                    value,
+                )
+            finish(Response(
+                request=request,
+                status=ERROR if error is not None else OK,
+                value=value, dispatched=t_dispatch, completed=completed,
+                cost=share, batch_size=len(batch),
+                deadline_missed=(
+                    request.deadline is not None and completed > request.deadline
+                ),
+                error=error,
+            ))
+        return completed
+
+    def _charge(self, tenant: str, ops: int) -> None:
+        self._tenant_work[tenant] = self._tenant_work.get(tenant, 0) + ops
+
+    # -- readings ----------------------------------------------------------
+
+    @property
+    def tenant_work(self) -> Dict[str, int]:
+        """Simulated ops served per tenant (the fairness ledger)."""
+        return dict(self._tenant_work)
+
+    @property
+    def clock(self) -> int:
+        """The latest simulated time any worker has reached."""
+        return max(self._worker_clocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Server(workers={self.num_workers}, "
+            f"endpoints={len(self.endpoints)}, "
+            f"queue_bound={self.queue_bound})"
+        )

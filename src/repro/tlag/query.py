@@ -11,9 +11,14 @@ them, so mean response time drops — the classic shared-server argument.
 matching tasks (one per candidate of the first order vertex, as in
 :class:`~repro.tlag.programs.MatchProgram`), and the simulated workers
 pick the next task from the *least-served* live query (fair sharing).
-``serve()`` returns per-query completion times in simulated ops;
-``run_sequentially()`` is the baseline that runs the same queries
-back to back.  Bench C15 compares the two.
+``serve()`` returns per-query results whose ``response_time`` is
+``completion_time - arrival`` in simulated ops; ``run_sequentially()``
+is the baseline that runs the same queries back to back.  Bench C15
+compares the two.  The server reports through :mod:`repro.obs`
+(``tlag.query.*`` counters/histograms and a ``tlag.query.serve`` span
+via :class:`QueryServerStats`), and the multi-tenant front door in
+:mod:`repro.serve` exposes this query model as its ``tlag`` endpoint
+family.
 """
 
 from __future__ import annotations
@@ -26,8 +31,9 @@ from ..graph.csr import Graph
 from ..matching.backtrack import MatchStats, match
 from ..matching.pattern import PatternGraph, symmetry_breaking_restrictions
 from ..matching.plan import GraphStats, Planner
+from ..obs import MetricsRegistry, StatsViewMixin, Tracer
 
-__all__ = ["Query", "QueryResult", "QueryServer"]
+__all__ = ["Query", "QueryResult", "QueryServer", "QueryServerStats"]
 
 
 @dataclass
@@ -47,10 +53,12 @@ class QueryResult:
     embeddings: int
     completion_time: int  # simulated ops clock when the last task finished
     work: int  # total ops spent on this query
+    arrival: int = 0  # when the query was submitted
 
     @property
     def response_time(self) -> int:
-        return self.completion_time
+        """What the user waited: completion minus submission time."""
+        return self.completion_time - self.arrival
 
 
 @dataclass
@@ -62,12 +70,74 @@ class _QueryState:
     completed_at: int = 0
 
 
+class QueryServerStats(StatsViewMixin):
+    """Registry view over the ``tlag.query.*`` metrics one server emits."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._c_submitted = self.registry.counter(
+            "tlag.query.submitted", "queries registered with the server"
+        )
+        self._c_completed = self.registry.counter(
+            "tlag.query.completed", "queries fully answered, by mode"
+        )
+        self._c_tasks = self.registry.counter(
+            "tlag.query.tasks", "anchored matching tasks executed"
+        )
+        self._c_work = self.registry.counter(
+            "tlag.query.work_ops", "simulated ops spent matching"
+        )
+        self._h_response = self.registry.histogram(
+            "tlag.query.response_ops",
+            "per-query response time (completion - arrival), simulated ops",
+        )
+
+    def record_submit(self) -> None:
+        self._c_submitted.inc()
+
+    def record_task(self, ops: int) -> None:
+        self._c_tasks.inc()
+        self._c_work.inc(ops)
+
+    def record_completion(self, result: "QueryResult", mode: str) -> None:
+        self._c_completed.inc(mode=mode)
+        self._h_response.observe(result.response_time, mode=mode)
+
+    @property
+    def submitted(self) -> int:
+        return int(self._c_submitted.total)
+
+    @property
+    def completed(self) -> int:
+        return int(self._c_completed.total)
+
+    @property
+    def tasks_executed(self) -> int:
+        return int(self._c_tasks.total)
+
+    @property
+    def total_work(self) -> int:
+        return int(self._c_work.total)
+
+    def mean_response(self, mode: str) -> float:
+        return self._h_response.mean(mode=mode)
+
+
 class QueryServer:
     """Multiplexes concurrent subgraph queries over shared workers."""
 
-    def __init__(self, graph: Graph, num_workers: int = 4) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        num_workers: int = 4,
+        obs: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.graph = graph
         self.num_workers = num_workers
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.stats = QueryServerStats(self.obs)
         self._planner = Planner(GraphStats.of(graph))
         self._queries: List[_QueryState] = []
 
@@ -75,6 +145,7 @@ class QueryServer:
         """Register a query; returns its id."""
         if query.order is None:
             query.order = self._planner.plan(query.pattern).order
+        self.stats.record_submit()
         state = _QueryState(query=query)
         first = query.order[0]
         want = query.pattern.label(first)
@@ -101,6 +172,7 @@ class QueryServer:
         state.embeddings += count
         ops = max(stats.candidates_scanned, 1)
         state.work_done += ops
+        self.stats.record_task(ops)
         return ops
 
     def serve(self) -> List[QueryResult]:
@@ -137,7 +209,7 @@ class QueryServer:
                 state.completed_at = clocks[w]
                 pending.discard(qid)
             heapq.heappush(heap, (clocks[w], w))
-        return self._results()
+        return self._finalize("shared")
 
     def run_sequentially(self) -> List[QueryResult]:
         """Baseline: finish each query entirely before starting the next."""
@@ -151,7 +223,7 @@ class QueryServer:
                 per_worker[w] += self._run_task(state, anchor)
             clock += max(per_worker) if per_worker else 0
             state.completed_at = clock
-        return self._results()
+        return self._finalize("sequential")
 
     def _results(self) -> List[QueryResult]:
         return [
@@ -160,6 +232,19 @@ class QueryServer:
                 embeddings=s.embeddings,
                 completion_time=s.completed_at,
                 work=s.work_done,
+                arrival=s.query.arrival,
             )
             for i, s in enumerate(self._queries)
         ]
+
+    def _finalize(self, mode: str) -> List[QueryResult]:
+        results = self._results()
+        for result in results:
+            self.stats.record_completion(result, mode)
+        if self.tracer is not None and results:
+            with self.tracer.span(
+                "tlag.query.serve", mode=mode, queries=len(results),
+                workers=self.num_workers,
+            ) as span:
+                span.set_sim(0, max(r.completion_time for r in results))
+        return results

@@ -1,0 +1,73 @@
+"""Versioned LRU result cache."""
+
+import pytest
+
+from repro.graph.generators import barabasi_albert
+from repro.serve.cache import ResultCache
+from repro.serve.endpoints import GraphRegistry, canonical_params
+
+
+def _key(epoch=0, **params):
+    return ResultCache.key("ep", "default", epoch, canonical_params(params))
+
+
+class TestLookupAndPut:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        hit, _ = cache.lookup(_key(x=1))
+        assert not hit
+        cache.put(_key(x=1), "answer")
+        hit, value = cache.lookup(_key(x=1))
+        assert hit and value == "answer"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_epoch_is_part_of_identity(self):
+        cache = ResultCache()
+        cache.put(_key(epoch=0, x=1), "old")
+        hit, _ = cache.lookup(_key(epoch=1, x=1))
+        assert not hit
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(_key(x=1), "a")
+        cache.put(_key(x=2), "b")
+        cache.lookup(_key(x=1))  # refresh x=1
+        cache.put(_key(x=3), "c")  # evicts x=2, the stalest
+        assert _key(x=1) in cache
+        assert _key(x=2) not in cache
+        assert _key(x=3) in cache
+        assert cache.as_dict()["evictions"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestInvalidation:
+    def test_invalidate_graph_drops_stale_epochs_only(self):
+        cache = ResultCache()
+        cache.put(_key(epoch=0, x=1), "old")
+        cache.put(_key(epoch=1, x=1), "new")
+        dropped = cache.invalidate_graph("default", current_epoch=1)
+        assert dropped == 1
+        assert _key(epoch=1, x=1) in cache
+        assert _key(epoch=0, x=1) not in cache
+
+    def test_attach_reclaims_on_registry_bump(self):
+        graphs = GraphRegistry()
+        graphs.register("default", barabasi_albert(20, 2, seed=1))
+        cache = ResultCache().attach(graphs)
+        cache.put(_key(epoch=0, x=1), "stale-to-be")
+        graphs.bump_epoch("default")
+        assert len(cache) == 0
+        assert cache.as_dict()["invalidated"] == 1
+
+    def test_other_graphs_untouched(self):
+        cache = ResultCache()
+        other = ResultCache.key("ep", "mesh", 0, canonical_params({}))
+        cache.put(other, "keep")
+        cache.put(_key(x=1), "drop")
+        cache.invalidate_graph("default", current_epoch=5)
+        assert other in cache
+        assert len(cache) == 1

@@ -1,0 +1,67 @@
+"""The ``python -m repro serve`` verb."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestServeCLI:
+    def test_smoke_text_report(self, capsys):
+        assert main(["serve", "--scenario", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario smoke" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "cache hit rate" in out
+        assert "ledger          OK" in out
+        # At least one endpoint from every engine family in the table.
+        for endpoint in ("tlav.pagerank", "matching.count", "gnn.predict",
+                         "tlag.subgraph_query"):
+            assert endpoint in out
+
+    def test_smoke_json_report(self, capsys):
+        assert main(["serve", "--scenario", "smoke", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scenario"] == "smoke"
+        assert report["overall"]["ledger_ok"] is True
+        assert report["overall"]["deadline_misses"] >= 0
+        assert report["overall"]["qps_per_kops"] > 0
+        assert report["request_spans"] == report["overall"]["completed"]
+        assert "serve.latency_ops" in report["metrics"]
+        assert "serve.cache.hits" in report["metrics"]
+        for summary in report["endpoints"].values():
+            assert {"p50", "p95", "p99", "deadline_misses"} <= set(summary)
+
+    def test_json_deterministic_at_fixed_seed(self, capsys):
+        assert main(["serve", "--scenario", "smoke", "--json", "--seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--scenario", "smoke", "--json", "--seed", "5"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_burst_sheds_and_expires(self, capsys):
+        assert main(["serve", "--scenario", "burst", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        overall = next(l for l in out.splitlines() if l.startswith("overall"))
+        assert "shed=0" not in overall
+        assert "expired=0" not in overall
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["serve", "--scenario", "smoke", "--json", "--no-cache"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cache"] is False
+        assert report["overall"]["cache_hits"] == 0
+
+    def test_tuning_flags_respected(self, capsys):
+        assert main(["serve", "--scenario", "smoke", "--json", "--workers", "3",
+                     "--queue-bound", "8", "--batch-window", "32",
+                     "--max-batch", "4"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workers"] == 3
+        assert report["queue_bound"] == 8
+        assert report["batch_window"] == 32
+        assert report["max_batch"] == 4
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scenario", "flood"])

@@ -1,0 +1,183 @@
+"""Endpoint/graph registries and the served-engine contract."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import barabasi_albert
+from repro.matching.backtrack import count_matches
+from repro.matching.cliques import count_k_cliques
+from repro.matching.pattern import triangle_pattern
+from repro.serve.endpoints import (
+    Endpoint,
+    EndpointRegistry,
+    GraphRegistry,
+    builtin_endpoints,
+    canonical_params,
+    named_pattern,
+)
+from repro.tlav.algorithms import bfs, pagerank, wcc
+
+
+@pytest.fixture
+def graphs():
+    registry = GraphRegistry()
+    registry.register("default", barabasi_albert(60, 3, seed=5))
+    return registry
+
+
+class TestCanonicalParams:
+    def test_order_independent(self):
+        assert canonical_params({"a": 1, "b": 2}) == canonical_params(
+            {"b": 2, "a": 1}
+        )
+
+    def test_numpy_scalars_normalized(self):
+        assert canonical_params({"x": np.int64(3)}) == canonical_params({"x": 3})
+        assert canonical_params({"x": np.float64(0.5)}) == canonical_params(
+            {"x": 0.5}
+        )
+
+    def test_lists_and_tuples_collapse(self):
+        assert canonical_params({"nodes": [1, 2]}) == canonical_params(
+            {"nodes": (1, 2)}
+        )
+
+    def test_distinct_params_distinct(self):
+        assert canonical_params({"k": 3}) != canonical_params({"k": 4})
+
+    def test_hashable(self):
+        {canonical_params({"nested": {"a": [1]}}): True}
+
+
+class TestGraphRegistry:
+    def test_epoch_bumps_on_replace(self, graphs):
+        assert graphs.epoch("default") == 0
+        graphs.replace("default", barabasi_albert(60, 3, seed=6))
+        assert graphs.epoch("default") == 1
+
+    def test_bump_epoch_declares_mutation(self, graphs):
+        assert graphs.bump_epoch("default") == 1
+        assert graphs.bump_epoch("default") == 2
+
+    def test_subscribers_notified(self, graphs):
+        seen = []
+        graphs.subscribe(lambda name, epoch: seen.append((name, epoch)))
+        graphs.replace("default", barabasi_albert(60, 3, seed=7))
+        graphs.bump_epoch("default")
+        assert seen == [("default", 1), ("default", 2)]
+
+    def test_duplicate_register_rejected(self, graphs):
+        with pytest.raises(ValueError):
+            graphs.register("default", barabasi_albert(10, 2, seed=0))
+
+    def test_unknown_graph_rejected(self, graphs):
+        with pytest.raises(KeyError):
+            graphs.get("nope")
+
+    def test_derived_state_rebuilt_after_bump(self, graphs):
+        record = graphs.get("default")
+        gt_before = record.tensors()
+        planner_before = record.planner()
+        assert record.tensors() is gt_before  # cached within an epoch
+        graphs.bump_epoch("default")
+        assert record.tensors() is not gt_before
+        assert record.planner() is not planner_before
+
+    def test_ensure_gnn_deterministic(self, graphs):
+        record = graphs.get("default")
+        record.ensure_gnn()
+        feats = record.features.copy()
+        other = GraphRegistry()
+        other.register("default", barabasi_albert(60, 3, seed=5))
+        twin = other.get("default")
+        twin.ensure_gnn()
+        np.testing.assert_array_equal(feats, twin.features)
+
+
+class TestEndpointRegistry:
+    def test_builtin_covers_every_family(self):
+        registry = builtin_endpoints()
+        assert registry.families() == ["gnn", "matching", "tlag", "tlav"]
+
+    def test_duplicate_rejected(self):
+        registry = EndpointRegistry()
+        ep = Endpoint("x", "test", lambda rec, p, ex: (1, 1))
+        registry.register(ep)
+        with pytest.raises(ValueError):
+            registry.register(Endpoint("x", "test", lambda rec, p, ex: (1, 1)))
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(KeyError):
+            builtin_endpoints().get("tlav.sssp")
+
+    def test_cost_clamped_to_one(self, graphs):
+        ep = Endpoint("zero", "test", lambda rec, p, ex: ("v", 0))
+        _, cost = ep.run(graphs.get("default"), {})
+        assert cost == 1
+
+    def test_run_batch_requires_merge(self):
+        ep = Endpoint("solo", "test", lambda rec, p, ex: (1, 1))
+        assert not ep.merge_batch
+        with pytest.raises(TypeError):
+            ep.run_batch(None, [{}])
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(KeyError):
+            named_pattern("pentagon")
+
+
+class TestBuiltinEndpointsMatchEngines:
+    """The serve contract: results are the direct engine answers."""
+
+    def test_pagerank(self, graphs):
+        record = graphs.get("default")
+        result, cost = builtin_endpoints().get("tlav.pagerank").run(
+            record, {"iterations": 5}
+        )
+        np.testing.assert_array_equal(
+            result, pagerank(record.graph, iterations=5)
+        )
+        assert cost == 5 * record.graph.indices.size
+
+    def test_bfs(self, graphs):
+        record = graphs.get("default")
+        result, _ = builtin_endpoints().get("tlav.bfs").run(
+            record, {"source": 3}
+        )
+        np.testing.assert_array_equal(result, bfs(record.graph, 3))
+
+    def test_wcc(self, graphs):
+        record = graphs.get("default")
+        result, _ = builtin_endpoints().get("tlav.wcc").run(record, {})
+        np.testing.assert_array_equal(result, wcc(record.graph))
+
+    def test_matching_count(self, graphs):
+        record = graphs.get("default")
+        result, cost = builtin_endpoints().get("matching.count").run(
+            record, {"pattern": "triangle"}
+        )
+        assert result == count_matches(record.graph, triangle_pattern())
+        assert cost >= 1
+
+    def test_cliques(self, graphs):
+        record = graphs.get("default")
+        result, _ = builtin_endpoints().get("matching.cliques").run(
+            record, {"k": 3}
+        )
+        assert result == count_k_cliques(record.graph, 3)
+
+    def test_subgraph_query_matches_count(self, graphs):
+        record = graphs.get("default")
+        tlag, _ = builtin_endpoints().get("tlag.subgraph_query").run(
+            record, {"pattern": "triangle"}
+        )
+        assert tlag == count_matches(record.graph, triangle_pattern())
+
+    def test_gnn_predict_batch_equals_singles(self, graphs):
+        record = graphs.get("default")
+        ep = builtin_endpoints().get("gnn.predict")
+        assert ep.merge_batch
+        params = [{"nodes": [0, 1]}, {"nodes": [5]}, {"nodes": [2, 3, 4]}]
+        batched, _ = ep.run_batch(record, params)
+        singles = [ep.run(record, p)[0] for p in params]
+        assert batched == singles

@@ -1,0 +1,114 @@
+"""Load generators and the named serving scenarios."""
+
+import pytest
+
+from repro.serve.loadgen import (
+    SCENARIOS,
+    ClosedLoop,
+    MixEntry,
+    open_loop,
+    run_scenario,
+    scenario_requests,
+)
+
+_MIX = [
+    MixEntry("tlav.bfs", lambda r: {"source": int(r.integers(50))}, weight=2.0),
+    MixEntry("matching.count", lambda r: {"pattern": "triangle"}, weight=1.0),
+]
+
+
+class TestOpenLoop:
+    def test_deterministic_at_fixed_seed(self):
+        a = open_loop(_MIX, 20, 100, tenants=("t1", "t2"), seed=7)
+        b = open_loop(_MIX, 20, 100, tenants=("t1", "t2"), seed=7)
+        assert [(r.endpoint, r.arrival, r.tenant, r.params) for r in a] == [
+            (r.endpoint, r.arrival, r.tenant, r.params) for r in b
+        ]
+
+    def test_seed_changes_stream(self):
+        a = open_loop(_MIX, 20, 100, seed=7)
+        b = open_loop(_MIX, 20, 100, seed=8)
+        assert [r.arrival for r in a] != [r.arrival for r in b]
+
+    def test_arrivals_strictly_increase(self):
+        arrivals = [r.arrival for r in open_loop(_MIX, 30, 50, seed=1)]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_deadline_slack_applied(self):
+        mix = [MixEntry("tlav.bfs", lambda r: {"source": 0}, deadline_slack=500)]
+        (req,) = open_loop(mix, 1, 10, seed=0)
+        assert req.deadline == req.arrival + 500
+
+
+class TestClosedLoop:
+    def test_one_initial_request_per_client(self):
+        loop = ClosedLoop(_MIX, clients=("a", "b"), requests_per_client=3, seed=1)
+        initial = loop.initial_requests()
+        assert [r.tenant for r in initial] == ["a", "b"]
+
+    def test_budget_limits_followups(self):
+        loop = ClosedLoop(
+            _MIX, clients=("a",), requests_per_client=3, think_ops=10, seed=1,
+        )
+        (first,) = loop.initial_requests()
+
+        class FakeResponse:
+            def __init__(self, tenant, completed):
+                self.request = type("R", (), {"tenant": tenant})()
+                self.completed = completed
+
+        follow1 = loop.feedback(FakeResponse("a", 100))
+        follow2 = loop.feedback(FakeResponse("a", 300))
+        assert follow1.arrival == 110 and follow2.arrival == 310
+        assert loop.feedback(FakeResponse("a", 500)) is None  # budget spent
+        assert loop.submitted == 3
+
+
+class TestScenarios:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            scenario_requests("nope")
+
+    def test_all_scenarios_build(self):
+        for name in SCENARIOS:
+            spec = scenario_requests(name, seed=0)
+            assert spec["waves"] and "default" in spec["graphs"]
+
+    def test_smoke_report_shape(self):
+        report = run_scenario("smoke", seed=0)
+        overall = report["overall"]
+        assert overall["ledger_ok"]
+        assert overall["in_flight"] == 0
+        assert overall["qps_per_kops"] > 0
+        # One endpoint from every engine family, each quoting tail latency.
+        families = {name.split(".")[0] for name in report["endpoints"]}
+        assert families == {"tlav", "matching", "gnn", "tlag"}
+        for summary in report["endpoints"].values():
+            assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_smoke_deterministic_at_fixed_seed(self):
+        assert run_scenario("smoke", seed=3) == run_scenario("smoke", seed=3)
+
+    def test_burst_exercises_slo_machinery(self):
+        report = run_scenario("burst", seed=0)
+        overall = report["overall"]
+        assert overall["shed"] > 0
+        assert overall["expired"] > 0
+        assert overall["deadline_misses"] > 0
+        assert overall["ledger_ok"]
+
+    def test_mixed_survives_epoch_bump(self):
+        report = run_scenario("mixed", seed=0)
+        assert report["overall"]["ledger_ok"]
+        assert report["overall"]["cache_hits"] >= 0
+        # Closed-loop tenants did real work alongside the open loop.
+        assert report["tenants"]["dan"] > 0 and report["tenants"]["erin"] > 0
+
+    def test_cache_off_run_has_no_hits(self):
+        report = run_scenario("smoke", seed=0, cache=False)
+        assert report["overall"]["cache_hits"] == 0
+        assert report["overall"]["ledger_ok"]
+
+    def test_cache_improves_hit_rate_on_smoke(self):
+        report = run_scenario("smoke", seed=0)
+        assert report["overall"]["cache_hit_rate"] > 0

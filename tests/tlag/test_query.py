@@ -83,3 +83,61 @@ class TestScheduling:
         server.submit(Query(path_pattern(2), arrival=10**9))
         results = server.serve()
         assert results[1].completion_time >= 10**9
+
+    def test_response_time_is_relative_to_arrival(self, graph):
+        """A late arrival's response time is what *it* waited, not the
+        raw completion clock."""
+        server = QueryServer(graph, num_workers=2)
+        server.submit(Query(triangle_pattern(), arrival=0))
+        server.submit(Query(path_pattern(2), arrival=10**9))
+        early, late = server.serve()
+        assert early.response_time == early.completion_time
+        assert late.response_time == late.completion_time - 10**9
+        # The trivial query did not "wait" a billion ops.
+        assert late.response_time < 10**6
+
+    def test_sequential_response_time_relative_too(self, graph):
+        server = QueryServer(graph, num_workers=2)
+        server.submit(Query(triangle_pattern(), arrival=500))
+        (result,) = server.run_sequentially()
+        assert result.arrival == 500
+        assert result.response_time == result.completion_time - 500
+
+
+class TestObservability:
+    def test_stats_view_counts_queries_and_tasks(self, graph):
+        server = QueryServer(graph, num_workers=2)
+        server.submit(Query(triangle_pattern()))
+        server.submit(Query(path_pattern(2)))
+        results = server.serve()
+        stats = server.stats
+        assert stats.submitted == 2
+        assert stats.completed == 2
+        assert stats.tasks_executed > 0
+        assert stats.total_work == sum(r.work for r in results)
+        assert stats.mean_response("shared") == pytest.approx(
+            sum(r.response_time for r in results) / 2
+        )
+
+    def test_shared_registry_accumulates(self, graph):
+        from repro.obs import MetricsRegistry
+
+        obs = MetricsRegistry()
+        for _ in range(2):
+            server = QueryServer(graph, num_workers=2, obs=obs)
+            server.submit(Query(triangle_pattern()))
+            server.serve()
+        assert obs.counter("tlag.query.submitted").total == 2
+        assert obs.counter("tlag.query.completed").total == 2
+
+    def test_serve_emits_span(self, graph):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        server = QueryServer(graph, num_workers=2, tracer=tracer)
+        server.submit(Query(triangle_pattern()))
+        results = server.serve()
+        (span,) = tracer.find("tlag.query.serve")
+        assert span.attrs["mode"] == "shared"
+        assert span.attrs["queries"] == 1
+        assert span.sim_end == results[0].completion_time
