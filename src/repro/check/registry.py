@@ -63,6 +63,7 @@ SUITES = ("quick", "full")
 #: Modules that declare checks.  Importing them populates REGISTRY.
 CHECK_MODULES = (
     "repro.graph.checks",
+    "repro.graph.store.checks",
     "repro.tlav.checks",
     "repro.tlag.checks",
     "repro.matching.checks",

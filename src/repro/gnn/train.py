@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..graph.csr import Graph
+from ..graph.store.handle import as_handle, resolve_graph_argument
 from ..obs import MetricsRegistry, StatsViewMixin, Tracer, merge_counters
 from ..resilience import FaultInjector, SnapshotStore
 from .layers import GraphTensors
@@ -128,10 +129,10 @@ class TrainReport(StatsViewMixin):
 
 def train_full_graph(
     model: NodeClassifier,
-    graph: Graph,
-    features: np.ndarray,
-    labels: np.ndarray,
-    train_mask: np.ndarray,
+    graph_or_handle=None,
+    features: Optional[np.ndarray] = None,
+    labels: Optional[np.ndarray] = None,
+    train_mask: Optional[np.ndarray] = None,
     val_mask: Optional[np.ndarray] = None,
     epochs: int = 50,
     lr: float = 0.01,
@@ -140,8 +141,16 @@ def train_full_graph(
     snapshots: Optional[SnapshotStore] = None,
     checkpoint_every: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    *,
+    graph: Optional[Graph] = None,
 ) -> TrainReport:
     """Full-graph training with masked cross-entropy.
+
+    ``graph_or_handle`` takes a :class:`Graph`, any
+    :class:`~repro.graph.store.GraphHandle`, or a store-directory path;
+    when ``features`` is omitted they are pulled from the handle's
+    feature shards (``handle.features()``).  The old ``graph=`` keyword
+    still works with a :class:`DeprecationWarning`.
 
     With an ``injector``, ``fail_epoch`` faults crash the loop at the
     start of that epoch; training resumes from the latest ``gnn``
@@ -151,7 +160,21 @@ def train_full_graph(
     """
     if checkpoint_every is not None and checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
-    gt = GraphTensors(graph)
+    handle = as_handle(
+        resolve_graph_argument("train_full_graph", graph_or_handle, graph)
+    )
+    if features is None:
+        features = handle.features()
+    if features is None:
+        raise TypeError(
+            "train_full_graph() needs features: pass the array or use a "
+            "handle that carries feature shards"
+        )
+    if labels is None or train_mask is None:
+        raise TypeError(
+            "train_full_graph() missing required 'labels'/'train_mask'"
+        )
+    gt = GraphTensors(handle)
     x = Tensor(features)
     optimizer = Adam(model.parameters(), lr=lr)
     report = TrainReport()
@@ -184,7 +207,7 @@ def train_full_graph(
         loss = logits.gather_rows(train_idx).cross_entropy(labels[train_idx])
         loss.backward()
         optimizer.step()
-        report.record_step(float(loss.data), graph.num_vertices, obs=obs)
+        report.record_step(float(loss.data), handle.num_vertices, obs=obs)
         with no_grad():
             out = model(gt, x).data
         report.train_accuracy.append(accuracy(out, labels, train_mask))
@@ -206,10 +229,10 @@ def train_full_graph(
 
 def train_sampled(
     model: NodeClassifier,
-    graph: Graph,
-    features: np.ndarray,
-    labels: np.ndarray,
-    train_mask: np.ndarray,
+    graph_or_handle=None,
+    features: Optional[np.ndarray] = None,
+    labels: Optional[np.ndarray] = None,
+    train_mask: Optional[np.ndarray] = None,
     val_mask: Optional[np.ndarray] = None,
     epochs: int = 10,
     batch_size: int = 64,
@@ -217,14 +240,32 @@ def train_sampled(
     lr: float = 0.01,
     seed: int = 0,
     obs: Optional[MetricsRegistry] = None,
+    *,
+    graph: Optional[Graph] = None,
 ) -> TrainReport:
     """Mini-batch training over sampled neighborhood blocks.
 
     The loss is computed on the batch seeds only; each block is a small
     graph, so a step's work (and feature-gather volume) is independent
     of ``|V|`` — the bound that makes the industrial systems scale.
+    Like :func:`train_full_graph`, ``graph_or_handle`` accepts a graph,
+    handle, or store path, and ``features`` default to feature shards.
     """
-    sampler = NeighborSampler(graph, fanouts, seed=seed)
+    handle = as_handle(
+        resolve_graph_argument("train_sampled", graph_or_handle, graph)
+    )
+    if features is None:
+        features = handle.features()
+    if features is None:
+        raise TypeError(
+            "train_sampled() needs features: pass the array or use a "
+            "handle that carries feature shards"
+        )
+    if labels is None or train_mask is None:
+        raise TypeError(
+            "train_sampled() missing required 'labels'/'train_mask'"
+        )
+    sampler = NeighborSampler(handle, fanouts, seed=seed)
     optimizer = Adam(model.parameters(), lr=lr)
     report = TrainReport()
     train_nodes = np.nonzero(train_mask)[0]
@@ -240,7 +281,7 @@ def train_sampled(
             loss.backward()
             optimizer.step()
             report.record_step(float(loss.data), block.gathered_nodes, obs=obs)
-        full_gt = GraphTensors(graph)
+        full_gt = GraphTensors(handle)
         with no_grad():
             out = model(full_gt, Tensor(features)).data
         report.train_accuracy.append(accuracy(out, labels, train_mask))

@@ -1,7 +1,35 @@
-"""Graph substrate: CSR storage, generators, I/O, partitioners, properties."""
+"""Graph substrate: CSR storage, generators, I/O, partitioners, properties,
+and the on-disk store layer behind the :class:`GraphHandle` protocol."""
 
 from .csr import Graph, GraphBuilder
 from .transactions import GraphTransaction, TransactionDatabase
 from .weighted import dijkstra, edge_label_weight
+from .store import (
+    GraphHandle,
+    InMemoryGraph,
+    StoreCatalog,
+    StoredGraph,
+    StoreError,
+    as_handle,
+    build_store,
+    ingest_edge_stream,
+    open_store,
+)
 
-__all__ = ["Graph", "GraphBuilder", "GraphTransaction", "TransactionDatabase", "dijkstra", "edge_label_weight"]
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "GraphTransaction",
+    "TransactionDatabase",
+    "dijkstra",
+    "edge_label_weight",
+    "GraphHandle",
+    "InMemoryGraph",
+    "StoreCatalog",
+    "StoredGraph",
+    "StoreError",
+    "as_handle",
+    "build_store",
+    "ingest_edge_stream",
+    "open_store",
+]

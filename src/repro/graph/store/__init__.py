@@ -1,0 +1,63 @@
+"""``repro.graph.store`` — on-disk partitioned graphs behind ``GraphHandle``.
+
+The storage layer the scalability story needs (see DESIGN "Storage
+layer"): any partitioner's output materializes to a versioned store
+directory (``graph.json`` manifest + per-partition mmap CSR shards +
+feature shards + node map), graphs larger than RAM stream in through
+the chunked ingest pipeline, and every engine family consumes the
+result through the same :class:`GraphHandle` surface it uses for
+in-memory graphs.
+"""
+
+from .format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_FILENAME,
+    FileEntry,
+    Manifest,
+    PartitionMeta,
+    StoreError,
+    is_store_dir,
+    verify_file,
+)
+from .handle import (
+    GraphHandle,
+    InMemoryGraph,
+    PartitionView,
+    as_handle,
+    resolve_graph_argument,
+)
+from .writer import (
+    STREAMING_PARTITIONERS,
+    build_store,
+    ingest_edge_stream,
+    streaming_assignment,
+)
+from .stored import CacheStats, ShardCache, StoredGraph, open_store
+from .catalog import StoreCatalog
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_FILENAME",
+    "FileEntry",
+    "Manifest",
+    "PartitionMeta",
+    "StoreError",
+    "is_store_dir",
+    "verify_file",
+    "GraphHandle",
+    "InMemoryGraph",
+    "PartitionView",
+    "as_handle",
+    "resolve_graph_argument",
+    "STREAMING_PARTITIONERS",
+    "build_store",
+    "ingest_edge_stream",
+    "streaming_assignment",
+    "CacheStats",
+    "ShardCache",
+    "StoredGraph",
+    "open_store",
+    "StoreCatalog",
+]

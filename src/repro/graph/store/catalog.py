@@ -1,0 +1,78 @@
+"""A directory of stores, as the serving layer's multi-graph catalog.
+
+A *catalog* is just a directory whose immediate subdirectories are
+stores (each holding a ``graph.json``).  :class:`StoreCatalog` scans
+it, exposes the manifests without opening any shards, and opens graphs
+on demand with a per-catalog default cache budget.  The serve registry
+builds on this: a catalog-registered graph's epoch is its manifest
+``version``, so invalidation state survives process restarts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Union
+
+from .format import Manifest, StoreError, is_store_dir
+from .stored import StoredGraph, open_store
+
+__all__ = ["StoreCatalog"]
+
+PathLike = Union[str, os.PathLike]
+
+
+class StoreCatalog:
+    """Enumerate and open the stores under one root directory."""
+
+    def __init__(
+        self,
+        root: PathLike,
+        cache_budget: Optional[int] = None,
+        obs=None,
+        checksum: bool = True,
+    ) -> None:
+        self.root = os.fspath(root)
+        if not os.path.isdir(self.root):
+            raise StoreError(f"catalog root {self.root!r} is not a directory")
+        self.cache_budget = cache_budget
+        self.obs = obs
+        self.checksum = checksum
+
+    def names(self) -> List[str]:
+        """Store subdirectory names, sorted."""
+        out = []
+        for entry in sorted(os.listdir(self.root)):
+            if is_store_dir(os.path.join(self.root, entry)):
+                out.append(entry)
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return is_store_dir(os.path.join(self.root, name))
+
+    def path(self, name: str) -> str:
+        full = os.path.join(self.root, name)
+        if not is_store_dir(full):
+            raise StoreError(f"catalog has no store named {name!r}")
+        return full
+
+    def manifest(self, name: str) -> Manifest:
+        """Read one store's manifest (no shard I/O)."""
+        return Manifest.load(self.path(name))
+
+    def manifests(self) -> Dict[str, Manifest]:
+        return {name: self.manifest(name) for name in self.names()}
+
+    def open(
+        self, name: str, cache_budget: Optional[int] = None
+    ) -> StoredGraph:
+        """Open one store with the catalog's (or an override) budget."""
+        budget = self.cache_budget if cache_budget is None else cache_budget
+        return open_store(
+            self.path(name),
+            cache_budget=budget,
+            obs=self.obs,
+            checksum=self.checksum,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StoreCatalog({self.root!r}, stores={self.names()})"

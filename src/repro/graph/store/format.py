@@ -1,0 +1,251 @@
+"""On-disk partitioned graph format: manifest schema and file integrity.
+
+A *store* is a directory laid out the way DistDGL's chunked-partition
+pipeline lays out its artifacts (``mygraph.json`` + per-partition
+structure/feature files), adapted to this repository's CSR substrate:
+
+::
+
+    <store>/
+      graph.json              # the manifest (this module)
+      assignment.npy          # int64[n]   partition owning each vertex
+      degrees.npy             # int64[n]   global (out-)degrees
+      vertex_labels.npy       # int64[n]   optional
+      part<k>/
+        nodes.npy             # int64[n_k] global ids owned, ascending
+        indptr.npy            # int64[n_k + 1] local CSR index
+        indices.npy           # int64[e_k] neighbor *global* ids, sorted
+        edge_labels.npy       # int64[e_k] optional, aligned with indices
+        features.npy          # float64[n_k, d] optional feature shard
+
+The manifest records, for every file, its byte size and CRC-32 so a
+truncated or corrupted shard is detected at page-in time and raised as
+a :class:`StoreError` instead of silently feeding garbage to an engine.
+The manifest also carries a ``version`` counter — the graph's *epoch*.
+The serving layer's registry backs its epoch bumps with this field, so
+cache invalidation survives process restarts.
+
+Every quantity in ``graph.json`` is derivable from the shards; the
+``store.manifest.roundtrip`` oracle in :mod:`repro.graph.store.checks`
+asserts the shards re-assemble to the exact CSR the manifest describes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_FILENAME",
+    "StoreError",
+    "FileEntry",
+    "PartitionMeta",
+    "Manifest",
+    "file_entry",
+    "verify_file",
+    "is_store_dir",
+]
+
+FORMAT_NAME = "repro.graph.store"
+FORMAT_VERSION = 1
+MANIFEST_FILENAME = "graph.json"
+
+PathLike = Union[str, os.PathLike]
+
+
+class StoreError(Exception):
+    """A store is malformed: missing, truncated, or corrupted files,
+    or a manifest this code cannot interpret."""
+
+
+@dataclass
+class FileEntry:
+    """One file the manifest vouches for."""
+
+    path: str  # store-relative, '/'-separated
+    nbytes: int
+    crc32: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "bytes": self.nbytes, "crc32": self.crc32}
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "FileEntry":
+        return FileEntry(str(d["path"]), int(d["bytes"]), int(d["crc32"]))
+
+
+@dataclass
+class PartitionMeta:
+    """Shard inventory of one partition."""
+
+    part_id: int
+    num_vertices: int
+    num_edge_slots: int  # directed adjacency entries in this shard
+    files: Dict[str, FileEntry] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.part_id,
+            "num_vertices": self.num_vertices,
+            "num_edge_slots": self.num_edge_slots,
+            "files": {k: f.as_dict() for k, f in sorted(self.files.items())},
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "PartitionMeta":
+        return PartitionMeta(
+            part_id=int(d["id"]),
+            num_vertices=int(d["num_vertices"]),
+            num_edge_slots=int(d["num_edge_slots"]),
+            files={k: FileEntry.from_dict(f) for k, f in d["files"].items()},
+        )
+
+    @property
+    def shard_bytes(self) -> int:
+        """Total bytes of this partition's pageable shards."""
+        return sum(f.nbytes for f in self.files.values())
+
+
+@dataclass
+class Manifest:
+    """The ``graph.json`` catalog entry of one stored graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    num_edge_slots: int
+    directed: bool
+    num_parts: int
+    partitioner: str
+    built_by: str  # "one_shot" | "chunked"
+    version: int = 1  # the graph's epoch; bumped on mutation/replace
+    chunk_edges: Optional[int] = None
+    has_vertex_labels: bool = False
+    has_edge_labels: bool = False
+    feature_dim: Optional[int] = None
+    partitions: List[PartitionMeta] = field(default_factory=list)
+    files: Dict[str, FileEntry] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "format": FORMAT_NAME,
+            "format_version": FORMAT_VERSION,
+            "name": self.name,
+            "version": self.version,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "num_edge_slots": self.num_edge_slots,
+            "directed": self.directed,
+            "num_parts": self.num_parts,
+            "partitioner": self.partitioner,
+            "built_by": self.built_by,
+            "chunk_edges": self.chunk_edges,
+            "has_vertex_labels": self.has_vertex_labels,
+            "has_edge_labels": self.has_edge_labels,
+            "feature_dim": self.feature_dim,
+            "partitions": [p.as_dict() for p in self.partitions],
+            "files": {k: f.as_dict() for k, f in sorted(self.files.items())},
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "Manifest":
+        if d.get("format") != FORMAT_NAME:
+            raise StoreError(
+                f"not a {FORMAT_NAME} manifest (format={d.get('format')!r})"
+            )
+        if int(d.get("format_version", -1)) > FORMAT_VERSION:
+            raise StoreError(
+                f"manifest format_version {d['format_version']} is newer than "
+                f"this code understands ({FORMAT_VERSION})"
+            )
+        return Manifest(
+            name=str(d["name"]),
+            version=int(d.get("version", 1)),
+            num_vertices=int(d["num_vertices"]),
+            num_edges=int(d["num_edges"]),
+            num_edge_slots=int(d["num_edge_slots"]),
+            directed=bool(d["directed"]),
+            num_parts=int(d["num_parts"]),
+            partitioner=str(d["partitioner"]),
+            built_by=str(d["built_by"]),
+            chunk_edges=d.get("chunk_edges"),
+            has_vertex_labels=bool(d.get("has_vertex_labels", False)),
+            has_edge_labels=bool(d.get("has_edge_labels", False)),
+            feature_dim=d.get("feature_dim"),
+            partitions=[PartitionMeta.from_dict(p) for p in d["partitions"]],
+            files={
+                k: FileEntry.from_dict(f) for k, f in d.get("files", {}).items()
+            },
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, root: PathLike) -> None:
+        path = os.path.join(os.fspath(root), MANIFEST_FILENAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)  # atomic epoch bumps
+
+    @staticmethod
+    def load(root: PathLike) -> "Manifest":
+        path = os.path.join(os.fspath(root), MANIFEST_FILENAME)
+        if not os.path.exists(path):
+            raise StoreError(f"no {MANIFEST_FILENAME} under {os.fspath(root)!r}")
+        try:
+            with open(path) as handle:
+                return Manifest.from_dict(json.load(handle))
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+            raise StoreError(f"malformed manifest {path!r}: {exc}") from exc
+
+    @property
+    def shard_bytes(self) -> int:
+        """Total pageable bytes across every partition's shards."""
+        return sum(p.shard_bytes for p in self.partitions)
+
+
+def _crc32_of(path: str) -> int:
+    crc = 0
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            crc = zlib.crc32(block, crc)
+    return crc
+
+
+def file_entry(root: PathLike, relpath: str) -> FileEntry:
+    """Stat + checksum a freshly written store file."""
+    full = os.path.join(os.fspath(root), relpath)
+    return FileEntry(relpath, os.path.getsize(full), _crc32_of(full))
+
+
+def verify_file(root: PathLike, entry: FileEntry, checksum: bool = True) -> str:
+    """Validate a manifest-listed file on disk; returns its full path.
+
+    Size mismatches (truncation) are always caught; ``checksum=True``
+    additionally recomputes the CRC-32 (corruption that preserves size).
+    """
+    full = os.path.join(os.fspath(root), entry.path)
+    if not os.path.exists(full):
+        raise StoreError(f"missing shard file {entry.path!r}")
+    actual = os.path.getsize(full)
+    if actual != entry.nbytes:
+        raise StoreError(
+            f"truncated shard {entry.path!r}: {actual} bytes on disk, "
+            f"manifest says {entry.nbytes}"
+        )
+    if checksum and _crc32_of(full) != entry.crc32:
+        raise StoreError(f"corrupt shard {entry.path!r}: CRC-32 mismatch")
+    return full
+
+
+def is_store_dir(path: PathLike) -> bool:
+    """Does ``path`` look like a store directory (has a manifest)?"""
+    return os.path.isdir(os.fspath(path)) and os.path.exists(
+        os.path.join(os.fspath(path), MANIFEST_FILENAME)
+    )

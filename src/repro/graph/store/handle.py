@@ -1,0 +1,337 @@
+"""The :class:`GraphHandle` protocol and its in-memory implementation.
+
+Every engine family (TLAV per-vertex + dense, TLAG, matching, GNN,
+serve) now takes a *handle* — a uniform structural surface over graph
+storage — instead of a concrete :class:`~repro.graph.csr.Graph`:
+
+=================  ====================================================
+``num_vertices``   vertex count
+``neighbors(v)``   int64 array of ``v``'s out-neighbors (sorted)
+``degree(v)``      out-degree of one vertex
+``degrees()``      int64 array of all out-degrees
+``num_edge_slots`` directed adjacency entries (cost-model input)
+``features(...)``  float64 feature rows, or ``None``
+``partition(i)``   :class:`PartitionView` of one partition's local CSR
+``to_graph()``     materialize a concrete :class:`Graph`
+=================  ====================================================
+
+:class:`InMemoryGraph` wraps a live :class:`Graph`;
+:class:`~repro.graph.store.stored.StoredGraph` pages memory-mapped
+shards on demand.  :func:`as_handle` is the single coercion point the
+entry-point sweep funnels through: it accepts a handle (pass-through),
+a ``Graph``, or a store-directory path.
+
+:func:`resolve_graph_argument` implements the deprecation shim for the
+old ``graph=`` keyword spellings (see README "Migrating to handles").
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..csr import Graph
+from ..partition import Partition
+from .format import StoreError, is_store_dir
+
+try:  # pragma: no cover - typing nicety only
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - py<3.8 has no Protocol
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+__all__ = [
+    "GraphHandle",
+    "PartitionView",
+    "InMemoryGraph",
+    "as_handle",
+    "resolve_graph_argument",
+]
+
+
+@dataclass(frozen=True)
+class PartitionView:
+    """One partition's local CSR, in global-id vocabulary.
+
+    ``nodes[i]`` is the global id of local vertex ``i``; the slice
+    ``indices[indptr[i]:indptr[i+1]]`` holds its neighbors as *global*
+    ids, sorted ascending.
+    """
+
+    part_id: int
+    nodes: np.ndarray  # int64[n_k], ascending global ids
+    indptr: np.ndarray  # int64[n_k + 1]
+    indices: np.ndarray  # int64[e_k], global neighbor ids
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.nodes.size)
+
+    @property
+    def num_edge_slots(self) -> int:
+        return int(self.indices.size)
+
+    def neighbors(self, global_id: int) -> np.ndarray:
+        """Neighbors of a vertex this partition owns, by global id."""
+        local = int(np.searchsorted(self.nodes, global_id))
+        if local >= self.nodes.size or self.nodes[local] != global_id:
+            raise KeyError(
+                f"vertex {global_id} is not owned by partition {self.part_id}"
+            )
+        return self.indices[self.indptr[local]: self.indptr[local + 1]]
+
+
+@runtime_checkable
+class GraphHandle(Protocol):
+    """Structural protocol every graph handle satisfies."""
+
+    is_graph_handle: bool
+
+    @property
+    def num_vertices(self) -> int: ...
+
+    @property
+    def num_edge_slots(self) -> int: ...
+
+    @property
+    def directed(self) -> bool: ...
+
+    def neighbors(self, v: int) -> np.ndarray: ...
+
+    def degree(self, v: int) -> int: ...
+
+    def degrees(self) -> np.ndarray: ...
+
+    def features(self, ids: Optional[np.ndarray] = None) -> Optional[np.ndarray]: ...
+
+    def partition(self, i: int) -> PartitionView: ...
+
+    def to_graph(self) -> Graph: ...
+
+
+class InMemoryGraph:
+    """A handle over a live :class:`Graph` (plus optional features).
+
+    Delegates every structural query straight to the wrapped CSR —
+    zero-copy, zero overhead beyond one attribute hop.  An optional
+    :class:`~repro.graph.partition.Partition` gives ``partition(i)``
+    real views; without one the whole graph is partition 0.
+    """
+
+    is_graph_handle = True
+
+    def __init__(
+        self,
+        graph: Graph,
+        features: Optional[np.ndarray] = None,
+        partition: Optional[Partition] = None,
+        name: str = "in-memory",
+    ) -> None:
+        if features is not None:
+            features = np.asarray(features, dtype=np.float64)
+            if features.ndim != 2 or features.shape[0] != graph.num_vertices:
+                raise ValueError(
+                    f"features must be (n, d); got {features.shape} for "
+                    f"n={graph.num_vertices}"
+                )
+        self._graph = graph
+        self._features = features
+        self._partition = partition
+        self.name = name
+
+    # -- structural surface (delegation) -----------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    @property
+    def num_edge_slots(self) -> int:
+        return int(self._graph.indices.size)
+
+    @property
+    def directed(self) -> bool:
+        return self._graph.directed
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._graph.indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._graph.indices
+
+    @property
+    def vertex_labels(self) -> Optional[np.ndarray]:
+        return self._graph.vertex_labels
+
+    @property
+    def edge_labels(self) -> Optional[np.ndarray]:
+        return self._graph.edge_labels
+
+    @property
+    def num_parts(self) -> int:
+        return 1 if self._partition is None else self._partition.num_parts
+
+    def vertices(self) -> range:
+        return self._graph.vertices()
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self._graph.neighbors(v)
+
+    def degree(self, v: int) -> int:
+        return self._graph.degree(v)
+
+    def degrees(self) -> np.ndarray:
+        return self._graph.degrees()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._graph.has_edge(u, v)
+
+    def edge_label(self, u: int, v: int) -> int:
+        return self._graph.edge_label(u, v)
+
+    def vertex_label(self, v: int) -> int:
+        return self._graph.vertex_label(v)
+
+    def edges(self):
+        return self._graph.edges()
+
+    def orient_by_degree(self) -> Graph:
+        return self._graph.orient_by_degree()
+
+    def reverse(self) -> Graph:
+        return self._graph.reverse()
+
+    def subgraph(self, keep):
+        return self._graph.subgraph(keep)
+
+    def features(
+        self, ids: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
+        if self._features is None:
+            return None
+        if ids is None:
+            return self._features
+        return self._features[np.asarray(ids, dtype=np.int64)]
+
+    @property
+    def feature_dim(self) -> Optional[int]:
+        return None if self._features is None else int(self._features.shape[1])
+
+    def partition(self, i: int) -> PartitionView:
+        graph = self._graph
+        if self._partition is None:
+            if i != 0:
+                raise IndexError(
+                    f"unpartitioned in-memory graph has only partition 0, not {i}"
+                )
+            nodes = np.arange(graph.num_vertices, dtype=np.int64)
+            return PartitionView(0, nodes, graph.indptr, graph.indices)
+        nodes = np.sort(self._partition.part(i)).astype(np.int64)
+        indptr = np.zeros(nodes.size + 1, dtype=np.int64)
+        np.cumsum(graph.degrees()[nodes], out=indptr[1:])
+        slices = [graph.neighbors(int(v)) for v in nodes]
+        indices = (
+            np.concatenate(slices) if slices else np.empty(0, dtype=np.int64)
+        )
+        return PartitionView(i, nodes, indptr, indices)
+
+    def iter_csr_runs(self) -> Iterator[Tuple[int, int, np.ndarray, np.ndarray]]:
+        """Yield ``(lo, hi, indptr_run, indices_run)`` source-major runs.
+
+        The in-memory graph is one run: the whole CSR.  Matches
+        :meth:`StoredGraph.iter_csr_runs` so dense supersteps can scatter
+        in identical global order over either handle.
+        """
+        graph = self._graph
+        yield 0, graph.num_vertices, graph.indptr, graph.indices
+
+    def to_graph(self) -> Graph:
+        return self._graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InMemoryGraph(n={self.num_vertices}, "
+            f"slots={self.num_edge_slots}, parts={self.num_parts})"
+        )
+
+
+def as_handle(
+    obj: Any,
+    *,
+    cache_budget: Optional[int] = None,
+    obs: Optional["MetricsRegistry"] = None,
+    features: Optional[np.ndarray] = None,
+) -> "GraphHandle":
+    """Coerce anything graph-shaped into a :class:`GraphHandle`.
+
+    Accepts, in priority order:
+
+    * an existing handle (``is_graph_handle`` marker) — returned as-is;
+    * a concrete :class:`Graph` — wrapped in :class:`InMemoryGraph`;
+    * a store-directory path (``str`` / ``os.PathLike``) — opened as a
+      :class:`~repro.graph.store.stored.StoredGraph` with the given
+      ``cache_budget`` / ``obs``.
+
+    This is the single coercion point behind every redesigned engine
+    entry point, so "engine takes a handle" is one code path, not five.
+    """
+    if getattr(obj, "is_graph_handle", False):
+        return obj
+    if isinstance(obj, Graph):
+        return InMemoryGraph(obj, features=features)
+    if isinstance(obj, (str, os.PathLike)):
+        path = os.fspath(obj)
+        if not is_store_dir(path):
+            raise StoreError(
+                f"{path!r} is not a graph store (no graph.json manifest)"
+            )
+        from .stored import open_store
+
+        return open_store(path, cache_budget=cache_budget, obs=obs)
+    raise TypeError(
+        f"cannot interpret {type(obj).__name__} as a graph handle; pass a "
+        f"Graph, an InMemoryGraph/StoredGraph, or a store directory path"
+    )
+
+
+def resolve_graph_argument(
+    func_name: str,
+    graph_or_handle: Any,
+    legacy_graph: Any,
+) -> Any:
+    """Fold the deprecated ``graph=`` keyword into the positional slot.
+
+    Entry points migrated by the handle sweep accept
+    ``f(graph_or_handle, ...)`` but still honor the pre-store spelling
+    ``f(graph=g)`` with a :class:`DeprecationWarning`.  Passing both is
+    an error.
+    """
+    if legacy_graph is not None:
+        if graph_or_handle is not None:
+            raise TypeError(
+                f"{func_name}() got both a positional graph and the "
+                f"deprecated graph= keyword"
+            )
+        warnings.warn(
+            f"{func_name}(graph=...) is deprecated; pass the graph or "
+            f"handle positionally: {func_name}(graph_or_handle, ...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return legacy_graph
+    if graph_or_handle is None:
+        raise TypeError(f"{func_name}() missing required graph argument")
+    return graph_or_handle

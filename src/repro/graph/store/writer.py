@@ -1,0 +1,421 @@
+"""Store builders: one-shot materialization and chunked ingest.
+
+Two ways to produce the same bytes:
+
+* :func:`build_store` — materialize an in-memory :class:`Graph` (plus
+  any partitioner's output) to a store directory.  This is the path
+  benchmarks and the serving catalog use when the graph already fits
+  in RAM.
+* :func:`ingest_edge_stream` — the DistDGL-style chunked pipeline: the
+  edge iterable is consumed in bounded chunks, each chunk is routed to
+  per-partition spill files, and partitions are then built **one at a
+  time** — the full edge list is never resident.  Peak memory is
+  ``O(|V| + chunk + max_k |E_k|)``, which is what lets graphs larger
+  than RAM be written at all.
+
+Both funnel every partition through the same shard writer, so a
+chunked build of the same edges under the same partition layout is
+**byte-identical** to the one-shot build (the ingest-pipeline tests
+assert file-level equality, and the ``store.manifest.roundtrip``
+oracle asserts shard → CSR reassembly).
+
+Streaming builds can only use partitioners that are pure functions of
+the vertex id (``hash``, ``range``); graph-aware partitioners
+(``metis``) need the whole structure and are one-shot only.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from ..csr import Graph
+from ..partition import Partition
+from .format import (
+    FileEntry,
+    Manifest,
+    MANIFEST_FILENAME,
+    PartitionMeta,
+    StoreError,
+    file_entry,
+)
+
+__all__ = [
+    "build_store",
+    "ingest_edge_stream",
+    "streaming_assignment",
+    "STREAMING_PARTITIONERS",
+]
+
+PathLike = Union[str, os.PathLike]
+
+#: Partitioners computable from the vertex id alone (chunked-ingest safe).
+STREAMING_PARTITIONERS = ("hash", "range")
+
+
+def streaming_assignment(
+    kind: str, num_vertices: int, num_parts: int, seed: int = 0
+) -> np.ndarray:
+    """Vertex → partition map that never needs the graph structure.
+
+    ``hash`` reproduces :func:`repro.graph.partition.hash_partition`'s
+    salted multiplicative hash bit-for-bit; ``range`` reproduces
+    :func:`repro.graph.partition.range_partition`'s contiguous bounds.
+    """
+    n, p = int(num_vertices), max(1, int(num_parts))
+    if kind == "hash":
+        ids = np.arange(n, dtype=np.uint64)
+        salt = np.uint64(0x9E3779B97F4A7C15 + seed)
+        mixed = (ids + salt) * np.uint64(0xBF58476D1CE4E5B9)
+        mixed ^= mixed >> np.uint64(31)
+        return (mixed % np.uint64(p)).astype(np.int64)
+    if kind == "range":
+        bounds = np.linspace(0, n, p + 1).astype(np.int64)
+        assignment = np.zeros(n, dtype=np.int64)
+        for k in range(p):
+            assignment[bounds[k]: bounds[k + 1]] = k
+        return assignment
+    raise ValueError(
+        f"streaming builds support {STREAMING_PARTITIONERS}, not {kind!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared low-level writers
+# ----------------------------------------------------------------------
+
+
+def _prepare_root(path: PathLike, overwrite: bool) -> str:
+    root = os.fspath(path)
+    if os.path.exists(os.path.join(root, MANIFEST_FILENAME)):
+        if not overwrite:
+            raise StoreError(
+                f"store already exists at {root!r}; pass overwrite=True"
+            )
+        shutil.rmtree(root)
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def _write_array(root: str, rel: str, array: np.ndarray) -> FileEntry:
+    full = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(full) or root, exist_ok=True)
+    np.save(full, array, allow_pickle=False)
+    rel_npy = rel if rel.endswith(".npy") else rel + ".npy"
+    return file_entry(root, rel_npy)
+
+
+def _write_partition_shard(
+    root: str,
+    part_id: int,
+    nodes: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    edge_labels: Optional[np.ndarray],
+    feature_rows: Optional[np.ndarray],
+) -> PartitionMeta:
+    """Write one partition's shard files; the single byte-layout authority."""
+    prefix = f"part{part_id}"
+    files: Dict[str, FileEntry] = {}
+    files["nodes"] = _write_array(
+        root, f"{prefix}/nodes.npy", np.ascontiguousarray(nodes, dtype=np.int64)
+    )
+    files["indptr"] = _write_array(
+        root, f"{prefix}/indptr.npy", np.ascontiguousarray(indptr, dtype=np.int64)
+    )
+    files["indices"] = _write_array(
+        root, f"{prefix}/indices.npy",
+        np.ascontiguousarray(indices, dtype=np.int64),
+    )
+    if edge_labels is not None:
+        files["edge_labels"] = _write_array(
+            root, f"{prefix}/edge_labels.npy",
+            np.ascontiguousarray(edge_labels, dtype=np.int64),
+        )
+    if feature_rows is not None:
+        files["features"] = _write_array(
+            root, f"{prefix}/features.npy",
+            np.ascontiguousarray(feature_rows, dtype=np.float64),
+        )
+    return PartitionMeta(
+        part_id=part_id,
+        num_vertices=int(nodes.size),
+        num_edge_slots=int(indices.size),
+        files=files,
+    )
+
+
+def _resolve_partition(
+    graph: Graph,
+    partition: Union[str, Partition],
+    num_parts: int,
+    seed: int,
+) -> Tuple[np.ndarray, str, int]:
+    """Normalize the partition argument to (assignment, name, parts)."""
+    if isinstance(partition, Partition):
+        return (
+            np.asarray(partition.assignment, dtype=np.int64),
+            "custom",
+            partition.num_parts,
+        )
+    if partition in STREAMING_PARTITIONERS:
+        return (
+            streaming_assignment(partition, graph.num_vertices, num_parts, seed),
+            partition,
+            max(1, num_parts),
+        )
+    if partition == "metis":
+        from ..partition import metis_like_partition
+
+        part = metis_like_partition(graph, max(1, num_parts), seed=seed)
+        return np.asarray(part.assignment, dtype=np.int64), "metis", part.num_parts
+    raise ValueError(
+        f"unknown partitioner {partition!r}; pass a Partition or one of "
+        f"{STREAMING_PARTITIONERS + ('metis',)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# One-shot build
+# ----------------------------------------------------------------------
+
+
+def build_store(
+    graph_or_handle,
+    path: PathLike,
+    *,
+    partition: Union[str, Partition] = "range",
+    num_parts: int = 1,
+    seed: int = 0,
+    features: Optional[np.ndarray] = None,
+    name: Optional[str] = None,
+    overwrite: bool = False,
+) -> Manifest:
+    """Materialize a graph (any handle) to a store directory.
+
+    ``partition`` is a :class:`~repro.graph.partition.Partition` (any
+    partitioner's output — vertex-cut partitions use their primary
+    ``assignment``) or a partitioner name (``hash``/``range``/``metis``).
+    ``features`` is an optional ``(n, d)`` array written as per-partition
+    feature shards.  Returns the saved :class:`Manifest`.
+    """
+    from .handle import as_handle
+
+    graph = as_handle(graph_or_handle).to_graph()
+    root = _prepare_root(path, overwrite)
+    n = graph.num_vertices
+    assignment, partitioner_name, parts = _resolve_partition(
+        graph, partition, num_parts, seed
+    )
+    if assignment.size != n:
+        raise StoreError(
+            f"partition assigns {assignment.size} vertices, graph has {n}"
+        )
+    if features is not None:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] != n:
+            raise StoreError(
+                f"features must be (n, d); got {features.shape} for n={n}"
+            )
+    degrees = graph.degrees()
+    indptr, indices = graph.indptr, graph.indices
+
+    partitions = []
+    for k in range(parts):
+        nodes = np.flatnonzero(assignment == k).astype(np.int64)
+        if nodes.size:
+            slices = [indices[indptr[v]: indptr[v + 1]] for v in nodes]
+            part_indices = (
+                np.concatenate(slices) if slices else np.empty(0, dtype=np.int64)
+            )
+            part_indptr = np.zeros(nodes.size + 1, dtype=np.int64)
+            np.cumsum(degrees[nodes], out=part_indptr[1:])
+            part_labels = None
+            if graph.edge_labels is not None:
+                part_labels = np.concatenate(
+                    [graph.edge_labels[indptr[v]: indptr[v + 1]] for v in nodes]
+                )
+        else:
+            part_indices = np.empty(0, dtype=np.int64)
+            part_indptr = np.zeros(1, dtype=np.int64)
+            part_labels = (
+                np.empty(0, dtype=np.int64)
+                if graph.edge_labels is not None
+                else None
+            )
+        feature_rows = features[nodes] if features is not None else None
+        partitions.append(
+            _write_partition_shard(
+                root, k, nodes, part_indptr, part_indices, part_labels,
+                feature_rows,
+            )
+        )
+
+    files = {
+        "assignment": _write_array(root, "assignment.npy", assignment),
+        "degrees": _write_array(root, "degrees.npy", degrees),
+    }
+    if graph.vertex_labels is not None:
+        files["vertex_labels"] = _write_array(
+            root, "vertex_labels.npy", graph.vertex_labels
+        )
+    manifest = Manifest(
+        name=name or os.path.basename(os.path.normpath(root)) or "graph",
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        num_edge_slots=int(indices.size),
+        directed=graph.directed,
+        num_parts=parts,
+        partitioner=partitioner_name,
+        built_by="one_shot",
+        has_vertex_labels=graph.vertex_labels is not None,
+        has_edge_labels=graph.edge_labels is not None,
+        feature_dim=None if features is None else int(features.shape[1]),
+        partitions=partitions,
+        files=files,
+    )
+    manifest.save(root)
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Chunked ingest (graphs larger than RAM)
+# ----------------------------------------------------------------------
+
+
+def ingest_edge_stream(
+    edges: Iterable[Tuple[int, int]],
+    num_vertices: int,
+    path: PathLike,
+    *,
+    directed: bool = False,
+    partition: str = "hash",
+    num_parts: int = 1,
+    seed: int = 0,
+    chunk_edges: int = 200_000,
+    features: Optional[np.ndarray] = None,
+    name: Optional[str] = None,
+    overwrite: bool = False,
+) -> Manifest:
+    """Write a store from an edge iterable without holding the edge list.
+
+    Pass 1 consumes ``edges`` in chunks of ``chunk_edges`` pairs,
+    routing each directed slot ``u -> v`` (undirected inputs emit both
+    directions) to its owner partition's spill file.  Pass 2 builds one
+    partition at a time: load that partition's spill, sort, dedupe,
+    drop self-loops, and write the CSR shard.  Equivalent to
+    ``build_store(Graph.from_edges(edges, ...), ...)`` under the same
+    partition layout — byte-for-byte.
+    """
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be >= 1")
+    n = int(num_vertices)
+    root = _prepare_root(path, overwrite)
+    assignment = streaming_assignment(partition, n, num_parts, seed)
+    parts = max(1, int(num_parts))
+    if features is not None:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] != n:
+            raise StoreError(
+                f"features must be (n, d); got {features.shape} for n={n}"
+            )
+
+    spill_dir = os.path.join(root, "_ingest")
+    os.makedirs(spill_dir, exist_ok=True)
+    spill_paths = [os.path.join(spill_dir, f"part{k}.edges.bin") for k in range(parts)]
+    spills = [open(p, "wb") for p in spill_paths]
+    total_slots_spilled = 0
+    try:
+        # -- pass 1: chunked routing to per-partition spill files --------
+        chunk_src, chunk_dst = [], []
+
+        def flush() -> None:
+            nonlocal total_slots_spilled
+            if not chunk_src:
+                return
+            src = np.asarray(chunk_src, dtype=np.int64)
+            dst = np.asarray(chunk_dst, dtype=np.int64)
+            owner = assignment[src]
+            for k in np.unique(owner):
+                mask = owner == k
+                pairs = np.empty((int(mask.sum()), 2), dtype=np.int64)
+                pairs[:, 0] = src[mask]
+                pairs[:, 1] = dst[mask]
+                spills[int(k)].write(pairs.tobytes())
+            total_slots_spilled += src.size
+            chunk_src.clear()
+            chunk_dst.clear()
+
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u < 0 or v < 0 or u >= n or v >= n:
+                raise StoreError(
+                    f"edge ({u}, {v}) references a vertex outside 0..{n - 1}"
+                )
+            if u == v:
+                continue  # GraphBuilder drops self-loops; stay equivalent
+            chunk_src.append(u)
+            chunk_dst.append(v)
+            if not directed:
+                chunk_src.append(v)
+                chunk_dst.append(u)
+            if len(chunk_src) >= 2 * chunk_edges:
+                flush()
+        flush()
+    finally:
+        for handle in spills:
+            handle.close()
+
+    # -- pass 2: one partition at a time ----------------------------------
+    degrees = np.zeros(n, dtype=np.int64)
+    partitions = []
+    total_slots = 0
+    for k in range(parts):
+        raw = np.fromfile(spill_paths[k], dtype=np.int64)
+        pairs = raw.reshape(-1, 2) if raw.size else np.empty((0, 2), dtype=np.int64)
+        src, dst = pairs[:, 0], pairs[:, 1]
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        if src.size:
+            keep = np.ones(src.size, dtype=bool)
+            keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+            src, dst = src[keep], dst[keep]
+        nodes = np.flatnonzero(assignment == k).astype(np.int64)
+        local_src = np.searchsorted(nodes, src)
+        counts = np.bincount(local_src, minlength=nodes.size)
+        part_indptr = np.zeros(nodes.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=part_indptr[1:])
+        degrees[nodes] = counts
+        feature_rows = features[nodes] if features is not None else None
+        partitions.append(
+            _write_partition_shard(
+                root, k, nodes, part_indptr, dst, None, feature_rows
+            )
+        )
+        total_slots += int(dst.size)
+        os.remove(spill_paths[k])
+    shutil.rmtree(spill_dir, ignore_errors=True)
+
+    files = {
+        "assignment": _write_array(root, "assignment.npy", assignment),
+        "degrees": _write_array(root, "degrees.npy", degrees),
+    }
+    manifest = Manifest(
+        name=name or os.path.basename(os.path.normpath(root)) or "graph",
+        num_vertices=n,
+        num_edges=total_slots if directed else total_slots // 2,
+        num_edge_slots=total_slots,
+        directed=bool(directed),
+        num_parts=parts,
+        partitioner=partition,
+        built_by="chunked",
+        chunk_edges=int(chunk_edges),
+        feature_dim=None if features is None else int(features.shape[1]),
+        partitions=partitions,
+        files=files,
+    )
+    manifest.save(root)
+    return manifest

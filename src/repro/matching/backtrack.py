@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 
 from ..graph.csr import Graph
 from ..graph.kernels import intersect_multi
+from ..graph.store.handle import as_handle, resolve_graph_argument
 from ..obs import StatsViewMixin, merge_counters
 from .pattern import PatternGraph, default_order, symmetry_breaking_restrictions
 
@@ -245,12 +246,14 @@ def _count_roots_task(graph: Graph, payload: Tuple) -> MatchStats:
 
 
 def count_matches(
-    graph: Graph,
-    pattern: PatternGraph,
+    graph_or_handle=None,
+    pattern: Optional[PatternGraph] = None,
     order: Optional[Sequence[int]] = None,
     distinct: bool = True,
     executor: Optional["ParallelExecutor"] = None,
     stats: Optional[MatchStats] = None,
+    *,
+    graph: Optional[Graph] = None,
 ) -> int:
     """Count embeddings; ``distinct=True`` counts subgraph instances once.
 
@@ -261,10 +264,17 @@ def count_matches(
     Per-worker :class:`MatchStats` are folded into ``stats`` (when given)
     via :meth:`MatchStats.merge`, so merged counters equal a serial run.
     """
+    handle = as_handle(
+        resolve_graph_argument("count_matches", graph_or_handle, graph)
+    )
+    if pattern is None:
+        raise TypeError("count_matches() missing required 'pattern' argument")
     restrictions: Optional[Sequence[Tuple[int, int]]] = None if distinct else []
     if executor is None:
+        # The serial matcher consumes the handle directly — a stored
+        # graph pages its adjacency through the shard cache.
         return match(
-            graph, pattern, order=order, restrictions=restrictions, stats=stats
+            handle, pattern, order=order, restrictions=restrictions, stats=stats
         )
     if order is None:
         order = default_order(pattern)
@@ -272,23 +282,31 @@ def count_matches(
     if restrictions is None:
         restrictions = symmetry_breaking_restrictions(pattern)
     restrictions = tuple(restrictions)
+    shared = handle.to_graph()  # executor backends need the CSR in shared memory
     payloads = [
         (pattern, order, restrictions, lo, hi)
-        for lo, hi in executor.spans(graph.num_vertices)
+        for lo, hi in executor.spans(shared.num_vertices)
     ]
     merged = stats if stats is not None else MatchStats()
-    for part in executor.map_graph(_count_roots_task, graph, payloads):
+    for part in executor.map_graph(_count_roots_task, shared, payloads):
         merged.merge(part)
     return merged.embeddings
 
 
 def find_matches(
-    graph: Graph,
-    pattern: PatternGraph,
+    graph_or_handle=None,
+    pattern: Optional[PatternGraph] = None,
     order: Optional[Sequence[int]] = None,
     limit: Optional[int] = None,
+    *,
+    graph: Optional[Graph] = None,
 ) -> List[Tuple[int, ...]]:
     """Materialize embeddings (pattern-vertex order); optionally capped."""
+    handle = as_handle(
+        resolve_graph_argument("find_matches", graph_or_handle, graph)
+    )
+    if pattern is None:
+        raise TypeError("find_matches() missing required 'pattern' argument")
     found: List[Tuple[int, ...]] = []
 
     class _Stop(Exception):
@@ -300,7 +318,7 @@ def find_matches(
             raise _Stop
 
     try:
-        match(graph, pattern, order=order, on_match=record)
+        match(handle, pattern, order=order, on_match=record)
     except _Stop:
         pass
     return found

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..graph.csr import Graph
 from ..graph.kernels import expand_frontier, in_sorted
+from ..graph.store.handle import as_handle, resolve_graph_argument
 
 __all__ = ["triangle_count", "triangle_list", "triangle_count_with_work"]
 
@@ -57,15 +58,22 @@ def _count_span_task(oriented: Graph, span: Tuple[int, int]) -> int:
 
 
 def triangle_count(
-    graph: Graph, executor: Optional["ParallelExecutor"] = None
+    graph_or_handle=None,
+    executor: Optional["ParallelExecutor"] = None,
+    *,
+    graph: Optional[Graph] = None,
 ) -> int:
     """Number of distinct triangles.
 
     With an ``executor`` the oriented source range is chunked and counted
     on real cores; every triangle is counted at exactly one source, so
-    chunk sums equal the serial count under any backend.
+    chunk sums equal the serial count under any backend.  Orientation
+    reorders the whole CSR, so a stored handle is materialized first.
     """
-    oriented = graph.orient_by_degree()
+    handle = as_handle(
+        resolve_graph_argument("triangle_count", graph_or_handle, graph)
+    )
+    oriented = handle.to_graph().orient_by_degree()
     n = oriented.num_vertices
     if executor is None:
         return _count_span_task(oriented, (0, n))

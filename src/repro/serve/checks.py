@@ -17,11 +17,17 @@ returns.  Four oracle families enforce that:
 * ``serve.queue_accounting`` — the admission ledger:
   ``admitted == completed + shed + expired`` with zero in flight after
   a drain, response statuses match the counters, and the queue never
-  exceeded its bound.
+  exceeded its bound;
+* ``serve.stored.catalog_vs_memory`` — the same request served from a
+  catalog-loaded, shard-paged :class:`StoredGraph` record returns the
+  in-memory record's bits, and the record's epoch is the on-disk
+  manifest version (it survives reopening the catalog).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import Dict, List
 
 import numpy as np
@@ -273,4 +279,68 @@ def _run_queue_accounting(params: Dict) -> List[str]:
         violations.append(
             f"queue depth {stats.peak_queue_depth} exceeded bound {queue_bound}"
         )
+    return violations
+
+
+def _gen_stored(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 48))
+    n = max(2, int(params["n"]))
+    family = ("tlav", "matching", "gnn", "tlag")[int(rng.integers(4))]
+    endpoint, ep_params = _FAMILY_DRAWS[family](rng, n)
+    params.update(
+        endpoint=endpoint, ep_params=ep_params, workers=1,
+        num_parts=int(rng.integers(2, 5)),
+    )
+    return params
+
+
+@pair(
+    "serve.stored.catalog_vs_memory",
+    "serve",
+    BIT_IDENTICAL,
+    _gen_stored,
+    floors=dict(GRAPH_FLOORS, num_parts=1),
+)
+def _run_stored_vs_memory(params: Dict) -> List[str]:
+    """The same request served from a catalog-loaded, shard-paged
+    StoredGraph record returns the in-memory record's bits; the stored
+    record's epoch is the manifest version and a bump survives
+    reopening the catalog."""
+    from ..graph.store import StoreCatalog, build_store
+
+    graph = make_graph(params)
+    violations: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="check-serve-store-") as tmp:
+        manifest = build_store(
+            graph, os.path.join(tmp, "g"), partition="hash",
+            num_parts=max(1, int(params["num_parts"])),
+        )
+        graphs = GraphRegistry()
+        # Budget below the shard bytes: the served record really pages.
+        graphs.load_catalog(tmp, cache_budget=max(1, manifest.shard_bytes // 2))
+        graphs.register("mem", graph)
+        stored_record = graphs.get("g")
+        violations += same_values(
+            stored_record.epoch, manifest.version, "stored epoch"
+        )
+
+        server = _server(graphs, params)
+        request = dict(
+            endpoint=params["endpoint"], params=dict(params["ep_params"])
+        )
+        server.submit(Request(**request, graph="g"))
+        server.submit(Request(**request, graph="mem", arrival=1))
+        stored_resp, mem_resp = sorted(server.run(), key=lambda r: r.request.id)
+        violations += same_values(stored_resp.status, "ok", "stored status")
+        violations += same_values(mem_resp.status, "ok", "memory status")
+        violations += same_bits(
+            mem_resp.value, stored_resp.value, "stored vs memory result"
+        )
+
+        # Epoch bump persists to the manifest: a fresh catalog scan
+        # (what a restarted server would do) sees the bumped version.
+        bumped = graphs.bump_epoch("g")
+        reopened = StoreCatalog(tmp).manifest("g").version
+        violations += same_values(reopened, bumped, "epoch after reopen")
+        stored_record.graph.close()
     return violations

@@ -9,13 +9,23 @@ the engines' own work counters (candidate scans for matching, edge
 traversals for TLAV supersteps, message counts for GNN aggregation) so
 latency distributions are deterministic at a fixed seed.
 
-The :class:`GraphRegistry` names the graphs requests may target.  Each
-:class:`GraphRecord` carries an **epoch** that bumps whenever the graph
-is replaced or mutated in place; the epoch is part of every result
-cache key and every batch key, so a bump invalidates stale cached
-results *by construction* (no flush races) and prevents cross-version
-batching.  Subscribers (the server's cache) are notified on bumps so
-stale entries are also reclaimed eagerly.
+The :class:`GraphRegistry` names the graphs requests may target — a
+real multi-graph catalog: each entry is a
+:class:`~repro.graph.store.handle.GraphHandle` (a live
+:class:`~repro.graph.csr.Graph` wrapped in ``InMemoryGraph``, or a
+paged :class:`~repro.graph.store.stored.StoredGraph` registered by
+store path or loaded wholesale from a
+:class:`~repro.graph.store.catalog.StoreCatalog` via
+:meth:`GraphRegistry.load_catalog`).  Each :class:`GraphRecord`
+carries an **epoch** that bumps whenever the graph is replaced or
+mutated in place; the epoch is part of every result cache key and
+every batch key, so a bump invalidates stale cached results *by
+construction* (no flush races) and prevents cross-version batching.
+For stored graphs the epoch is **backed by the manifest version**: a
+bump persists through :meth:`StoredGraph.bump_version`, so reopening
+the catalog after a restart sees the same epoch the cache keys were
+minted against.  Subscribers (the server's cache) are notified on
+bumps so stale entries are also reclaimed eagerly.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..graph.csr import Graph
+from ..graph.store import StoreCatalog, as_handle
 from ..matching import pattern as patterns
 from ..matching.backtrack import MatchStats, count_matches
 from ..matching.cliques import count_k_cliques
@@ -98,21 +108,28 @@ def named_pattern(name: str) -> "patterns.PatternGraph":
 
 
 class GraphRecord:
-    """One served graph plus its version epoch and lazy GNN artifacts."""
+    """One served graph plus its version epoch and lazy GNN artifacts.
+
+    ``graph`` may be a concrete :class:`~repro.graph.csr.Graph`, any
+    handle, or a store-directory path — everything funnels through
+    :func:`~repro.graph.store.handle.as_handle`, so ``record.graph``
+    is always a handle.  For a stored graph the epoch is the on-disk
+    manifest version (bumps persist); for in-memory graphs it is a
+    plain session counter starting at 0.
+    """
 
     def __init__(
         self,
         name: str,
-        graph: Graph,
+        graph: Any,
         features: Optional[np.ndarray] = None,
         model: Optional[Any] = None,
         gnn_seed: int = 0,
         num_classes: int = 3,
     ) -> None:
         self.name = name
-        self.graph = graph
-        self.epoch = 0
-        self.features = features
+        self._epoch = 0
+        self._attach(graph, features)
         self.model = model
         self.gnn_seed = gnn_seed
         self.num_classes = num_classes
@@ -120,6 +137,47 @@ class GraphRecord:
         self._gt_epoch = -1
         self._planner: Optional[Planner] = None
         self._planner_epoch = -1
+
+    def _attach(self, graph: Any, features: Optional[np.ndarray]) -> None:
+        handle = as_handle(graph, features=features)
+        self.graph = handle
+        if features is None:
+            features = handle.features()
+        self.features = features
+
+    # -- version epoch ------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Cache/batch-key version; manifest-backed for stored graphs."""
+        version = getattr(self.graph, "version", None)
+        if version is not None:
+            return int(version) + self._epoch
+        return self._epoch
+
+    def bump(self) -> int:
+        """Advance the epoch; persists via the manifest when stored."""
+        bump_version = getattr(self.graph, "bump_version", None)
+        if bump_version is not None:
+            bump_version()
+        else:
+            self._epoch += 1
+        return self.epoch
+
+    def swap(self, graph: Any, features: Optional[np.ndarray] = None) -> int:
+        """Replace the backing graph without dropping the epoch.
+
+        The epoch stays monotonic even when the replacement switches
+        storage kinds (in-memory ↔ stored): the ``_epoch`` offset
+        absorbs the difference between the old epoch and the new
+        handle's manifest version.  The caller (the registry) bumps
+        after the swap, so the post-replace epoch strictly increases.
+        """
+        old = self.epoch
+        self._attach(graph, features)
+        base = int(getattr(self.graph, "version", 0) or 0)
+        self._epoch = max(0, old - base)
+        return self.epoch
 
     # -- lazy, epoch-keyed derived state -----------------------------------
 
@@ -153,18 +211,45 @@ class GraphRecord:
 
 
 class GraphRegistry:
-    """Named graphs with version epochs and bump notification."""
+    """Named graph handles with version epochs and bump notification.
+
+    A record may be registered from a live :class:`Graph`, any handle,
+    or a store-directory path; :meth:`load_catalog` registers every
+    store below a catalog root in one call, turning the registry into
+    a served view of the on-disk catalog (epochs = manifest versions).
+    """
 
     def __init__(self) -> None:
         self._records: Dict[str, GraphRecord] = {}
         self._listeners: List[Callable[[str, int], None]] = []
 
-    def register(self, name: str, graph: Graph, **kwargs: Any) -> GraphRecord:
+    def register(self, name: str, graph: Any, **kwargs: Any) -> GraphRecord:
         if name in self._records:
             raise ValueError(f"graph {name!r} already registered; use replace()")
         record = GraphRecord(name, graph, **kwargs)
         self._records[name] = record
         return record
+
+    def load_catalog(
+        self,
+        root: Any,
+        cache_budget: Optional[int] = None,
+        obs: Optional[Any] = None,
+    ) -> List[GraphRecord]:
+        """Register every store under a catalog root (or StoreCatalog).
+
+        Each entry is opened as a paged :class:`StoredGraph` whose
+        epoch is its manifest version; requests can target any of them
+        by name immediately.
+        """
+        catalog = (
+            root if isinstance(root, StoreCatalog)
+            else StoreCatalog(root, cache_budget=cache_budget, obs=obs)
+        )
+        return [
+            self.register(name, catalog.open(name, cache_budget=cache_budget))
+            for name in catalog.names()
+        ]
 
     def get(self, name: str) -> GraphRecord:
         try:
@@ -177,10 +262,10 @@ class GraphRegistry:
     def epoch(self, name: str) -> int:
         return self.get(name).epoch
 
-    def replace(self, name: str, graph: Graph) -> GraphRecord:
+    def replace(self, name: str, graph: Any) -> GraphRecord:
         """Swap in a new version of the graph; bumps the epoch."""
         record = self.get(name)
-        record.graph = graph
+        record.swap(graph)
         self._bump(record)
         return record
 
@@ -191,7 +276,7 @@ class GraphRegistry:
         return record.epoch
 
     def _bump(self, record: GraphRecord) -> None:
-        record.epoch += 1
+        record.bump()
         for listener in self._listeners:
             listener(record.name, record.epoch)
 
@@ -318,7 +403,7 @@ def _run_pagerank(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int
         )
     else:
         values = pagerank(record.graph, damping=damping, iterations=iterations)
-    cost = iterations * max(int(record.graph.indices.size), 1)
+    cost = iterations * max(record.graph.num_edge_slots, 1)
     return values, cost
 
 
@@ -328,7 +413,7 @@ def _run_bfs(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
     source = int(params.get("source", 0)) % max(record.graph.num_vertices, 1)
     levels = bfs(record.graph, source)
     # Every edge is examined once per direction plus the frontier scans.
-    cost = int(record.graph.indices.size) + record.graph.num_vertices
+    cost = record.graph.num_edge_slots + record.graph.num_vertices
     return levels, cost
 
 
@@ -337,7 +422,7 @@ def _run_wcc(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
 
     labels = wcc(record.graph)
     rounds = int(np.log2(max(record.graph.num_vertices, 2))) + 1
-    cost = rounds * (int(record.graph.indices.size) + record.graph.num_vertices)
+    cost = rounds * (record.graph.num_edge_slots + record.graph.num_vertices)
     return labels, cost
 
 
@@ -351,7 +436,7 @@ def _run_count(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
 def _run_cliques(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
     k = max(2, int(params.get("k", 3)))
     count = count_k_cliques(record.graph, k)
-    cost = int(record.graph.indices.size) + count * k
+    cost = record.graph.num_edge_slots + count * k
     return count, cost
 
 

@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..graph.csr import Graph
+from ..graph.store.handle import as_handle, resolve_graph_argument
 from .engine import Aggregator, PregelEngine, VertexContext, VertexProgram
 
 __all__ = [
@@ -263,11 +264,24 @@ class TriangleCountProgram(VertexProgram[int, tuple]):
 # ----------------------------------------------------------------------
 
 
-def pagerank(graph: Graph, damping: float = 0.85, iterations: int = 20) -> np.ndarray:
-    """PageRank scores (sum to 1) via the TLAV engine."""
+def pagerank(
+    graph_or_handle=None,
+    damping: float = 0.85,
+    iterations: int = 20,
+    *,
+    graph: Optional[Graph] = None,
+) -> np.ndarray:
+    """PageRank scores (sum to 1) via the TLAV engine.
+
+    ``graph_or_handle`` accepts a :class:`Graph`, any
+    :class:`~repro.graph.store.GraphHandle`, or a store-directory path
+    (all engine wrappers in this module share that contract); the old
+    ``graph=`` keyword spelling warns :class:`DeprecationWarning`.
+    """
+    handle = as_handle(resolve_graph_argument("pagerank", graph_or_handle, graph))
     program = PageRankProgram(damping, iterations)
     engine = PregelEngine(
-        graph,
+        handle,
         program,
         aggregators={"dangling": Aggregator(reduce=lambda a, b: a + b, initial=0.0)},
         max_supersteps=iterations + 2,
@@ -275,49 +289,74 @@ def pagerank(graph: Graph, damping: float = 0.85, iterations: int = 20) -> np.nd
     return np.asarray(engine.run(), dtype=np.float64)
 
 
-def sssp(graph: Graph, source: int) -> np.ndarray:
+def sssp(graph_or_handle=None, source: int = 0, *, graph: Optional[Graph] = None) -> np.ndarray:
     """Hop distances from ``source`` (inf when unreachable)."""
-    engine = PregelEngine(graph, SSSPProgram(source), max_supersteps=graph.num_vertices + 1)
+    handle = as_handle(resolve_graph_argument("sssp", graph_or_handle, graph))
+    engine = PregelEngine(
+        handle, SSSPProgram(source), max_supersteps=handle.num_vertices + 1
+    )
     return np.asarray(engine.run(), dtype=np.float64)
 
 
-def bfs(graph: Graph, source: int) -> np.ndarray:
+def bfs(graph_or_handle=None, source: int = 0, *, graph: Optional[Graph] = None) -> np.ndarray:
     """BFS levels from ``source`` (-1 when unreachable)."""
-    engine = PregelEngine(graph, BFSProgram(source), max_supersteps=graph.num_vertices + 1)
-    return np.asarray(engine.run(), dtype=np.int64)
-
-
-def wcc(graph: Graph) -> np.ndarray:
-    """Connected-component labels (min vertex id per component)."""
-    engine = PregelEngine(graph, WCCProgram(), max_supersteps=graph.num_vertices + 1)
-    return np.asarray(engine.run(), dtype=np.int64)
-
-
-def label_propagation(graph: Graph, iterations: int = 10) -> np.ndarray:
-    """Community labels after synchronous label propagation."""
+    handle = as_handle(resolve_graph_argument("bfs", graph_or_handle, graph))
     engine = PregelEngine(
-        graph, LabelPropagationProgram(iterations), max_supersteps=iterations + 2
+        handle, BFSProgram(source), max_supersteps=handle.num_vertices + 1
+    )
+    return np.asarray(engine.run(), dtype=np.int64)
+
+
+def wcc(graph_or_handle=None, *, graph: Optional[Graph] = None) -> np.ndarray:
+    """Connected-component labels (min vertex id per component)."""
+    handle = as_handle(resolve_graph_argument("wcc", graph_or_handle, graph))
+    engine = PregelEngine(
+        handle, WCCProgram(), max_supersteps=handle.num_vertices + 1
+    )
+    return np.asarray(engine.run(), dtype=np.int64)
+
+
+def label_propagation(
+    graph_or_handle=None, iterations: int = 10, *, graph: Optional[Graph] = None
+) -> np.ndarray:
+    """Community labels after synchronous label propagation."""
+    handle = as_handle(
+        resolve_graph_argument("label_propagation", graph_or_handle, graph)
+    )
+    engine = PregelEngine(
+        handle, LabelPropagationProgram(iterations), max_supersteps=iterations + 2
     )
     return np.asarray(engine.run(), dtype=np.int64)
 
 
 def random_walks(
-    graph: Graph, walk_length: int = 8, walks_per_vertex: int = 1, seed: int = 0
+    graph_or_handle=None,
+    walk_length: int = 8,
+    walks_per_vertex: int = 1,
+    seed: int = 0,
+    *,
+    graph: Optional[Graph] = None,
 ) -> List[List[int]]:
     """Random walks (one list of vertex ids per completed walk)."""
+    handle = as_handle(resolve_graph_argument("random_walks", graph_or_handle, graph))
     program = RandomWalkProgram(walk_length, walks_per_vertex, seed)
-    engine = PregelEngine(graph, program, max_supersteps=walk_length + 3)
+    engine = PregelEngine(handle, program, max_supersteps=walk_length + 3)
     values = engine.run()
     return [list(path) for collected in values for path in collected]
 
 
-def triangle_count_tlav(graph: Graph) -> Tuple[int, int]:
+def triangle_count_tlav(
+    graph_or_handle=None, *, graph: Optional[Graph] = None
+) -> Tuple[int, int]:
     """Triangle count via the TLAV program.
 
     Returns ``(triangles, messages_sent)`` so benches can report the
     message blow-up alongside the answer.
     """
-    engine = PregelEngine(graph, TriangleCountProgram(), max_supersteps=3)
+    handle = as_handle(
+        resolve_graph_argument("triangle_count_tlav", graph_or_handle, graph)
+    )
+    engine = PregelEngine(handle, TriangleCountProgram(), max_supersteps=3)
     values = engine.run()
     return int(sum(values)), engine.total_messages
 
@@ -370,10 +409,17 @@ class LubyMISProgram(VertexProgram):
                 ctx.send(ctx.vertex, ("tick", 0.0))
 
 
-def luby_mis(graph: Graph, seed: int = 0, max_rounds: int = 200) -> np.ndarray:
+def luby_mis(
+    graph_or_handle=None,
+    seed: int = 0,
+    max_rounds: int = 200,
+    *,
+    graph: Optional[Graph] = None,
+) -> np.ndarray:
     """A maximal independent set as a boolean membership array."""
+    handle = as_handle(resolve_graph_argument("luby_mis", graph_or_handle, graph))
     engine = PregelEngine(
-        graph, LubyMISProgram(seed=seed), max_supersteps=2 * max_rounds
+        handle, LubyMISProgram(seed=seed), max_supersteps=2 * max_rounds
     )
     values = engine.run()
     members = np.asarray([v == 1 for v in values], dtype=bool)

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generic, Iterable, List, Optional, TypeVar
 
 from ..graph.csr import Graph
+from ..graph.store.handle import as_handle, resolve_graph_argument
 from ..obs import MetricsRegistry, StatsViewMixin, Tracer
 
 __all__ = ["VertexProgram", "VertexContext", "PregelEngine", "SuperstepStats"]
@@ -149,8 +150,13 @@ class PregelEngine(Generic[V, M]):
 
     Parameters
     ----------
-    graph:
-        The input graph.
+    graph_or_handle:
+        The input graph: a concrete :class:`Graph`, any
+        :class:`~repro.graph.store.GraphHandle`, or a store-directory
+        path (coerced through :func:`repro.graph.store.as_handle`, so
+        stored graphs run the same vertex programs by paging shards).
+        The pre-store ``graph=`` keyword spelling still works with a
+        :class:`DeprecationWarning`.
     program:
         The vertex program.
     aggregators:
@@ -169,15 +175,21 @@ class PregelEngine(Generic[V, M]):
 
     def __init__(
         self,
-        graph: Graph,
-        program: VertexProgram[V, M],
+        graph_or_handle=None,
+        program: Optional[VertexProgram[V, M]] = None,
         aggregators: Optional[Dict[str, Aggregator]] = None,
         max_supersteps: int = 100,
         halt_at_limit: bool = True,
         obs: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        *,
+        graph: Optional[Graph] = None,
     ) -> None:
-        self.graph = graph
+        if program is None:
+            raise TypeError("PregelEngine() missing required 'program' argument")
+        self.graph = as_handle(
+            resolve_graph_argument("PregelEngine", graph_or_handle, graph)
+        )
         self.program = program
         self.max_supersteps = max_supersteps
         self.halt_at_limit = halt_at_limit
@@ -196,11 +208,13 @@ class PregelEngine(Generic[V, M]):
             "tlav.active_vertices", "active vertices per superstep"
         )
         self.superstep = 0
-        self.values: List[Any] = [program.init(v, graph) for v in graph.vertices()]
+        self.values: List[Any] = [
+            program.init(v, self.graph) for v in self.graph.vertices()
+        ]
         self.aggregators = aggregators or {}
         self.aggregated: Dict[str, Any] = {}
         self._agg_pending: Dict[str, Any] = {}
-        self._halted = [False] * graph.num_vertices
+        self._halted = [False] * self.graph.num_vertices
         self._inbox: Dict[int, List[Any]] = {}
         self._outbox: Dict[int, List[Any]] = {}
         self.history: List[SuperstepStats] = []

@@ -1,21 +1,29 @@
-"""Out-of-core vertex-centric processing (GraphD).
+"""Out-of-core vertex-centric processing (GraphD) — deprecated shim.
+
+.. deprecated::
+    ``tlav.ooc`` predates :mod:`repro.graph.store`.  New code should
+    materialize the graph once (:func:`repro.graph.store.build_store`
+    or :func:`~repro.graph.store.ingest_edge_stream`) and run the
+    ordinary :class:`~repro.tlav.engine.PregelEngine` over the
+    resulting :class:`~repro.graph.store.StoredGraph` handle — every
+    TLAV entry point accepts it.  This class remains as a thin
+    compatibility layer and now *routes its own internals through the
+    store*, so it is no longer a second storage implementation.
 
 GraphD [55] runs Pregel workloads "beyond the memory limit": adjacency
-lists and message streams live on disk; each superstep streams the edge
-file sequentially, keeping only the O(|V|) vertex states resident.
-
-:class:`OutOfCoreEngine` reproduces the model against a real on-disk
-edge file:
-
-* vertex values stay in memory (the GraphD assumption);
-* per superstep, adjacency is *streamed* from the edge file — never
-  resident — and messages are staged to a spill file when the
-  in-memory message buffer exceeds ``message_buffer_limit``;
-* ``IOStats`` counts bytes read/written per superstep, the quantity
-  GraphD's evaluation plots against memory budget.
+lists and message streams live on disk; each superstep streams the
+structure, keeping only the O(|V|) vertex states resident.  The shim
+reproduces the model: at construction the text adjacency file is
+ingested (chunked) into a throwaway store, and each superstep re-pages
+every CSR shard through a zero-budget shard cache — the whole
+structure crosses the "disk" boundary once per superstep, exactly the
+traffic GraphD's evaluation plots against memory budget.  Messages are
+staged to a spill file when the in-memory message buffer **reaches**
+``message_buffer_limit`` (not "exceeds" — the buffer never holds more
+than the limit, as ``IOStats.peak_buffered_messages`` pins).
 
 Results are identical to the in-memory engine for the same program
-(tests assert it on PageRank and WCC).
+(tests assert it on PageRank, WCC, and random walks).
 """
 
 from __future__ import annotations
@@ -23,11 +31,14 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..graph.store.stored import open_store
+from ..graph.store.writer import ingest_edge_stream
 from .engine import Aggregator, VertexProgram
 
 __all__ = ["IOStats", "OutOfCoreEngine"]
@@ -42,6 +53,23 @@ class IOStats:
     message_bytes_read: int = 0
     supersteps: int = 0
     peak_buffered_messages: int = 0
+
+
+def _adjacency_slots(path: str):
+    """Yield every directed slot ``(v, w)`` of a text adjacency file.
+
+    The file lists both directions of an undirected edge, so the slots
+    are ingested as a *directed* stream to reproduce the CSR exactly.
+    """
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            head, _, rest = line.partition(":")
+            v = int(head)
+            for w in rest.split():
+                yield v, int(w)
 
 
 class _StreamContext:
@@ -98,6 +126,9 @@ class _StreamContext:
 class OutOfCoreEngine:
     """Pregel over an on-disk edge file with bounded message memory.
 
+    Deprecated — see the module docstring; prefer a stored graph plus
+    :class:`~repro.tlav.engine.PregelEngine`.
+
     Parameters
     ----------
     edge_path:
@@ -106,8 +137,14 @@ class OutOfCoreEngine:
     num_vertices:
         Vertex count (the only O(|V|) state kept in memory).
     message_buffer_limit:
-        Max buffered messages before spilling to the message file.
+        Message-buffer capacity; the buffer spills to the message file
+        the moment the buffered count *reaches* this limit, so at most
+        ``message_buffer_limit`` messages are ever resident.  Must be
+        at least 1.
     """
+
+    #: Vertices per ingest partition — the streaming granularity.
+    PART_VERTICES = 1024
 
     def __init__(
         self,
@@ -119,8 +156,18 @@ class OutOfCoreEngine:
         message_buffer_limit: int = 10_000,
         workdir: Optional[str] = None,
     ) -> None:
+        warnings.warn(
+            "OutOfCoreEngine is deprecated: build a store with "
+            "repro.graph.store (build_store / ingest_edge_stream) and run "
+            "PregelEngine over the StoredGraph handle instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if message_buffer_limit < 1:
-            raise ValueError("message_buffer_limit must be >= 1")
+            raise ValueError(
+                "message_buffer_limit must be >= 1 (the buffer spills when "
+                "the buffered-message count reaches the limit)"
+            )
         self.edge_path = edge_path
         self.num_vertices = num_vertices
         self.program = program
@@ -131,6 +178,27 @@ class OutOfCoreEngine:
         self.io = IOStats()
         self.aggregated: Dict[str, Any] = {}
         self._agg_pending: Dict[str, Any] = {}
+        self._workdir = workdir or tempfile.mkdtemp(prefix="graphd-")
+        # Ingest the text file into a throwaway store (chunked: the edge
+        # list is never resident), then page it per superstep.  Range
+        # partitioning keeps partition-major iteration == ascending
+        # vertex id, matching the in-memory engine's compute order.
+        store_dir = os.path.join(self._workdir, "store")
+        num_parts = max(1, -(-num_vertices // self.PART_VERTICES))
+        ingest_edge_stream(
+            _adjacency_slots(edge_path),
+            num_vertices,
+            store_dir,
+            directed=True,
+            partition="range",
+            num_parts=num_parts,
+            chunk_edges=65536,
+            name="ooc",
+            overwrite=True,
+        )
+        # Zero budget: every superstep re-pages each shard, so the whole
+        # structure crosses the disk boundary once per superstep.
+        self.store = open_store(store_dir, cache_budget=0, checksum=False)
         # O(|V|) resident state only:
         self._halted = [False] * num_vertices
         self.values: List[Any] = [
@@ -140,9 +208,23 @@ class OutOfCoreEngine:
         self._inbox: Dict[int, List[Any]] = {}
         self._buffer: Dict[int, List[Any]] = {}
         self._buffered = 0
-        self._workdir = workdir or tempfile.mkdtemp(prefix="graphd-")
         self._spill_path = os.path.join(self._workdir, "messages.spill")
         self._spilled = False
+
+    @property
+    def structure_bytes(self) -> int:
+        """Pageable CSR bytes crossing the disk boundary per superstep.
+
+        The per-partition ``nodes`` arrays are resident (loaded at
+        ``open_store``); only the ``indptr``/``indices`` shards are
+        paged, and the zero-budget cache re-pages every one of them
+        each superstep.
+        """
+        return sum(
+            part.files[kind].nbytes
+            for part in self.store.manifest.partitions
+            for kind in ("indptr", "indices")
+        )
 
     # -- message handling -----------------------------------------------------
 
@@ -211,25 +293,26 @@ class OutOfCoreEngine:
         if self.superstep >= self.max_supersteps:
             return False
         active_exists = False
-        # Stream the adjacency file: one vertex's neighbor list at a time.
-        with open(self.edge_path) as handle:
-            for line in handle:
-                self.io.edge_bytes_read += len(line)
-                line = line.strip()
-                if not line or line.startswith("#"):
-                    continue
-                head, _, rest = line.partition(":")
-                v = int(head)
+        paged_before = self.store.cache.stats.bytes_paged
+        # Stream the structure: every CSR shard is paged back in (the
+        # zero-budget cache evicted it), one run of consecutive vertex
+        # ids at a time, in ascending order.
+        for lo, hi, run_ptr, run_idx in self.store.iter_csr_runs():
+            for v in range(lo, hi):
                 has_mail = v in self._inbox
                 if self._halted[v] and not has_mail:
                     continue
                 active_exists = True
                 self._halted[v] = False
+                local = v - lo
                 neighbors = np.asarray(
-                    [int(w) for w in rest.split()], dtype=np.int64
+                    run_idx[run_ptr[local]: run_ptr[local + 1]], dtype=np.int64
                 )
                 ctx = _StreamContext(v, self, neighbors)
                 self.program.compute(ctx, self._inbox.pop(v, []))
+        self.io.edge_bytes_read += (
+            self.store.cache.stats.bytes_paged - paged_before
+        )
         if not active_exists:
             return False
         self._inbox = self._collect_messages()

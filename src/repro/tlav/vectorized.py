@@ -7,17 +7,28 @@ PageRank-style fixed-point iterations, BFS/WCC-style label spreading —
 a superstep is just a gather/scatter over the CSR arrays, so this module
 runs it as whole-frontier numpy kernels (:mod:`repro.graph.kernels`).
 
+Every entry point takes ``graph_or_handle`` — a concrete
+:class:`~repro.graph.csr.Graph`, any
+:class:`~repro.graph.store.GraphHandle`, or a store-directory path.
+Dense supersteps consume the handle through ``iter_csr_runs()``: for an
+in-memory graph that is the whole CSR in one run; for a
+:class:`~repro.graph.store.StoredGraph` it is one run per maximal span
+of consecutive global ids in the same partition, paged through the
+shard cache as each superstep touches it.
+
 Equivalence contract
 --------------------
 ``pagerank_dense`` is **bit-identical** to the per-vertex engine's
-:func:`repro.tlav.algorithms.pagerank`, not merely close.  Three facts
-make that work:
+:func:`repro.tlav.algorithms.pagerank`, not merely close — and to
+itself across in-memory and stored handles.  Three facts make that
+work:
 
 1. the engine's sender-side combiner folds messages per destination in
    ascending-source order (``compute`` runs vertices in id order);
 2. ``np.add.at`` applies increments in element order, and the CSR edge
-   array is source-major — so the dense scatter-add performs the *same
-   additions in the same order*;
+   array is source-major — runs are yielded ascending and each run is
+   source-major, so the per-run scatter-adds perform the *same
+   additions in the same order* regardless of how the CSR is sharded;
 3. the dangling-mass aggregator is folded in ascending vertex order,
    which the dense path reproduces with an explicit left fold.
 
@@ -31,6 +42,9 @@ partition each superstep's scatter over contiguous source ranges.
 Results are then *chunk-deterministic*: fixed by the chunk layout, not
 the backend — serial/thread/process with the same chunking agree
 bit-for-bit (floating-point partial sums are folded in chunk order).
+The executor path needs the CSR in shared memory, so a stored handle
+is materialized with ``to_graph()`` first (documented trade-off: the
+parallel dense path is not out-of-core).
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ import numpy as np
 
 from ..graph.csr import Graph
 from ..graph.kernels import expand_frontier, scatter_add_ordered
+from ..graph.store.handle import as_handle, resolve_graph_argument
 from ..obs import MetricsRegistry
 
 __all__ = ["pagerank_dense", "bfs_dense", "wcc_dense"]
@@ -62,21 +77,39 @@ def _scatter_shares_task(graph: Graph, payload: Tuple) -> np.ndarray:
     return partial
 
 
+def _frontier_neighbors(handle, frontier: np.ndarray) -> np.ndarray:
+    """All neighbors of ``frontier`` vertices, paged when stored."""
+    if hasattr(handle, "indptr"):
+        _, neighbors = expand_frontier(handle.indptr, handle.indices, frontier)
+        return neighbors
+    slices = [handle.neighbors(int(v)) for v in frontier]
+    if not slices:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(slices)
+
+
 def pagerank_dense(
-    graph: Graph,
+    graph_or_handle=None,
     damping: float = 0.85,
     iterations: int = 20,
     obs: Optional[MetricsRegistry] = None,
     executor: Optional["ParallelExecutor"] = None,
+    *,
+    graph: Optional[Graph] = None,
 ) -> np.ndarray:
     """PageRank as dense supersteps; bit-identical to the engine path.
 
-    Without an ``executor`` every superstep is one vectorized
-    gather/scatter.  With one, the scatter partitions over source-range
+    Without an ``executor`` every superstep scatters run-by-run through
+    ``iter_csr_runs()`` — one vectorized gather/scatter for an in-memory
+    graph, shard-cache paging for a stored one, same bits either way.
+    With an ``executor``, the scatter partitions over source-range
     chunks that run on real cores; partial vectors fold in chunk order,
     so any backend with the same chunking yields the same bits.
     """
-    n = graph.num_vertices
+    handle = as_handle(
+        resolve_graph_argument("pagerank_dense", graph_or_handle, graph)
+    )
+    n = handle.num_vertices
     if n == 0:
         return np.empty(0, dtype=np.float64)
     obs = obs if obs is not None else MetricsRegistry()
@@ -84,13 +117,14 @@ def pagerank_dense(
     c_edges = obs.counter(
         "tlav.dense.edges_processed", "CSR edges gathered/scattered"
     )
-    indptr, indices = graph.indptr, graph.indices
-    degrees = np.diff(indptr)
-    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    degrees = np.asarray(handle.degrees(), dtype=np.int64)
     dangling_vertices = np.flatnonzero(degrees == 0)
     has_out = degrees > 0
     values = np.full(n, 1.0 / n, dtype=np.float64)
-    spans = None if executor is None else executor.spans(n)
+    if executor is not None:
+        shared = handle.to_graph()  # executor backends need shared CSR
+        spans = executor.spans(n)
+    num_slots = handle.num_edge_slots
     for _ in range(iterations):
         shares = np.divide(
             values, degrees, out=np.zeros(n, dtype=np.float64), where=has_out
@@ -101,31 +135,40 @@ def pagerank_dense(
             dangling += values[v]
         incoming = np.zeros(n, dtype=np.float64)
         if executor is None:
-            scatter_add_ordered(incoming, indices, shares[src])
+            for lo, hi, run_ptr, run_idx in handle.iter_csr_runs():
+                run_src = np.repeat(
+                    np.arange(lo, hi, dtype=np.int64), np.diff(run_ptr)
+                )
+                scatter_add_ordered(incoming, run_idx, shares[run_src])
         else:
             payloads = [(lo, hi, shares) for lo, hi in spans]
-            for partial in executor.map_graph(_scatter_shares_task, graph, payloads):
+            for partial in executor.map_graph(
+                _scatter_shares_task, shared, payloads
+            ):
                 incoming += partial
         values = (1.0 - damping) / n + damping * (incoming + dangling / n)
         c_steps.inc()
-        c_edges.inc(int(indices.size))
+        c_edges.inc(int(num_slots))
     return values
 
 
-def bfs_dense(graph: Graph, source: int) -> np.ndarray:
+def bfs_dense(
+    graph_or_handle=None, source: int = 0, *, graph: Optional[Graph] = None
+) -> np.ndarray:
     """BFS levels from ``source`` as whole-frontier gathers.
 
     Equal to :func:`repro.tlav.algorithms.bfs` (and to
     :func:`repro.graph.properties.bfs_levels`): unreachable vertices
     keep ``-1``.
     """
-    n = graph.num_vertices
+    handle = as_handle(resolve_graph_argument("bfs_dense", graph_or_handle, graph))
+    n = handle.num_vertices
     level = np.full(n, -1, dtype=np.int64)
     level[source] = 0
     frontier = np.asarray([source], dtype=np.int64)
     depth = 0
     while frontier.size:
-        _, neighbors = expand_frontier(graph.indptr, graph.indices, frontier)
+        neighbors = _frontier_neighbors(handle, frontier)
         fresh = neighbors[level[neighbors] < 0]
         if fresh.size == 0:
             break
@@ -135,23 +178,31 @@ def bfs_dense(graph: Graph, source: int) -> np.ndarray:
     return level
 
 
-def wcc_dense(graph: Graph, max_rounds: Optional[int] = None) -> np.ndarray:
+def wcc_dense(
+    graph_or_handle=None,
+    max_rounds: Optional[int] = None,
+    *,
+    graph: Optional[Graph] = None,
+) -> np.ndarray:
     """Hash-min connected components as dense scatter-min rounds.
 
     Equal to :func:`repro.tlav.algorithms.wcc`: every vertex ends with
     the smallest vertex id in its (weakly) connected component.
     """
-    n = graph.num_vertices
+    handle = as_handle(resolve_graph_argument("wcc_dense", graph_or_handle, graph))
+    n = handle.num_vertices
     labels = np.arange(n, dtype=np.int64)
-    degrees = np.diff(graph.indptr)
-    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
-    dst = graph.indices
     rounds = n if max_rounds is None else max_rounds
     for _ in range(rounds):
         spread = labels.copy()
         # Labels travel along out-edges, exactly like the vertex program
-        # (for undirected graphs the CSR holds both directions).
-        np.minimum.at(spread, dst, labels[src])
+        # (for undirected graphs the CSR holds both directions); min is
+        # order-independent, so per-run scatters equal the global one.
+        for lo, hi, run_ptr, run_idx in handle.iter_csr_runs():
+            run_src = np.repeat(
+                np.arange(lo, hi, dtype=np.int64), np.diff(run_ptr)
+            )
+            np.minimum.at(spread, run_idx, labels[run_src])
         if np.array_equal(spread, labels):
             break
         labels = spread

@@ -1,0 +1,468 @@
+"""The on-disk store: format round-trips, paging, and the handle API.
+
+Pins the storage-layer contracts DESIGN's "Storage layer" section
+promises:
+
+* chunked ingest writes **byte-identical** shards to the one-shot
+  build (same partitioner, same seed);
+* a corrupt or truncated shard raises a clear :class:`StoreError` at
+  page-in, not a numpy decode error three frames later;
+* repeated open/close cycles release their memory maps — no file
+  descriptor leak;
+* the deprecated ``graph=`` keyword spellings still work, with a
+  :class:`DeprecationWarning`;
+* every engine family gives identical answers through a paged
+  :class:`StoredGraph` and the in-memory graph.
+"""
+
+import gc
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.graph.partition import metis_like_partition
+from repro.graph.store import (
+    InMemoryGraph,
+    Manifest,
+    StoreCatalog,
+    StoredGraph,
+    StoreError,
+    as_handle,
+    build_store,
+    ingest_edge_stream,
+    open_store,
+    streaming_assignment,
+)
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def graph():
+    return barabasi_albert(80, 3, seed=11)
+
+
+def _shard_files(root):
+    out = {}
+    for dirpath, _dirs, files in os.walk(root):
+        for fname in files:
+            if fname.endswith(".npy"):
+                full = os.path.join(dirpath, fname)
+                with open(full, "rb") as handle:
+                    out[os.path.relpath(full, root)] = handle.read()
+    return out
+
+
+class TestBuildRoundTrip:
+    @pytest.mark.parametrize("partitioner", ["hash", "range", "metis"])
+    def test_to_graph_reassembles_exactly(self, graph, tmp_path, partitioner):
+        build_store(graph, tmp_path / "g", partition=partitioner, num_parts=3)
+        stored = open_store(tmp_path / "g")
+        assert stored.to_graph() == graph
+        stored.close()
+
+    def test_custom_partition_object(self, graph, tmp_path):
+        part = metis_like_partition(graph, 3, seed=1)
+        manifest = build_store(graph, tmp_path / "g", partition=part)
+        assert manifest.partitioner == "custom"
+        stored = open_store(tmp_path / "g")
+        assert stored.to_graph() == graph
+        stored.close()
+
+    def test_manifest_counts_match_shards(self, graph, tmp_path):
+        manifest = build_store(graph, tmp_path / "g", num_parts=4)
+        assert manifest.num_vertices == graph.num_vertices
+        assert manifest.num_edges == graph.num_edges
+        assert sum(p.num_edge_slots for p in manifest.partitions) \
+            == graph.indices.size
+        reloaded = Manifest.load(tmp_path / "g")
+        assert reloaded.as_dict() == manifest.as_dict()
+
+    def test_features_and_labels_round_trip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        graph = erdos_renyi(40, 0.15, seed=5)
+        labeled = Graph(
+            graph.indptr, graph.indices, directed=graph.directed,
+            vertex_labels=rng.integers(0, 4, graph.num_vertices),
+            edge_labels=rng.integers(0, 3, graph.indices.size),
+        )
+        feats = rng.normal(size=(labeled.num_vertices, 6))
+        build_store(labeled, tmp_path / "g", num_parts=3, features=feats)
+        stored = open_store(tmp_path / "g")
+        assert stored.feature_dim == 6
+        np.testing.assert_array_equal(stored.features(), feats)
+        ids = np.array([7, 0, 33])
+        np.testing.assert_array_equal(stored.features(ids), feats[ids])
+        assert stored.to_graph() == labeled
+        np.testing.assert_array_equal(
+            stored.vertex_labels, labeled.vertex_labels
+        )
+        stored.close()
+
+    def test_overwrite_required_to_replace(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g")
+        with pytest.raises(StoreError, match="exists"):
+            build_store(graph, tmp_path / "g")
+        build_store(graph, tmp_path / "g", overwrite=True)
+
+
+class TestChunkedIngest:
+    @pytest.mark.parametrize("partitioner", ["hash", "range"])
+    @pytest.mark.parametrize("chunk_edges", [5, 64, 10_000])
+    def test_chunked_equals_one_shot_bytes(
+        self, graph, tmp_path, partitioner, chunk_edges
+    ):
+        build_store(
+            graph, tmp_path / "one", partition=partitioner, num_parts=4,
+            seed=9,
+        )
+        ingest_edge_stream(
+            graph.edges(), graph.num_vertices, tmp_path / "chunk",
+            partition=partitioner, num_parts=4, seed=9,
+            chunk_edges=chunk_edges,
+        )
+        assert _shard_files(tmp_path / "one") == _shard_files(tmp_path / "chunk")
+
+    def test_streaming_assignment_matches_partitioners(self, graph):
+        from repro.graph.partition import hash_partition, range_partition
+
+        n = graph.num_vertices
+        np.testing.assert_array_equal(
+            streaming_assignment("hash", n, 4, seed=7),
+            hash_partition(graph, 4, seed=7).assignment,
+        )
+        np.testing.assert_array_equal(
+            streaming_assignment("range", n, 4, seed=7),
+            range_partition(graph, 4).assignment,
+        )
+
+    def test_out_of_range_vertex_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="outside"):
+            ingest_edge_stream([(0, 9)], 4, tmp_path / "g")
+
+    def test_duplicate_and_self_loop_slots_collapse(self, tmp_path):
+        edges = [(0, 1), (1, 0), (0, 1), (2, 2), (1, 2)]
+        ingest_edge_stream(edges, 3, tmp_path / "g", num_parts=2)
+        stored = open_store(tmp_path / "g")
+        rebuilt = stored.to_graph()
+        np.testing.assert_array_equal(rebuilt.neighbors(0), [1])
+        np.testing.assert_array_equal(rebuilt.neighbors(2), [1])
+        assert rebuilt.num_edges == 2
+        stored.close()
+
+
+class TestCorruption:
+    def _one_shard(self, root, name="indices.npy"):
+        for dirpath, _dirs, files in os.walk(root):
+            if name in files:
+                return os.path.join(dirpath, name)
+        raise AssertionError(f"no {name} under {root}")
+
+    def test_corrupt_shard_raises_store_error(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g", num_parts=2)
+        shard = self._one_shard(tmp_path / "g")
+        blob = bytearray(open(shard, "rb").read())
+        blob[-1] ^= 0xFF
+        open(shard, "wb").write(bytes(blob))
+        stored = open_store(tmp_path / "g")
+        with pytest.raises(StoreError, match="corrupt shard"):
+            stored.to_graph()
+        stored.close()
+
+    def test_truncated_shard_raises_store_error(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g", num_parts=2)
+        shard = self._one_shard(tmp_path / "g")
+        blob = open(shard, "rb").read()
+        open(shard, "wb").write(blob[: len(blob) // 2])
+        stored = open_store(tmp_path / "g", checksum=False)
+        with pytest.raises(StoreError, match="truncated shard"):
+            stored.to_graph()
+        stored.close()
+
+    def test_missing_manifest_is_not_a_store(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StoreError, match="graph.json"):
+            as_handle(str(tmp_path / "empty"))
+
+    def test_checksum_false_skips_crc_but_not_size(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g", num_parts=2)
+        shard = self._one_shard(tmp_path / "g")
+        blob = bytearray(open(shard, "rb").read())
+        blob[-1] ^= 0xFF
+        open(shard, "wb").write(bytes(blob))
+        stored = open_store(tmp_path / "g", checksum=False)
+        stored.to_graph()  # same size, CRC unchecked: loads
+        stored.close()
+
+
+class TestFdHygiene:
+    def test_repeated_open_close_leaks_no_fds(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g", num_parts=3)
+        # Warm up interpreter-level fds (import caches etc.) first.
+        for _ in range(2):
+            stored = open_store(tmp_path / "g")
+            stored.degrees()
+            stored.close()
+        gc.collect()
+        before = len(os.listdir("/proc/self/fd"))
+        for _ in range(12):
+            stored = open_store(tmp_path / "g")
+            stored.neighbors(0)
+            stored.to_graph()
+            stored.close()
+        gc.collect()
+        after = len(os.listdir("/proc/self/fd"))
+        assert after <= before, f"fd count grew {before} -> {after}"
+
+    def test_close_empties_cache(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g", num_parts=2)
+        stored = open_store(tmp_path / "g")
+        stored.neighbors(1)
+        assert stored.cache.resident_bytes > 0
+        stored.close()
+        assert stored.cache.resident_bytes == 0
+
+    def test_context_manager_closes(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g")
+        with open_store(tmp_path / "g") as stored:
+            stored.neighbors(0)
+        assert stored.cache.resident_bytes == 0
+
+
+class TestShardCache:
+    def test_budget_caps_resident_bytes(self, graph, tmp_path):
+        manifest = build_store(graph, tmp_path / "g", num_parts=4)
+        budget = manifest.shard_bytes // 3
+        obs = MetricsRegistry()
+        stored = open_store(tmp_path / "g", cache_budget=budget, obs=obs)
+        for v in range(graph.num_vertices):
+            stored.neighbors(v)
+        stats = stored.cache.stats
+        assert stats.evictions > 0
+        largest = max(
+            e.nbytes for p in manifest.partitions for e in p.files.values()
+        )
+        assert stored.cache.resident_bytes <= max(budget, largest)
+        assert stats.hits + stats.misses == stats.pages_requested
+        # The obs counters mirror the in-object ledger.
+        assert sum(
+            obs.counter("store.shard_misses").series().values()
+        ) == stats.misses
+        stored.close()
+
+    def test_zero_budget_repages_every_pass(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g", num_parts=2)
+        stored = open_store(tmp_path / "g", cache_budget=0)
+        from repro.tlav.vectorized import pagerank_dense
+
+        pagerank_dense(stored, iterations=2)
+        first = stored.cache.stats.bytes_paged
+        pagerank_dense(stored, iterations=2)
+        assert stored.cache.stats.bytes_paged == 2 * first
+        stored.close()
+
+    def test_unbounded_cache_never_evicts(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g", num_parts=3)
+        stored = open_store(tmp_path / "g")
+        for v in range(graph.num_vertices):
+            stored.neighbors(v)
+        assert stored.cache.stats.evictions == 0
+        assert stored.cache.stats.misses == 6  # 3 parts x (indptr, indices)
+        stored.close()
+
+
+class TestHandleProtocol:
+    def test_as_handle_coercions(self, graph, tmp_path):
+        handle = as_handle(graph)
+        assert isinstance(handle, InMemoryGraph)
+        assert as_handle(handle) is handle
+        build_store(graph, tmp_path / "g")
+        stored = as_handle(str(tmp_path / "g"))
+        assert isinstance(stored, StoredGraph)
+        stored.close()
+        with pytest.raises(TypeError, match="graph handle"):
+            as_handle(42)
+
+    def test_surfaces_agree(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g", num_parts=3)
+        mem = as_handle(graph)
+        stored = open_store(tmp_path / "g")
+        assert stored.num_vertices == mem.num_vertices
+        assert stored.num_edges == mem.num_edges
+        assert stored.num_edge_slots == mem.num_edge_slots
+        np.testing.assert_array_equal(stored.degrees(), mem.degrees())
+        for v in (0, 7, graph.num_vertices - 1):
+            np.testing.assert_array_equal(
+                stored.neighbors(v), mem.neighbors(v)
+            )
+            assert stored.degree(v) == mem.degree(v)
+        assert stored.has_edge(0, int(mem.neighbors(0)[0]))
+        stored.close()
+
+    def test_partition_views_cover_graph(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g", partition="hash", num_parts=3)
+        stored = open_store(tmp_path / "g")
+        seen = []
+        for k in range(stored.num_parts):
+            view = stored.partition(k)
+            assert view.part_id == k
+            seen.extend(int(v) for v in view.nodes)
+            some = int(view.nodes[0])
+            np.testing.assert_array_equal(
+                view.neighbors(some), graph.neighbors(some)
+            )
+            with pytest.raises(KeyError):
+                other = (some + 1) % graph.num_vertices
+                if other not in set(int(v) for v in view.nodes):
+                    view.neighbors(other)
+                else:
+                    raise KeyError("skip: both owned")
+        assert sorted(seen) == list(range(graph.num_vertices))
+        stored.close()
+
+    def test_iter_csr_runs_reassembles(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g", partition="hash", num_parts=4)
+        stored = open_store(tmp_path / "g")
+        n = graph.num_vertices
+        degs = np.zeros(n, dtype=np.int64)
+        chunks = {}
+        last_hi = 0
+        for lo, hi, run_ptr, run_idx in stored.iter_csr_runs():
+            assert lo >= last_hi  # ascending, non-overlapping
+            last_hi = hi
+            degs[lo:hi] = np.diff(run_ptr)
+            chunks[lo] = np.asarray(run_idx)
+        np.testing.assert_array_equal(degs, graph.degrees())
+        indices = np.concatenate([chunks[lo] for lo in sorted(chunks)])
+        np.testing.assert_array_equal(indices, graph.indices)
+        stored.close()
+
+    def test_version_bump_persists(self, graph, tmp_path):
+        build_store(graph, tmp_path / "g")
+        stored = open_store(tmp_path / "g")
+        v0 = stored.version
+        stored.bump_version()
+        stored.close()
+        assert Manifest.load(tmp_path / "g").version == v0 + 1
+
+
+class TestCatalog:
+    def test_names_open_and_manifest(self, graph, tmp_path):
+        build_store(graph, tmp_path / "a")
+        build_store(erdos_renyi(30, 0.2, seed=2), tmp_path / "b")
+        (tmp_path / "not-a-store").mkdir()
+        catalog = StoreCatalog(tmp_path)
+        assert catalog.names() == ["a", "b"]
+        assert "a" in catalog and "not-a-store" not in catalog
+        assert catalog.manifest("a").num_vertices == graph.num_vertices
+        stored = catalog.open("b", cache_budget=128)
+        assert stored.cache.budget == 128
+        stored.close()
+        with pytest.raises(StoreError, match="no store named"):
+            catalog.path("missing")
+
+
+class TestDeprecatedSpellings:
+    def test_legacy_graph_keyword_warns(self, graph):
+        from repro.tlav.algorithms import pagerank
+        from repro.tlav.vectorized import pagerank_dense
+
+        want = pagerank(graph, iterations=4)
+        with pytest.warns(DeprecationWarning, match="pass the graph"):
+            got = pagerank(graph=graph, iterations=4)
+        np.testing.assert_array_equal(got, want)
+        with pytest.warns(DeprecationWarning):
+            np.testing.assert_array_equal(
+                pagerank_dense(graph=graph, iterations=4),
+                pagerank_dense(graph, iterations=4),
+            )
+
+    def test_both_spellings_is_an_error(self, graph):
+        from repro.tlav.algorithms import pagerank
+
+        with pytest.raises(TypeError, match="both"):
+            pagerank(graph, graph=graph)
+
+    def test_missing_graph_is_an_error(self):
+        from repro.tlav.algorithms import pagerank
+
+        with pytest.raises(TypeError, match="missing required graph"):
+            pagerank()
+
+    def test_engine_legacy_keyword(self, graph):
+        from repro.tlav.algorithms import PageRankProgram
+        from repro.tlav.engine import PregelEngine
+
+        with pytest.warns(DeprecationWarning):
+            engine = PregelEngine(
+                graph=graph, program=PageRankProgram(iterations=2)
+            )
+        assert engine.graph.num_vertices == graph.num_vertices
+
+
+class TestEnginesOverStoredGraphs:
+    """Every engine family answers identically through a paged store."""
+
+    @pytest.fixture
+    def stored(self, graph, tmp_path):
+        manifest = build_store(
+            graph, tmp_path / "g", partition="hash", num_parts=3
+        )
+        stored = open_store(
+            tmp_path / "g", cache_budget=manifest.shard_bytes // 2
+        )
+        yield stored
+        stored.close()
+
+    def test_pregel_engine(self, graph, stored):
+        from repro.tlav.algorithms import pagerank, sssp
+
+        np.testing.assert_array_equal(
+            pagerank(stored, iterations=6), pagerank(graph, iterations=6)
+        )
+        np.testing.assert_array_equal(
+            sssp(stored, source=0), sssp(graph, source=0)
+        )
+
+    def test_task_engine(self, graph, stored):
+        from repro.tlag.engine import TaskEngine
+        from repro.tlag.programs import TriangleProgram
+
+        assert sorted(TaskEngine(stored, TriangleProgram()).run()) \
+            == sorted(TaskEngine(graph, TriangleProgram()).run())
+
+    def test_matching(self, graph, stored):
+        from repro.matching.backtrack import count_matches
+        from repro.matching.pattern import triangle_pattern
+        from repro.matching.triangles import triangle_count
+
+        assert count_matches(stored, triangle_pattern()) \
+            == count_matches(graph, triangle_pattern())
+        assert triangle_count(stored) == triangle_count(graph)
+
+    def test_gnn_training(self, graph, stored):
+        from repro.gnn.models import NodeClassifier
+        from repro.gnn.train import train_full_graph
+
+        rng = np.random.default_rng(1)
+        feats = rng.normal(size=(graph.num_vertices, 5))
+        labels = rng.integers(0, 3, graph.num_vertices)
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        mask[::2] = True
+
+        def run(g):
+            return train_full_graph(
+                NodeClassifier(5, 8, 3, seed=4), g, feats, labels,
+                mask, ~mask, epochs=3,
+            )
+
+        assert run(stored).losses == run(graph).losses
+
+    def test_paging_actually_happened(self, stored):
+        from repro.tlav.vectorized import wcc_dense
+
+        wcc_dense(stored)
+        assert stored.cache.stats.evictions > 0

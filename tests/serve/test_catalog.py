@@ -1,0 +1,89 @@
+"""Serving stored graphs: catalog loading and manifest-backed epochs."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.graph.store import StoreCatalog, StoredGraph, build_store
+from repro.serve import GraphRegistry, Request, Server, builtin_endpoints
+
+
+@pytest.fixture
+def catalog_root(tmp_path):
+    build_store(barabasi_albert(60, 3, seed=5), tmp_path / "social",
+                partition="hash", num_parts=3)
+    build_store(erdos_renyi(40, 0.2, seed=7), tmp_path / "mesh")
+    return tmp_path
+
+
+class TestLoadCatalog:
+    def test_registers_every_store(self, catalog_root):
+        graphs = GraphRegistry()
+        records = graphs.load_catalog(catalog_root)
+        assert sorted(r.name for r in records) == ["mesh", "social"]
+        assert isinstance(graphs.get("social").graph, StoredGraph)
+
+    def test_epoch_is_manifest_version(self, catalog_root):
+        graphs = GraphRegistry()
+        graphs.load_catalog(catalog_root)
+        assert graphs.epoch("social") == \
+            StoreCatalog(catalog_root).manifest("social").version
+
+    def test_bump_persists_across_reload(self, catalog_root):
+        graphs = GraphRegistry()
+        graphs.load_catalog(catalog_root)
+        bumped = graphs.bump_epoch("social")
+        graphs.get("social").graph.close()
+        # A fresh registry (a restarted server) sees the bumped epoch.
+        fresh = GraphRegistry()
+        fresh.load_catalog(catalog_root)
+        assert fresh.epoch("social") == bumped
+        fresh.get("social").graph.close()
+
+    def test_cache_budget_reaches_stored_graphs(self, catalog_root):
+        graphs = GraphRegistry()
+        graphs.load_catalog(catalog_root, cache_budget=64)
+        assert graphs.get("social").graph.cache.budget == 64
+
+    def test_register_by_store_path(self, catalog_root):
+        graphs = GraphRegistry()
+        record = graphs.register("g", str(catalog_root / "social"))
+        assert isinstance(record.graph, StoredGraph)
+        assert record.epoch == record.graph.version
+
+
+class TestServingStoredGraphs:
+    def test_request_against_stored_record(self, catalog_root):
+        graphs = GraphRegistry()
+        graphs.load_catalog(catalog_root)
+        server = Server(graphs, endpoints=builtin_endpoints(), num_workers=1)
+        server.submit(Request(
+            endpoint="tlav.pagerank", params={"iterations": 5},
+            graph="social",
+        ))
+        (response,) = server.run()
+        assert response.status == "ok"
+        reference = __import__(
+            "repro.tlav.algorithms", fromlist=["pagerank"]
+        ).pagerank(barabasi_albert(60, 3, seed=5), iterations=5)
+        np.testing.assert_array_equal(response.value, reference)
+
+    def test_replace_in_memory_with_stored_keeps_epoch_monotonic(
+        self, catalog_root
+    ):
+        graphs = GraphRegistry()
+        graphs.register("g", barabasi_albert(30, 2, seed=1))
+        graphs.bump_epoch("g")
+        graphs.bump_epoch("g")
+        old = graphs.epoch("g")
+        graphs.replace("g", str(catalog_root / "mesh"))
+        assert graphs.epoch("g") > old
+
+    def test_replace_stored_with_in_memory_keeps_epoch_monotonic(
+        self, catalog_root
+    ):
+        graphs = GraphRegistry()
+        graphs.load_catalog(catalog_root)
+        old = graphs.epoch("mesh")
+        graphs.replace("mesh", barabasi_albert(30, 2, seed=1))
+        assert graphs.epoch("mesh") > old

@@ -1,0 +1,105 @@
+"""The ``repro store`` subcommands and ``analyze --graph``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = str(tmp_path / "g.txt")
+    assert main(["generate", "ba", path, "--n", "150", "--m", "3"]) == 0
+    return path
+
+
+class TestStoreBuild:
+    def test_build_and_inspect(self, edge_file, tmp_path, capsys):
+        dest = str(tmp_path / "store")
+        assert main(["store", "build", edge_file, dest,
+                     "--partition", "hash", "--num-parts", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "n=150" in out and "parts=3" in out
+        assert main(["store", "inspect", dest, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "hash x3" in out
+        assert "CRC-32 checksums OK" in out
+
+    def test_inspect_json(self, edge_file, tmp_path, capsys):
+        dest = str(tmp_path / "store")
+        main(["store", "build", edge_file, dest])
+        capsys.readouterr()
+        assert main(["store", "inspect", dest, "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["num_vertices"] == 150
+        assert len(manifest["partitions"]) == 1
+
+    def test_chunked_build_matches_one_shot(self, edge_file, tmp_path):
+        one = str(tmp_path / "one")
+        chunk = str(tmp_path / "chunk")
+        assert main(["store", "build", edge_file, one,
+                     "--partition", "hash", "--num-parts", "2"]) == 0
+        assert main(["store", "build", edge_file, chunk,
+                     "--partition", "hash", "--num-parts", "2",
+                     "--chunked", "--chunk-edges", "50"]) == 0
+        from repro.graph.store import Manifest
+
+        m1, m2 = Manifest.load(one), Manifest.load(chunk)
+        assert [
+            (e.path, e.nbytes, e.crc32)
+            for p in m1.partitions for e in p.files.values()
+        ] == [
+            (e.path, e.nbytes, e.crc32)
+            for p in m2.partitions for e in p.files.values()
+        ]
+
+    def test_chunked_rejects_metis(self, edge_file, tmp_path, capsys):
+        assert main(["store", "build", edge_file, str(tmp_path / "s"),
+                     "--partition", "metis", "--chunked"]) == 2
+        assert "streaming partitioner" in capsys.readouterr().err
+
+    def test_existing_dest_needs_overwrite(self, edge_file, tmp_path, capsys):
+        dest = str(tmp_path / "store")
+        assert main(["store", "build", edge_file, dest]) == 0
+        assert main(["store", "build", edge_file, dest]) == 1
+        assert "exists" in capsys.readouterr().err
+        assert main(["store", "build", edge_file, dest, "--overwrite"]) == 0
+
+    def test_inspect_non_store(self, tmp_path, capsys):
+        assert main(["store", "inspect", str(tmp_path)]) == 1
+        assert "store inspect:" in capsys.readouterr().err
+
+
+class TestAnalyzeStored:
+    def test_paged_profile_end_to_end(self, edge_file, tmp_path, capsys):
+        dest = str(tmp_path / "store")
+        main(["store", "build", edge_file, dest,
+              "--partition", "hash", "--num-parts", "4"])
+        capsys.readouterr()
+        # Cache far below the shard bytes: the profile must page.
+        assert main(["analyze", "--graph", dest,
+                     "--shard-cache", "512", "--json"]) == 0
+        profile = json.loads(capsys.readouterr().out)
+        assert profile["num_vertices"] == 150
+        assert profile["paging"]["paged"] is True
+        assert profile["paging"]["evictions"] > 0
+        assert profile["paging"]["cache_budget"] == 512
+        assert profile["paging"]["shard_bytes"] > 512
+        assert profile["components"] >= 1
+
+    def test_text_report(self, edge_file, tmp_path, capsys):
+        dest = str(tmp_path / "store")
+        main(["store", "build", edge_file, dest])
+        capsys.readouterr()
+        assert main(["analyze", "--graph", dest]) == 0
+        out = capsys.readouterr().out
+        assert "paging" in out and "pagerank" in out
+
+    def test_both_sources_rejected(self, edge_file, tmp_path, capsys):
+        assert main(["analyze", edge_file, "--graph", str(tmp_path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_neither_source_rejected(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "edge-list path or --graph" in capsys.readouterr().err

@@ -141,12 +141,20 @@ class TestFaultTolerance:
             CheckpointedEngine(graph, WCCProgram(), mode="exotic")
 
 
+@pytest.mark.filterwarnings("ignore:OutOfCoreEngine is deprecated")
 class TestOutOfCore:
     @pytest.fixture
     def edge_file(self, graph, tmp_path):
         path = tmp_path / "graph.adj"
         save_adjacency(graph, path)
         return str(path)
+
+    def test_construction_warns_deprecation(self, graph, edge_file):
+        with pytest.warns(DeprecationWarning, match="repro.graph.store"):
+            OutOfCoreEngine(
+                edge_file, graph.num_vertices, WCCProgram(),
+                max_supersteps=1,
+            )
 
     def test_pagerank_matches_in_memory(self, graph, edge_file):
         agg = {"dangling": Aggregator(reduce=lambda a, b: a + b)}
@@ -243,6 +251,7 @@ class TestQuegel:
         assert outcomes[0].supersteps_used == 1
 
 
+@pytest.mark.filterwarnings("ignore:OutOfCoreEngine is deprecated")
 class TestOutOfCoreContract:
     """Regression: the streaming context honours the engine contract.
 
