@@ -7,11 +7,18 @@ keeping per-task state tiny (zero-copy graph sharing).
 
 Reproduced shape: the ``repro.parallel`` executor fans root-level task
 chunks over 1/2/4/8 workers.  Every worker count returns *identical*
-counts (and chunk-deterministic PageRank vectors), and on a multicore
-host the process backend reaches >= 2.5x at 4 workers on the matching
+counts (and chunk-deterministic PageRank vectors).  Each count is run
+twice — **cold** (the first fan-out pays pool spawn + CSR publish) and
+**warm** (a second executor borrows the long-lived pool and the
+already-shared CSR) — so the artifact shows exactly what the persistent
+pool amortizes.  A final ``auto`` pass per workload lets the calibrated
+cost model pick the backend after the fixed passes taught it; auto may
+never lose more than 10% to the best fixed row.  On a multicore host
+the warm process backend reaches >= 2.5x at 4 workers on the matching
 workload.  On single-core CI runners the speedup assertions are skipped
-but the equivalence assertions still run; the report records whatever
-the host measured (artifact: ``results/parallel_scaling.json``).
+but the equivalence and auto-regret assertions still run; the report
+records whatever the host measured
+(artifact: ``results/parallel_scaling.json``).
 """
 
 import os
@@ -25,14 +32,24 @@ from repro.graph.generators import barabasi_albert
 from repro.matching.backtrack import count_matches
 from repro.matching.pattern import clique_pattern
 from repro.matching.triangles import triangle_count
-from repro.parallel import ParallelExecutor
+from repro.parallel import (
+    ParallelExecutor,
+    reset_default_cost_model,
+    shutdown_pools,
+)
 from repro.tlav import pagerank_dense
 
 #: Honour the repo-wide backend knob; default to real processes since
 #: that is the backend whose scaling the claim is about.
 BACKEND = os.environ.get("REPRO_BACKEND") or "process"
 WORKER_COUNTS = (1, 2, 4, 8)
+AUTO_WORKERS = 4
 CORES = os.cpu_count() or 1
+
+#: Auto-regret gate: auto wall time may exceed the best fixed row by at
+#: most 10% (plus a small absolute slack for timer noise on fast rows).
+AUTO_REGRET = 1.10
+AUTO_SLACK_SECONDS = 0.05
 
 
 def _workloads(g):
@@ -52,31 +69,57 @@ def _same(reference, result):
     return reference == result
 
 
+def _timed_row(name, backend, pool_state, workers, serial_seconds, fn, reference):
+    with ParallelExecutor(backend=backend, workers=workers) as ex:
+        start = time.perf_counter()
+        result = fn(ex)
+        seconds = time.perf_counter() - start
+        efficiency = ex.efficiency
+        resolved = ex._last_backend
+    assert _same(reference, result), (name, backend, workers)
+    shown = backend if backend != "auto" else f"auto:{resolved}"
+    return [
+        name,
+        shown,
+        pool_state,
+        workers,
+        round(serial_seconds, 4),
+        round(seconds, 4),
+        round(serial_seconds / seconds, 2),
+        round(efficiency, 3),
+    ]
+
+
 def _run():
     g = barabasi_albert(3000, 5, seed=2)
+    # A hermetic artifact: no pools or calibration inherited from earlier
+    # tests in the same process.
+    shutdown_pools()
+    reset_default_cost_model()
     rows = []
     for name, fn in _workloads(g):
         serial_start = time.perf_counter()
         reference = fn(None)
         serial_seconds = time.perf_counter() - serial_start
         for workers in WORKER_COUNTS:
-            with ParallelExecutor(backend=BACKEND, workers=workers) as ex:
-                start = time.perf_counter()
-                result = fn(ex)
-                seconds = time.perf_counter() - start
-                efficiency = ex.efficiency
-            assert _same(reference, result), (name, workers)
+            # Cold: this executor's fan-out spawns the pool and publishes
+            # the CSR.  Warm: a fresh executor borrows both from the
+            # process-wide registry — the persistent-pool payoff.
             rows.append(
-                [
-                    name,
-                    BACKEND,
-                    workers,
-                    round(serial_seconds, 4),
-                    round(seconds, 4),
-                    round(serial_seconds / seconds, 2),
-                    round(efficiency, 3),
-                ]
+                _timed_row(name, BACKEND, "cold", workers,
+                           serial_seconds, fn, reference)
             )
+            rows.append(
+                _timed_row(name, BACKEND, "warm", workers,
+                           serial_seconds, fn, reference)
+            )
+        # Auto after the fixed passes: the cost model has seen serial and
+        # BACKEND rates for these fn keys and picks per call.
+        rows.append(
+            _timed_row(name, "auto", "warm", AUTO_WORKERS,
+                       serial_seconds, fn, reference)
+        )
+    shutdown_pools()
     return rows
 
 
@@ -84,16 +127,33 @@ def test_claim_c17_parallel_scaling(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
     report(
         "parallel_scaling",
-        f"Multicore scaling ({BACKEND} backend) on BA(3000, 5), {CORES} cores",
-        ["workload", "backend", "workers", "serial_s", "parallel_s",
+        f"Multicore scaling ({BACKEND} backend, cold vs warm pool) "
+        f"on BA(3000, 5), {CORES} cores",
+        ["workload", "backend", "pool", "workers", "serial_s", "parallel_s",
          "speedup", "efficiency"],
         rows,
     )
-    by_key = {(r[0], r[2]): r for r in rows}
+    fixed = {(r[0], r[2], r[3]): r for r in rows if not r[1].startswith("auto")}
+    autos = [r for r in rows if r[1].startswith("auto")]
     if BACKEND == "process" and CORES >= 4:
-        # The headline acceptance number needs real cores under it.
-        assert by_key[("matching k4", 4)][5] >= 2.5
-        assert by_key[("triangles", 4)][5] >= 1.5
+        # The headline acceptance numbers need real cores under them —
+        # and the warm pool, since cold rows still pay spawn + publish.
+        assert fixed[("matching k4", "warm", 4)][6] >= 2.5
+        assert fixed[("triangles", "warm", 4)][6] >= 1.5
+        warm_wins = sum(
+            1 for (name, pool, workers), r in fixed.items()
+            if pool == "warm" and workers == 4 and r[6] > 1.0
+        )
+        assert warm_wins >= 2
+    # Auto regret: on every workload, auto at AUTO_WORKERS is within 10%
+    # of the best fixed option (serial or any measured fixed row).
+    for row in autos:
+        name = row[0]
+        best = min(
+            [r[5] for (n, _, _), r in fixed.items() if n == name]
+            + [row[4]]  # serial_s
+        )
+        assert row[5] <= AUTO_REGRET * best + AUTO_SLACK_SECONDS, (name, row, best)
     # Equivalence held for every row (asserted in _run); efficiency is a
     # well-formed gauge everywhere.
-    assert all(0.0 <= r[6] <= 1.0 for r in rows)
+    assert all(0.0 <= r[7] <= 1.0 for r in rows)

@@ -1,0 +1,81 @@
+"""CI smoke gate for auto-mode regret (satellite of the C17 bench).
+
+Runs two C17 workloads at 4 workers — once serial, once on the fixed
+process backend with a warm pool, once under ``backend="auto"`` after
+the fixed passes calibrated the cost model — and **fails** (exit 1) if
+auto's wall time loses more than 10% to the best fixed option on either
+workload.  A small absolute slack absorbs timer noise on sub-50 ms rows
+and single-core runners, where every backend collapses to roughly
+serial speed and auto must simply not pick a pathological option.
+
+Run from the repo root with::
+
+    PYTHONPATH=src:benchmarks python benchmarks/scaling_smoke.py
+"""
+
+import sys
+import time
+
+from repro.graph.generators import barabasi_albert
+from repro.matching.triangles import triangle_count
+from repro.parallel import (
+    ParallelExecutor,
+    reset_default_cost_model,
+    shutdown_pools,
+)
+from repro.tlav import pagerank_dense
+
+WORKERS = 4
+FIXED_BACKEND = "process"
+AUTO_REGRET = 1.10
+SLACK_SECONDS = 0.05
+
+
+def _workloads(g):
+    return [
+        ("triangles", lambda ex: triangle_count(g, executor=ex)),
+        ("pagerank", lambda ex: pagerank_dense(g, iterations=10, executor=ex)),
+    ]
+
+
+def _time(fn, ex):
+    start = time.perf_counter()
+    fn(ex)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    g = barabasi_albert(2000, 5, seed=2)
+    shutdown_pools()
+    reset_default_cost_model()
+    failures = []
+    print(f"scaling smoke: {WORKERS} workers, fixed backend {FIXED_BACKEND}")
+    for name, fn in _workloads(g):
+        serial_s = _time(fn, None)
+        with ParallelExecutor(backend=FIXED_BACKEND, workers=WORKERS) as ex:
+            _time(fn, ex)  # cold: pays pool spawn + CSR publish
+        with ParallelExecutor(backend=FIXED_BACKEND, workers=WORKERS) as ex:
+            warm_s = _time(fn, ex)
+        with ParallelExecutor(backend="auto", workers=WORKERS) as ex:
+            auto_s = _time(fn, ex)
+            chosen = ex._last_backend
+        best = min(serial_s, warm_s)
+        limit = AUTO_REGRET * best + SLACK_SECONDS
+        verdict = "ok" if auto_s <= limit else "FAIL"
+        print(
+            f"  {name:<12} serial {serial_s:.4f}s  warm-{FIXED_BACKEND} "
+            f"{warm_s:.4f}s  auto({chosen}) {auto_s:.4f}s  "
+            f"limit {limit:.4f}s  {verdict}"
+        )
+        if auto_s > limit:
+            failures.append(name)
+    shutdown_pools()
+    if failures:
+        print(f"auto lost >10% to the best fixed backend on: {failures}")
+        return 1
+    print("auto within 10% of the best fixed backend on both workloads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ reduces to a handful of numpy primitives over the sorted CSR arrays:
 * :func:`expand_frontier` — gather the concatenated neighborhoods of a
   vertex frontier plus the owner of each gathered entry, without a
   Python loop (the repeat/arange trick);
+* :func:`any_true_per_owner` — reduce a per-gathered-entry mask to a
+  per-owner "any hit" flag (the arc-consistency test of candidate
+  refinement, batched);
 * :func:`scatter_add_ordered` — ordered scatter-add (``np.add.at``):
   increments apply in element order, so for any destination the adds
   happen in source order.  The dense TLAV path relies on this to stay
@@ -36,6 +39,7 @@ __all__ = [
     "intersect_count",
     "intersect_multi",
     "expand_frontier",
+    "any_true_per_owner",
     "scatter_add_ordered",
     "edge_array",
 ]
@@ -118,6 +122,23 @@ def expand_frontier(
     slice_begin = np.repeat(np.cumsum(lengths) - lengths, lengths)
     flat = np.repeat(starts, lengths) + (offsets - slice_begin)
     return owners, indices[flat]
+
+
+def any_true_per_owner(
+    owners: np.ndarray, mask: np.ndarray, num_owners: int
+) -> np.ndarray:
+    """Per-owner OR-reduction of a gathered-entry mask.
+
+    ``owners``/``mask`` are aligned with an :func:`expand_frontier`
+    gather; the result is a boolean array of ``num_owners`` entries
+    where ``out[k]`` is True iff any gathered entry owned by ``k`` has
+    ``mask`` set — the batched form of ``any(pred(w) for w in
+    neighbors(v))`` that candidate refinement runs per candidate.
+    """
+    out = np.zeros(num_owners, dtype=bool)
+    if mask.size:
+        out[owners[mask]] = True
+    return out
 
 
 def scatter_add_ordered(

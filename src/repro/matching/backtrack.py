@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..graph.csr import Graph
-from ..graph.kernels import intersect_multi
+from ..graph.kernels import in_sorted, intersect_multi
 from ..graph.store.handle import as_handle, resolve_graph_argument
 from ..obs import StatsViewMixin, merge_counters
 from .pattern import PatternGraph, default_order, symmetry_breaking_restrictions
@@ -107,7 +109,9 @@ def match(
     allowed:
         Optional per-pattern-vertex candidate sets (indexed by pattern
         vertex id); a step only considers data vertices in the set.
-        Produced by :mod:`repro.matching.filtering`.
+        Accepts the sorted arrays :mod:`repro.matching.filtering`
+        produces or any iterable of vertex ids; membership is tested
+        with one batched ``searchsorted`` per step, not per element.
     roots:
         Optional data vertices to consider for the *first* order vertex
         (default: all).  Embeddings partition exactly by their root, so
@@ -149,6 +153,21 @@ def match(
     check_edge_labels = (
         pattern.graph.edge_labels is not None and graph.edge_labels is not None
     )
+    # Normalize the candidate sets once into sorted arrays so every step
+    # can run one batched binary-search membership test instead of a
+    # per-element ``x in allowed[pv]`` probe (the filtering module hands
+    # these over pre-sorted; sets/lists are converted here).
+    allowed_arrays: Optional[List[np.ndarray]] = None
+    if allowed is not None:
+        allowed_arrays = []
+        for entry in allowed:
+            arr = np.asarray(
+                entry if isinstance(entry, np.ndarray) else list(entry),
+                dtype=np.int64,
+            )
+            if arr.size > 1 and np.any(np.diff(arr) < 0):
+                arr = np.sort(arr)
+            allowed_arrays.append(arr)
     embedding = [0] * n  # indexed by step
     matched_set: set = set()
 
@@ -159,27 +178,38 @@ def match(
         if not back:
             # Unconstrained start vertex: scan the root set (all data
             # vertices, unless a parallel fan-out pinned a chunk).
-            cand_iter: Iterator[int] = iter(
-                range(graph.num_vertices) if roots is None else roots
-            )
+            if roots is None:
+                base = np.arange(graph.num_vertices, dtype=np.int64)
+            elif isinstance(roots, range):
+                base = np.arange(roots.start, roots.stop, dtype=np.int64)
+            else:
+                base = np.asarray(list(roots), dtype=np.int64)
         else:
             # Intersect adjacency lists of the already-matched neighbors,
             # smallest list first — one batched binary search per list
             # instead of a per-element probe (the merge-join kernel).
             lists = [graph.neighbors(embedding[j]) for j in back]
             stats.intersections += len(lists) - 1 if len(lists) > 1 else 0
-            cand_iter = iter(int(x) for x in intersect_multi(lists))
-        lo = max((embedding[j] for j in gt_at_step[step]), default=-1)
-        hi = min((embedding[j] for j in lt_at_step[step]), default=graph.num_vertices)
-        for x in cand_iter:
-            stats.candidates_scanned += 1
-            if x <= lo or x >= hi:
-                continue
+            base = intersect_multi(lists)
+        # Cheap filters run batched over the whole candidate array:
+        # symmetry bounds, candidate-set membership, and vertex labels
+        # are each one vectorized pass.  ``candidates_scanned`` counts
+        # the pre-filter batch, matching the former per-element scan.
+        stats.candidates_scanned += int(base.size)
+        if base.size:
+            lo = max((embedding[j] for j in gt_at_step[step]), default=-1)
+            hi = min(
+                (embedding[j] for j in lt_at_step[step]), default=graph.num_vertices
+            )
+            mask = (base > lo) & (base < hi)
+            if allowed_arrays is not None:
+                mask &= in_sorted(allowed_arrays[pv], base)
+            if labels is not None:
+                mask &= labels[base] == want_label
+            base = base[mask]
+        for x in base:
+            x = int(x)
             if x in matched_set:
-                continue
-            if allowed is not None and x not in allowed[pv]:
-                continue
-            if labels is not None and int(labels[x]) != want_label:
                 continue
             if check_edge_labels:
                 ok = True

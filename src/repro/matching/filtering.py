@@ -13,7 +13,18 @@ use the same idea.  This module implements the standard filter ladder:
   vertex ``u`` survives only if every query neighbor ``q`` of ``u``
   has a candidate adjacent to it; repeat until a fixed point.
 
-:func:`build_candidates` returns the per-query-vertex candidate sets
+All three stages run as batched array kernels over the sorted CSR
+(:mod:`repro.graph.kernels`): LDF is one boolean mask over the degree
+and label arrays, NLF scatter-counts neighbor labels for *all*
+candidates of a query vertex in one :func:`~repro.graph.kernels.expand_frontier`
+gather, and refinement replaces the per-candidate ``w in candidates[q]``
+probes with a single batched ``searchsorted``
+(:func:`~repro.graph.kernels.in_sorted`) plus an ownership reduction —
+the same transformation PR 2 applied to triangle counting.  Candidate
+sets are therefore *sorted int64 arrays* (membership, ``len`` and
+iteration behave like the former Python sets).
+
+:func:`build_candidates` returns the per-query-vertex candidate arrays
 plus :class:`FilterStats` (set sizes after each stage — the pruning
 power measurement every matching paper tabulates), and
 :func:`filtered_match` plugs the sets into the backtracking kernel as
@@ -23,9 +34,12 @@ an additional per-step membership test.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..graph.csr import Graph
+from ..graph.kernels import any_true_per_owner, expand_frontier, in_sorted
 from .backtrack import MatchStats, match
 from .pattern import PatternGraph
 
@@ -55,48 +69,57 @@ def build_candidates(
     pattern: PatternGraph,
     use_nlf: bool = True,
     refine: bool = True,
-) -> Tuple[List[Set[int]], FilterStats]:
-    """The LDF -> NLF -> refinement filter ladder."""
+) -> Tuple[List[np.ndarray], FilterStats]:
+    """The LDF -> NLF -> refinement filter ladder (batched kernels)."""
     stats = FilterStats()
     n = pattern.n
-    label_of = (
-        (lambda v: int(graph.vertex_labels[v]))
-        if graph.vertex_labels is not None
-        else (lambda v: 0)
-    )
+    num_vertices = graph.num_vertices
+    degrees = np.asarray(graph.degrees(), dtype=np.int64)
+    labels = graph.vertex_labels
+    indptr = graph.indptr
+    indices = graph.indices
 
-    # Stage 1: LDF.
-    candidates: List[Set[int]] = []
+    # Stage 1: LDF — one mask over the degree/label arrays per query
+    # vertex.  An unlabeled graph carries implicit label 0 everywhere.
+    candidates: List[np.ndarray] = []
     for u in range(n):
         want_label = pattern.label(u)
-        want_degree = pattern.degree(u)
-        cand = {
-            v
-            for v in range(graph.num_vertices)
-            if label_of(v) == want_label and graph.degree(v) >= want_degree
-        }
+        mask = degrees >= pattern.degree(u)
+        if labels is not None:
+            mask &= labels == want_label
+        elif want_label != 0:
+            mask = np.zeros(num_vertices, dtype=bool)
+        cand = np.flatnonzero(mask).astype(np.int64)
         candidates.append(cand)
-        stats.after_ldf.append(len(cand))
+        stats.after_ldf.append(int(cand.size))
 
-    # Stage 2: NLF.
-    if use_nlf:
+    # Stage 2: NLF — scatter-count neighbor labels for every candidate
+    # of ``u`` in one frontier gather.  Without vertex labels every
+    # neighbor carries label 0 and LDF's degree bound already implies
+    # the requirement, so the stage is skipped.
+    if use_nlf and labels is not None:
         for u in range(n):
             need: Dict[int, int] = {}
             for q in pattern.adj[u]:
                 lbl = pattern.label(q)
                 need[lbl] = need.get(lbl, 0) + 1
-            surviving = set()
-            for v in candidates[u]:
-                have: Dict[int, int] = {}
-                for w in graph.neighbors(v):
-                    lbl = label_of(int(w))
-                    have[lbl] = have.get(lbl, 0) + 1
-                if all(have.get(lbl, 0) >= cnt for lbl, cnt in need.items()):
-                    surviving.add(v)
-            candidates[u] = surviving
-    stats.after_nlf = [len(c) for c in candidates]
+            cand = candidates[u]
+            if not need or cand.size == 0:
+                continue
+            owners, nbrs = expand_frontier(indptr, indices, cand)
+            nbr_labels = labels[nbrs]
+            keep = np.ones(cand.size, dtype=bool)
+            for lbl, cnt in need.items():
+                have = np.zeros(cand.size, dtype=np.int64)
+                np.add.at(have, owners[nbr_labels == lbl], 1)
+                keep &= have >= cnt
+            candidates[u] = cand[keep]
+    stats.after_nlf = [int(c.size) for c in candidates]
 
-    # Stage 3: arc-consistency refinement to a fixed point.
+    # Stage 3: arc-consistency refinement to a fixed point.  The former
+    # per-candidate ``any(w in candidates[q])`` probe is one batched
+    # binary search over the gathered neighborhoods plus an ownership
+    # reduction.
     if refine:
         changed = True
         while changed:
@@ -104,19 +127,16 @@ def build_candidates(
             stats.refinement_rounds += 1
             for u in range(n):
                 for q in pattern.adj[u]:
-                    surviving = set()
-                    for v in candidates[u]:
-                        nbrs = graph.neighbors(v)
-                        # v survives if some candidate of q is adjacent.
-                        ok = any(
-                            int(w) in candidates[q] for w in nbrs
-                        )
-                        if ok:
-                            surviving.add(v)
-                    if len(surviving) != len(candidates[u]):
-                        candidates[u] = surviving
+                    cand = candidates[u]
+                    if cand.size == 0:
+                        continue
+                    owners, nbrs = expand_frontier(indptr, indices, cand)
+                    hit = in_sorted(candidates[q], nbrs)
+                    keep = any_true_per_owner(owners, hit, cand.size)
+                    if int(keep.sum()) != cand.size:
+                        candidates[u] = cand[keep]
                         changed = True
-    stats.after_refinement = [len(c) for c in candidates]
+    stats.after_refinement = [int(c.size) for c in candidates]
     return candidates, stats
 
 
@@ -137,7 +157,7 @@ def filtered_match(
     candidates, filter_stats = build_candidates(
         graph, pattern, use_nlf=use_nlf, refine=refine
     )
-    if any(not c for c in candidates):
+    if any(len(c) == 0 for c in candidates):
         return 0, filter_stats
     match_stats = stats if stats is not None else MatchStats()
     total = match(

@@ -5,9 +5,15 @@ advances virtual worker clocks).  ``repro.parallel`` runs the same
 workloads on actual cores:
 
 * :class:`ParallelExecutor` — one ``map_graph(fn, graph, payloads)``
-  fan-out API over ``serial`` / ``thread`` / ``process`` backends,
-  selectable per call site or globally via ``$REPRO_BACKEND`` /
-  ``$REPRO_WORKERS``;
+  fan-out API over ``serial`` / ``thread`` / ``process`` backends plus
+  the calibrated ``auto`` default, selectable per call site or globally
+  via ``$REPRO_BACKEND`` / ``$REPRO_WORKERS``;
+* :mod:`~repro.parallel.pool` — long-lived :class:`WorkerPool` registry:
+  warm futures pools and once-per-(pool, graph) shared-memory CSR
+  copies, amortized across fan-outs and executors;
+* :mod:`~repro.parallel.costmodel` — the :class:`CostModel` behind
+  ``backend="auto"``: per-backend overhead constants x a work estimate
+  from vertex/edge counts, self-tuned online from fan-out telemetry;
 * :mod:`~repro.parallel.shm` — the process backend shares the immutable
   CSR arrays zero-copy through ``multiprocessing.shared_memory`` instead
   of pickling the graph into every task;
@@ -22,6 +28,7 @@ ranges per superstep.  Results are backend-independent by construction
 """
 
 from .chunking import chunk_list, chunk_spans, default_chunk_size
+from .costmodel import CostModel, Decision, default_cost_model, reset_default_cost_model
 from .executor import (
     BACKENDS,
     ParallelExecutor,
@@ -29,18 +36,27 @@ from .executor import (
     resolve_backend,
     resolve_workers,
 )
+from .pool import WorkerPool, get_pool, pool_registry, shutdown_pools
 from .shm import SharedGraph, SharedGraphHandle, attach_graph
 
 __all__ = [
     "BACKENDS",
+    "CostModel",
+    "Decision",
     "ParallelExecutor",
     "SharedGraph",
     "SharedGraphHandle",
+    "WorkerPool",
     "attach_graph",
     "available_workers",
     "chunk_list",
     "chunk_spans",
     "default_chunk_size",
+    "default_cost_model",
+    "get_pool",
+    "pool_registry",
+    "reset_default_cost_model",
     "resolve_backend",
     "resolve_workers",
+    "shutdown_pools",
 ]

@@ -22,6 +22,7 @@ from ..matching.pattern import triangle_pattern
 from ..matching.triangles import triangle_count
 from ..tlav.vectorized import pagerank_dense
 from .chunking import chunk_spans
+from .costmodel import CostModel
 from .executor import ParallelExecutor
 
 
@@ -125,6 +126,51 @@ def _check_triangles_process(params: Dict) -> List[str]:
     finally:
         executor.close()
     return same_values(reference, parallel, "triangles")
+
+
+def _gen_auto(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 64))
+    params["workers"] = int(rng.integers(2, 5))
+    params["chunk_size"] = int(rng.integers(1, 9))
+    params["repeats"] = int(rng.integers(1, 4))
+    return params
+
+
+@pair(
+    "parallel.matching.auto_vs_serial", "parallel", BIT_IDENTICAL,
+    gen=_gen_auto,
+    floors={"n": 4, "workers": 2, "chunk_size": 1, "repeats": 1},
+    description="backend='auto' keeps the backend-independence "
+    "contract: whichever backend the cost model picks (and however "
+    "calibration shifts the pick across repeated calls), counts and "
+    "merged work counters equal the serial run's exactly.",
+)
+def _check_matching_auto(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    pattern = triangle_pattern()
+    out: List[str] = []
+    serial_stats = MatchStats()
+    serial = count_matches(graph, pattern, stats=serial_stats)
+    # A fresh model per case: the oracle must hold from the uncalibrated
+    # first call onward, not depend on ambient session history.
+    executor = ParallelExecutor(
+        backend="auto",
+        workers=int(params["workers"]),
+        chunk_size=int(params["chunk_size"]),
+        cost_model=CostModel(),
+        reuse_pool=False,
+    )
+    try:
+        for rep in range(int(params["repeats"])):
+            auto_stats = MatchStats()
+            auto = count_matches(
+                graph, pattern, executor=executor, stats=auto_stats
+            )
+            out += same_values(serial, auto, f"count[{rep}]")
+            out += same_stats(serial_stats, auto_stats, f"match_stats[{rep}]")
+    finally:
+        executor.close()
+    return out
 
 
 def _gen_spans(rng: np.random.Generator) -> Dict:

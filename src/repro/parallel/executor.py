@@ -1,4 +1,4 @@
-"""The executor abstraction: one fan-out API, three backends.
+"""The executor abstraction: one fan-out API, three backends + auto.
 
 ``ParallelExecutor.map_graph(fn, graph, payloads)`` applies a
 module-level function ``fn(graph, payload)`` to every payload and
@@ -11,7 +11,19 @@ returns the results in order.  The backend decides what that costs:
 * ``process`` — a ``ProcessPoolExecutor`` where the graph is shared
   zero-copy through :mod:`repro.parallel.shm`: workers attach the CSR
   segments once and every task ships only its payload (a chunk
-  descriptor, not the graph).
+  descriptor, not the graph);
+* ``auto`` (the default) — a calibrated
+  :class:`~repro.parallel.costmodel.CostModel` picks one of the three
+  per call from the work estimate, the per-backend overhead constants,
+  and whether the pool is already warm / the graph already shared.
+
+Pools and shared graphs are *long-lived*: executors borrow
+:class:`~repro.parallel.pool.WorkerPool` instances from a process-wide
+registry keyed by ``(backend, workers)`` (``reuse_pool=False`` opts out),
+so worker spawn and the CSR copy into shared memory happen once per
+session, not once per fan-out.  Each graph is published to shared memory
+exactly once per (pool, graph) pair and reused across ``map_graph``
+calls; segments are torn down through the shm ``_LIVE``/atexit hygiene.
 
 Determinism contract: callers split work with the chunking policy of
 :mod:`repro.parallel.chunking` and reduce results *in payload order*.
@@ -19,20 +31,24 @@ Because the chunk structure — not the backend — fixes the computation
 graph, every backend produces identical output (see DESIGN.md).
 
 The executor meters itself into a :class:`~repro.obs.MetricsRegistry`
-(``parallel.*``): per-worker busy seconds, chunk latency histogram, and
-the ``parallel.efficiency`` gauge ``busy / (wall * workers)`` — 1.0
-means perfect scaling, 1/workers means the fan-out bought nothing.
+(``parallel.*``): per-worker busy seconds, chunk latency histogram,
+pool warm-up seconds (spawn + CSR publish, counted separately), and the
+``parallel.efficiency`` gauge ``busy / ((wall - warmup) * workers)`` —
+1.0 means perfect scaling of the steady state; one-time setup no longer
+drags the gauge below 1.
 
 Crash tolerance: chunks are pure functions of ``(graph, payload)``, so
 a dead worker costs work, never answers.  When a process worker dies —
 organically (``BrokenProcessPool``) or under an injected
-:class:`~repro.resilience.FaultPlan` — the executor rebuilds the pool
-and re-dispatches the unfinished ``(lo, hi)`` spans to the survivors;
-after ``max_pool_failures`` pool losses in one fan-out it degrades the
-backend to ``thread`` and finishes there.  Shared-memory segments are
-unlinked on every failure path.  Recovery is metered under
-``resilience.*`` (re-dispatched chunks, pool failures, degradations)
-and traced as ``resilience.recover`` spans.
+:class:`~repro.resilience.FaultPlan` — the executor rebuilds the pool's
+futures executor (shared segments stay mapped, so no re-copy) and
+re-dispatches the unfinished ``(lo, hi)`` spans to the survivors; after
+``max_pool_failures`` pool losses in one fan-out it degrades to
+``thread`` for the rest of its life (auto mode simply stops choosing
+``process``).  Shared segments for the failing graph are unlinked on
+every exception path.  Recovery is metered under ``resilience.*``
+(re-dispatched chunks, pool failures, degradations) and traced as
+``resilience.recover`` spans.
 """
 
 from __future__ import annotations
@@ -40,14 +56,14 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import BrokenExecutor
-from concurrent.futures import Executor as _FuturesExecutor
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graph.csr import Graph
 from ..obs import MetricsRegistry, Tracer
 from ..resilience import FaultInjector
 from .chunking import chunk_spans, default_chunk_size
+from .costmodel import CostModel, default_cost_model
+from .pool import WorkerPool, get_pool, pool_registry
 from .shm import SharedGraph, attach_graph
 
 __all__ = [
@@ -58,6 +74,7 @@ __all__ = [
     "resolve_workers",
 ]
 
+#: The executable backends; ``auto`` resolves to one of these per call.
 BACKENDS = ("serial", "thread", "process")
 
 #: Environment knobs: ``REPRO_BACKEND`` picks the default backend,
@@ -75,12 +92,14 @@ def available_workers() -> int:
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
-    """Explicit argument, else ``$REPRO_BACKEND``, else ``serial``."""
+    """Explicit argument, else ``$REPRO_BACKEND``, else ``auto``."""
     if backend is None:
-        backend = os.environ.get(ENV_BACKEND, "serial")
+        backend = os.environ.get(ENV_BACKEND) or "auto"
     backend = backend.lower()
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if backend != "auto" and backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS + ('auto',)}"
+        )
     return backend
 
 
@@ -98,6 +117,13 @@ def _timed(fn: Callable[[Graph, Any], Any], graph: Graph, payload: Any):
     start = time.perf_counter()
     result = fn(graph, payload)
     return result, time.perf_counter() - start
+
+
+def _fn_key(fn: Callable) -> str:
+    """Stable per-function calibration key for the cost model."""
+    module = getattr(fn, "__module__", "?")
+    name = getattr(fn, "__qualname__", None) or getattr(fn, "__name__", repr(fn))
+    return f"{module}.{name}"
 
 
 def _process_task(handle, fn, payload, crash=False):
@@ -119,14 +145,15 @@ class ParallelExecutor:
     Parameters
     ----------
     backend:
-        ``serial`` / ``thread`` / ``process``; ``None`` consults
-        ``$REPRO_BACKEND``.
+        ``serial`` / ``thread`` / ``process`` / ``auto``; ``None``
+        consults ``$REPRO_BACKEND`` and defaults to ``auto``.
     workers:
         Worker count; ``None`` consults ``$REPRO_WORKERS`` then the CPU
         count.  The serial backend always reports 1.
     chunk_size:
         Default chunk size for :meth:`spans`; ``None`` derives one from
-        the item count and worker count (the shared chunking policy).
+        the item count and worker count (the shared chunking policy —
+        in auto mode the cost model widens chunks once calibrated).
     obs:
         Optional shared :class:`~repro.obs.MetricsRegistry` receiving the
         ``parallel.*`` metrics (private registry when omitted).
@@ -140,7 +167,16 @@ class ParallelExecutor:
         recorded as a ``resilience.recover`` span.
     max_pool_failures:
         Pool losses tolerated within one fan-out before the executor
-        degrades the backend to ``thread`` for the rest of its life.
+        degrades to ``thread`` for the rest of its life.
+    reuse_pool:
+        Borrow warm pools (and their shared graphs) from the
+        process-wide registry.  ``False`` gives the executor private
+        pools torn down by :meth:`close` — the pre-pool behaviour, used
+        by hygiene tests and one-shot scripts.
+    cost_model:
+        The :class:`CostModel` behind ``auto``; ``None`` uses the
+        process-wide default, so calibration persists across executors
+        within a session.
     """
 
     def __init__(
@@ -152,6 +188,8 @@ class ParallelExecutor:
         injector: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
         max_pool_failures: int = 2,
+        reuse_pool: bool = True,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         self.backend = resolve_backend(backend)
         self.workers = 1 if self.backend == "serial" else resolve_workers(workers)
@@ -160,11 +198,15 @@ class ParallelExecutor:
         self.injector = injector
         self.tracer = tracer
         self.max_pool_failures = max_pool_failures
-        self._pool: Optional[_FuturesExecutor] = None
-        self._shared: Optional[SharedGraph] = None
-        # Strong reference, not an id(): ids are reused after gc, which
-        # would let a dead graph's shared segments serve a new graph.
-        self._shared_graph: Optional[Graph] = None
+        self.reuse_pool = reuse_pool
+        self.cost_model = cost_model if cost_model is not None else default_cost_model()
+        self._pools: Dict[str, WorkerPool] = {}
+        self._private_pools: List[WorkerPool] = []
+        self._degraded = False
+        self._span_state: Optional[Tuple[int, int]] = None
+        self._warmup = 0.0
+        self._spinup = 0.0
+        self._last_backend = "serial" if self.backend == "auto" else self.backend
         self._c_maps = self.obs.counter("parallel.maps", "map_graph fan-outs issued")
         self._c_chunks = self.obs.counter("parallel.chunks", "chunk tasks executed")
         self._c_busy = self.obs.counter(
@@ -173,6 +215,23 @@ class ParallelExecutor:
         self._c_wall = self.obs.counter(
             "parallel.wall_seconds", "wall seconds spent inside map_graph"
         )
+        self._c_warmup = self.obs.counter(
+            "parallel.warmup_seconds",
+            "one-time setup seconds (pool spawn + CSR publish), kept out "
+            "of the efficiency gauge",
+        )
+        self._c_cold_starts = self.obs.counter(
+            "parallel.pool_cold_starts", "futures pools spawned from cold"
+        )
+        self._c_shm_shares = self.obs.counter(
+            "parallel.shm_shares", "CSR copies published to shared memory"
+        )
+        self._c_shm_reuses = self.obs.counter(
+            "parallel.shm_reuses", "fan-outs served by an already-shared CSR"
+        )
+        self._c_auto = self.obs.counter(
+            "parallel.auto_decisions", "auto-mode backend choices"
+        )
         self._h_chunk = self.obs.histogram(
             "parallel.chunk_seconds",
             "per-chunk latency (seconds)",
@@ -180,7 +239,8 @@ class ParallelExecutor:
         )
         self._g_workers = self.obs.gauge("parallel.workers", "configured workers")
         self._g_efficiency = self.obs.gauge(
-            "parallel.efficiency", "busy / (wall * workers) of the last fan-out"
+            "parallel.efficiency",
+            "busy / ((wall - warmup) * workers) of the last fan-out",
         )
         self._g_shared = self.obs.gauge(
             "parallel.shared_bytes", "bytes of CSR state in shared memory"
@@ -201,15 +261,30 @@ class ParallelExecutor:
     # -- chunking ----------------------------------------------------------
 
     def spans(self, num_items: int):
-        """Contiguous ``(lo, hi)`` chunks under this executor's policy."""
-        return chunk_spans(num_items, self.chunk_size, self.workers)
+        """Contiguous ``(lo, hi)`` chunks under this executor's policy.
+
+        Auto mode consults the cost model once calibrated: chunks widen
+        until each carries ~:data:`~repro.parallel.costmodel.TARGET_CHUNK_SECONDS`
+        of measured work (never finer than the default policy, never
+        coarser than one chunk per worker).  The span layout is also what
+        tells :meth:`map_graph` how many underlying work items a payload
+        list covers, so the model calibrates in per-item units.
+        """
+        size = self.chunk_size
+        if size is None and self.backend == "auto":
+            size = self.cost_model.auto_chunk_size(num_items, self.workers)
+        spans = chunk_spans(num_items, size, self.workers)
+        self._span_state = (num_items, len(spans))
+        return spans
 
     def effective_chunk_size(self, num_items: int) -> int:
-        return (
-            self.chunk_size
-            if self.chunk_size is not None
-            else default_chunk_size(num_items, self.workers)
-        )
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if self.backend == "auto":
+            auto = self.cost_model.auto_chunk_size(num_items, self.workers)
+            if auto is not None:
+                return auto
+        return default_chunk_size(num_items, self.workers)
 
     # -- fan-out -----------------------------------------------------------
 
@@ -227,20 +302,77 @@ class ParallelExecutor:
         payloads = list(payloads)
         if not payloads:
             return []
+        key = _fn_key(fn)
+        items = self._work_items(len(payloads))
+        backend = self._select_backend(key, graph, items)
+        self._warmup = 0.0
+        self._spinup = 0.0
+        self._finish_backend = backend
         wall_start = time.perf_counter()
         try:
-            if self.backend == "process":
+            if backend == "process":
                 timed = self._map_process(fn, graph, payloads)
+                backend = self._finish_backend  # degraded runs finish on threads
             else:
-                timed = self._map_local(fn, graph, payloads)
+                timed = self._map_local(backend, fn, graph, payloads)
         except BaseException:
-            # Failure path: never leave shared segments behind, whatever
-            # the caller does with the exception.
-            self._release_shared()
+            # Failure path: never leave this graph's shared segments
+            # behind, whatever the caller does with the exception.
+            self._discard_shared(graph)
             raise
         wall = time.perf_counter() - wall_start
-        self._record(len(payloads), [t for _, t in timed], wall)
+        self._record(key, backend, len(payloads), items, [t for _, t in timed], wall)
         return [r for r, _ in timed]
+
+    # -- auto-mode selection -----------------------------------------------
+
+    def _work_items(self, num_payloads: int) -> int:
+        """Underlying work units a payload list covers.
+
+        When the payloads came from the most recent :meth:`spans` call,
+        the spans' item count is the honest work measure (a payload is a
+        chunk, not a unit); otherwise each payload counts as one item.
+        """
+        if self._span_state is not None and self._span_state[1] == num_payloads:
+            return self._span_state[0]
+        return num_payloads
+
+    def _peek_pool(self, backend: str) -> Optional[WorkerPool]:
+        """The pool a backend *would* use, without creating one."""
+        pool = self._pools.get(backend)
+        if pool is None and self.reuse_pool:
+            pool = pool_registry().get((backend, self.workers))
+        return pool
+
+    def _select_backend(self, key: str, graph: Graph, items: int) -> str:
+        if self.backend != "auto":
+            return self.backend
+        allowed = ("serial", "thread") if self._degraded else BACKENDS
+        indptr = getattr(graph, "indptr", None)
+        indices = getattr(graph, "indices", None)
+        num_vertices = int(getattr(graph, "num_vertices", 0) or 0)
+        num_slots = int(indices.size) if indices is not None else 0
+        graph_bytes = (indptr.nbytes if indptr is not None else 0) + (
+            indices.nbytes if indices is not None else 0
+        )
+        warm = [
+            backend
+            for backend in ("thread", "process")
+            if (pool := self._peek_pool(backend)) is not None and pool.warm
+        ]
+        process_pool = self._peek_pool("process")
+        decision = self.cost_model.choose(
+            key,
+            items,
+            self.workers,
+            work_prior=self.cost_model.work_prior(num_vertices, num_slots, items),
+            graph_bytes=graph_bytes,
+            warm=warm,
+            shared=process_pool is not None and process_pool.is_shared(graph),
+            allowed=allowed,
+        )
+        self._c_auto.inc(backend=decision.backend)
+        return decision.backend
 
     # -- resilient fan-out paths -------------------------------------------
 
@@ -260,10 +392,14 @@ class ParallelExecutor:
         return result, secs, redispatches
 
     def _map_local(
-        self, fn: Callable[[Graph, Any], Any], graph: Graph, payloads: List[Any]
+        self,
+        backend: str,
+        fn: Callable[[Graph, Any], Any],
+        graph: Graph,
+        payloads: List[Any],
     ) -> List[Tuple[Any, float]]:
         indexed = list(enumerate(payloads))
-        if self.backend == "serial":
+        if backend == "serial":
             attempts = [self._attempt_chunk(fn, graph, p, i) for i, p in indexed]
         else:
             pool = self._thread_pool()
@@ -272,7 +408,7 @@ class ParallelExecutor:
             )
         redispatched = sum(n for _, _, n in attempts)
         if redispatched:
-            self._c_redispatched.inc(redispatched, backend=self.backend)
+            self._c_redispatched.inc(redispatched, backend=backend)
             self._recover_span(redispatched, rebuilt_pool=False)
         return [(r, s) for r, s, _ in attempts]
 
@@ -283,9 +419,11 @@ class ParallelExecutor:
         timed: List[Optional[Tuple[Any, float]]] = [None] * n
         remaining = list(range(n))
         pool_losses = 0
+        pool = self._pool_for("process")
         while remaining:
             handle = self._share(graph).handle
-            pool = self._process_pool()
+            fpool = pool.executor()
+            self._absorb_spinup(pool, "process")
             futures: List[Tuple[int, Any]] = []
             failed: List[int] = []
             try:
@@ -295,7 +433,7 @@ class ParallelExecutor:
                         and self.injector.take_worker_crash(i)
                     )
                     futures.append(
-                        (i, pool.submit(_process_task, handle, fn, payloads[i], crash))
+                        (i, fpool.submit(_process_task, handle, fn, payloads[i], crash))
                     )
             except BrokenExecutor:
                 failed.extend(i for i in remaining
@@ -307,20 +445,22 @@ class ParallelExecutor:
                     failed.append(i)
             if not failed:
                 break
-            # A worker died and took the pool with it: rebuild and
-            # re-dispatch the spans it left unfinished.
+            # A worker died and took the futures pool with it: respawn
+            # the workers (the shared CSR stays mapped — rebuild never
+            # re-copies) and re-dispatch the unfinished spans.
             pool_losses += 1
             self._c_pool_failures.inc()
             self._c_redispatched.inc(len(failed), backend="process")
-            self._teardown_pool()
+            pool.rebuild()
             failed.sort()
             if pool_losses >= self.max_pool_failures:
-                self._degrade_to_thread()
+                self._degrade()
+                self._finish_backend = "thread"
                 self._recover_span(len(failed), rebuilt_pool=False, degraded=True)
-                pool = self._thread_pool()
+                tpool = self._thread_pool()
                 for i, attempt in zip(
                     failed,
-                    pool.map(
+                    tpool.map(
                         lambda i: self._attempt_chunk(fn, graph, payloads[i], i),
                         failed,
                     ),
@@ -347,72 +487,115 @@ class ParallelExecutor:
         ):
             pass
 
-    def _degrade_to_thread(self) -> None:
+    def _degrade(self) -> None:
         """Give up on process workers; survive on threads instead."""
-        self._release_shared()
-        self.backend = "thread"
+        self._degraded = True
+        if self.backend == "process":
+            self.backend = "thread"
         self._g_degraded.set(1, to="thread")
         self._g_workers.set(self.workers, backend=self.backend)
 
     # -- backend plumbing --------------------------------------------------
 
-    def _thread_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.workers)
-        return self._pool  # type: ignore[return-value]
+    def _pool_for(self, backend: str) -> WorkerPool:
+        pool = self._pools.get(backend)
+        if pool is None:
+            if self.reuse_pool:
+                pool = get_pool(backend, self.workers)
+            else:
+                pool = WorkerPool(backend, self.workers)
+                self._private_pools.append(pool)
+            self._pools[backend] = pool
+        return pool
 
-    def _process_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool  # type: ignore[return-value]
+    def _absorb_spinup(self, pool: WorkerPool, backend: str) -> None:
+        if pool.last_spinup_seconds:
+            self._spinup += pool.last_spinup_seconds
+            self._warmup += pool.last_spinup_seconds
+            self._c_cold_starts.inc(backend=backend)
+
+    def _thread_pool(self):
+        pool = self._pool_for("thread")
+        fpool = pool.executor()
+        self._absorb_spinup(pool, "thread")
+        return fpool
 
     def _share(self, graph: Graph) -> SharedGraph:
-        """Publish ``graph`` to shared memory (cached across fan-outs)."""
-        if self._shared is not None and self._shared_graph is graph:
-            return self._shared
-        if self._shared is not None:
-            self._shared.close()
-        self._shared = SharedGraph(graph)
-        self._shared_graph = graph
-        self._g_shared.set(self._shared.nbytes)
-        return self._shared
+        """Publish ``graph`` to shared memory (once per pool + graph)."""
+        pool = self._pool_for("process")
+        already = pool.is_shared(graph)
+        shared = pool.share(graph)
+        if already:
+            self._c_shm_reuses.inc()
+        else:
+            self._warmup += pool.last_share_seconds
+            self._c_shm_shares.inc()
+        self._g_shared.set(pool.shared_bytes)
+        return shared
 
-    def _record(self, chunks: int, chunk_seconds: List[float], wall: float) -> None:
+    def _discard_shared(self, graph: Graph) -> None:
+        for pool in self._pools.values():
+            if pool.backend == "process":
+                pool.discard(graph)
+                self._g_shared.set(pool.shared_bytes)
+
+    def _record(
+        self,
+        key: str,
+        backend: str,
+        chunks: int,
+        items: int,
+        chunk_seconds: List[float],
+        wall: float,
+    ) -> None:
         busy = sum(chunk_seconds)
+        warmup = self._warmup
         self._c_maps.inc()
-        self._c_chunks.inc(chunks, backend=self.backend)
-        self._c_busy.inc(busy, backend=self.backend)
-        self._c_wall.inc(wall, backend=self.backend)
+        self._c_chunks.inc(chunks, backend=backend)
+        self._c_busy.inc(busy, backend=backend)
+        self._c_wall.inc(wall, backend=backend)
+        if warmup > 0:
+            self._c_warmup.inc(warmup, backend=backend)
         for sec in chunk_seconds:
-            self._h_chunk.observe(sec, backend=self.backend)
-        if wall > 0:
+            self._h_chunk.observe(sec, backend=backend)
+        workers = 1 if backend == "serial" else self.workers
+        steady = max(wall - warmup, 0.0)
+        if steady > 0:
             self._g_efficiency.set(
-                min(1.0, busy / (wall * self.workers)), backend=self.backend
+                min(1.0, busy / (steady * workers)), backend=backend
+            )
+        self._last_backend = backend
+        if self.cost_model is not None:
+            self.cost_model.observe(
+                key,
+                backend,
+                items=items,
+                busy=busy,
+                wall=wall,
+                warmup=warmup,
+                spinup=self._spinup,
             )
 
     @property
     def efficiency(self) -> float:
-        """The ``parallel.efficiency`` gauge for this backend."""
-        return float(self._g_efficiency.value(backend=self.backend))
+        """The ``parallel.efficiency`` gauge for the last backend used."""
+        return float(self._g_efficiency.value(backend=self._last_backend))
 
     # -- lifecycle ---------------------------------------------------------
 
-    def _teardown_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-
-    def _release_shared(self) -> None:
-        if self._shared is not None:
-            self._shared.close()
-            self._shared = None
-            self._shared_graph = None
-            self._g_shared.set(0)
-
     def close(self) -> None:
-        """Shut the pool down and unlink shared segments (idempotent)."""
-        self._teardown_pool()
-        self._release_shared()
+        """Release this executor's pools (idempotent).
+
+        Private pools (``reuse_pool=False``) are shut down and their
+        shared segments unlinked.  Borrowed registry pools are left warm
+        on purpose — that is the amortization; the registry's atexit
+        hook (and the shm ``_LIVE`` sweep) guarantee teardown at
+        interpreter exit.
+        """
+        for pool in self._private_pools:
+            pool.close()
+        self._private_pools = []
+        self._pools = {}
 
     def __enter__(self) -> "ParallelExecutor":
         return self

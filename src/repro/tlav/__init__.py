@@ -13,7 +13,6 @@ from .algorithms import (
 from .distributed import DistributedPregel, run_distributed
 from .fault_tolerance import CheckpointedEngine, FaultStats
 from .mirroring import MirrorPlan, message_cost, mirroring_plan, optimal_threshold
-from .ooc import IOStats, OutOfCoreEngine
 from .ppr import ppr_forward_push, ppr_power_iteration
 from .queries import PointQuery, QuegelEngine, QueryOutcome
 from .engine import Aggregator, PregelEngine, VertexContext, VertexProgram
@@ -40,8 +39,6 @@ __all__ = [
     "mirroring_plan",
     "message_cost",
     "optimal_threshold",
-    "OutOfCoreEngine",
-    "IOStats",
     "QuegelEngine",
     "PointQuery",
     "QueryOutcome",

@@ -6,22 +6,26 @@ declared relation against it:
 
 * vectorized (``*_dense``) — bit-identical (same float operations in
   the same order, just whole-frontier at a time);
-* out-of-core GraphD — bit-identical (streaming changes *where* state
-  lives, never what is computed).  The random-walk pair is the one that
-  flushed out the ``neighbors()``-returns-a-list contract violation;
+* stored (on-disk shards paged through the shard cache, any budget
+  including 0: re-page every superstep) — bit-identical (paging changes
+  *where* state lives, never what is computed).  The random-walk pair
+  descends from the one that flushed out the legacy out-of-core
+  ``neighbors()``-returns-a-list contract violation;
 * distributed — BFS/WCC bit-identical (min combiners are
   order-insensitive), PageRank bounded-error (per-worker combining
   re-associates float sums).
 
-Plus the out-of-core spill-accounting invariant: every spilled byte is
-read back exactly once, and the buffer never exceeds its limit.
+Plus the paging-accounting invariant (the successor of the retired
+``tlav.ooc`` spill oracle): the shard cache's ledger must balance —
+misses minus evictions equals residents, an unbounded budget pages each
+shard exactly once, and a zero budget re-pages the structure every
+superstep.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
-import warnings
 from typing import Dict, List
 
 import numpy as np
@@ -29,11 +33,10 @@ import numpy as np
 from ..check.invariants import bounded_error, same_bits, same_values
 from ..check.registry import BIT_IDENTICAL, BOUNDED_ERROR, invariant, pair
 from ..check.workloads import gen_graph_params, make_graph
-from ..graph.io import save_adjacency
 from ..graph.partition import hash_partition, metis_like_partition
+from ..graph.store import build_store, open_store
 from .algorithms import (
     PageRankProgram,
-    RandomWalkProgram,
     bfs,
     pagerank,
     random_walks,
@@ -41,7 +44,6 @@ from .algorithms import (
 )
 from .distributed import run_distributed
 from .engine import Aggregator, PregelEngine
-from .ooc import OutOfCoreEngine
 from .vectorized import bfs_dense, pagerank_dense, wcc_dense
 
 
@@ -61,16 +63,11 @@ def _gen_source(rng: np.random.Generator) -> Dict:
     return params
 
 
-def _ooc_engine(graph, program, tmp: str, **kwargs) -> OutOfCoreEngine:
-    path = os.path.join(tmp, "graph.adj")
-    save_adjacency(graph, path)
-    # The deprecation is the point: these oracles pin the legacy shim's
-    # equivalence to the store-backed engines until it is removed.
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return OutOfCoreEngine(
-            path, graph.num_vertices, program, workdir=tmp, **kwargs
-        )
+def _build_stored(graph, tmp: str, num_parts: int, cache_budget):
+    """Write ``graph`` to a store directory and reopen it paging."""
+    path = os.path.join(tmp, "store")
+    build_store(graph, path, partition="hash", num_parts=max(1, num_parts))
+    return open_store(path, cache_budget=cache_budget)
 
 
 # ----------------------------------------------------------------------
@@ -112,40 +109,35 @@ def _check_wcc_dense(params: Dict) -> List[str]:
 
 
 # ----------------------------------------------------------------------
-# Engine vs out-of-core (GraphD)
+# Engine vs stored (on-disk shards paged through the shard cache)
 # ----------------------------------------------------------------------
 
 
-def _gen_ooc(rng: np.random.Generator) -> Dict:
+def _gen_stored(rng: np.random.Generator) -> Dict:
     params = gen_graph_params(rng, n_range=(8, 48))
     params["iterations"] = int(rng.integers(1, 9))
-    # Deliberately tiny limits: mid-superstep spills are the point.
-    params["buffer_limit"] = int(rng.integers(1, 65))
+    params["num_parts"] = int(rng.integers(1, 5))
+    # Deliberately tiny budgets (often 0): constant re-paging is the point.
+    params["cache_budget"] = int(rng.integers(0, 3)) * 256
     return params
 
 
 @pair(
-    "tlav.pagerank.engine_vs_ooc", "tlav", BIT_IDENTICAL,
-    gen=_gen_ooc, floors={"n": 4, "iterations": 1, "buffer_limit": 1},
-    description="Streaming from disk with any message_buffer_limit "
-    "(including 1: spill after every send) is bit-identical to the "
-    "in-memory engine.",
+    "tlav.pagerank.engine_vs_stored", "tlav", BIT_IDENTICAL,
+    gen=_gen_stored,
+    floors={"n": 4, "iterations": 1, "num_parts": 1, "cache_budget": 0},
+    description="Running the engine over on-disk shards with any cache "
+    "budget (including 0: every superstep re-pages the structure) is "
+    "bit-identical to the in-memory engine.",
 )
-def _check_pr_ooc(params: Dict) -> List[str]:
+def _check_pr_stored(params: Dict) -> List[str]:
     graph = make_graph(params)
     iters = int(params["iterations"])
-    with tempfile.TemporaryDirectory(prefix="check-ooc-") as tmp:
-        engine = _ooc_engine(
-            graph,
-            PageRankProgram(0.85, iters),
-            tmp,
-            aggregators={
-                "dangling": Aggregator(reduce=lambda a, b: a + b, initial=0.0)
-            },
-            max_supersteps=iters + 2,
-            message_buffer_limit=int(params["buffer_limit"]),
-        )
-        got = np.asarray(engine.run(), dtype=np.float64)
+    with tempfile.TemporaryDirectory(prefix="check-stored-") as tmp:
+        with _build_stored(
+            graph, tmp, int(params["num_parts"]), int(params["cache_budget"])
+        ) as stored:
+            got = np.asarray(pagerank(stored, iterations=iters), dtype=np.float64)
     return same_bits(pagerank(graph, iterations=iters), got, "pagerank")
 
 
@@ -154,19 +146,21 @@ def _gen_walks(rng: np.random.Generator) -> Dict:
     params["walk_length"] = int(rng.integers(2, 7))
     params["walks_per_vertex"] = int(rng.integers(1, 3))
     params["walk_seed"] = int(rng.integers(1 << 16))
-    params["buffer_limit"] = int(rng.integers(1, 33))
+    params["num_parts"] = int(rng.integers(1, 4))
     return params
 
 
 @pair(
-    "tlav.random_walks.engine_vs_ooc", "tlav", BIT_IDENTICAL,
+    "tlav.random_walks.engine_vs_stored", "tlav", BIT_IDENTICAL,
     gen=_gen_walks,
-    floors={"n": 4, "walk_length": 2, "walks_per_vertex": 1, "buffer_limit": 1},
-    description="Random walks must not depend on which engine runs the "
-    "program — this pair caught the out-of-core context handing "
-    "programs a plain list where the engine contract says ndarray.",
+    floors={"n": 4, "walk_length": 2, "walks_per_vertex": 1, "num_parts": 1},
+    description="Random walks must not depend on where the adjacency "
+    "lives — the paging handle must honor the ndarray ``neighbors()`` "
+    "contract (the predecessor pair caught the legacy out-of-core "
+    "context handing programs a plain list; zero-budget paging keeps "
+    "that contract pinned).",
 )
-def _check_walks_ooc(params: Dict) -> List[str]:
+def _check_walks_stored(params: Dict) -> List[str]:
     graph = make_graph(params)
     length = int(params["walk_length"])
     per_vertex = int(params["walks_per_vertex"])
@@ -174,74 +168,88 @@ def _check_walks_ooc(params: Dict) -> List[str]:
     reference = random_walks(
         graph, walk_length=length, walks_per_vertex=per_vertex, seed=seed
     )
-    with tempfile.TemporaryDirectory(prefix="check-ooc-") as tmp:
-        engine = _ooc_engine(
-            graph,
-            RandomWalkProgram(length, per_vertex, seed),
-            tmp,
-            max_supersteps=length + 3,
-            message_buffer_limit=int(params["buffer_limit"]),
-        )
-        values = engine.run()
-    got = [list(path) for collected in values for path in collected]
+    with tempfile.TemporaryDirectory(prefix="check-stored-") as tmp:
+        with _build_stored(graph, tmp, int(params["num_parts"]), 0) as stored:
+            got = random_walks(
+                stored, walk_length=length, walks_per_vertex=per_vertex, seed=seed
+            )
     return same_values(reference, got, "walks")
 
 
-def _gen_spill(rng: np.random.Generator) -> Dict:
+def _gen_paging(rng: np.random.Generator) -> Dict:
     params = gen_graph_params(rng, n_range=(8, 40))
     params["iterations"] = int(rng.integers(1, 6))
-    params["buffer_limit"] = int(rng.integers(1, 17))
+    params["num_parts"] = int(rng.integers(1, 5))
     return params
 
 
 @invariant(
-    "tlav.ooc.spill_accounting", "tlav", gen=_gen_spill,
-    floors={"n": 4, "iterations": 1, "buffer_limit": 1},
-    description="Out-of-core I/O accounting: bytes read back equal "
-    "bytes spilled, the buffer never holds more than its limit, and "
-    "edge traffic is a whole multiple of the store's pageable CSR "
-    "bytes (the zero-budget shard cache re-pages every indptr/indices "
-    "shard each superstep).",
+    "tlav.stored.paging_accounting", "tlav", gen=_gen_paging,
+    floors={"n": 4, "iterations": 1, "num_parts": 1},
+    description="Shard-cache I/O ledger under the engine (successor of "
+    "the retired tlav.ooc spill oracle): misses minus evictions equal "
+    "resident entries, an unbounded budget pages every touched shard "
+    "exactly once (bytes_paged == resident bytes, no evictions), and a "
+    "zero budget keeps at most one shard resident while re-paging at "
+    "least one full structure pass per superstep.",
 )
-def _check_spill_accounting(params: Dict) -> List[str]:
+def _check_paging_accounting(params: Dict) -> List[str]:
     graph = make_graph(params)
     iters = int(params["iterations"])
-    limit = int(params["buffer_limit"])
+    parts = int(params["num_parts"])
     out: List[str] = []
-    with tempfile.TemporaryDirectory(prefix="check-ooc-") as tmp:
-        engine = _ooc_engine(
-            graph,
+
+    def run_engine(stored):
+        engine = PregelEngine(
+            stored,
             PageRankProgram(0.85, iters),
-            tmp,
             aggregators={
                 "dangling": Aggregator(reduce=lambda a, b: a + b, initial=0.0)
             },
             max_supersteps=iters + 2,
-            message_buffer_limit=limit,
         )
         engine.run()
-        io = engine.io
-        pass_bytes = engine.structure_bytes
-    if io.message_bytes_read != io.message_bytes_spilled:
-        out.append(
-            f"spill: read {io.message_bytes_read} bytes back but spilled "
-            f"{io.message_bytes_spilled}"
-        )
-    if io.peak_buffered_messages > max(limit, 1):
-        out.append(
-            f"spill: peak_buffered_messages {io.peak_buffered_messages} "
-            f"exceeds message_buffer_limit {limit}"
-        )
-    if pass_bytes and io.edge_bytes_read % pass_bytes:
-        out.append(
-            f"spill: edge_bytes_read {io.edge_bytes_read} is not a whole "
-            f"number of structure passes ({pass_bytes} bytes each)"
-        )
-    if io.supersteps and io.edge_bytes_read < io.supersteps * pass_bytes:
-        out.append(
-            f"spill: {io.supersteps} supersteps but only "
-            f"{io.edge_bytes_read} edge bytes read"
-        )
+        return engine.superstep
+
+    with tempfile.TemporaryDirectory(prefix="check-stored-") as tmp:
+        with _build_stored(graph, tmp, parts, None) as unbounded:
+            run_engine(unbounded)
+            stats = unbounded.cache.stats
+            if stats.misses - stats.evictions != len(unbounded.cache):
+                out.append(
+                    f"paging: ledger broken — {stats.misses} misses, "
+                    f"{stats.evictions} evictions, "
+                    f"{len(unbounded.cache)} residents"
+                )
+            if stats.evictions != 0:
+                out.append(
+                    f"paging: unbounded budget evicted {stats.evictions} shards"
+                )
+            if stats.bytes_paged != unbounded.cache.resident_bytes:
+                out.append(
+                    f"paging: unbounded budget paged {stats.bytes_paged} bytes "
+                    f"but holds {unbounded.cache.resident_bytes}"
+                )
+            one_pass = stats.bytes_paged
+        with _build_stored(graph, tmp + "-zero", parts, 0) as zero:
+            supersteps = run_engine(zero)
+            stats = zero.cache.stats
+            if stats.misses - stats.evictions != len(zero.cache):
+                out.append(
+                    f"paging: zero-budget ledger broken — {stats.misses} "
+                    f"misses, {stats.evictions} evictions, "
+                    f"{len(zero.cache)} residents"
+                )
+            if len(zero.cache) > 1:
+                out.append(
+                    f"paging: zero budget holds {len(zero.cache)} shards"
+                )
+            floor = supersteps * one_pass
+            if stats.bytes_paged < floor:
+                out.append(
+                    f"paging: zero budget paged {stats.bytes_paged} bytes in "
+                    f"{supersteps} supersteps; expected >= {floor}"
+                )
     return out
 
 

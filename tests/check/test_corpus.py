@@ -58,5 +58,5 @@ def test_corpus_covers_the_three_satellite_bugs():
         load_case(os.path.join(CORPUS_DIR, name))["check"] for name in CASES
     }
     assert "graph.partition.metrics_consistent" in checks  # vertex-cut metric
-    assert "tlav.random_walks.engine_vs_ooc" in checks  # ooc neighbors
+    assert "tlav.random_walks.engine_vs_stored" in checks  # paging neighbors
     assert "gnn.cache.lru_vs_trace_sim" in checks  # cache accounting

@@ -133,7 +133,8 @@ class TestResolution:
         assert resolve_backend() == "thread"
         assert resolve_backend("process") == "process"
         monkeypatch.delenv("REPRO_BACKEND")
-        assert resolve_backend() == "serial"
+        assert resolve_backend() == "auto"
+        assert resolve_backend("auto") == "auto"
         with pytest.raises(ValueError):
             resolve_backend("gpu")
 
@@ -273,18 +274,31 @@ class TestSharedMemoryHygiene:
 
     def test_failing_chunk_releases_segments(self):
         g = erdos_renyi(80, 0.1, seed=0)
-        ex = ParallelExecutor(backend="process", workers=2)
+        ex = ParallelExecutor(backend="process", workers=2, reuse_pool=False)
         names = [seg.name for seg in ex._share(g)._segments]
         assert names
         with pytest.raises(RuntimeError, match="chunk exploded"):
             ex.map_graph(_boom_task, g, ex.spans(g.num_vertices))
-        assert ex._shared is None  # failure path released the cache
+        # The failure path discarded the graph from the pool's registry.
+        assert not ex._pools["process"].is_shared(g)
         from multiprocessing import shared_memory
 
         for name in names:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
         ex.close()
+
+    def test_private_pool_close_unlinks_segments(self):
+        g = erdos_renyi(60, 0.1, seed=1)
+        ex = ParallelExecutor(backend="process", workers=2, reuse_pool=False)
+        assert triangle_count(g, executor=ex) == triangle_count(g)
+        names = [seg.name for seg in ex._share(g)._segments]
+        ex.close()
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
 
     def test_atexit_guard_sweeps_unclosed_owners(self):
         import subprocess

@@ -1,0 +1,212 @@
+"""The calibrated cost model behind ``backend="auto"``.
+
+Pinned properties: the priors make parallel backends earn their keep
+(first calls run serial), calibration is a pure EWMA fold (same
+observations -> same decisions, so auto mode is deterministic), and the
+process-wide default model persists across executors within a session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import barabasi_albert
+from repro.obs import MetricsRegistry
+from repro.parallel import (
+    CostModel,
+    ParallelExecutor,
+    default_cost_model,
+    reset_default_cost_model,
+)
+from repro.parallel.chunking import default_chunk_size
+from repro.parallel.costmodel import BACKEND_ORDER, TARGET_CHUNK_SECONDS
+
+
+def _span_vertices(graph, span):
+    lo, hi = span
+    return hi - lo
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_model():
+    reset_default_cost_model()
+    yield
+    reset_default_cost_model()
+
+
+class TestEstimates:
+    def test_uncalibrated_small_fanout_runs_serial(self):
+        model = CostModel()
+        prior = model.work_prior(num_vertices=200, num_edge_slots=600, items=8)
+        decision = model.choose("k", items=8, workers=4, work_prior=prior)
+        assert decision.backend == "serial"
+        assert not decision.calibrated
+        assert set(decision.estimates) == set(BACKEND_ORDER)
+
+    def test_heavy_warm_shared_fanout_prefers_process(self):
+        model = CostModel()
+        decision = model.choose(
+            "k", items=10_000, workers=8, work_prior=1e-2,
+            warm=("thread", "process"), shared=True,
+        )
+        assert decision.backend == "process"
+
+    def test_cold_spinup_and_share_cost_are_charged(self):
+        model = CostModel()
+        cold = model.estimate(
+            "k", "process", items=100, workers=4,
+            work_prior=1e-5, warm=False, shared=False, graph_bytes=1 << 30,
+        )
+        warm = model.estimate(
+            "k", "process", items=100, workers=4,
+            work_prior=1e-5, warm=True, shared=True, graph_bytes=1 << 30,
+        )
+        assert cold > warm + model.SPINUP["process"] * 0.9
+
+    def test_measured_rate_replaces_the_prior(self):
+        model = CostModel()
+        model.observe("k", "serial", items=100, busy=1.0, wall=1.0)
+        assert model.estimate(
+            "k", "serial", items=100, workers=1, work_prior=1e-9
+        ) == pytest.approx(1.0)
+
+    def test_ties_break_toward_the_simpler_backend(self):
+        model = CostModel()
+        for backend in BACKEND_ORDER:
+            model.observe(backend=backend, key="k", items=10, busy=0.1, wall=0.1)
+        decision = model.choose(
+            "k", items=10, workers=4, work_prior=1e-3,
+            warm=("thread", "process"), shared=True,
+        )
+        assert len(set(decision.estimates.values())) == 1
+        assert decision.backend == "serial"
+        assert decision.calibrated
+
+    def test_warmup_excluded_from_calibration(self):
+        model = CostModel()
+        # 1s of wall, but 0.9s was one-time pool spawn: a warm repeat
+        # costs 0.1s, and that is the rate the model must learn.
+        model.observe("k", "process", items=100, busy=0.1, wall=1.0, warmup=0.9)
+        assert model.estimate(
+            "k", "process", items=100, workers=4,
+            work_prior=1e-9, warm=True, shared=True,
+        ) == pytest.approx(0.1)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            CostModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            CostModel(alpha=1.5)
+
+
+class TestChunkSizing:
+    def test_uncalibrated_model_defers_to_default_policy(self):
+        assert CostModel().auto_chunk_size(1000, 4) is None
+
+    def test_calibrated_chunks_target_the_time_budget(self):
+        model = CostModel()
+        model.observe("k", "serial", items=1000, busy=1e-2, wall=1e-2)
+        size = model.auto_chunk_size(1000, 4)
+        # unit cost 1e-5 s/item -> 200 items reach the 2 ms target.
+        assert size == int(np.ceil(TARGET_CHUNK_SECONDS / 1e-5))
+        assert size >= default_chunk_size(1000, 4)
+
+    def test_never_coarser_than_one_chunk_per_worker(self):
+        model = CostModel()
+        model.observe("k", "serial", items=1000, busy=1e-6, wall=1e-6)
+        # Nearly free items would suggest giant chunks; balance wins.
+        assert model.auto_chunk_size(1000, 4) == 250
+
+
+class TestDeterminism:
+    def test_same_observations_same_decisions(self):
+        rng = np.random.default_rng(7)
+        trace = [
+            (
+                f"fn{int(rng.integers(3))}",
+                BACKEND_ORDER[int(rng.integers(3))],
+                int(rng.integers(1, 1000)),
+                float(rng.uniform(1e-4, 1e-1)),
+            )
+            for _ in range(40)
+        ]
+        decisions = []
+        for _ in range(2):
+            model = CostModel()
+            run = []
+            for key, backend, items, busy in trace:
+                model.observe(key, backend, items=items, busy=busy, wall=busy * 1.5)
+                run.append(
+                    model.choose(
+                        key, items=items, workers=4,
+                        work_prior=model.work_prior(500, 1500, items),
+                    ).backend
+                )
+            decisions.append(run)
+        assert decisions[0] == decisions[1]
+
+    def test_auto_executor_is_deterministic_at_fixed_seed(self):
+        graph = barabasi_albert(400, 3, seed=11)
+
+        def run_once():
+            obs = MetricsRegistry()
+            with ParallelExecutor(
+                backend="auto", workers=2, obs=obs,
+                reuse_pool=False, cost_model=CostModel(),
+            ) as ex:
+                results = []
+                for _ in range(3):
+                    results.append(
+                        ex.map_graph(
+                            _span_vertices, graph, ex.spans(graph.num_vertices)
+                        )
+                    )
+                counts = {
+                    b: obs.counter("parallel.auto_decisions").value(backend=b)
+                    for b in BACKEND_ORDER
+                }
+            return results, counts
+
+        first_results, first_counts = run_once()
+        second_results, second_counts = run_once()
+        assert first_results == second_results
+        assert first_counts == second_counts
+        assert sum(first_counts.values()) == 3
+
+    def test_first_auto_call_runs_serial(self):
+        graph = barabasi_albert(120, 3, seed=2)
+        obs = MetricsRegistry()
+        with ParallelExecutor(
+            backend="auto", workers=2, obs=obs,
+            reuse_pool=False, cost_model=CostModel(),
+        ) as ex:
+            ex.map_graph(_span_vertices, graph, ex.spans(graph.num_vertices))
+            assert obs.counter("parallel.auto_decisions").value(backend="serial") == 1
+
+
+class TestCalibrationPersistence:
+    def test_default_model_is_shared_across_executors(self):
+        graph = barabasi_albert(150, 3, seed=5)
+        with ParallelExecutor(backend="serial", reuse_pool=False) as ex:
+            assert ex.cost_model is default_cost_model()
+            ex.map_graph(_span_vertices, graph, ex.spans(graph.num_vertices))
+            seen = ex.cost_model.observations
+        assert seen >= 1
+        with ParallelExecutor(backend="auto", workers=2, reuse_pool=False) as later:
+            # A later executor in the same session starts calibrated.
+            assert later.cost_model is default_cost_model()
+            assert later.cost_model.observations == seen
+
+    def test_reset_forgets_calibration(self):
+        model = default_cost_model()
+        model.observe("k", "serial", items=10, busy=0.1, wall=0.1)
+        reset_default_cost_model()
+        assert default_cost_model().observations == 0
+        assert default_cost_model() is not model
+
+    def test_snapshot_exposes_model_state(self):
+        model = CostModel()
+        model.observe("k", "serial", items=10, busy=0.1, wall=0.1)
+        snap = model.snapshot()
+        assert snap["observations"] == 1
+        assert snap["unit_cost"] == pytest.approx(0.01)
+        assert snap["wall_per_item"]["k|serial"] == pytest.approx(0.01)

@@ -49,16 +49,17 @@ class TestCLI:
         path = str(tmp_path / "g.txt")
         main(["generate", "er", path, "--n", "100", "--p", "0.08"])
         capsys.readouterr()
-        # Serial baseline and a threaded run must count identically.
+        # Default (auto) baseline and a threaded run must count identically.
         assert main(["analyze", path, "--json"]) == 0
-        serial = json.loads(capsys.readouterr().out)
+        default = json.loads(capsys.readouterr().out)
         assert main(["analyze", path, "--json", "--backend", "thread",
                      "--workers", "2"]) == 0
         threaded = json.loads(capsys.readouterr().out)
-        assert serial["parallel"]["backend"] == "serial"
+        assert default["parallel"]["backend"] == "auto"
+        assert "cost_model" in default["parallel"]
         assert threaded["parallel"]["backend"] == "thread"
         assert threaded["parallel"]["workers"] == 2
-        assert threaded["triangles"] == serial["triangles"]
+        assert threaded["triangles"] == default["triangles"]
         assert 0.0 < threaded["parallel"]["efficiency"] <= 1.0
 
     def test_analyze_rejects_unknown_backend(self):

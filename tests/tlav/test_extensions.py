@@ -1,19 +1,17 @@
 """The presenter-lineage TLAV systems: Pregel+ mirroring, LWCP fault
-tolerance, GraphD out-of-core, Quegel query batching."""
-
-import os
+tolerance, GraphD-style bounded-memory paging (via the shard store),
+Quegel query batching."""
 
 import numpy as np
 import pytest
 
 from repro.graph.csr import Graph
 from repro.graph.generators import barabasi_albert, grid_graph, path_graph
-from repro.graph.io import save_adjacency
 from repro.graph.partition import hash_partition, metis_like_partition
 from repro.graph.properties import bfs_levels
+from repro.graph.store import build_store, open_store
 from repro.tlav import (
     CheckpointedEngine,
-    OutOfCoreEngine,
     PointQuery,
     QuegelEngine,
     message_cost,
@@ -23,7 +21,7 @@ from repro.tlav import (
     wcc,
 )
 from repro.tlav.algorithms import PageRankProgram, SSSPProgram, WCCProgram
-from repro.tlav.engine import Aggregator
+from repro.tlav.engine import Aggregator, PregelEngine
 
 
 @pytest.fixture
@@ -141,64 +139,52 @@ class TestFaultTolerance:
             CheckpointedEngine(graph, WCCProgram(), mode="exotic")
 
 
-@pytest.mark.filterwarnings("ignore:OutOfCoreEngine is deprecated")
-class TestOutOfCore:
+class TestStoredEngine:
+    """GraphD's regime via the shard store: bounded memory forces paging."""
+
     @pytest.fixture
-    def edge_file(self, graph, tmp_path):
-        path = tmp_path / "graph.adj"
-        save_adjacency(graph, path)
-        return str(path)
+    def store_path(self, graph, tmp_path):
+        path = str(tmp_path / "store")
+        build_store(graph, path, partition="hash", num_parts=4)
+        return path
 
-    def test_construction_warns_deprecation(self, graph, edge_file):
-        with pytest.warns(DeprecationWarning, match="repro.graph.store"):
-            OutOfCoreEngine(
-                edge_file, graph.num_vertices, WCCProgram(),
-                max_supersteps=1,
-            )
-
-    def test_pagerank_matches_in_memory(self, graph, edge_file):
-        agg = {"dangling": Aggregator(reduce=lambda a, b: a + b)}
-        engine = OutOfCoreEngine(
-            edge_file, graph.num_vertices, PageRankProgram(iterations=8),
-            aggregators=agg, max_supersteps=10,
-        )
-        values = engine.run()
+    def test_pagerank_matches_in_memory(self, graph, store_path):
+        with open_store(store_path, cache_budget=0) as stored:
+            values = pagerank(stored, iterations=8)
         assert np.allclose(values, pagerank(graph, iterations=8))
 
-    def test_wcc_matches_in_memory(self, graph, edge_file):
-        engine = OutOfCoreEngine(
-            edge_file, graph.num_vertices, WCCProgram(), max_supersteps=200
-        )
-        values = engine.run()
-        assert values == wcc(graph).tolist()
+    def test_wcc_matches_in_memory(self, graph, store_path):
+        with open_store(store_path, cache_budget=0) as stored:
+            values = wcc(stored)
+        assert np.asarray(values).tolist() == wcc(graph).tolist()
 
-    def test_spilling_under_small_buffer(self, graph, edge_file):
-        """GraphD's regime: bounded memory forces message spills."""
-        engine = OutOfCoreEngine(
-            edge_file, graph.num_vertices, WCCProgram(),
-            max_supersteps=200, message_buffer_limit=50,
-        )
-        values = engine.run()
-        assert values == wcc(graph).tolist()
-        assert engine.io.message_bytes_spilled > 0
-        assert engine.io.peak_buffered_messages <= 50
+    def test_zero_budget_keeps_one_shard_resident(self, graph, store_path):
+        with open_store(store_path, cache_budget=0) as stored:
+            wcc(stored)
+            stats = stored.cache.stats
+            assert stats.evictions > 0
+            assert len(stored.cache) <= 1
 
-    def test_no_spill_with_big_buffer(self, graph, edge_file):
-        engine = OutOfCoreEngine(
-            edge_file, graph.num_vertices, WCCProgram(),
-            max_supersteps=200, message_buffer_limit=10**9,
-        )
-        engine.run()
-        assert engine.io.message_bytes_spilled == 0
+    def test_unbounded_budget_pages_each_shard_once(self, graph, store_path):
+        with open_store(store_path) as stored:
+            wcc(stored)
+            stats = stored.cache.stats
+            assert stats.evictions == 0
+            assert stats.bytes_paged == stored.cache.resident_bytes
+            assert stats.hits > stats.misses  # the cache actually serves
 
-    def test_edge_bytes_scale_with_supersteps(self, graph, edge_file):
-        engine = OutOfCoreEngine(
-            edge_file, graph.num_vertices, WCCProgram(), max_supersteps=200
-        )
-        engine.run()
-        size = os.path.getsize(edge_file)
-        # The whole edge file is streamed once per superstep.
-        assert engine.io.edge_bytes_read >= size * engine.io.supersteps * 0.9
+    def test_paged_bytes_scale_with_supersteps(self, graph, store_path):
+        # One full structure pass = what the unbounded cache pages in total.
+        with open_store(store_path) as stored:
+            engine = PregelEngine(stored, WCCProgram(), max_supersteps=200)
+            engine.run()
+            one_pass = stored.cache.stats.bytes_paged
+            supersteps = engine.superstep
+        with open_store(store_path, cache_budget=0) as paged:
+            engine = PregelEngine(paged, WCCProgram(), max_supersteps=200)
+            engine.run()
+            # The whole structure is re-paged (at least) once per superstep.
+            assert paged.cache.stats.bytes_paged >= supersteps * one_pass
 
 
 class TestQuegel:
@@ -251,14 +237,14 @@ class TestQuegel:
         assert outcomes[0].supersteps_used == 1
 
 
-@pytest.mark.filterwarnings("ignore:OutOfCoreEngine is deprecated")
-class TestOutOfCoreContract:
-    """Regression: the streaming context honours the engine contract.
+class TestStoredEngineContract:
+    """Regression: paging handles honour the engine contract.
 
-    Pre-fix ``_StreamContext.neighbors()`` returned a plain list, so
-    any program using array operations (RandomWalkProgram reads
-    ``nbrs.size``) crashed on the out-of-core engine.  Pinned in the
-    differential corpus as ``tlav-ooc-neighbors-contract.json``.
+    Pre-fix, the retired out-of-core engine's ``neighbors()`` returned
+    a plain list, so any program using array operations
+    (RandomWalkProgram reads ``nbrs.size``) crashed.  Pinned in the
+    differential corpus as ``tlav-stored-neighbors-contract.json``;
+    the stored-graph handle must keep the contract under paging.
     """
 
     @pytest.fixture
@@ -266,12 +252,12 @@ class TestOutOfCoreContract:
         return barabasi_albert(24, 2, seed=9)
 
     @pytest.fixture
-    def small_edge_file(self, small_graph, tmp_path):
-        path = tmp_path / "small.adj"
-        save_adjacency(small_graph, path)
-        return str(path)
+    def small_store(self, small_graph, tmp_path):
+        path = str(tmp_path / "small-store")
+        build_store(small_graph, path, partition="hash", num_parts=2)
+        return path
 
-    def test_neighbors_is_int64_ndarray(self, small_graph, small_edge_file):
+    def test_neighbors_is_int64_ndarray(self, small_graph, small_store):
         from repro.tlav.engine import VertexProgram
 
         seen = {}
@@ -283,50 +269,31 @@ class TestOutOfCoreContract:
             def compute(self, ctx, messages):
                 seen[ctx.vertex] = ctx.neighbors()
 
-        engine = OutOfCoreEngine(
-            small_edge_file, small_graph.num_vertices, ProbeProgram(),
-            max_supersteps=1,
-        )
-        engine.run()
+        with open_store(small_store, cache_budget=0) as stored:
+            engine = PregelEngine(stored, ProbeProgram(), max_supersteps=1)
+            engine.run()
         nbrs = seen[0]
         assert isinstance(nbrs, np.ndarray)
         assert nbrs.dtype == np.int64
         assert nbrs.tolist() == small_graph.neighbors(0).tolist()
 
     def test_random_walks_match_in_memory_engine(
-        self, small_graph, small_edge_file
+        self, small_graph, small_store
     ):
-        from repro.tlav.algorithms import RandomWalkProgram, random_walks
+        from repro.tlav.algorithms import random_walks
 
         reference = random_walks(
             small_graph, walk_length=4, walks_per_vertex=2, seed=3
         )
-        engine = OutOfCoreEngine(
-            small_edge_file, small_graph.num_vertices,
-            RandomWalkProgram(4, 2, 3),
-            max_supersteps=7, message_buffer_limit=8,
-        )
-        values = engine.run()
-        walks = [list(p) for collected in values for p in collected]
+        with open_store(small_store, cache_budget=0) as stored:
+            walks = random_walks(
+                stored, walk_length=4, walks_per_vertex=2, seed=3
+            )
         assert walks == reference
 
-    def test_message_buffer_limit_validated(self, small_graph, small_edge_file):
-        from repro.tlav.algorithms import WCCProgram
-
-        with pytest.raises(ValueError, match="message_buffer_limit"):
-            OutOfCoreEngine(
-                small_edge_file, small_graph.num_vertices, WCCProgram(),
-                message_buffer_limit=0,
-            )
-
-    def test_spill_bytes_read_equals_spilled(self, small_graph, small_edge_file):
-        from repro.tlav.algorithms import WCCProgram
-
-        engine = OutOfCoreEngine(
-            small_edge_file, small_graph.num_vertices, WCCProgram(),
-            max_supersteps=100, message_buffer_limit=1,
-        )
-        engine.run()
-        assert engine.io.message_bytes_spilled > 0
-        assert engine.io.message_bytes_read == engine.io.message_bytes_spilled
-        assert engine.io.peak_buffered_messages <= 1
+    def test_paging_ledger_balances(self, small_graph, small_store):
+        with open_store(small_store, cache_budget=0) as stored:
+            wcc(stored)
+            stats = stored.cache.stats
+            assert stats.misses - stats.evictions == len(stored.cache)
+            assert stats.bytes_paged > 0
