@@ -7,19 +7,31 @@ feature shards + node map), graphs larger than RAM stream in through
 the chunked ingest pipeline, and every engine family consumes the
 result through the same :class:`GraphHandle` surface it uses for
 in-memory graphs.
+
+Durability contract: overwriting builds are atomic (sibling temp dir
++ rename), chunked ingest journals every chunk/partition boundary and
+resumes byte-identically after a crash (:mod:`.journal`), and
+:func:`verify_store`/:func:`repair_store` sweep CRC32 integrity and
+quarantine corrupt shards with typed errors.
 """
 
 from .format import (
     FORMAT_NAME,
     FORMAT_VERSION,
     MANIFEST_FILENAME,
+    QUARANTINE_DIRNAME,
+    CorruptShardError,
     FileEntry,
     Manifest,
     PartitionMeta,
     StoreError,
+    StoreReport,
     is_store_dir,
+    repair_store,
     verify_file,
+    verify_store,
 )
+from .journal import INGEST_DIRNAME, IngestJournal
 from .handle import (
     GraphHandle,
     InMemoryGraph,
@@ -44,8 +56,15 @@ __all__ = [
     "Manifest",
     "PartitionMeta",
     "StoreError",
+    "StoreReport",
+    "CorruptShardError",
+    "QUARANTINE_DIRNAME",
+    "INGEST_DIRNAME",
+    "IngestJournal",
     "is_store_dir",
     "verify_file",
+    "verify_store",
+    "repair_store",
     "GraphHandle",
     "InMemoryGraph",
     "PartitionView",

@@ -16,11 +16,15 @@ fully-resident copy:
   build, and the manifest's counts agree with the shards;
 * ``store.cache.accounting`` — ``hits + misses == pages requested``,
   bytes paged equal the missed shards' bytes, and the obs counters
-  mirror the in-object stats.
+  mirror the in-object stats;
+* ``store.journal.resume_vs_oneshot`` — an ingest crashed at a random
+  journaled chunk boundary (and one torn mid-flush) then resumed is
+  **byte-identical**, full tree SHA-256, to the uninterrupted build.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import tempfile
 from typing import Dict, List
@@ -33,6 +37,7 @@ from ...check.workloads import gen_graph_params, make_graph
 from ...matching.backtrack import count_matches
 from ...matching.pattern import path_pattern, star_pattern, triangle_pattern
 from ...obs import MetricsRegistry
+from ...resilience.faults import FaultError, FaultPlan
 from ...tlav.vectorized import bfs_dense, pagerank_dense, wcc_dense
 from .format import Manifest, verify_file
 from .stored import open_store
@@ -219,6 +224,101 @@ def _check_manifest_roundtrip(params: Dict) -> List[str]:
                             f"ingest: part{part.part_id}/{key} differs "
                             f"between chunked and one-shot builds"
                         )
+    return out
+
+
+def _tree_digest(root: str) -> str:
+    """SHA-256 over every file under ``root`` (relative path + bytes)."""
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for fname in sorted(filenames):
+            full = os.path.join(dirpath, fname)
+            digest.update(os.path.relpath(full, root).encode() + b"\0")
+            with open(full, "rb") as handle:
+                digest.update(handle.read())
+            digest.update(b"\1")
+    return digest.hexdigest()
+
+
+def _gen_journal(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 48))
+    params["num_parts"] = int(rng.integers(1, 4))
+    params["stream_partitioner"] = int(rng.integers(len(STREAMING_PARTITIONERS)))
+    params["part_seed"] = int(rng.integers(1 << 16))
+    params["chunk_edges"] = int(rng.integers(3, 13))
+    params["crash_pick"] = int(rng.integers(1 << 16))
+    return params
+
+
+@invariant(
+    "store.journal.resume_vs_oneshot", "store", gen=_gen_journal,
+    floors={"n": 4, "num_parts": 1, "stream_partitioner": 0,
+            "chunk_edges": 2, "crash_pick": 0},
+    description="Chunked ingest crashed at a randomly drawn journaled "
+    "chunk boundary — and once torn mid-flush — then resumed produces a "
+    "store whose full-tree SHA-256 equals the uninterrupted build's.",
+)
+def _check_journal_resume(params: Dict) -> List[str]:
+    graph = make_graph(params)
+    out: List[str] = []
+    partitioner = STREAMING_PARTITIONERS[
+        int(params["stream_partitioner"]) % len(STREAMING_PARTITIONERS)
+    ]
+    edges = [(int(u), int(v)) for u, v in graph.edges()]
+    effective = sum(1 for u, v in edges if u != v)
+    if effective == 0:
+        return out  # nothing to spill — no chunk boundary to crash on
+    chunk_edges = max(2, int(params["chunk_edges"]))
+    # Pass 1 flushes once ``2 * chunk_edges`` slots accumulate; an
+    # undirected edge contributes two slots, a directed arc one.
+    slots_per_edge = 1 if graph.directed else 2
+    edges_per_chunk = -(-2 * chunk_edges // slots_per_edge)
+    n_chunks = max(1, -(-effective // edges_per_chunk))
+    crash_chunk = int(params["crash_pick"]) % n_chunks
+    kwargs = dict(
+        num_vertices=graph.num_vertices, directed=graph.directed,
+        partition=partitioner, num_parts=max(1, int(params["num_parts"])),
+        seed=int(params.get("part_seed", 0)), chunk_edges=chunk_edges,
+        name="g",
+    )
+    with tempfile.TemporaryDirectory(prefix="check-journal-") as tmp:
+        ref = os.path.join(tmp, "ref")
+        ingest_edge_stream(iter(edges), path=ref, **kwargs)
+        want = _tree_digest(ref)
+
+        crash_dir = os.path.join(tmp, "crash")
+        injector = FaultPlan(seed=0).crash_at_chunk(crash_chunk).build()
+        try:
+            ingest_edge_stream(
+                iter(edges), path=crash_dir, injector=injector, **kwargs
+            )
+            out.append(
+                f"journal: crash_at_chunk({crash_chunk}) never fired "
+                f"({n_chunks} chunks expected)"
+            )
+        except FaultError:
+            ingest_edge_stream(iter(edges), path=crash_dir, resume=True, **kwargs)
+            if _tree_digest(crash_dir) != want:
+                out.append(
+                    f"journal: resume after crash at chunk {crash_chunk} is "
+                    f"not byte-identical to the one-shot build"
+                )
+
+        torn_dir = os.path.join(tmp, "torn")
+        injector = FaultPlan(seed=0).torn_write(chunk=0).build()
+        try:
+            ingest_edge_stream(
+                iter(edges), path=torn_dir, injector=injector, **kwargs
+            )
+            out.append("journal: torn_write(0) never fired")
+        except FaultError:
+            ingest_edge_stream(iter(edges), path=torn_dir, resume=True, **kwargs)
+            if _tree_digest(torn_dir) != want:
+                out.append(
+                    "journal: resume after a torn spill tail is not "
+                    "byte-identical to the one-shot build"
+                )
     return out
 
 

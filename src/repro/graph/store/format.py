@@ -42,18 +42,24 @@ __all__ = [
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "MANIFEST_FILENAME",
+    "QUARANTINE_DIRNAME",
     "StoreError",
+    "CorruptShardError",
     "FileEntry",
     "PartitionMeta",
     "Manifest",
+    "StoreReport",
     "file_entry",
     "verify_file",
+    "verify_store",
+    "repair_store",
     "is_store_dir",
 ]
 
 FORMAT_NAME = "repro.graph.store"
 FORMAT_VERSION = 1
 MANIFEST_FILENAME = "graph.json"
+QUARANTINE_DIRNAME = "_quarantine"
 
 PathLike = Union[str, os.PathLike]
 
@@ -61,6 +67,21 @@ PathLike = Union[str, os.PathLike]
 class StoreError(Exception):
     """A store is malformed: missing, truncated, or corrupted files,
     or a manifest this code cannot interpret."""
+
+
+class CorruptShardError(StoreError):
+    """One or more manifest-listed shards failed integrity checks.
+
+    Carries the store-relative paths (and, when raised by
+    ``repair_store``, the full :class:`StoreReport`) so callers can act
+    on exactly the failing files instead of guessing."""
+
+    def __init__(
+        self, message: str, paths: List[str], report: Optional["StoreReport"] = None
+    ) -> None:
+        super().__init__(message)
+        self.paths = list(paths)
+        self.report = report
 
 
 @dataclass
@@ -242,6 +263,95 @@ def verify_file(root: PathLike, entry: FileEntry, checksum: bool = True) -> str:
     if checksum and _crc32_of(full) != entry.crc32:
         raise StoreError(f"corrupt shard {entry.path!r}: CRC-32 mismatch")
     return full
+
+
+@dataclass
+class StoreReport:
+    """Outcome of a :func:`verify_store` / :func:`repair_store` sweep."""
+
+    root: str
+    checked: int = 0
+    corrupt: List[str] = field(default_factory=list)  # CRC mismatches
+    truncated: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.corrupt or self.truncated or self.missing)
+
+    @property
+    def bad_paths(self) -> List[str]:
+        return self.corrupt + self.truncated + self.missing
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "ok": self.ok,
+            "checked": self.checked,
+            "corrupt": list(self.corrupt),
+            "truncated": list(self.truncated),
+            "missing": list(self.missing),
+            "quarantined": list(self.quarantined),
+        }
+
+
+def _manifest_entries(manifest: Manifest) -> List[FileEntry]:
+    entries = [f for _, f in sorted(manifest.files.items())]
+    for part in manifest.partitions:
+        entries.extend(f for _, f in sorted(part.files.items()))
+    return entries
+
+
+def verify_store(root: PathLike, checksum: bool = True) -> StoreReport:
+    """Sweep every manifest-listed file; never raises on bad shards.
+
+    Returns a :class:`StoreReport` classifying each failure as missing,
+    truncated (size mismatch), or corrupt (CRC-32 mismatch — only with
+    ``checksum=True``).  A malformed or absent manifest still raises
+    :class:`StoreError` because there is nothing to sweep.
+    """
+    rootstr = os.fspath(root)
+    manifest = Manifest.load(rootstr)
+    report = StoreReport(root=rootstr)
+    for entry in _manifest_entries(manifest):
+        report.checked += 1
+        full = os.path.join(rootstr, entry.path)
+        if not os.path.exists(full):
+            report.missing.append(entry.path)
+        elif os.path.getsize(full) != entry.nbytes:
+            report.truncated.append(entry.path)
+        elif checksum and _crc32_of(full) != entry.crc32:
+            report.corrupt.append(entry.path)
+    return report
+
+
+def repair_store(root: PathLike, checksum: bool = True) -> StoreReport:
+    """Quarantine every failing shard under ``<root>/_quarantine/``.
+
+    Corrupt and truncated files are *moved* (never deleted) into the
+    quarantine directory, preserving their relative layout, so a later
+    page-in raises a typed "missing shard" :class:`StoreError` instead
+    of reading undefined bytes.  Raises :class:`CorruptShardError`
+    summarizing what was quarantined when anything failed; a clean
+    store returns its report untouched.
+    """
+    rootstr = os.fspath(root)
+    report = verify_store(rootstr, checksum=checksum)
+    if report.ok:
+        return report
+    qdir = os.path.join(rootstr, QUARANTINE_DIRNAME)
+    for rel in report.corrupt + report.truncated:
+        dest = os.path.join(qdir, rel)
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        os.replace(os.path.join(rootstr, rel), dest)
+        report.quarantined.append(rel)
+    raise CorruptShardError(
+        f"store {rootstr!r}: quarantined {len(report.quarantined)} shard(s) "
+        f"({len(report.missing)} already missing)",
+        report.bad_paths,
+        report=report,
+    )
 
 
 def is_store_dir(path: PathLike) -> bool:

@@ -5,19 +5,30 @@ Two ways to produce the same bytes:
 * :func:`build_store` — materialize an in-memory :class:`Graph` (plus
   any partitioner's output) to a store directory.  This is the path
   benchmarks and the serving catalog use when the graph already fits
-  in RAM.
+  in RAM.  With ``overwrite=True`` the build is **atomic**: it lands
+  in a sibling temp directory and is renamed into place, so an
+  interrupted overwrite can never destroy the previous good store.
 * :func:`ingest_edge_stream` — the DistDGL-style chunked pipeline: the
   edge iterable is consumed in bounded chunks, each chunk is routed to
   per-partition spill files, and partitions are then built **one at a
   time** — the full edge list is never resident.  Peak memory is
   ``O(|V| + chunk + max_k |E_k|)``, which is what lets graphs larger
-  than RAM be written at all.
+  than RAM be written at all.  Progress is journaled at every chunk
+  and partition boundary (see :mod:`repro.graph.store.journal`), so a
+  crashed ingest resumes with ``resume=True`` and produces bytes
+  identical to an uninterrupted run.
 
 Both funnel every partition through the same shard writer, so a
 chunked build of the same edges under the same partition layout is
 **byte-identical** to the one-shot build (the ingest-pipeline tests
-assert file-level equality, and the ``store.manifest.roundtrip``
-oracle asserts shard → CSR reassembly).
+assert file-level equality, and the ``store.journal.resume_vs_oneshot``
+oracle pins crash-resume equivalence on top).
+
+Storage fault injection threads through every shard write: a
+:class:`~repro.resilience.FaultInjector` passed as ``injector`` can
+fail individual file writes (``io_error`` — retried once,
+deterministically), tear a spill flush mid-chunk (``torn_write``), or
+crash the ingest at an exact chunk boundary (``crash_at_chunk``).
 
 Streaming builds can only use partitioners that are pure functions of
 the vertex id (``hash``, ``range``); graph-aware partitioners
@@ -26,12 +37,15 @@ the vertex id (``hash``, ``range``); graph-aware partitioners
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import os
 import shutil
-from typing import Dict, Iterable, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ...resilience.faults import FaultError, FaultInjector
 from ..csr import Graph
 from ..partition import Partition
 from .format import (
@@ -42,6 +56,7 @@ from .format import (
     StoreError,
     file_entry,
 )
+from .journal import INGEST_DIRNAME, IngestJournal
 
 __all__ = [
     "build_store",
@@ -54,6 +69,17 @@ PathLike = Union[str, os.PathLike]
 
 #: Partitioners computable from the vertex id alone (chunked-ingest safe).
 STREAMING_PARTITIONERS = ("hash", "range")
+
+# Sibling temp directories from in-flight atomic overwrites; swept at
+# exit so a crashed build cannot strand half-written stores.
+_LIVE_TMP_DIRS: set = set()
+
+
+@atexit.register
+def _sweep_tmp_dirs() -> None:
+    for path in list(_LIVE_TMP_DIRS):
+        shutil.rmtree(path, ignore_errors=True)
+        _LIVE_TMP_DIRS.discard(path)
 
 
 def streaming_assignment(
@@ -100,12 +126,24 @@ def _prepare_root(path: PathLike, overwrite: bool) -> str:
     return root
 
 
-def _write_array(root: str, rel: str, array: np.ndarray) -> FileEntry:
+def _write_array(
+    root: str,
+    rel: str,
+    array: np.ndarray,
+    injector: Optional[FaultInjector] = None,
+) -> FileEntry:
     full = os.path.join(root, rel)
     os.makedirs(os.path.dirname(full) or root, exist_ok=True)
-    np.save(full, array, allow_pickle=False)
     rel_npy = rel if rel.endswith(".npy") else rel + ".npy"
-    return file_entry(root, rel_npy)
+    last: Optional[FaultError] = None
+    for attempt in range(2):  # one deterministic retry per shard write
+        if injector is not None and injector.take_io_error(rel_npy, attempt):
+            last = FaultError("io_error", path=rel_npy, attempt=attempt)
+            continue
+        np.save(full, array, allow_pickle=False)
+        return file_entry(root, rel_npy)
+    assert last is not None
+    raise last
 
 
 def _write_partition_shard(
@@ -116,29 +154,32 @@ def _write_partition_shard(
     indices: np.ndarray,
     edge_labels: Optional[np.ndarray],
     feature_rows: Optional[np.ndarray],
+    injector: Optional[FaultInjector] = None,
 ) -> PartitionMeta:
     """Write one partition's shard files; the single byte-layout authority."""
     prefix = f"part{part_id}"
     files: Dict[str, FileEntry] = {}
     files["nodes"] = _write_array(
-        root, f"{prefix}/nodes.npy", np.ascontiguousarray(nodes, dtype=np.int64)
+        root, f"{prefix}/nodes.npy",
+        np.ascontiguousarray(nodes, dtype=np.int64), injector,
     )
     files["indptr"] = _write_array(
-        root, f"{prefix}/indptr.npy", np.ascontiguousarray(indptr, dtype=np.int64)
+        root, f"{prefix}/indptr.npy",
+        np.ascontiguousarray(indptr, dtype=np.int64), injector,
     )
     files["indices"] = _write_array(
         root, f"{prefix}/indices.npy",
-        np.ascontiguousarray(indices, dtype=np.int64),
+        np.ascontiguousarray(indices, dtype=np.int64), injector,
     )
     if edge_labels is not None:
         files["edge_labels"] = _write_array(
             root, f"{prefix}/edge_labels.npy",
-            np.ascontiguousarray(edge_labels, dtype=np.int64),
+            np.ascontiguousarray(edge_labels, dtype=np.int64), injector,
         )
     if feature_rows is not None:
         files["features"] = _write_array(
             root, f"{prefix}/features.npy",
-            np.ascontiguousarray(feature_rows, dtype=np.float64),
+            np.ascontiguousarray(feature_rows, dtype=np.float64), injector,
         )
     return PartitionMeta(
         part_id=part_id,
@@ -193,6 +234,7 @@ def build_store(
     features: Optional[np.ndarray] = None,
     name: Optional[str] = None,
     overwrite: bool = False,
+    injector: Optional[FaultInjector] = None,
 ) -> Manifest:
     """Materialize a graph (any handle) to a store directory.
 
@@ -201,11 +243,60 @@ def build_store(
     ``assignment``) or a partitioner name (``hash``/``range``/``metis``).
     ``features`` is an optional ``(n, d)`` array written as per-partition
     feature shards.  Returns the saved :class:`Manifest`.
+
+    Overwriting an existing store is atomic: the new store is built
+    into a sibling ``<path>.tmp-<pid>`` directory, the old store is
+    renamed aside, and only after the replacement is in place is the
+    old one removed — a crash at any point leaves either the old or
+    the new store intact, never neither.
     """
+    final_root = os.fspath(path)
+    replacing = os.path.exists(os.path.join(final_root, MANIFEST_FILENAME))
+    if replacing and not overwrite:
+        raise StoreError(
+            f"store already exists at {final_root!r}; pass overwrite=True"
+        )
+    if replacing:
+        root = os.path.normpath(final_root) + f".tmp-{os.getpid()}"
+        shutil.rmtree(root, ignore_errors=True)
+        _LIVE_TMP_DIRS.add(root)
+    else:
+        root = final_root
+    os.makedirs(root, exist_ok=True)
+    store_name = (
+        name or os.path.basename(os.path.normpath(final_root)) or "graph"
+    )
+
+    manifest = _build_into(
+        root, graph_or_handle, partition=partition, num_parts=num_parts,
+        seed=seed, features=features, name=store_name, injector=injector,
+    )
+
+    if replacing:
+        old = os.path.normpath(final_root) + f".old-{os.getpid()}"
+        shutil.rmtree(old, ignore_errors=True)
+        os.rename(final_root, old)
+        os.rename(root, final_root)
+        shutil.rmtree(old)
+        _LIVE_TMP_DIRS.discard(root)
+    return manifest
+
+
+def _build_into(
+    root: str,
+    graph_or_handle,
+    *,
+    partition: Union[str, Partition],
+    num_parts: int,
+    seed: int,
+    features: Optional[np.ndarray],
+    name: str,
+    injector: Optional[FaultInjector] = None,
+) -> Manifest:
+    """One-shot build body: write every shard + manifest under ``root``."""
     from .handle import as_handle
 
     graph = as_handle(graph_or_handle).to_graph()
-    root = _prepare_root(path, overwrite)
     n = graph.num_vertices
     assignment, partitioner_name, parts = _resolve_partition(
         graph, partition, num_parts, seed
@@ -250,20 +341,20 @@ def build_store(
         partitions.append(
             _write_partition_shard(
                 root, k, nodes, part_indptr, part_indices, part_labels,
-                feature_rows,
+                feature_rows, injector,
             )
         )
 
     files = {
-        "assignment": _write_array(root, "assignment.npy", assignment),
-        "degrees": _write_array(root, "degrees.npy", degrees),
+        "assignment": _write_array(root, "assignment.npy", assignment, injector),
+        "degrees": _write_array(root, "degrees.npy", degrees, injector),
     }
     if graph.vertex_labels is not None:
         files["vertex_labels"] = _write_array(
-            root, "vertex_labels.npy", graph.vertex_labels
+            root, "vertex_labels.npy", graph.vertex_labels, injector
         )
     manifest = Manifest(
-        name=name or os.path.basename(os.path.normpath(root)) or "graph",
+        name=name,
         num_vertices=n,
         num_edges=graph.num_edges,
         num_edge_slots=int(indices.size),
@@ -287,7 +378,7 @@ def build_store(
 
 
 def ingest_edge_stream(
-    edges: Iterable[Tuple[int, int]],
+    edges: Optional[Iterable[Tuple[int, int]]],
     num_vertices: int,
     path: PathLike,
     *,
@@ -299,6 +390,8 @@ def ingest_edge_stream(
     features: Optional[np.ndarray] = None,
     name: Optional[str] = None,
     overwrite: bool = False,
+    resume: bool = False,
+    injector: Optional[FaultInjector] = None,
 ) -> Manifest:
     """Write a store from an edge iterable without holding the edge list.
 
@@ -309,71 +402,189 @@ def ingest_edge_stream(
     drop self-loops, and write the CSR shard.  Equivalent to
     ``build_store(Graph.from_edges(edges, ...), ...)`` under the same
     partition layout — byte-for-byte.
+
+    Every chunk and partition boundary commits a write-ahead journal
+    (see :mod:`repro.graph.store.journal`).  After a crash, call again
+    with ``resume=True`` and the *same* parameters: pass 1 truncates
+    any torn spill tail, replays ``edges`` past the consumed prefix
+    (the iterable must restart from the beginning — a generator
+    factory, file reader, or list), and pass 2 skips completed
+    partitions.  If the crash happened in pass 2 or later, ``edges``
+    is not consumed at all and may be ``None``.  The resumed build is
+    byte-identical to an uninterrupted one.
     """
     if chunk_edges < 1:
         raise ValueError("chunk_edges must be >= 1")
     n = int(num_vertices)
-    root = _prepare_root(path, overwrite)
-    assignment = streaming_assignment(partition, n, num_parts, seed)
     parts = max(1, int(num_parts))
+    root = os.fspath(path)
+    store_name = name or os.path.basename(os.path.normpath(root)) or "graph"
     if features is not None:
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 2 or features.shape[0] != n:
             raise StoreError(
                 f"features must be (n, d); got {features.shape} for n={n}"
             )
+    fingerprint = {
+        "num_vertices": n,
+        "directed": bool(directed),
+        "partition": str(partition),
+        "num_parts": parts,
+        "seed": int(seed),
+        "chunk_edges": int(chunk_edges),
+        "name": store_name,
+        "feature_dim": None if features is None else int(features.shape[1]),
+    }
 
-    spill_dir = os.path.join(root, "_ingest")
+    journal: Optional[IngestJournal] = None
+    if resume:
+        if os.path.exists(os.path.join(root, MANIFEST_FILENAME)):
+            # Crashed after publish: the store is complete, only the
+            # journal sweep was lost.  Finish it and return.
+            leftover = IngestJournal.load(root)
+            if leftover is not None:
+                shutil.rmtree(os.path.join(root, INGEST_DIRNAME),
+                              ignore_errors=True)
+            return Manifest.load(root)
+        journal = IngestJournal.load(root)
+        if journal is not None and not journal.matches(fingerprint):
+            raise StoreError(
+                f"ingest journal under {root!r} was written with different "
+                f"parameters; refusing to resume (journal {journal.fingerprint}, "
+                f"requested {fingerprint})"
+            )
+        os.makedirs(root, exist_ok=True)
+    else:
+        root = _prepare_root(path, overwrite)
+        # A previous crashed ingest may have stranded spills + journal
+        # under _ingest/ without publishing a manifest; a fresh
+        # (non-resume) run must not inherit them.
+        shutil.rmtree(os.path.join(root, INGEST_DIRNAME), ignore_errors=True)
+    if journal is None:
+        journal = IngestJournal(root, fingerprint)
+        if resume:
+            # Crashed before the first chunk committed: start pass 1
+            # from scratch (spills, if any, are truncated to zero).
+            journal.spill_bytes = [0] * parts
+
+    assignment = streaming_assignment(partition, n, num_parts, seed)
+    spill_dir = os.path.join(root, INGEST_DIRNAME)
     os.makedirs(spill_dir, exist_ok=True)
-    spill_paths = [os.path.join(spill_dir, f"part{k}.edges.bin") for k in range(parts)]
-    spills = [open(p, "wb") for p in spill_paths]
-    total_slots_spilled = 0
-    try:
-        # -- pass 1: chunked routing to per-partition spill files --------
-        chunk_src, chunk_dst = [], []
+    spill_paths = [
+        os.path.join(spill_dir, f"part{k}.edges.bin") for k in range(parts)
+    ]
 
-        def flush() -> None:
-            nonlocal total_slots_spilled
-            if not chunk_src:
-                return
-            src = np.asarray(chunk_src, dtype=np.int64)
-            dst = np.asarray(chunk_dst, dtype=np.int64)
-            owner = assignment[src]
-            for k in np.unique(owner):
-                mask = owner == k
-                pairs = np.empty((int(mask.sum()), 2), dtype=np.int64)
-                pairs[:, 0] = src[mask]
-                pairs[:, 1] = dst[mask]
-                spills[int(k)].write(pairs.tobytes())
-            total_slots_spilled += src.size
-            chunk_src.clear()
-            chunk_dst.clear()
-
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if u < 0 or v < 0 or u >= n or v >= n:
+    total_slots_spilled = journal.slots_spilled
+    if journal.phase == "pass1":
+        if edges is None:
+            raise StoreError(
+                "pass 1 is incomplete; resuming needs the edge iterable"
+            )
+        # Discard any torn tail past the last journaled commit.
+        committed_sizes = list(journal.spill_bytes) + [0] * (
+            parts - len(journal.spill_bytes)
+        )
+        for spill_path, size in zip(spill_paths, committed_sizes):
+            if not os.path.exists(spill_path):
+                open(spill_path, "wb").close()
+            os.truncate(spill_path, size)
+        spills = [open(p, "ab") for p in spill_paths]
+        consumed = journal.items_consumed
+        stream = iter(edges)
+        if consumed:
+            skipped = sum(1 for _ in itertools.islice(stream, consumed))
+            if skipped < consumed:
                 raise StoreError(
-                    f"edge ({u}, {v}) references a vertex outside 0..{n - 1}"
+                    f"edge stream ended after {skipped} items on resume; the "
+                    f"journal consumed {consumed} — pass the same stream"
                 )
-            if u == v:
-                continue  # GraphBuilder drops self-loops; stay equivalent
-            chunk_src.append(u)
-            chunk_dst.append(v)
-            if not directed:
-                chunk_src.append(v)
-                chunk_dst.append(u)
-            if len(chunk_src) >= 2 * chunk_edges:
-                flush()
-        flush()
-    finally:
-        for handle in spills:
-            handle.close()
+        try:
+            # -- pass 1: chunked routing to per-partition spill files ----
+            chunk_src: List[int] = []
+            chunk_dst: List[int] = []
+
+            def flush() -> None:
+                nonlocal total_slots_spilled
+                if not chunk_src:
+                    return
+                chunk_index = journal.chunks_committed
+                torn = (
+                    injector is not None
+                    and injector.take_torn_write(chunk_index)
+                )
+                src = np.asarray(chunk_src, dtype=np.int64)
+                dst = np.asarray(chunk_dst, dtype=np.int64)
+                owner = assignment[src]
+                owners = np.unique(owner)
+                for i, k in enumerate(owners):
+                    mask = owner == k
+                    pairs = np.empty((int(mask.sum()), 2), dtype=np.int64)
+                    pairs[:, 0] = src[mask]
+                    pairs[:, 1] = dst[mask]
+                    data = pairs.tobytes()
+                    if torn and i == len(owners) - 1:
+                        # A torn write: half of the final partition's
+                        # bytes land, then the "machine" dies.  The
+                        # journal still points at the previous commit,
+                        # so resume truncates this whole chunk away.
+                        spills[int(k)].write(data[: len(data) // 2])
+                        spills[int(k)].flush()
+                        raise FaultError("torn_write", chunk=chunk_index)
+                    spills[int(k)].write(data)
+                total_slots_spilled += src.size
+                chunk_src.clear()
+                chunk_dst.clear()
+                sizes = []
+                for handle in spills:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    sizes.append(handle.tell())
+                journal.commit_chunk(consumed, total_slots_spilled, sizes)
+                if injector is not None and injector.take_ingest_crash(
+                    chunk_index
+                ):
+                    raise FaultError("crash_at_chunk", chunk=chunk_index)
+
+            for u, v in stream:
+                consumed += 1
+                u, v = int(u), int(v)
+                if u < 0 or v < 0 or u >= n or v >= n:
+                    raise StoreError(
+                        f"edge ({u}, {v}) references a vertex outside 0..{n - 1}"
+                    )
+                if u == v:
+                    continue  # GraphBuilder drops self-loops; stay equivalent
+                chunk_src.append(u)
+                chunk_dst.append(v)
+                if not directed:
+                    chunk_src.append(v)
+                    chunk_dst.append(u)
+                if len(chunk_src) >= 2 * chunk_edges:
+                    flush()
+            flush()
+        finally:
+            for handle in spills:
+                handle.close()
+        journal.begin_pass2()
 
     # -- pass 2: one partition at a time ----------------------------------
+    done = journal.completed_partitions()
     degrees = np.zeros(n, dtype=np.int64)
     partitions = []
     total_slots = 0
     for k in range(parts):
+        nodes = np.flatnonzero(assignment == k).astype(np.int64)
+        if k in done:
+            # Finished before the crash: shards are on disk; recover
+            # this partition's degree rows from its own indptr shard.
+            meta = done[k]
+            indptr_k = np.load(os.path.join(root, f"part{k}/indptr.npy"))
+            degrees[nodes] = np.diff(indptr_k)
+            partitions.append(meta)
+            total_slots += meta.num_edge_slots
+            if os.path.exists(spill_paths[k]):
+                os.remove(spill_paths[k])
+            continue
         raw = np.fromfile(spill_paths[k], dtype=np.int64)
         pairs = raw.reshape(-1, 2) if raw.size else np.empty((0, 2), dtype=np.int64)
         src, dst = pairs[:, 0], pairs[:, 1]
@@ -383,28 +594,26 @@ def ingest_edge_stream(
             keep = np.ones(src.size, dtype=bool)
             keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
             src, dst = src[keep], dst[keep]
-        nodes = np.flatnonzero(assignment == k).astype(np.int64)
         local_src = np.searchsorted(nodes, src)
         counts = np.bincount(local_src, minlength=nodes.size)
         part_indptr = np.zeros(nodes.size + 1, dtype=np.int64)
         np.cumsum(counts, out=part_indptr[1:])
         degrees[nodes] = counts
         feature_rows = features[nodes] if features is not None else None
-        partitions.append(
-            _write_partition_shard(
-                root, k, nodes, part_indptr, dst, None, feature_rows
-            )
+        meta = _write_partition_shard(
+            root, k, nodes, part_indptr, dst, None, feature_rows, injector
         )
+        partitions.append(meta)
         total_slots += int(dst.size)
+        journal.commit_partition(meta, total_slots)
         os.remove(spill_paths[k])
-    shutil.rmtree(spill_dir, ignore_errors=True)
 
     files = {
-        "assignment": _write_array(root, "assignment.npy", assignment),
-        "degrees": _write_array(root, "degrees.npy", degrees),
+        "assignment": _write_array(root, "assignment.npy", assignment, injector),
+        "degrees": _write_array(root, "degrees.npy", degrees, injector),
     }
     manifest = Manifest(
-        name=name or os.path.basename(os.path.normpath(root)) or "graph",
+        name=store_name,
         num_vertices=n,
         num_edges=total_slots if directed else total_slots // 2,
         num_edge_slots=total_slots,
@@ -418,4 +627,6 @@ def ingest_edge_stream(
         files=files,
     )
     manifest.save(root)
+    journal.remove()
+    shutil.rmtree(spill_dir, ignore_errors=True)
     return manifest

@@ -96,6 +96,8 @@ class FaultPlan:
         self.max_delay_rounds = 1
         self.lambda_fail_rate = 0.0
         self.lambda_straggler_rate = 0.0
+        self.io_error_rate = 0.0
+        self.endpoint_fail_rates: Dict[str, float] = {}
 
     # -- scheduled (point) faults ------------------------------------------
 
@@ -136,7 +138,43 @@ class FaultPlan:
         )
         return self
 
+    # -- storage faults -----------------------------------------------------
+
+    def crash_at_chunk(self, chunk: int, times: int = 1) -> "FaultPlan":
+        """Crash the chunked store ingest right after spill-chunk ``chunk``
+        commits (the crash lands exactly on a journal boundary)."""
+        self._scheduled.append(_Scheduled("ingest_crash", int(chunk), times))
+        return self
+
+    def torn_write(self, chunk: int, times: int = 1) -> "FaultPlan":
+        """Crash the ingest mid-flush of spill-chunk ``chunk``, leaving a
+        half-written (torn) tail past the last journaled offset."""
+        self._scheduled.append(_Scheduled("torn_write", int(chunk), times))
+        return self
+
+    def fail_write(self, relpath: str, times: int = 1) -> "FaultPlan":
+        """Fail the shard write of ``relpath`` (store-relative) with an
+        I/O error; the writer's deterministic retry sees attempt 1."""
+        self._scheduled.append(_Scheduled("io_error", str(relpath), times))
+        return self
+
     # -- probabilistic faults ----------------------------------------------
+
+    def io_error(self, rate: float) -> "FaultPlan":
+        """Every shard-file write fails independently with probability
+        ``rate`` (per attempt — retries draw a fresh fate)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"io_error rate must be in [0, 1], got {rate}")
+        self.io_error_rate = rate
+        return self
+
+    def fail_endpoint(self, endpoint: str, rate: float) -> "FaultPlan":
+        """Serve: calls to ``endpoint`` fail with probability ``rate``
+        (``"*"`` applies to every endpoint without its own rate)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fail_endpoint rate must be in [0, 1], got {rate}")
+        self.endpoint_fail_rates[str(endpoint)] = rate
+        return self
 
     def lossy_network(
         self,
@@ -176,8 +214,9 @@ class FaultPlan:
                 self.delay_rate,
                 self.lambda_fail_rate,
                 self.lambda_straggler_rate,
+                self.io_error_rate,
             )
-        )
+        ) and not self.endpoint_fail_rates
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -192,6 +231,8 @@ class FaultPlan:
             "max_delay_rounds": self.max_delay_rounds,
             "lambda_fail_rate": self.lambda_fail_rate,
             "lambda_straggler_rate": self.lambda_straggler_rate,
+            "io_error_rate": self.io_error_rate,
+            "endpoint_fail_rates": dict(self.endpoint_fail_rates),
         }
 
     def build(self, obs: Optional[MetricsRegistry] = None) -> "FaultInjector":
@@ -269,6 +310,49 @@ class FaultInjector:
     def take_epoch_failure(self, epoch: int) -> bool:
         """GNN: should training crash before this epoch?"""
         return self._take("epoch_failure", int(epoch))
+
+    # -- storage fates -------------------------------------------------------
+
+    def take_ingest_crash(self, chunk: int) -> bool:
+        """Store ingest: crash right after this spill chunk commits?"""
+        return self._take("ingest_crash", int(chunk))
+
+    def take_torn_write(self, chunk: int) -> bool:
+        """Store ingest: tear (half-write) this spill chunk's flush?"""
+        return self._take("torn_write", int(chunk))
+
+    def take_io_error(self, relpath: str, attempt: int = 0) -> bool:
+        """Store writer: should this shard-file write attempt fail?
+
+        Scheduled :meth:`FaultPlan.fail_write` faults hit the first
+        attempt only (the retry is a fresh write); the probabilistic
+        ``io_error`` rate applies to every attempt independently.
+        """
+        if attempt == 0 and self._take("io_error", str(relpath)):
+            return True
+        rate = self.plan.io_error_rate
+        if rate and self._roll("io", str(relpath), int(attempt)) < rate:
+            self._c_injected.inc(kind="io_error")
+            return True
+        return False
+
+    # -- serve fates ---------------------------------------------------------
+
+    def endpoint_outcome(
+        self, endpoint: str, request_id: int, attempt: int = 0
+    ) -> str:
+        """``"ok"`` / ``"fail"`` for one endpoint execution attempt.
+
+        Pure function of ``(seed, endpoint, request_id, attempt)`` — a
+        hedged retry draws an independent fate and no other request's
+        fate moves.
+        """
+        rates = self.plan.endpoint_fail_rates
+        rate = rates.get(str(endpoint), rates.get("*", 0.0))
+        if rate and self._roll("endpoint", str(endpoint), int(request_id), int(attempt)) < rate:
+            self._c_injected.inc(kind="endpoint_failure")
+            return "fail"
+        return "ok"
 
     # -- network fates ------------------------------------------------------
 

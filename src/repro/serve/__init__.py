@@ -27,9 +27,19 @@ package is that front door:
 * :mod:`~repro.serve.loadgen` — deterministic closed-loop and
   open-loop (seeded Poisson) load generators and the named scenarios
   behind ``python -m repro serve --scenario ...``;
+* :mod:`~repro.serve.breaker` — **per-endpoint circuit breakers**
+  (closed/open/half-open on a failure-rate window, cooldowns in
+  simulated ops) that drive the degradation ladder: an open breaker or
+  a shedding queue answers from the epoch-versioned cache in
+  stale-while-revalidate mode (``degraded=True`` + staleness);
+* :mod:`~repro.serve.soak` — the storage-aware chaos soak behind
+  ``python -m repro chaos --scenario serve-soak``: injected endpoint
+  failures, worker crashes, and store I/O faults against the seeded
+  load generator, with ledger and clean-vs-chaos equivalence checks;
 * :mod:`~repro.serve.checks` — serve-path oracles for
   ``repro check --subsystem serve``: served == direct, cache hit ==
-  cold miss, batched == unbatched, and the admission ledger invariant.
+  cold miss, batched == unbatched, the admission ledger invariant,
+  and the soak's degraded-ledger/equivalence oracles.
 
 Everything reports through :mod:`repro.obs`: per-endpoint latency
 histograms (p50/p95/p99 in simulated ops), queue-depth and in-flight
@@ -38,6 +48,7 @@ gauges, cache hit rates, shed and deadline-miss counters, and one
 """
 
 from .batcher import MicroBatcher
+from .breaker import BreakerBoard, BreakerConfig, CircuitBreaker
 from .cache import ResultCache
 from .endpoints import (
     Endpoint,
@@ -55,9 +66,13 @@ from .loadgen import (
     scenario_requests,
 )
 from .scheduler import Request, Response, Server, ServeStats
+from .soak import run_serve_soak
 
 __all__ = [
     "SCENARIOS",
+    "BreakerBoard",
+    "BreakerConfig",
+    "CircuitBreaker",
     "ClosedLoop",
     "Endpoint",
     "EndpointRegistry",
@@ -73,5 +88,6 @@ __all__ = [
     "canonical_params",
     "open_loop",
     "run_scenario",
+    "run_serve_soak",
     "scenario_requests",
 ]

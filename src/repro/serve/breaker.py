@@ -1,0 +1,184 @@
+"""Per-endpoint circuit breakers for the serving layer.
+
+A :class:`CircuitBreaker` guards one endpoint.  It watches a sliding
+window of execution outcomes and walks the classic three-state
+machine, with all time measured on the server's **simulated** clock
+(ops, not wall seconds) so every transition is deterministic at a
+fixed seed:
+
+* **closed** — traffic flows; outcomes land in the window.  When the
+  window holds at least ``min_samples`` outcomes and the failure rate
+  reaches ``failure_threshold``, the breaker opens.
+* **open** — calls are rejected without touching the engine (the
+  scheduler answers from the stale cache instead — the degradation
+  ladder).  After ``open_ops`` simulated ops the next request is let
+  through as a probe.
+* **half-open** — the probe executes.  Success closes the breaker
+  (window reset); failure re-opens it for another ``open_ops``.
+
+Transitions are exported as ``serve.breaker.transitions`` counter
+increments (labelled ``endpoint``/``to``), a per-endpoint state gauge,
+and zero-width ``serve.breaker.transition`` spans on the simulated
+timeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from ..obs import MetricsRegistry, Tracer
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "BreakerBoard", "BREAKER_STATES"]
+
+#: Gauge encoding of the three states (exported per endpoint).
+BREAKER_STATES = {"closed": 0.0, "half_open": 0.5, "open": 1.0}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Knobs for one endpoint's breaker (all times in simulated ops)."""
+
+    window: int = 16          #: sliding outcome window size
+    failure_threshold: float = 0.5  #: failure rate that opens the breaker
+    min_samples: int = 4      #: outcomes required before the rate is trusted
+    open_ops: int = 2_000     #: how long an open breaker rejects traffic
+    half_open_probes: int = 1 #: consecutive probe successes needed to close
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.open_ops < 1:
+            raise ValueError("open_ops must be >= 1")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+
+class CircuitBreaker:
+    """One endpoint's breaker; consult :meth:`allow`, report outcomes."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        config: Optional[BreakerConfig] = None,
+        obs: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.config = config if config is not None else BreakerConfig()
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.state = "closed"
+        self.opened_at = 0.0
+        self._window: Deque[bool] = deque(maxlen=self.config.window)
+        self._probe_successes = 0
+        self._c_transitions = self.obs.counter(
+            "serve.breaker.transitions",
+            "breaker state changes, by endpoint and target state",
+        )
+        self._c_rejected = self.obs.counter(
+            "serve.breaker.rejected", "calls rejected by an open breaker"
+        )
+        self._g_state = self.obs.gauge(
+            "serve.breaker.state",
+            "breaker state per endpoint (0 closed, 0.5 half-open, 1 open)",
+        )
+        self._g_state.set(BREAKER_STATES["closed"], endpoint=endpoint)
+
+    # -- state machine ------------------------------------------------------
+
+    def _transition(self, state: str, clock: float) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        self._c_transitions.inc(endpoint=self.endpoint, to=state)
+        self._g_state.set(BREAKER_STATES[state], endpoint=self.endpoint)
+        if self.tracer is not None:
+            with self.tracer.span(
+                "serve.breaker.transition", endpoint=self.endpoint, to=state
+            ) as span:
+                span.set_sim(clock, clock)
+
+    def allow(self, clock: float) -> str:
+        """``"execute"`` / ``"probe"`` / ``"reject"`` for a call at ``clock``."""
+        if self.state == "closed":
+            return "execute"
+        if self.state == "open":
+            if clock - self.opened_at >= self.config.open_ops:
+                self._probe_successes = 0
+                self._transition("half_open", clock)
+                return "probe"
+            self._c_rejected.inc(endpoint=self.endpoint)
+            return "reject"
+        return "probe"  # half_open: serial event loop -> one probe in flight
+
+    def record_success(self, clock: float) -> None:
+        """An engine execution for this endpoint completed in time."""
+        if self.state == "half_open":
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.half_open_probes:
+                self._window.clear()
+                self._transition("closed", clock)
+            return
+        self._window.append(True)
+
+    def record_failure(self, clock: float) -> None:
+        """An engine execution failed or timed out (after the hedge)."""
+        if self.state == "half_open":
+            self.opened_at = clock
+            self._transition("open", clock)
+            return
+        self._window.append(False)
+        if self.state == "closed" and len(self._window) >= self.config.min_samples:
+            failures = sum(1 for ok in self._window if not ok)
+            if failures / len(self._window) >= self.config.failure_threshold:
+                self.opened_at = clock
+                self._transition("open", clock)
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "endpoint": self.endpoint,
+            "state": self.state,
+            "opened_at": self.opened_at,
+            "window": list(self._window),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker({self.endpoint!r}, state={self.state!r})"
+
+
+class BreakerBoard:
+    """Lazily creates one :class:`CircuitBreaker` per endpoint."""
+
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        obs: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def get(self, endpoint: str) -> CircuitBreaker:
+        breaker = self._breakers.get(endpoint)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                endpoint, self.config, obs=self.obs, tracer=self.tracer
+            )
+            self._breakers[endpoint] = breaker
+        return breaker
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {name: b.snapshot() for name, b in sorted(self._breakers.items())}
+
+    def __iter__(self):
+        return iter(self._breakers.values())

@@ -2,10 +2,17 @@
 
 Keys are ``(endpoint, graph, epoch, canonical_params)``.  Because the
 graph epoch is *inside* the key, a registry epoch bump invalidates every
-cached result for that graph by construction — a stale entry can never
-be returned, only left behind.  The cache additionally subscribes to
+cached result for that graph by construction — a fresh :meth:`lookup`
+can never return a stale entry.  The cache additionally subscribes to
 the :class:`~repro.serve.endpoints.GraphRegistry` so bumped entries are
-reclaimed eagerly instead of waiting for LRU pressure.
+reclaimed instead of waiting for LRU pressure.
+
+With ``max_stale_epochs > 0`` the reclaim keeps a bounded tail of old
+epochs behind for the degradation ladder: when a breaker is open or
+admission is shedding, the scheduler calls :meth:`lookup_stale` to
+answer in stale-while-revalidate mode (the response then carries
+``degraded=True`` plus its staleness in epochs).  Entries more than
+``max_stale_epochs`` epochs behind are still dropped eagerly.
 
 Hits and misses are counted per endpoint under ``serve.cache.*`` so
 the scenario reports can quote a hit rate next to the latency
@@ -31,10 +38,14 @@ class ResultCache:
         self,
         capacity: int = 256,
         obs: Optional[MetricsRegistry] = None,
+        max_stale_epochs: int = 0,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
+        if max_stale_epochs < 0:
+            raise ValueError("max_stale_epochs must be >= 0")
         self.capacity = capacity
+        self.max_stale_epochs = int(max_stale_epochs)
         self.registry = obs if obs is not None else MetricsRegistry()
         self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
         self._c_hits = self.registry.counter(
@@ -48,6 +59,12 @@ class ResultCache:
         )
         self._c_invalidated = self.registry.counter(
             "serve.cache.invalidated", "entries reclaimed by graph epoch bumps"
+        )
+        self._c_stale_hits = self.registry.counter(
+            "serve.cache.stale_hits", "degraded answers served from stale epochs"
+        )
+        self._c_stale_misses = self.registry.counter(
+            "serve.cache.stale_misses", "stale lookups with nothing to fall back on"
         )
 
     @staticmethod
@@ -71,11 +88,40 @@ class ResultCache:
             self._entries.popitem(last=False)
             self._c_evictions.inc()
 
+    def lookup_stale(
+        self, endpoint: str, graph: str, current_epoch: int, canon: Tuple
+    ) -> Tuple[bool, Any, int]:
+        """Newest retained entry at an epoch *before* ``current_epoch``.
+
+        Returns ``(found, value, staleness)`` where ``staleness`` is the
+        distance in epochs behind ``current_epoch``; the entry is at
+        most ``max_stale_epochs`` behind by construction (older ones
+        were reclaimed).  Counts under ``serve.cache.stale_*``.
+        """
+        best_key = None
+        for k in self._entries:
+            if k[0] == endpoint and k[1] == graph and k[2] < current_epoch:
+                if k[3] == canon and (best_key is None or k[2] > best_key[2]):
+                    best_key = k
+        if best_key is None:
+            self._c_stale_misses.inc(endpoint=endpoint)
+            return False, None, 0
+        self._entries.move_to_end(best_key)
+        self._c_stale_hits.inc(endpoint=endpoint)
+        return True, self._entries[best_key], int(current_epoch) - best_key[2]
+
     def invalidate_graph(self, name: str, current_epoch: Optional[int] = None) -> int:
-        """Reclaim entries for ``name`` (older than ``current_epoch``)."""
+        """Reclaim entries for ``name`` older than ``current_epoch``
+        (keeping the ``max_stale_epochs`` newest epochs behind for
+        stale-while-revalidate service)."""
+        floor = (
+            None
+            if current_epoch is None
+            else int(current_epoch) - self.max_stale_epochs
+        )
         stale = [
             k for k in self._entries
-            if k[1] == name and (current_epoch is None or k[2] < current_epoch)
+            if k[1] == name and (floor is None or k[2] < floor)
         ]
         for k in stale:
             del self._entries[k]
@@ -120,4 +166,7 @@ class ResultCache:
             "hit_rate": self.hit_rate,
             "evictions": int(self._c_evictions.total),
             "invalidated": int(self._c_invalidated.total),
+            "max_stale_epochs": self.max_stale_epochs,
+            "stale_hits": int(self._c_stale_hits.total),
+            "stale_misses": int(self._c_stale_misses.total),
         }

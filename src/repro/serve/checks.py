@@ -15,13 +15,21 @@ returns.  Four oracle families enforce that:
   the micro-batcher enabled and disabled yields per-request identical
   values, whatever batch cut the window produced;
 * ``serve.queue_accounting`` — the admission ledger:
-  ``admitted == completed + shed + expired`` with zero in flight after
-  a drain, response statuses match the counters, and the queue never
-  exceeded its bound;
+  ``admitted == completed + shed + expired + degraded`` with zero in
+  flight after a drain, response statuses match the counters, and the
+  queue never exceeded its bound;
 * ``serve.stored.catalog_vs_memory`` — the same request served from a
   catalog-loaded, shard-paged :class:`StoredGraph` record returns the
   in-memory record's bits, and the record's epoch is the on-disk
-  manifest version (it survives reopening the catalog).
+  manifest version (it survives reopening the catalog);
+* ``serve.soak.degraded_ledger`` — under injected endpoint failures
+  with breakers and the degradation ladder enabled, the ledger still
+  balances, terminal statuses stay mutually exclusive, and every
+  degraded answer reports a bounded staleness;
+* ``serve.soak.clean_vs_chaos`` — the same warm/bump/storm request
+  sequence served fault-free and under chaos agrees on every
+  non-degraded answer bit for bit, and each degraded answer equals a
+  stale cached value from a prior epoch.
 """
 
 from __future__ import annotations
@@ -35,6 +43,8 @@ import numpy as np
 from ..check.invariants import same_bits, same_values
 from ..check.registry import BIT_IDENTICAL, invariant, pair
 from ..check.workloads import GRAPH_FLOORS, gen_graph_params, make_graph
+from ..resilience.faults import FaultPlan
+from .breaker import BreakerConfig
 from .endpoints import GraphRegistry, builtin_endpoints
 from .scheduler import Request, Server
 
@@ -242,8 +252,9 @@ def _run_batched_vs_unbatched(params: Dict) -> List[str]:
     floors=dict(GRAPH_FLOORS),
 )
 def _run_queue_accounting(params: Dict) -> List[str]:
-    """Admission ledger: admitted == completed + shed + expired after a
-    drain, statuses match counters, and the bound was never exceeded."""
+    """Admission ledger: admitted == completed + shed + expired +
+    degraded after a drain, statuses match counters, and the bound was
+    never exceeded."""
     queue_bound = 2 + int(params["max_batch"])
     graphs = _registry_for(params)
     server = _server(graphs, params, queue_bound=queue_bound)
@@ -255,30 +266,215 @@ def _run_queue_accounting(params: Dict) -> List[str]:
             deadline=int(spec["arrival"]) + 5_000,
         ))
     responses = server.run()
+    return _ledger_violations(
+        server, responses, queue_bound=queue_bound
+    )
+
+
+def _ledger_violations(
+    server: Server, responses, queue_bound=None
+) -> List[str]:
+    """The shared admission-ledger assertions, degraded column included."""
     stats = server.stats
     violations: List[str] = []
     by_status: Dict[str, int] = {}
     for response in responses:
         by_status[response.status] = by_status.get(response.status, 0) + 1
     completed = by_status.get("ok", 0) + by_status.get("error", 0)
-    violations += same_values(
-        stats.admitted, len(params["requests"]), "admitted"
-    )
+    violations += same_values(stats.admitted, len(responses), "admitted")
     violations += same_values(stats.completed, completed, "completed counter")
     violations += same_values(stats.shed, by_status.get("shed", 0), "shed counter")
     violations += same_values(
         stats.expired, by_status.get("expired", 0), "expired counter"
     )
+    violations += same_values(
+        stats.degraded, by_status.get("degraded", 0), "degraded counter"
+    )
     violations += same_values(stats.in_flight, 0, "in_flight after drain")
     violations += same_values(
         stats.admitted,
-        stats.completed + stats.shed + stats.expired,
-        "ledger admitted == completed + shed + expired",
+        stats.completed + stats.shed + stats.expired + stats.degraded,
+        "ledger admitted == completed + shed + expired + degraded",
     )
-    if stats.peak_queue_depth > queue_bound:
+    # Terminal statuses are mutually exclusive: every response holds
+    # exactly one, so the per-status counts must sum to the total.
+    violations += same_values(
+        sum(by_status.values()), len(responses), "statuses sum to responses"
+    )
+    if queue_bound is not None and stats.peak_queue_depth > queue_bound:
         violations.append(
             f"queue depth {stats.peak_queue_depth} exceeded bound {queue_bound}"
         )
+    return violations
+
+
+#: Staleness ceiling the soak oracles hand the chaos server.
+_SOAK_MAX_STALE = 4
+
+
+def _gen_soak(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 40))
+    n = max(2, int(params["n"]))
+    # A small closed parameter pool: the warm wave covers it exactly,
+    # so every storm request has a stale cache entry to degrade to.
+    pool = (
+        [{"endpoint": "tlav.pagerank", "params": {"iterations": it}}
+         for it in (3, 4, 5)]
+        + [{"endpoint": "tlav.bfs", "params": {"source": s}}
+           for s in range(min(4, n))]
+        + [{"endpoint": "matching.count", "params": {"pattern": p}}
+           for p in ("triangle", "path3")]
+    )
+    storm = []
+    arrival = 0
+    for _ in range(int(rng.integers(14, 29))):
+        arrival += int(rng.integers(40, 200))
+        storm.append({
+            "pick": int(rng.integers(len(pool))),
+            "tenant": str(rng.choice(["a", "b"])),
+            "arrival": arrival,
+        })
+    params.update(
+        pool=pool, storm=storm,
+        workers=int(rng.integers(1, 3)),
+        fault_seed=int(rng.integers(1 << 16)),
+        bump_seed=int(rng.integers(1 << 20)),
+    )
+    return params
+
+
+def _run_soak_waves(params: Dict, chaos: bool):
+    """Warm the pool fault-free, bump the graph epoch, then run the
+    storm — with breakers + ladder + injected failures iff ``chaos``."""
+    graphs = _registry_for(params)
+    overrides = dict(batch_window=0)
+    if chaos:
+        overrides.update(
+            breaker=BreakerConfig(
+                window=5, failure_threshold=0.5, min_samples=3,
+                open_ops=800, half_open_probes=1,
+            ),
+            degrade=True,
+            max_stale_epochs=_SOAK_MAX_STALE,
+        )
+    server = _server(graphs, params, **overrides)
+    for i, spec in enumerate(params["pool"]):
+        server.submit(Request(
+            endpoint=spec["endpoint"], params=dict(spec["params"]),
+            tenant="warm", arrival=i * 50,
+        ))
+    warm = server.run()
+    graphs.replace(
+        "default", make_graph(dict(params, graph_seed=params["bump_seed"]))
+    )
+    if chaos:
+        # Armed only for the storm: the warm wave must populate the
+        # cache or there is nothing stale to degrade to.
+        server.injector = (
+            FaultPlan(seed=int(params["fault_seed"]))
+            .fail_endpoint("tlav.pagerank", 0.9)
+            .build()
+        )
+    start = server.clock + 500
+    for spec in params["storm"]:
+        pick = params["pool"][int(spec["pick"])]
+        server.submit(Request(
+            endpoint=pick["endpoint"], params=dict(pick["params"]),
+            tenant=spec["tenant"], arrival=start + int(spec["arrival"]),
+        ))
+    return server, warm, server.run()
+
+
+@invariant(
+    "serve.soak.degraded_ledger",
+    "serve",
+    _gen_soak,
+    floors=dict(GRAPH_FLOORS),
+    description="Under injected endpoint failures with breakers and the "
+    "degradation ladder on, the admission ledger balances (admitted == "
+    "completed + shed + expired + degraded, zero in flight), statuses "
+    "stay mutually exclusive, and every degraded answer carries a "
+    "staleness within the configured bound.",
+)
+def _run_degraded_ledger(params: Dict) -> List[str]:
+    server, warm, storm = _run_soak_waves(params, chaos=True)
+    violations = _ledger_violations(server, warm + storm)
+    for response in warm:
+        violations += same_values(
+            response.status, "ok", f"warm req {response.request.id} status"
+        )
+    for response in storm:
+        if response.status != "degraded":
+            continue
+        if not response.degraded:
+            violations.append(
+                f"req {response.request.id}: status degraded but "
+                f"degraded flag unset"
+            )
+        if response.degraded_reason is None:
+            violations.append(
+                f"req {response.request.id}: degraded without a reason"
+            )
+        if not 1 <= response.staleness <= _SOAK_MAX_STALE:
+            violations.append(
+                f"req {response.request.id}: staleness "
+                f"{response.staleness} outside [1, {_SOAK_MAX_STALE}]"
+            )
+    return violations
+
+
+@invariant(
+    "serve.soak.clean_vs_chaos",
+    "serve",
+    _gen_soak,
+    floors=dict(GRAPH_FLOORS),
+    description="The same warm/bump/storm request sequence served "
+    "fault-free and under chaos (failing endpoint, breakers, ladder) "
+    "agrees bit for bit on every non-degraded answer; each degraded "
+    "answer equals the clean warm-wave value it went stale from.",
+)
+def _run_clean_vs_chaos(params: Dict) -> List[str]:
+    _, clean_warm, clean_storm = _run_soak_waves(params, chaos=False)
+    server, chaos_warm, chaos_storm = _run_soak_waves(params, chaos=True)
+    violations: List[str] = []
+    clean_by_id = {
+        r.request.id: r for r in list(clean_warm) + list(clean_storm)
+    }
+    warm_by_key = {
+        (r.request.endpoint, repr(sorted(r.request.params.items()))): r
+        for r in clean_warm
+    }
+    for response in list(chaos_warm) + list(chaos_storm):
+        ref = clean_by_id.get(response.request.id)
+        if ref is None:
+            violations.append(
+                f"req {response.request.id}: no clean twin"
+            )
+            continue
+        if response.status == "ok":
+            violations += same_values(
+                ref.status, "ok", f"req {response.request.id} clean status"
+            )
+            violations += same_bits(
+                ref.value, response.value,
+                f"req {response.request.id} ok value vs clean",
+            )
+        elif response.status == "degraded":
+            key = (
+                response.request.endpoint,
+                repr(sorted(response.request.params.items())),
+            )
+            stale_ref = warm_by_key.get(key)
+            if stale_ref is None:
+                violations.append(
+                    f"req {response.request.id}: degraded but the warm "
+                    f"wave never served {key}"
+                )
+            else:
+                violations += same_bits(
+                    stale_ref.value, response.value,
+                    f"req {response.request.id} degraded value vs warm",
+                )
     return violations
 
 

@@ -309,6 +309,11 @@ class Endpoint:
     ``(results, cost)`` — one engine call serving requests whose params
     *differ* (DL-serving style micro-batching; GNN node inference
     shares the full-graph forward pass across every request).
+
+    ``timeout_ops`` caps one execution's simulated cost — the scheduler
+    treats a longer run as a timeout failure (and fires its one hedged
+    retry).  ``degradable=False`` opts the endpoint out of the
+    stale-cache degradation ladder (it fails hard instead).
     """
 
     def __init__(
@@ -318,12 +323,18 @@ class Endpoint:
         run: Callable[..., Tuple[Any, int]],
         run_batch: Optional[Callable[..., Tuple[List[Any], int]]] = None,
         description: str = "",
+        timeout_ops: Optional[int] = None,
+        degradable: bool = True,
     ) -> None:
+        if timeout_ops is not None and timeout_ops < 1:
+            raise ValueError("timeout_ops must be >= 1")
         self.name = name
         self.family = family
         self._run = run
         self._run_batch = run_batch
         self.description = description
+        self.timeout_ops = timeout_ops
+        self.degradable = degradable
 
     @property
     def merge_batch(self) -> bool:

@@ -323,6 +323,7 @@ def summarize(
             "shed": sum(1 for r in group if r.status == "shed"),
             "expired": sum(1 for r in group if r.status == "expired"),
             "errors": sum(1 for r in group if r.status == "error"),
+            "degraded": sum(1 for r in group if r.degraded),
             "deadline_misses": sum(1 for r in group if r.deadline_missed),
             "cache_hits": sum(1 for r in group if r.cache_hit),
             "p50": _exact_percentile(served, 0.50),
@@ -348,6 +349,7 @@ def summarize(
             "completed": completed,
             "shed": stats.shed,
             "expired": stats.expired,
+            "degraded": stats.degraded,
             "in_flight": stats.in_flight,
             "deadline_misses": stats.deadline_misses,
             "peak_queue_depth": stats.peak_queue_depth,
@@ -358,7 +360,7 @@ def summarize(
             "ledger_ok": (
                 stats.in_flight == 0
                 and stats.admitted
-                == completed + stats.shed + stats.expired
+                == completed + stats.shed + stats.expired + stats.degraded
             ),
         },
         "tenants": {
@@ -378,8 +380,15 @@ def run_scenario(
     endpoints: Optional[EndpointRegistry] = None,
     obs: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    **server_extra: Any,
 ) -> Dict[str, Any]:
-    """Run one named scenario end to end; returns the JSON-shaped report."""
+    """Run one named scenario end to end; returns the JSON-shaped report.
+
+    Extra keyword arguments (``degrade``, ``breaker``, ``injector``,
+    ``default_timeout_ops``, ...) pass straight through to
+    :class:`~repro.serve.Server` — the soak and the degradation bench
+    use these to turn the graceful-degradation ladder on.
+    """
     spec = scenario_requests(name, seed)
     server_kwargs = dict(spec.get("server", {}))
     if workers is not None:
@@ -389,6 +398,7 @@ def run_scenario(
     if batch_window is not None:
         server_kwargs["batch_window"] = batch_window
     server_kwargs["max_batch"] = max_batch
+    server_kwargs.update(server_extra)
     server = Server(
         spec["graphs"],
         endpoints=endpoints if endpoints is not None else builtin_endpoints(),

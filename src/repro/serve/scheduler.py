@@ -25,23 +25,35 @@ The lifecycle of one request:
 6. **Execution** — the engine call runs under the
    :class:`~repro.resilience.RetryPolicy` (transient errors retry with
    deterministic backoff; exhausted retries yield an ``error``
-   response).  Completing after the deadline still returns the answer
-   but counts a **deadline miss**.
+   response).  When the endpoint declares a ``timeout_ops`` budget, an
+   execution that costs more is treated as a timeout failure and the
+   scheduler fires **one deterministic hedged retry** before giving
+   up.  Completing after the deadline still returns the answer but
+   counts a **deadline miss**.
+7. **Degradation** (opt-in via ``degrade=True``) — when the
+   endpoint's circuit breaker is open, admission is shedding, or the
+   hedged execution still failed, the scheduler answers from the
+   epoch-versioned cache in stale-while-revalidate mode: the response
+   carries ``degraded=True`` plus its staleness in epochs instead of
+   failing outright.
 
 Accounting keeps the ledger invariant the ``serve.queue_accounting``
-oracle enforces: ``admitted == completed + shed + in_flight`` at every
-instant, with ``in_flight == 0`` once :meth:`Server.run` drains.
+oracle enforces: ``admitted == completed + shed + expired + degraded
++ in_flight`` at every instant, with ``in_flight == 0`` once
+:meth:`Server.run` drains — every request lands in **exactly one**
+terminal status (:class:`ServeStats` raises on a double terminal).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..obs import MetricsRegistry, StatsViewMixin, Tracer
-from ..resilience import RetryPolicy
+from ..resilience import FaultInjector, RetryPolicy
 from .batcher import MicroBatcher
+from .breaker import BreakerBoard, BreakerConfig
 from .cache import ResultCache
 from .endpoints import EndpointRegistry, GraphRegistry, builtin_endpoints
 
@@ -54,6 +66,7 @@ OK = "ok"
 SHED = "shed"
 EXPIRED = "expired"
 ERROR = "error"
+DEGRADED = "degraded"
 
 
 @dataclass
@@ -75,7 +88,7 @@ class Response:
     """Terminal outcome of one request."""
 
     request: Request
-    status: str  # ok | shed | expired | error
+    status: str  # ok | shed | expired | error | degraded
     value: Any = None
     dispatched: Optional[int] = None
     completed: int = 0
@@ -84,10 +97,16 @@ class Response:
     batch_size: int = 1
     deadline_missed: bool = False
     error: Optional[str] = None
+    staleness: int = 0  # epochs behind current, for degraded answers
+    degraded_reason: Optional[str] = None  # breaker_open | shed | failure
 
     @property
     def ok(self) -> bool:
         return self.status == OK
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == DEGRADED
 
     @property
     def latency(self) -> int:
@@ -111,6 +130,8 @@ class Response:
             "cache_hit": self.cache_hit,
             "batch_size": self.batch_size,
             "deadline_missed": self.deadline_missed,
+            "degraded": self.degraded,
+            "staleness": self.staleness,
         }
 
 
@@ -126,7 +147,15 @@ class ServeStats(StatsViewMixin):
             "serve.admitted", "requests accepted into the system"
         )
         self._c_deadline_miss = self.registry.counter(
-            "serve.deadline_miss", "requests expired in queue or finished late"
+            "serve.deadline_miss", "completed responses that finished late"
+        )
+        self._c_degraded = self.registry.counter(
+            "serve.degraded.responses",
+            "stale-while-revalidate answers, by endpoint and reason",
+        )
+        self._h_staleness = self.registry.histogram(
+            "serve.degraded.staleness", "epochs behind current, per degraded answer",
+            buckets=[0, 1, 2, 4, 8, 16],
         )
         self._c_batches = self.registry.counter(
             "serve.batches", "engine calls that served a coalesced batch"
@@ -153,6 +182,7 @@ class ServeStats(StatsViewMixin):
             "serve.batch_size", "requests per engine call",
             buckets=[1, 2, 4, 8, 16, 32],
         )
+        self._terminal_ids: Set[int] = set()
 
     # -- write path (server-only) ------------------------------------------
 
@@ -160,16 +190,33 @@ class ServeStats(StatsViewMixin):
         self._c_admitted.inc()
 
     def record_response(self, response: Response) -> None:
+        rid = response.request.id
+        if rid >= 0:
+            # Terminal statuses are mutually exclusive by construction:
+            # a request that already landed cannot land again (a second
+            # terminal would double-count the queue ledger).
+            if rid in self._terminal_ids:
+                raise RuntimeError(
+                    f"request {rid} already recorded a terminal status; "
+                    f"refusing second terminal {response.status!r}"
+                )
+            self._terminal_ids.add(rid)
         self._c_requests.inc(
             endpoint=response.request.endpoint, status=response.status
         )
-        if response.status in (OK, ERROR):
+        if response.status in (OK, ERROR, DEGRADED):
             self._h_latency.observe(
                 response.latency, endpoint=response.request.endpoint
             )
             self._h_queue_wait.observe(response.queue_wait)
-        if response.deadline_missed:
-            self._c_deadline_miss.inc(endpoint=response.request.endpoint)
+            if response.deadline_missed:
+                self._c_deadline_miss.inc(endpoint=response.request.endpoint)
+        if response.status == DEGRADED:
+            self._c_degraded.inc(
+                endpoint=response.request.endpoint,
+                reason=response.degraded_reason or "unknown",
+            )
+            self._h_staleness.observe(response.staleness)
 
     def record_batch(self, size: int, cost: int) -> None:
         self._c_batches.inc()
@@ -209,13 +256,27 @@ class ServeStats(StatsViewMixin):
         return self._status_total(EXPIRED)
 
     @property
-    def deadline_misses(self) -> int:
+    def degraded(self) -> int:
+        return self._status_total(DEGRADED)
+
+    @property
+    def late_completions(self) -> int:
+        """Responses that returned an answer past their deadline."""
         return int(self._c_deadline_miss.total)
+
+    @property
+    def deadline_misses(self) -> int:
+        """Expired in queue or finished late (each counted once — the
+        underlying columns are mutually exclusive)."""
+        return self.late_completions + self.expired
 
     @property
     def in_flight(self) -> int:
         """Admitted but not yet terminal — zero once a run drains."""
-        return self.admitted - self.completed - self.shed - self.expired
+        return (
+            self.admitted - self.completed - self.shed - self.expired
+            - self.degraded
+        )
 
     @property
     def peak_queue_depth(self) -> int:
@@ -230,8 +291,10 @@ class ServeStats(StatsViewMixin):
             "completed": self.completed,
             "shed": self.shed,
             "expired": self.expired,
+            "degraded": self.degraded,
             "in_flight": self.in_flight,
             "deadline_misses": self.deadline_misses,
+            "late_completions": self.late_completions,
             "peak_queue_depth": self.peak_queue_depth,
         }
 
@@ -253,11 +316,18 @@ class Server:
         executor=None,
         obs: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        breaker: Optional[BreakerConfig] = None,
+        degrade: bool = False,
+        max_stale_epochs: int = 8,
+        default_timeout_ops: Optional[int] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if queue_bound < 1:
             raise ValueError("queue_bound must be >= 1")
+        if default_timeout_ops is not None and default_timeout_ops < 1:
+            raise ValueError("default_timeout_ops must be >= 1")
         self.graphs = graphs
         self.endpoints = endpoints if endpoints is not None else builtin_endpoints()
         self.num_workers = num_workers
@@ -267,9 +337,19 @@ class Server:
         self.tracer = tracer
         self.retry = retry if retry is not None else RetryPolicy(max_attempts=2)
         self.executor = executor
+        self.degrade = bool(degrade)
+        self.default_timeout_ops = default_timeout_ops
+        self.injector = injector
+        self.breakers: Optional[BreakerBoard] = (
+            BreakerBoard(breaker, obs=self.obs, tracer=tracer)
+            if breaker is not None else None
+        )
         self.stats = ServeStats(self.obs)
         self.cache: Optional[ResultCache] = (
-            ResultCache(cache_capacity, obs=self.obs).attach(graphs)
+            ResultCache(
+                cache_capacity, obs=self.obs,
+                max_stale_epochs=max_stale_epochs if degrade else 0,
+            ).attach(graphs)
             if enable_cache else None
         )
         self._arrivals: List[Tuple[int, int, Request]] = []  # heap
@@ -359,10 +439,23 @@ class Server:
     def _absorb(
         self, clock: int, finish: Callable[[Response], None]
     ) -> None:
-        """Admit (or shed) every arrival up to ``clock``, in order."""
+        """Admit (or shed) every arrival up to ``clock``, in order.
+
+        With ``degrade=True`` a request the bounded queue would shed is
+        first offered a stale-cache answer (degradation ladder rung 1:
+        backpressure becomes staleness, not an outright drop).
+        """
         while self._arrivals and self._arrivals[0][0] <= clock:
             _, _, request = heapq.heappop(self._arrivals)
             if len(self._queue) >= self.queue_bound:
+                stale = self._degraded_response(
+                    request, reason="shed", dispatched=request.arrival,
+                    completed=request.arrival + CACHE_HIT_COST,
+                )
+                if stale is not None:
+                    self._charge(request.tenant, CACHE_HIT_COST)
+                    finish(stale)
+                    continue
                 finish(Response(
                     request=request, status=SHED, completed=request.arrival,
                 ))
@@ -421,6 +514,33 @@ class Server:
                 ))
                 return completed
 
+        breaker = (
+            self.breakers.get(head.endpoint)
+            if self.breakers is not None else None
+        )
+        if breaker is not None and breaker.allow(clock) == "reject":
+            # Ladder rung 2: an open breaker answers from the stale
+            # cache without touching the engine at all.
+            self._queue.remove(head)
+            completed = clock + CACHE_HIT_COST
+            self._charge(head.tenant, CACHE_HIT_COST)
+            stale = self._degraded_response(
+                head, reason="breaker_open", dispatched=clock,
+                completed=completed,
+            )
+            if stale is not None:
+                finish(stale)
+            else:
+                finish(Response(
+                    request=head, status=ERROR, dispatched=clock,
+                    completed=completed, cost=CACHE_HIT_COST,
+                    deadline_missed=(
+                        head.deadline is not None and completed > head.deadline
+                    ),
+                    error=f"BreakerOpen: {head.endpoint} is failing fast",
+                ))
+            return completed
+
         t_dispatch = self.batcher.dispatch_time(clock, head.arrival)
         if t_dispatch > clock:
             # Waiting out the batch window lets later arrivals join.
@@ -431,18 +551,52 @@ class Server:
         for request in batch:
             self._queue.remove(request)
 
+        timeout = (
+            endpoint.timeout_ops
+            if endpoint.timeout_ops is not None else self.default_timeout_ops
+        )
         error: Optional[str] = None
-        try:
-            values, cost = self.retry.call(
-                self.batcher.execute, endpoint, record, batch,
-                executor=self.executor, key=("serve", head.id),
-                obs=self.obs, op=f"serve:{head.endpoint}",
-            )
-        except Exception as exc:  # exhausted retries: an error response
-            values, cost = [None] * len(batch), CACHE_HIT_COST
-            error = f"{type(exc).__name__}: {exc}"
+        values: List[Any] = [None] * len(batch)
+        cost = 0
+        for attempt in range(2):  # attempt 1 is the single hedged retry
+            if self.injector is not None and self.injector.endpoint_outcome(
+                head.endpoint, head.id, attempt
+            ) == "fail":
+                cost += timeout if timeout is not None else CACHE_HIT_COST
+                error = (
+                    f"FaultError: injected failure on {head.endpoint} "
+                    f"(attempt {attempt})"
+                )
+                continue
+            try:
+                values, attempt_cost = self.retry.call(
+                    self.batcher.execute, endpoint, record, batch,
+                    executor=self.executor, key=("serve", head.id, attempt),
+                    obs=self.obs, op=f"serve:{head.endpoint}",
+                )
+            except Exception as exc:  # exhausted retries: an error response
+                values = [None] * len(batch)
+                cost += CACHE_HIT_COST
+                error = f"{type(exc).__name__}: {exc}"
+                break  # organic errors already retried; no hedge
+            if timeout is not None and attempt_cost > timeout:
+                values = [None] * len(batch)
+                cost += timeout  # the hedge fires at the timeout bound
+                error = (
+                    f"TimeoutError: {head.endpoint} cost {attempt_cost} ops "
+                    f"over budget {timeout} (attempt {attempt})"
+                )
+                continue
+            cost += attempt_cost
+            error = None
+            break
 
         completed = t_dispatch + cost
+        if breaker is not None:
+            if error is None:
+                breaker.record_success(completed)
+            else:
+                breaker.record_failure(completed)
         self.stats.record_batch(len(batch), cost)
         share = max(1, cost // len(batch))
         for request, value in zip(batch, values):
@@ -455,6 +609,16 @@ class Server:
                     ),
                     value,
                 )
+            if error is not None:
+                # Ladder rung 3: a failed (or timed-out, post-hedge)
+                # execution falls back to the stale cache per request.
+                stale = self._degraded_response(
+                    request, reason="failure", dispatched=t_dispatch,
+                    completed=completed, cost=share, batch_size=len(batch),
+                )
+                if stale is not None:
+                    finish(stale)
+                    continue
             finish(Response(
                 request=request,
                 status=ERROR if error is not None else OK,
@@ -466,6 +630,44 @@ class Server:
                 error=error,
             ))
         return completed
+
+    def _degraded_response(
+        self,
+        request: Request,
+        *,
+        reason: str,
+        dispatched: int,
+        completed: int,
+        cost: int = CACHE_HIT_COST,
+        batch_size: int = 1,
+    ) -> Optional[Response]:
+        """Stale-while-revalidate answer for ``request``, or ``None``.
+
+        Only available when the server runs with ``degrade=True``, the
+        endpoint is degradable, and the cache retains an entry for these
+        params at an epoch within ``max_stale_epochs`` of current.
+        """
+        if not self.degrade or self.cache is None:
+            return None
+        endpoint = self.endpoints.get(request.endpoint)
+        if not endpoint.degradable:
+            return None
+        record = self.graphs.get(request.graph)
+        canon = endpoint.canonicalize(request.params)
+        found, value, staleness = self.cache.lookup_stale(
+            request.endpoint, request.graph, record.epoch, canon
+        )
+        if not found:
+            return None
+        return Response(
+            request=request, status=DEGRADED, value=value,
+            dispatched=dispatched, completed=completed, cost=cost,
+            batch_size=batch_size, staleness=staleness,
+            degraded_reason=reason,
+            deadline_missed=(
+                request.deadline is not None and completed > request.deadline
+            ),
+        )
 
     def _charge(self, tenant: str, ops: int) -> None:
         self._tenant_work[tenant] = self._tenant_work.get(tenant, 0) + ops

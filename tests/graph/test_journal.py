@@ -1,0 +1,278 @@
+"""Crash-consistent chunked ingest: journal, resume, atomic overwrite,
+verify/repair quarantine, and temp-file hygiene."""
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import barabasi_albert
+from repro.graph.store import (
+    QUARANTINE_DIRNAME,
+    CorruptShardError,
+    IngestJournal,
+    Manifest,
+    StoreError,
+    build_store,
+    ingest_edge_stream,
+    verify_store,
+    repair_store,
+)
+from repro.graph.store import journal as journal_mod
+from repro.graph.store import writer as writer_mod
+from repro.graph.store.journal import INGEST_DIRNAME
+from repro.resilience.faults import FaultError, FaultPlan
+
+NUM_VERTICES = 60
+CHUNK_EDGES = 12
+
+
+def _edges():
+    graph = barabasi_albert(NUM_VERTICES, 2, seed=5)
+    pairs = []
+    for u in range(graph.num_vertices):
+        for v in graph.indices[graph.indptr[u]: graph.indptr[u + 1]]:
+            if u < int(v):
+                pairs.append((u, int(v)))
+    order = np.random.default_rng(9).permutation(len(pairs))
+    return [pairs[i] for i in order]
+
+
+EDGES = _edges()
+N_CHUNKS = -(-len(EDGES) // CHUNK_EDGES)
+
+KWARGS = dict(
+    num_vertices=NUM_VERTICES, directed=False, partition="hash",
+    num_parts=2, seed=3, chunk_edges=CHUNK_EDGES, name="t",
+)
+
+
+def _digest(root):
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for fname in sorted(filenames):
+            full = os.path.join(dirpath, fname)
+            digest.update(os.path.relpath(full, root).encode() + b"\0")
+            with open(full, "rb") as handle:
+                digest.update(handle.read())
+            digest.update(b"\1")
+    return digest.hexdigest()
+
+
+@pytest.fixture
+def reference(tmp_path):
+    root = str(tmp_path / "ref")
+    ingest_edge_stream(iter(EDGES), path=root, **KWARGS)
+    return _digest(root)
+
+
+class TestResumeByteIdentity:
+    @pytest.mark.parametrize("chunk", [0, N_CHUNKS // 2, N_CHUNKS - 1])
+    def test_crash_at_chunk_boundary(self, tmp_path, reference, chunk):
+        root = str(tmp_path / "g")
+        injector = FaultPlan(seed=0).crash_at_chunk(chunk).build()
+        with pytest.raises(FaultError) as excinfo:
+            ingest_edge_stream(iter(EDGES), path=root, injector=injector, **KWARGS)
+        assert excinfo.value.kind == "crash_at_chunk"
+        # The crash landed on a journaled boundary.
+        journal = IngestJournal.load(root)
+        assert journal is not None
+        assert journal.chunks_committed == chunk + 1
+
+        ingest_edge_stream(iter(EDGES), path=root, resume=True, **KWARGS)
+        assert _digest(root) == reference
+        assert not os.path.exists(os.path.join(root, INGEST_DIRNAME))
+
+    def test_torn_write_truncated_on_resume(self, tmp_path, reference):
+        root = str(tmp_path / "g")
+        injector = FaultPlan(seed=0).torn_write(chunk=1).build()
+        with pytest.raises(FaultError) as excinfo:
+            ingest_edge_stream(iter(EDGES), path=root, injector=injector, **KWARGS)
+        assert excinfo.value.kind == "torn_write"
+        # The torn chunk was NOT committed: the journal still points at
+        # the previous boundary, and a spill file has a ragged tail.
+        journal = IngestJournal.load(root)
+        assert journal.chunks_committed == 1
+
+        ingest_edge_stream(iter(EDGES), path=root, resume=True, **KWARGS)
+        assert _digest(root) == reference
+
+    def test_crash_in_pass2_resumes(self, tmp_path, reference):
+        root = str(tmp_path / "g")
+        # Rate 1.0 fails every write attempt: the first partition shard
+        # write dies even after the retry, mid pass 2.
+        injector = FaultPlan(seed=0).io_error(1.0).build()
+        with pytest.raises(FaultError) as excinfo:
+            ingest_edge_stream(iter(EDGES), path=root, injector=injector, **KWARGS)
+        assert excinfo.value.kind == "io_error"
+        journal = IngestJournal.load(root)
+        assert journal.phase == "pass2"
+
+        ingest_edge_stream(iter(EDGES), path=root, resume=True, **KWARGS)
+        assert _digest(root) == reference
+
+    def test_resume_of_finished_build_is_a_noop(self, tmp_path):
+        root = str(tmp_path / "g")
+        want = ingest_edge_stream(iter(EDGES), path=root, **KWARGS)
+        got = ingest_edge_stream(None, path=root, resume=True, **KWARGS)
+        assert got.as_dict() == want.as_dict()
+
+    def test_resume_without_edges_needs_pass1_done(self, tmp_path):
+        root = str(tmp_path / "g")
+        injector = FaultPlan(seed=0).crash_at_chunk(0).build()
+        with pytest.raises(FaultError):
+            ingest_edge_stream(iter(EDGES), path=root, injector=injector, **KWARGS)
+        with pytest.raises(StoreError):
+            ingest_edge_stream(None, path=root, resume=True, **KWARGS)
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        root = str(tmp_path / "g")
+        injector = FaultPlan(seed=0).crash_at_chunk(1).build()
+        with pytest.raises(FaultError):
+            ingest_edge_stream(iter(EDGES), path=root, injector=injector, **KWARGS)
+        mismatched = dict(KWARGS, chunk_edges=CHUNK_EDGES + 1)
+        with pytest.raises(StoreError):
+            ingest_edge_stream(iter(EDGES), path=root, resume=True, **mismatched)
+
+    def test_fresh_restart_discards_crashed_leftovers(self, tmp_path, reference):
+        root = str(tmp_path / "g")
+        injector = FaultPlan(seed=0).crash_at_chunk(1).build()
+        with pytest.raises(FaultError):
+            ingest_edge_stream(iter(EDGES), path=root, injector=injector, **KWARGS)
+        # No resume: start over from scratch; stale spills must not leak.
+        ingest_edge_stream(iter(EDGES), path=root, **KWARGS)
+        assert _digest(root) == reference
+
+
+class TestIoRetry:
+    def test_single_io_error_absorbed_by_retry(self, tmp_path, reference):
+        root = str(tmp_path / "g")
+        injector = FaultPlan(seed=0).fail_write("part1/indices.npy").build()
+        ingest_edge_stream(iter(EDGES), path=root, injector=injector, **KWARGS)
+        assert injector.faults_injected >= 1
+        assert _digest(root) == reference
+
+
+class TestAtomicOverwrite:
+    def test_overwrite_replaces_store(self, tmp_path):
+        graph_a = barabasi_albert(30, 2, seed=1)
+        graph_b = barabasi_albert(40, 3, seed=2)
+        root = str(tmp_path / "g")
+        build_store(graph_a, root, num_parts=2, name="t")
+        build_store(graph_b, root, num_parts=2, name="t", overwrite=True)
+        assert Manifest.load(root).num_vertices == 40
+
+        fresh = str(tmp_path / "fresh")
+        build_store(graph_b, fresh, num_parts=2, name="t")
+        assert _digest(root) == _digest(fresh)
+        # The sibling temp/old directories were cleaned up.
+        assert os.listdir(str(tmp_path)) == sorted(["g", "fresh"]) or set(
+            os.listdir(str(tmp_path))
+        ) == {"g", "fresh"}
+
+    def test_failed_overwrite_preserves_original(self, tmp_path):
+        graph_a = barabasi_albert(30, 2, seed=1)
+        graph_b = barabasi_albert(40, 3, seed=2)
+        root = str(tmp_path / "g")
+        build_store(graph_a, root, num_parts=2, name="t")
+        want = _digest(root)
+        injector = FaultPlan(seed=0).io_error(1.0).build()
+        with pytest.raises(FaultError):
+            build_store(
+                graph_b, root, num_parts=2, name="t",
+                overwrite=True, injector=injector,
+            )
+        # The original store is untouched and still verifies.
+        assert _digest(root) == want
+        assert verify_store(root).ok
+        # The half-built sibling is tracked for the atexit sweep.
+        writer_mod._sweep_tmp_dirs()
+        assert set(os.listdir(str(tmp_path))) == {"g"}
+
+    def test_overwrite_still_required(self, tmp_path):
+        graph = barabasi_albert(30, 2, seed=1)
+        root = str(tmp_path / "g")
+        build_store(graph, root)
+        with pytest.raises(StoreError):
+            build_store(graph, root)
+
+
+class TestVerifyRepair:
+    def _flip_byte(self, path):
+        with open(path, "r+b") as handle:
+            handle.seek(-8, os.SEEK_END)
+            byte = handle.read(1)
+            handle.seek(-8, os.SEEK_END)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+    def test_clean_store_verifies(self, tmp_path):
+        build_store(barabasi_albert(30, 2, seed=1), str(tmp_path / "g"))
+        report = verify_store(str(tmp_path / "g"))
+        assert report.ok
+        assert report.checked > 0 and report.bad_paths == []
+
+    def test_corruption_detected_and_quarantined(self, tmp_path):
+        root = str(tmp_path / "g")
+        build_store(barabasi_albert(30, 2, seed=1), root, num_parts=2)
+        victim = os.path.join("part0", "indices.npy")
+        self._flip_byte(os.path.join(root, victim))
+
+        report = verify_store(root)
+        assert not report.ok
+        assert report.corrupt == [victim]
+
+        with pytest.raises(CorruptShardError) as excinfo:
+            repair_store(root)
+        assert victim in excinfo.value.paths
+        quarantined = os.path.join(root, QUARANTINE_DIRNAME, victim)
+        assert os.path.exists(quarantined)
+        # After repair the bad shard is classified missing, not corrupt.
+        after = verify_store(root)
+        assert after.corrupt == []
+        assert after.missing == [victim]
+
+    def test_truncation_detected(self, tmp_path):
+        root = str(tmp_path / "g")
+        build_store(barabasi_albert(30, 2, seed=1), root)
+        victim = os.path.join(root, "part0", "indices.npy")
+        with open(victim, "r+b") as handle:
+            handle.truncate(os.path.getsize(victim) - 4)
+        report = verify_store(root)
+        assert not report.ok
+        assert os.path.join("part0", "indices.npy") in report.truncated
+
+
+class TestTempHygiene:
+    def test_enospc_journal_commit_leaves_no_tmp(self, tmp_path, monkeypatch):
+        journal = IngestJournal(str(tmp_path), {"k": 1})
+
+        def no_space(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(journal_mod.os, "fsync", no_space)
+        with pytest.raises(OSError):
+            journal.commit()
+        monkeypatch.undo()
+        assert not os.path.exists(journal.path + ".tmp")
+        assert journal.path + ".tmp" not in journal_mod._LIVE_TMP
+
+    def test_atexit_sweep_removes_stray_journal_tmp(self, tmp_path):
+        stray = str(tmp_path / "journal.json.tmp")
+        with open(stray, "w") as handle:
+            handle.write("{}")
+        journal_mod._LIVE_TMP.add(stray)
+        journal_mod._sweep_tmp()
+        assert not os.path.exists(stray)
+        assert stray not in journal_mod._LIVE_TMP
+
+    def test_atexit_sweep_removes_stray_build_dir(self, tmp_path):
+        stray = str(tmp_path / "g.tmp-999")
+        os.makedirs(os.path.join(stray, "part0"))
+        with open(os.path.join(stray, "part0", "x.npy"), "w") as handle:
+            handle.write("x")
+        writer_mod._LIVE_TMP_DIRS.add(stray)
+        writer_mod._sweep_tmp_dirs()
+        assert not os.path.exists(stray)
+        assert stray not in writer_mod._LIVE_TMP_DIRS

@@ -71,3 +71,72 @@ class TestInvalidation:
         cache.invalidate_graph("default", current_epoch=5)
         assert other in cache
         assert len(cache) == 1
+
+
+class TestStaleWhileRevalidate:
+    def test_stale_lookup_needs_a_prior_epoch(self):
+        cache = ResultCache(max_stale_epochs=2)
+        found, _, _ = cache.lookup_stale("ep", "default", 1, canonical_params({"x": 1}))
+        assert not found
+        cache.put(_key(epoch=1, x=1), "current")
+        # An entry at the *current* epoch is never served as stale.
+        found, _, _ = cache.lookup_stale("ep", "default", 1, canonical_params({"x": 1}))
+        assert not found
+        assert cache.as_dict()["stale_misses"] == 2
+
+    def test_newest_prior_epoch_wins(self):
+        cache = ResultCache(max_stale_epochs=4)
+        cache.put(_key(epoch=0, x=1), "older")
+        cache.put(_key(epoch=2, x=1), "newer")
+        found, value, staleness = cache.lookup_stale(
+            "ep", "default", 3, canonical_params({"x": 1})
+        )
+        assert found and value == "newer"
+        assert staleness == 1
+        assert cache.as_dict()["stale_hits"] == 1
+
+    def test_staleness_is_epoch_distance(self):
+        cache = ResultCache(max_stale_epochs=8)
+        cache.put(_key(epoch=2, x=1), "v")
+        found, _, staleness = cache.lookup_stale(
+            "ep", "default", 7, canonical_params({"x": 1})
+        )
+        assert found and staleness == 5
+
+    def test_params_must_match_exactly(self):
+        cache = ResultCache(max_stale_epochs=2)
+        cache.put(_key(epoch=0, x=1), "v")
+        found, _, _ = cache.lookup_stale(
+            "ep", "default", 1, canonical_params({"x": 2})
+        )
+        assert not found
+
+    def test_retention_floor_bounds_staleness(self):
+        """invalidate_graph keeps only the max_stale_epochs newest prior
+        epochs, so a stale answer can never exceed the bound."""
+        cache = ResultCache(max_stale_epochs=2)
+        for epoch in range(5):
+            cache.put(_key(epoch=epoch, x=1), f"e{epoch}")
+        cache.invalidate_graph("default", current_epoch=5)
+        # Floor is 5 - 2 = 3: epochs 0-2 reclaimed, 3-4 retained.
+        assert _key(epoch=2, x=1) not in cache
+        assert _key(epoch=3, x=1) in cache
+        assert _key(epoch=4, x=1) in cache
+        found, value, staleness = cache.lookup_stale(
+            "ep", "default", 5, canonical_params({"x": 1})
+        )
+        assert found and value == "e4"
+        assert 1 <= staleness <= cache.max_stale_epochs
+
+    def test_zero_stale_epochs_disables_the_ladder(self):
+        cache = ResultCache(max_stale_epochs=0)
+        cache.put(_key(epoch=0, x=1), "v")
+        cache.invalidate_graph("default", current_epoch=1)
+        found, _, _ = cache.lookup_stale(
+            "ep", "default", 1, canonical_params({"x": 1})
+        )
+        assert not found
+
+    def test_negative_stale_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_stale_epochs=-1)
