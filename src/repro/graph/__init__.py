@@ -2,6 +2,7 @@
 and the on-disk store layer behind the :class:`GraphHandle` protocol."""
 
 from .csr import Graph, GraphBuilder
+from .delta import EdgeDelta, apply_edge_updates, random_edge_updates
 from .transactions import GraphTransaction, TransactionDatabase
 from .weighted import dijkstra, edge_label_weight
 from .store import (
@@ -17,8 +18,11 @@ from .store import (
 )
 
 __all__ = [
+    "EdgeDelta",
     "Graph",
     "GraphBuilder",
+    "apply_edge_updates",
+    "random_edge_updates",
     "GraphTransaction",
     "TransactionDatabase",
     "dijkstra",

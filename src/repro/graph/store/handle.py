@@ -184,6 +184,22 @@ class InMemoryGraph:
     def num_parts(self) -> int:
         return 1 if self._partition is None else self._partition.num_parts
 
+    @property
+    def vertex_partition(self) -> Optional[Partition]:
+        """The live :class:`Partition` backing ``partition(i)``, if any."""
+        return self._partition
+
+    @property
+    def assignment(self) -> Optional[np.ndarray]:
+        """Vertex -> owning partition (``None`` when unpartitioned)."""
+        return None if self._partition is None else self._partition.assignment
+
+    def part_of(self, v: int) -> int:
+        """Partition owning vertex ``v`` (0 when unpartitioned)."""
+        if self._partition is None:
+            return 0
+        return int(self._partition.assignment[v])
+
     def vertices(self) -> range:
         return self._graph.vertices()
 

@@ -244,6 +244,10 @@ class StoredGraph:
     def assignment(self) -> np.ndarray:
         return self._assignment
 
+    def part_of(self, v: int) -> int:
+        """Partition owning vertex ``v``."""
+        return int(self._assignment[v])
+
     def vertices(self) -> range:
         return range(self.num_vertices)
 

@@ -36,6 +36,11 @@ package is that front door:
   ``python -m repro chaos --scenario serve-soak``: injected endpoint
   failures, worker crashes, and store I/O faults against the seeded
   load generator, with ledger and clean-vs-chaos equivalence checks;
+  plus the **mutate soak** (``--scenario mutate-soak``) that streams
+  seeded edge-update batches through ``GraphRegistry.apply_updates``
+  interleaved with query waves, holding incremental PageRank/WCC/BFS
+  maintainers in lockstep and checking them against from-scratch
+  recompute, served-answer currency, and cache-index consistency;
 * :mod:`~repro.serve.checks` — serve-path oracles for
   ``repro check --subsystem serve``: served == direct, cache hit ==
   cold miss, batched == unbatched, the admission ledger invariant,
@@ -64,9 +69,10 @@ from .loadgen import (
     open_loop,
     run_scenario,
     scenario_requests,
+    update_stream,
 )
 from .scheduler import Request, Response, Server, ServeStats
-from .soak import run_serve_soak
+from .soak import run_mutate_soak, run_serve_soak
 
 __all__ = [
     "SCENARIOS",
@@ -87,7 +93,9 @@ __all__ = [
     "builtin_endpoints",
     "canonical_params",
     "open_loop",
+    "run_mutate_soak",
     "run_scenario",
     "run_serve_soak",
     "scenario_requests",
+    "update_stream",
 ]

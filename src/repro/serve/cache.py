@@ -1,4 +1,4 @@
-"""Versioned LRU result cache for served requests.
+"""Versioned LRU result cache with partition-scoped invalidation.
 
 Keys are ``(endpoint, graph, epoch, canonical_params)``.  Because the
 graph epoch is *inside* the key, a registry epoch bump invalidates every
@@ -7,22 +7,40 @@ can never return a stale entry.  The cache additionally subscribes to
 the :class:`~repro.serve.endpoints.GraphRegistry` so bumped entries are
 reclaimed instead of waiting for LRU pressure.
 
+**Partition scoping** keeps a trickle of edge mutations from zeroing
+the hit rate.  An entry may record the set of partitions its result
+read (:meth:`put`'s ``partitions``; ``None`` means the whole graph).
+When a mutation batch reports its dirty partitions through
+:meth:`invalidate_graph`, entries whose footprint is disjoint from the
+dirty set are **promoted**: re-keyed to the new epoch, so the next
+fresh lookup still hits.  Whole-graph entries (and intersecting ones)
+age into the stale tail as before.  An *empty* dirty set is the
+registry's proof the batch was a structural no-op, and promotes
+everything.
+
 With ``max_stale_epochs > 0`` the reclaim keeps a bounded tail of old
 epochs behind for the degradation ladder: when a breaker is open or
 admission is shedding, the scheduler calls :meth:`lookup_stale` to
 answer in stale-while-revalidate mode (the response then carries
-``degraded=True`` plus its staleness in epochs).  Entries more than
-``max_stale_epochs`` epochs behind are still dropped eagerly.
+``degraded=True`` plus its staleness in epochs).  The staleness bound
+is enforced *inside* :meth:`lookup_stale` — an unattached cache (no
+registry eagerly reclaiming) honors it too, instead of serving
+arbitrarily old answers.
+
+A per-graph secondary index (``graph name -> set of keys``) backs
+:meth:`lookup_stale` and :meth:`invalidate_graph`, so a mutation batch
+walks only the bumped graph's entries, not the whole cache.
 
 Hits and misses are counted per endpoint under ``serve.cache.*`` so
 the scenario reports can quote a hit rate next to the latency
-distribution it produced.
+distribution it produced; invalidation accounts reclaimed vs retained
+vs promoted per bump.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
 
 from ..obs import MetricsRegistry
 
@@ -39,6 +57,7 @@ class ResultCache:
         capacity: int = 256,
         obs: Optional[MetricsRegistry] = None,
         max_stale_epochs: int = 0,
+        partition_scoped: bool = True,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
@@ -46,8 +65,11 @@ class ResultCache:
             raise ValueError("max_stale_epochs must be >= 0")
         self.capacity = capacity
         self.max_stale_epochs = int(max_stale_epochs)
+        self.partition_scoped = bool(partition_scoped)
         self.registry = obs if obs is not None else MetricsRegistry()
         self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self._footprints: Dict[CacheKey, Optional[frozenset]] = {}
+        self._by_graph: Dict[str, Set[CacheKey]] = {}
         self._c_hits = self.registry.counter(
             "serve.cache.hits", "served from the versioned result cache"
         )
@@ -60,6 +82,14 @@ class ResultCache:
         self._c_invalidated = self.registry.counter(
             "serve.cache.invalidated", "entries reclaimed by graph epoch bumps"
         )
+        self._c_retained = self.registry.counter(
+            "serve.cache.retained",
+            "stale entries kept behind for stale-while-revalidate",
+        )
+        self._c_promoted = self.registry.counter(
+            "serve.cache.promoted",
+            "entries re-keyed to the new epoch (clean partitions)",
+        )
         self._c_stale_hits = self.registry.counter(
             "serve.cache.stale_hits", "degraded answers served from stale epochs"
         )
@@ -71,6 +101,23 @@ class ResultCache:
     def key(endpoint: str, graph: str, epoch: int, canon: Tuple) -> CacheKey:
         return (endpoint, graph, int(epoch), canon)
 
+    # -- index plumbing ----------------------------------------------------
+
+    def _insert(
+        self, key: CacheKey, value: Any, partitions: Optional[frozenset]
+    ) -> None:
+        self._entries[key] = value
+        self._footprints[key] = partitions
+        self._by_graph.setdefault(key[1], set()).add(key)
+
+    def _remove(self, key: CacheKey) -> None:
+        del self._entries[key]
+        del self._footprints[key]
+        keys = self._by_graph[key[1]]
+        keys.discard(key)
+        if not keys:
+            del self._by_graph[key[1]]
+
     def lookup(self, key: CacheKey) -> Tuple[bool, Any]:
         """``(hit, value)``; counts the outcome under the endpoint label."""
         if key in self._entries:
@@ -80,12 +127,29 @@ class ResultCache:
         self._c_misses.inc(endpoint=key[0])
         return False, None
 
-    def put(self, key: CacheKey, value: Any) -> None:
+    def put(
+        self,
+        key: CacheKey,
+        value: Any,
+        partitions: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Store one result; ``partitions`` is the set of partition ids
+        the computation read (``None`` = the whole graph, the
+        conservative default every full-graph analytic uses)."""
+        footprint = (
+            frozenset(int(p) for p in partitions)
+            if partitions is not None and self.partition_scoped
+            else None
+        )
         if key in self._entries:
             self._entries.move_to_end(key)
-        self._entries[key] = value
+            self._entries[key] = value
+            self._footprints[key] = footprint
+        else:
+            self._insert(key, value, footprint)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            oldest = next(iter(self._entries))
+            self._remove(oldest)
             self._c_evictions.inc()
 
     def lookup_stale(
@@ -94,13 +158,14 @@ class ResultCache:
         """Newest retained entry at an epoch *before* ``current_epoch``.
 
         Returns ``(found, value, staleness)`` where ``staleness`` is the
-        distance in epochs behind ``current_epoch``; the entry is at
-        most ``max_stale_epochs`` behind by construction (older ones
-        were reclaimed).  Counts under ``serve.cache.stale_*``.
+        distance in epochs behind ``current_epoch``, enforced to be at
+        most ``max_stale_epochs`` here — not just by the attached
+        registry's eager reclaim.  Counts under ``serve.cache.stale_*``.
         """
+        floor = int(current_epoch) - self.max_stale_epochs
         best_key = None
-        for k in self._entries:
-            if k[0] == endpoint and k[1] == graph and k[2] < current_epoch:
+        for k in self._by_graph.get(graph, ()):
+            if k[0] == endpoint and floor <= k[2] < current_epoch:
                 if k[3] == canon and (best_key is None or k[2] > best_key[2]):
                     best_key = k
         if best_key is None:
@@ -110,29 +175,70 @@ class ResultCache:
         self._c_stale_hits.inc(endpoint=endpoint)
         return True, self._entries[best_key], int(current_epoch) - best_key[2]
 
-    def invalidate_graph(self, name: str, current_epoch: Optional[int] = None) -> int:
-        """Reclaim entries for ``name`` older than ``current_epoch``
-        (keeping the ``max_stale_epochs`` newest epochs behind for
-        stale-while-revalidate service)."""
-        floor = (
-            None
-            if current_epoch is None
-            else int(current_epoch) - self.max_stale_epochs
+    def invalidate_graph(
+        self,
+        name: str,
+        current_epoch: Optional[int] = None,
+        dirty_partitions: Optional[Iterable[int]] = None,
+    ) -> int:
+        """Process one epoch bump for ``name``; returns entries reclaimed.
+
+        Entries older than ``current_epoch`` whose recorded partition
+        footprint is disjoint from ``dirty_partitions`` are promoted to
+        the current epoch (still a fresh answer — no dirty partition
+        contributed to them).  The rest age into the stale tail: the
+        ``max_stale_epochs`` newest prior epochs are retained for
+        stale-while-revalidate, older ones are reclaimed.  Without
+        ``current_epoch`` the floor resolves from the newest cached
+        epoch for the graph, so direct callers keep the stale tail
+        instead of deleting it wholesale.
+        """
+        keys = self._by_graph.get(name)
+        if not keys:
+            return 0
+        if current_epoch is None:
+            current_epoch = max(k[2] for k in keys)
+        cur = int(current_epoch)
+        floor = cur - self.max_stale_epochs
+        dirty = (
+            None if dirty_partitions is None or not self.partition_scoped
+            else frozenset(int(p) for p in dirty_partitions)
         )
-        stale = [
-            k for k in self._entries
-            if k[1] == name and (floor is None or k[2] < floor)
-        ]
-        for k in stale:
-            del self._entries[k]
-        if stale:
-            self._c_invalidated.inc(len(stale))
-        return len(stale)
+        reclaimed = retained = promoted = 0
+        for k in sorted(keys, key=lambda k: k[2]):
+            if k[2] >= cur:
+                continue
+            footprint = self._footprints[k]
+            clean = dirty is not None and (
+                not dirty or (footprint is not None and footprint.isdisjoint(dirty))
+            )
+            if clean:
+                target = (k[0], k[1], cur, k[3])
+                value = self._entries[k]
+                self._remove(k)
+                if target not in self._entries:
+                    self._insert(target, value, footprint)
+                    promoted += 1
+                continue
+            if k[2] < floor:
+                self._remove(k)
+                reclaimed += 1
+            else:
+                retained += 1
+        if reclaimed:
+            self._c_invalidated.inc(reclaimed)
+        if retained:
+            self._c_retained.inc(retained)
+        if promoted:
+            self._c_promoted.inc(promoted)
+        return reclaimed
 
     def attach(self, graphs) -> "ResultCache":
         """Subscribe to a GraphRegistry's epoch bumps; returns self."""
         graphs.subscribe(
-            lambda name, epoch: self.invalidate_graph(name, current_epoch=epoch)
+            lambda name, epoch, dirty=None: self.invalidate_graph(
+                name, current_epoch=epoch, dirty_partitions=dirty
+            )
         )
         return self
 
@@ -147,15 +253,46 @@ class ResultCache:
         return int(self._c_misses.total)
 
     @property
+    def stale_hits(self) -> int:
+        return int(self._c_stale_hits.total)
+
+    @property
+    def stale_misses(self) -> int:
+        return int(self._c_stale_misses.total)
+
+    @property
     def hit_rate(self) -> float:
+        """Fresh-path hit rate: ``hits / (hits + misses)``.
+
+        Stale (degraded) hits are a different service class and are
+        accounted separately — see :attr:`stale_hit_rate`; neither pool
+        double-counts the other's lookups.
+        """
         looked = self.hits + self.misses
         return self.hits / looked if looked else 0.0
+
+    @property
+    def stale_hit_rate(self) -> float:
+        looked = self.stale_hits + self.stale_misses
+        return self.stale_hits / looked if looked else 0.0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
         return key in self._entries
+
+    def index_consistent(self) -> bool:
+        """Secondary index ≡ entries (the accounting tests' oracle)."""
+        indexed = set()
+        for name, keys in self._by_graph.items():
+            if not keys or any(k[1] != name for k in keys):
+                return False
+            indexed |= keys
+        return (
+            indexed == set(self._entries)
+            and set(self._footprints) == set(self._entries)
+        )
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -166,7 +303,11 @@ class ResultCache:
             "hit_rate": self.hit_rate,
             "evictions": int(self._c_evictions.total),
             "invalidated": int(self._c_invalidated.total),
+            "retained": int(self._c_retained.total),
+            "promoted": int(self._c_promoted.total),
             "max_stale_epochs": self.max_stale_epochs,
-            "stale_hits": int(self._c_stale_hits.total),
-            "stale_misses": int(self._c_stale_misses.total),
+            "partition_scoped": self.partition_scoped,
+            "stale_hits": self.stale_hits,
+            "stale_misses": self.stale_misses,
+            "stale_hit_rate": self.stale_hit_rate,
         }

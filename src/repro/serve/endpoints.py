@@ -26,15 +26,30 @@ bump persists through :meth:`StoredGraph.bump_version`, so reopening
 the catalog after a restart sees the same epoch the cache keys were
 minted against.  Subscribers (the server's cache) are notified on
 bumps so stale entries are also reclaimed eagerly.
+
+**Streaming mutations** enter through
+:meth:`GraphRegistry.apply_updates`: one batched edge delta per call
+(deletes before inserts, via
+:func:`~repro.graph.delta.apply_edge_updates`), one epoch bump per
+batch, and a **dirty-partition report** — the partitions owning a
+vertex whose adjacency changed — forwarded to subscribers so the
+result cache can invalidate partition-scoped entries precisely instead
+of zeroing the graph's whole working set.  Endpoints may declare a
+``footprint`` (the partitions a result read, resolved per request via
+the handles' ``part_of``); full-graph analytics leave it ``None``, the
+conservative everything-footprint.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+import inspect
+from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..graph.store import StoreCatalog, as_handle
+from ..graph.delta import EdgeDelta, apply_edge_updates
+from ..graph.partition import Partition
+from ..graph.store import InMemoryGraph, StoreCatalog, as_handle
 from ..matching import pattern as patterns
 from ..matching.backtrack import MatchStats, count_matches
 from ..matching.cliques import count_k_cliques
@@ -179,6 +194,46 @@ class GraphRecord:
         self._epoch = max(0, old - base)
         return self.epoch
 
+    def apply_updates(
+        self,
+        inserts: Any = (),
+        deletes: Any = (),
+    ) -> EdgeDelta:
+        """Apply one batched edge delta to the served snapshot.
+
+        The successor graph keeps the old handle's partition layout (a
+        live :class:`Partition`, or a stored graph's assignment frozen
+        into one), so partition-scoped dirty tracking survives the
+        rebuild.  A mutated stored graph becomes an in-memory overlay —
+        the on-disk shards are immutable; persisting a stream is the
+        ingest pipeline's job, not the serving path's.  The caller (the
+        registry) bumps the epoch afterwards.
+        """
+        old_handle = self.graph
+        new_graph, delta = apply_edge_updates(
+            old_handle.to_graph(), inserts, deletes
+        )
+        partition = getattr(old_handle, "vertex_partition", None)
+        if partition is None:
+            assignment = getattr(old_handle, "assignment", None)
+            if assignment is not None:
+                partition = Partition(
+                    int(old_handle.num_parts), np.asarray(assignment)
+                )
+        self.swap(InMemoryGraph(
+            new_graph,
+            features=self.features,
+            partition=partition,
+            name=getattr(old_handle, "name", self.name),
+        ))
+        return delta
+
+    def dirty_partitions(self, delta: EdgeDelta) -> FrozenSet[int]:
+        """Partitions owning a vertex the delta touched."""
+        return delta.dirty_partitions(
+            getattr(self.graph, "assignment", None)
+        )
+
     # -- lazy, epoch-keyed derived state -----------------------------------
 
     def tensors(self):
@@ -221,7 +276,7 @@ class GraphRegistry:
 
     def __init__(self) -> None:
         self._records: Dict[str, GraphRecord] = {}
-        self._listeners: List[Callable[[str, int], None]] = []
+        self._listeners: List[Tuple[Callable[..., None], bool]] = []
 
     def register(self, name: str, graph: Any, **kwargs: Any) -> GraphRecord:
         if name in self._records:
@@ -275,14 +330,57 @@ class GraphRegistry:
         self._bump(record)
         return record.epoch
 
-    def _bump(self, record: GraphRecord) -> None:
-        record.bump()
-        for listener in self._listeners:
-            listener(record.name, record.epoch)
+    def apply_updates(
+        self,
+        name: str,
+        inserts: Any = (),
+        deletes: Any = (),
+    ) -> EdgeDelta:
+        """Apply one batched edge-stream mutation to a served graph.
 
-    def subscribe(self, callback: Callable[[str, int], None]) -> None:
-        """``callback(name, new_epoch)`` on every bump (cache reclaim)."""
-        self._listeners.append(callback)
+        One epoch bump per batch; subscribers receive the set of dirty
+        partitions alongside the new epoch, so a partition-scoped cache
+        reclaims only entries whose footprint the batch actually
+        touched.  Returns the effective :class:`EdgeDelta`.
+        """
+        record = self.get(name)
+        delta = record.apply_updates(inserts, deletes)
+        self._bump(record, dirty=record.dirty_partitions(delta))
+        return delta
+
+    def _bump(
+        self,
+        record: GraphRecord,
+        dirty: Optional[FrozenSet[int]] = None,
+    ) -> None:
+        record.bump()
+        for listener, takes_dirty in self._listeners:
+            if takes_dirty:
+                listener(record.name, record.epoch, dirty)
+            else:
+                listener(record.name, record.epoch)
+
+    def subscribe(self, callback: Callable[..., None]) -> None:
+        """``callback(name, new_epoch[, dirty_partitions])`` per bump.
+
+        Two-argument callbacks stay supported (they simply never see
+        the dirty-partition report a mutation batch carries); arity is
+        resolved once here, not per notification.
+        """
+        takes_dirty = True
+        try:
+            sig = inspect.signature(callback)
+            positional = [
+                p for p in sig.parameters.values()
+                if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+            ]
+            has_var = any(
+                p.kind == p.VAR_POSITIONAL for p in sig.parameters.values()
+            )
+            takes_dirty = has_var or len(positional) >= 3
+        except (TypeError, ValueError):  # builtins without signatures
+            pass
+        self._listeners.append((callback, takes_dirty))
 
     def names(self) -> List[str]:
         return sorted(self._records)
@@ -314,6 +412,14 @@ class Endpoint:
     treats a longer run as a timeout failure (and fires its one hedged
     retry).  ``degradable=False`` opts the endpoint out of the
     stale-cache degradation ladder (it fails hard instead).
+
+    ``footprint(record, params)`` declares the partitions one result
+    reads — the result cache records it so a mutation batch that
+    dirties other partitions leaves the entry servable.  ``None`` (the
+    default, and the only sound answer for full-graph analytics) means
+    *every* partition: any mutation invalidates.  A footprint must be
+    conservative — report every partition the answer could depend on —
+    or promoted entries would serve wrong answers as fresh.
     """
 
     def __init__(
@@ -325,6 +431,7 @@ class Endpoint:
         description: str = "",
         timeout_ops: Optional[int] = None,
         degradable: bool = True,
+        footprint: Optional[Callable[..., Optional[Any]]] = None,
     ) -> None:
         if timeout_ops is not None and timeout_ops < 1:
             raise ValueError("timeout_ops must be >= 1")
@@ -335,6 +442,7 @@ class Endpoint:
         self.description = description
         self.timeout_ops = timeout_ops
         self.degradable = degradable
+        self._footprint = footprint
 
     @property
     def merge_batch(self) -> bool:
@@ -354,6 +462,17 @@ class Endpoint:
 
     def canonicalize(self, params: Dict) -> Tuple:
         return canonical_params(params)
+
+    def partitions_read(
+        self, record: GraphRecord, params: Dict
+    ) -> Optional[FrozenSet[int]]:
+        """Partition footprint of one request, or ``None`` (whole graph)."""
+        if self._footprint is None:
+            return None
+        parts = self._footprint(record, params)
+        if parts is None:
+            return None
+        return frozenset(int(p) for p in parts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Endpoint({self.name!r}, family={self.family!r})"
@@ -482,6 +601,29 @@ def _run_predict_batch(
     return [_slice_nodes(predicted, p, n) for p in params_list], cost
 
 
+def _run_neighbors(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
+    """Partition-local 1-hop retrieval: one vertex's adjacency list.
+
+    The cheapest served computation, and the one whose result provably
+    depends on a single partition — the shard owning the vertex holds
+    its adjacency, and any mutation touching that list dirties the
+    owner partition by construction.  The footprint below is therefore
+    exact, which is what lets the partition-scoped cache keep these
+    entries hot across an unrelated update trickle.
+    """
+    n = max(record.graph.num_vertices, 1)
+    v = int(params.get("node", 0)) % n
+    nbrs = record.graph.neighbors(v)
+    return [int(w) for w in nbrs], max(1, int(nbrs.size))
+
+
+def _neighbors_footprint(record: GraphRecord, params: Dict):
+    n = max(record.graph.num_vertices, 1)
+    v = int(params.get("node", 0)) % n
+    part_of = getattr(record.graph, "part_of", None)
+    return None if part_of is None else {part_of(v)}
+
+
 def _run_subgraph_query(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
     """TLAG interactive subgraph query (the G-thinkerQ backend).
 
@@ -529,5 +671,11 @@ def builtin_endpoints() -> EndpointRegistry:
     registry.register(Endpoint(
         "tlag.subgraph_query", "tlag", _run_subgraph_query,
         description="planned interactive subgraph query (params: pattern)",
+    ))
+    registry.register(Endpoint(
+        "graph.neighbors", "graph", _run_neighbors,
+        description="1-hop adjacency of a vertex (params: node); "
+                    "partition-exact cache footprint",
+        footprint=_neighbors_footprint,
     ))
     return registry

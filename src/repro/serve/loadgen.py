@@ -27,7 +27,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..graph.delta import random_edge_updates
 from ..graph.generators import barabasi_albert, watts_strogatz
+from ..graph.partition import hash_partition
+from ..graph.store import InMemoryGraph
 from ..obs import MetricsRegistry, Tracer
 from .endpoints import EndpointRegistry, GraphRegistry, builtin_endpoints
 from .scheduler import Request, Response, Server
@@ -36,6 +39,7 @@ __all__ = [
     "MixEntry",
     "ClosedLoop",
     "open_loop",
+    "update_stream",
     "SCENARIOS",
     "scenario_requests",
     "run_scenario",
@@ -274,10 +278,103 @@ def _build_burst(seed: int) -> Dict[str, Any]:
     }
 
 
+def update_stream(
+    graph,
+    num_batches: int,
+    edge_fraction: float = 0.01,
+    seed: int = 0,
+    name: str = "default",
+) -> List[Callable[[GraphRegistry], Any]]:
+    """Seeded edge-mutation batches as wave ``before`` hooks.
+
+    Each hook calls ``GraphRegistry.apply_updates(name, ...)`` with one
+    pre-generated batch (deletes sampled from the live edge set, inserts
+    from its complement), so interleaving them with query waves gives a
+    deterministic temporal workload: the registry bumps the graph's
+    epoch per batch and reports the dirty partitions to the cache.
+    """
+    batches = random_edge_updates(
+        graph, num_batches, edge_fraction=edge_fraction, seed=seed
+    )
+    return [
+        (lambda g, ins=ins, dels=dels: g.apply_updates(
+            name, inserts=ins, deletes=dels
+        ))
+        for ins, dels in batches
+    ]
+
+
+def _build_temporal(seed: int) -> Dict[str, Any]:
+    """Interleaved update/query streams over a partitioned dynamic graph.
+
+    Heavy on ``graph.neighbors`` (partition-exact footprint) so the
+    cache's partition-scoped promotion is load-bearing: each mutation
+    batch dirties a couple of the 8 partitions and the rest of the
+    cached adjacency answers carry over to the new epoch.
+    """
+    base = barabasi_albert(240, 3, seed=5)
+    n = base.num_vertices
+    graphs = GraphRegistry()
+    # 32 partitions over 240 vertices: a trickle batch touches a small
+    # fraction of them, so most cached footprints stay clean per epoch.
+    graphs.register(
+        "default",
+        InMemoryGraph(base, partition=hash_partition(base, 32), name="default"),
+    )
+    mix = [
+        # Hot set of 48 vertices: adjacency queries repeat, so promoted
+        # entries actually get re-hit after each mutation batch.
+        MixEntry(
+            "graph.neighbors",
+            lambda r: {"node": int(r.integers(48))},
+            weight=6.0, deadline_slack=150_000,
+        ),
+        MixEntry("tlav.pagerank", lambda r: {"iterations": 4}, weight=1.0),
+        MixEntry(
+            "tlav.bfs",
+            lambda r: {"source": int(r.integers(n))},
+            weight=1.5, priority=1, deadline_slack=250_000,
+        ),
+        MixEntry("matching.count", lambda r: {"pattern": "triangle"}, weight=0.5),
+    ]
+    hooks = update_stream(
+        base, num_batches=6, edge_fraction=0.004, seed=seed + 9
+    )
+    waves: List[Dict[str, Any]] = [
+        {"requests": open_loop(
+            mix, num_requests=24, mean_interarrival=400,
+            tenants=("alice", "bob"), seed=seed,
+        )},
+    ]
+    for i, hook in enumerate(hooks[:-1]):
+        waves.append({
+            "before": hook,
+            "requests": open_loop(
+                mix, num_requests=16, mean_interarrival=400,
+                tenants=("alice", "bob"), seed=seed + 10 + i,
+            ),
+        })
+    closed = ClosedLoop(
+        mix, clients=("dan", "erin"), requests_per_client=6,
+        think_ops=300, seed=seed + 1,
+    )
+    waves.append({
+        "before": hooks[-1],
+        "requests": closed.initial_requests(),
+        "feedback": closed.feedback,
+    })
+    return {
+        "graphs": graphs,
+        "waves": waves,
+        "server": {"num_workers": 2, "queue_bound": 64, "batch_window": 64},
+    }
+
+
 SCENARIOS: Dict[str, Callable[[int], Dict[str, Any]]] = {
     "smoke": _build_smoke,
     "mixed": _build_mixed,
     "burst": _build_burst,
+    "temporal": _build_temporal,
 }
 
 

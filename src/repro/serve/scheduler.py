@@ -608,6 +608,7 @@ class Server:
                         request.endpoint, request.graph, record.epoch, canon_r
                     ),
                     value,
+                    partitions=endpoint.partitions_read(record, request.params),
                 )
             if error is not None:
                 # Ladder rung 3: a failed (or timed-out, post-hedge)

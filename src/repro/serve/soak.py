@@ -41,8 +41,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..graph.delta import random_edge_updates
 from ..graph.generators import barabasi_albert
-from ..graph.store import ingest_edge_stream, repair_store, verify_store
+from ..graph.partition import hash_partition
+from ..graph.store import InMemoryGraph, ingest_edge_stream, repair_store, verify_store
 from ..obs import MetricsRegistry, Tracer, json_safe
 from ..resilience import FaultError, FaultPlan, resolve_fault_seed
 from .breaker import BreakerConfig
@@ -50,7 +52,7 @@ from .endpoints import GraphRegistry, builtin_endpoints
 from .loadgen import MixEntry, open_loop, summarize
 from .scheduler import Request, Response, Server
 
-__all__ = ["run_serve_soak"]
+__all__ = ["run_serve_soak", "run_mutate_soak"]
 
 
 # ----------------------------------------------------------------------
@@ -411,6 +413,134 @@ def run_store_part(
     finally:
         if own_dir:
             shutil.rmtree(root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Mutate soak: streaming updates + incremental engines + cache accounting
+# ----------------------------------------------------------------------
+
+
+def run_mutate_soak(
+    seed: Optional[int] = None,
+    obs: Optional[MetricsRegistry] = None,
+    num_batches: int = 30,
+) -> Dict[str, Any]:
+    """Interleave query waves with a seeded edge-update stream and check
+    the dynamic-graph contract at every epoch:
+
+    * **incremental ≡ recompute** — the incremental PageRank / WCC / BFS
+      maintainers, fed the same batches in lockstep with the registry,
+      match a from-scratch solve on the final graph (WCC and BFS
+      bit-identical, PageRank within the push tolerance);
+    * **served answers are current** — every ``graph.neighbors`` response
+      in the wave after a batch reflects that batch's inserts/deletes;
+    * **cache accounting** — the per-graph secondary index stays
+      consistent with the entry table at every epoch, promotions only
+      happen for entries whose footprint missed the dirty partitions,
+      and the admission ledger balances.
+    """
+    from ..tlav import bfs as scratch_bfs
+    from ..tlav import wcc as scratch_wcc
+    from ..tlav.incremental import (
+        IncrementalBFS,
+        IncrementalPageRank,
+        IncrementalWCC,
+    )
+
+    seed = resolve_fault_seed(seed)
+    obs = obs if obs is not None else MetricsRegistry()
+    base = barabasi_albert(240, 3, seed=11)
+    n = base.num_vertices
+    graphs = GraphRegistry()
+    graphs.register(
+        "default",
+        InMemoryGraph(base, partition=hash_partition(base, 32), name="default"),
+    )
+    server = Server(
+        graphs, endpoints=builtin_endpoints(), obs=obs,
+        num_workers=2, queue_bound=64, batch_window=64, max_batch=4,
+        max_stale_epochs=4,
+    )
+    inc_pr = IncrementalPageRank(base, tol=1e-10)
+    inc_wcc = IncrementalWCC(base)
+    inc_bfs = IncrementalBFS(base, source=0)
+    batches = random_edge_updates(
+        base, num_batches, edge_fraction=0.01, seed=seed + 3
+    )
+    mix = [
+        MixEntry(
+            "graph.neighbors",
+            lambda r: {"node": int(r.integers(48))},
+            weight=5.0,
+        ),
+        MixEntry("tlav.bfs", lambda r: {"source": 0}, weight=1.0),
+        MixEntry("tlav.wcc", lambda r: {}, weight=1.0),
+    ]
+
+    responses: List[Response] = []
+    index_ok = True
+    answers_current = True
+    epochs = 0
+    for i, (ins, dels) in enumerate(batches):
+        delta = graphs.apply_updates("default", inserts=ins, deletes=dels)
+        inc_pr.apply(ins, dels)
+        inc_wcc.apply(ins, dels)
+        inc_bfs.apply(ins, dels)
+        epochs += 1
+        index_ok = index_ok and server.cache.index_consistent()
+        live = graphs.get("default").graph
+        wave = open_loop(
+            mix, num_requests=8, mean_interarrival=300,
+            tenants=("alice", "bob"), seed=seed + 100 + i,
+        )
+        for request in wave:
+            server.submit(request)
+        wave_responses = server.run()
+        responses.extend(wave_responses)
+        for r in wave_responses:
+            if r.ok and r.request.endpoint == "graph.neighbors":
+                node = int(r.request.params.get("node", 0)) % n
+                expect = [int(w) for w in live.neighbors(node)]
+                answers_current = answers_current and r.value == expect
+        index_ok = index_ok and server.cache.index_consistent()
+
+    final = graphs.get("default").graph.to_graph()
+    pr_err = float(np.max(np.abs(
+        inc_pr.scores() - IncrementalPageRank(final, tol=1e-10).scores()
+    )))
+    wcc_match = bool(np.array_equal(inc_wcc.labels, scratch_wcc(final)))
+    bfs_match = bool(np.array_equal(inc_bfs.levels, scratch_bfs(final, source=0)))
+
+    stats = server.stats
+    cache = server.cache.as_dict()
+    assertions = {
+        "ledger_ok": (
+            stats.in_flight == 0
+            and stats.admitted
+            == stats.completed + stats.shed + stats.expired + stats.degraded
+        ),
+        "index_consistent": index_ok,
+        "answers_current": answers_current,
+        "incremental_pagerank_matches": pr_err < 1e-6,
+        "incremental_wcc_matches": wcc_match,
+        "incremental_bfs_matches": bfs_match,
+        "epoch_advanced_per_batch": graphs.get("default").epoch == num_batches,
+        "promotions_seen": cache["promoted"] > 0,
+    }
+    return {
+        "ok": all(assertions.values()),
+        "assertions": assertions,
+        "batches": epochs,
+        "requests": len(responses),
+        "final_epoch": int(graphs.get("default").epoch),
+        "pagerank_max_err": pr_err,
+        "incremental": {
+            "pagerank": inc_pr.as_dict(),
+            "wcc": inc_wcc.as_dict(),
+            "bfs": inc_bfs.as_dict(),
+        },
+        "cache": cache,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -327,3 +327,114 @@ def _check_pr_distributed(params: Dict) -> List[str]:
         reference, np.asarray(values, dtype=np.float64), atol=1e-12,
         label="pagerank",
     )
+
+
+# ----------------------------------------------------------------------
+# Incremental maintainers vs from-scratch recompute (streaming updates)
+# ----------------------------------------------------------------------
+
+
+def _gen_incremental(rng: np.random.Generator) -> Dict:
+    params = gen_graph_params(rng, n_range=(8, 64))
+    params["batches"] = int(rng.integers(3, 9))
+    params["update_seed"] = int(rng.integers(1 << 20))
+    params["edge_frac"] = round(float(rng.uniform(0.005, 0.05)), 4)
+    return params
+
+
+def _gen_incremental_bfs(rng: np.random.Generator) -> Dict:
+    params = _gen_incremental(rng)
+    params["source"] = int(rng.integers(1 << 16))
+    return params
+
+
+def _incremental_stream(params: Dict):
+    """(initial graph, regenerated seeded update batches)."""
+    from ..graph.delta import random_edge_updates
+
+    graph = make_graph(params)
+    batches = random_edge_updates(
+        graph,
+        max(1, int(params["batches"])),
+        edge_fraction=max(1e-4, float(params.get("edge_frac", 0.01))),
+        seed=int(params.get("update_seed", 0)),
+    )
+    return graph, batches
+
+
+@pair(
+    "tlav.incremental.pagerank_vs_scratch", "tlav", BOUNDED_ERROR,
+    gen=_gen_incremental,
+    floors={"n": 4, "batches": 1, "update_seed": 0, "edge_frac": 0.005},
+    description="Gauss-Southwell delta PageRank repairs residuals for "
+    "touched vertices only; two solves pushed to the same tolerance "
+    "agree to O(n*tol/(1-d)), never bit-identical (push order differs).",
+)
+def _check_incremental_pagerank(params: Dict) -> List[str]:
+    from ..graph.delta import apply_edge_updates
+    from .incremental import IncrementalPageRank
+
+    graph, batches = _incremental_stream(params)
+    maintainer = IncrementalPageRank(graph, tol=1e-10)
+    violations: List[str] = []
+    for epoch, (ins, dels) in enumerate(batches, start=1):
+        maintainer.apply(ins, dels)
+        graph, _ = apply_edge_updates(graph, inserts=ins, deletes=dels)
+        violations += bounded_error(
+            IncrementalPageRank(graph, tol=1e-10).scores(),
+            maintainer.scores(),
+            atol=1e-6,
+            label=f"pagerank@epoch{epoch}",
+        )
+    return violations
+
+
+@pair(
+    "tlav.incremental.wcc_vs_scratch", "tlav", BIT_IDENTICAL,
+    gen=_gen_incremental,
+    floors={"n": 4, "batches": 1, "update_seed": 0, "edge_frac": 0.005},
+    description="Incremental WCC (eager union on insert, affected-"
+    "component re-exploration on delete) lands on the same min-vertex-id "
+    "labels as a scratch solve at every epoch.",
+)
+def _check_incremental_wcc(params: Dict) -> List[str]:
+    from ..graph.delta import apply_edge_updates
+    from .incremental import IncrementalWCC
+
+    graph, batches = _incremental_stream(params)
+    maintainer = IncrementalWCC(graph)
+    violations: List[str] = []
+    for epoch, (ins, dels) in enumerate(batches, start=1):
+        maintainer.apply(ins, dels)
+        graph, _ = apply_edge_updates(graph, inserts=ins, deletes=dels)
+        violations += same_bits(
+            wcc(graph), maintainer.labels, f"wcc@epoch{epoch}"
+        )
+    return violations
+
+
+@pair(
+    "tlav.incremental.bfs_vs_scratch", "tlav", BIT_IDENTICAL,
+    gen=_gen_incremental_bfs,
+    floors={"n": 4, "batches": 1, "update_seed": 0, "edge_frac": 0.005,
+            "source": 0},
+    description="Incremental BFS (invalidation closure on delete, "
+    "decrease-only relaxation on insert) reproduces scratch levels "
+    "bit-for-bit at every epoch; levels are integers, so any repair "
+    "mistake is a hard mismatch.",
+)
+def _check_incremental_bfs(params: Dict) -> List[str]:
+    from ..graph.delta import apply_edge_updates
+    from .incremental import IncrementalBFS
+
+    graph, batches = _incremental_stream(params)
+    source = int(params["source"]) % graph.num_vertices
+    maintainer = IncrementalBFS(graph, source)
+    violations: List[str] = []
+    for epoch, (ins, dels) in enumerate(batches, start=1):
+        maintainer.apply(ins, dels)
+        graph, _ = apply_edge_updates(graph, inserts=ins, deletes=dels)
+        violations += same_bits(
+            bfs(graph, source), maintainer.levels, f"bfs@epoch{epoch}"
+        )
+    return violations

@@ -1,0 +1,116 @@
+"""Batched edge deltas: apply_edge_updates + random_edge_updates."""
+
+import numpy as np
+import pytest
+
+from repro.graph.delta import (
+    EdgeDelta,
+    apply_edge_updates,
+    random_edge_updates,
+)
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.graph.partition import hash_partition
+
+
+class TestApplyEdgeUpdates:
+    def test_insert_and_delete(self):
+        g = barabasi_albert(30, 2, seed=0)
+        u, v = 0, 29
+        assert not g.has_edge(u, v)
+        g2, delta = apply_edge_updates(g, inserts=[(u, v)])
+        assert g2.has_edge(u, v) and g2.has_edge(v, u)
+        assert delta.changed
+        assert delta.inserts.tolist() == [[u, v]]
+        assert set(delta.touched.tolist()) == {u, v}
+        g3, delta = apply_edge_updates(g2, deletes=[(v, u)])
+        assert not g3.has_edge(u, v)
+        assert delta.deletes.tolist() == [[u, v]]
+
+    def test_original_graph_untouched(self):
+        g = barabasi_albert(20, 2, seed=1)
+        before = (g.indptr.copy(), g.indices.copy())
+        apply_edge_updates(g, inserts=[(0, 19)], deletes=[(0, 1)])
+        assert np.array_equal(g.indptr, before[0])
+        assert np.array_equal(g.indices, before[1])
+
+    def test_noop_requests_dropped_from_delta(self):
+        g = barabasi_albert(20, 2, seed=2)
+        present = (0, int(g.neighbors(0)[0]))
+        g2, delta = apply_edge_updates(
+            g, inserts=[present], deletes=[(7, 13) if not g.has_edge(7, 13)
+                                          else (7, 14)]
+        )
+        if not delta.changed:
+            assert np.array_equal(g2.indptr, g.indptr)
+            assert np.array_equal(g2.indices, g.indices)
+            assert delta.touched.size == 0
+
+    def test_delete_before_insert_in_one_batch(self):
+        g = barabasi_albert(20, 2, seed=3)
+        e = (0, int(g.neighbors(0)[0]))
+        g2, delta = apply_edge_updates(g, inserts=[e], deletes=[e])
+        assert g2.has_edge(*e)
+        assert delta.deletes.tolist() == [sorted(e)]
+        assert delta.inserts.tolist() == [sorted(e)]
+
+    def test_rejects_self_loop_and_out_of_range(self):
+        g = barabasi_albert(10, 2, seed=4)
+        with pytest.raises(ValueError):
+            apply_edge_updates(g, inserts=[(3, 3)])
+        with pytest.raises(ValueError):
+            apply_edge_updates(g, inserts=[(0, 10)])
+
+    def test_csr_stays_canonical(self):
+        g = erdos_renyi(40, 0.1, seed=5)
+        g2, _ = apply_edge_updates(
+            g, inserts=[(0, 39), (1, 38)], deletes=[(0, int(g.neighbors(0)[0]))]
+        )
+        for v in range(g2.num_vertices):
+            nbrs = g2.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)  # sorted, no duplicates
+
+    def test_dirty_partitions(self):
+        g = barabasi_albert(24, 2, seed=6)
+        part = hash_partition(g, 4)
+        _, delta = apply_edge_updates(g, inserts=[(0, 23)])
+        dirty = delta.dirty_partitions(part.assignment)
+        assert dirty == frozenset(
+            {int(part.assignment[0]), int(part.assignment[23])}
+        )
+        assert delta.dirty_partitions(None) == frozenset({0})
+        empty = EdgeDelta(
+            inserts=np.empty((0, 2), dtype=np.int64),
+            deletes=np.empty((0, 2), dtype=np.int64),
+            touched=np.empty(0, dtype=np.int64),
+        )
+        assert empty.dirty_partitions(part.assignment) == frozenset()
+
+
+class TestRandomEdgeUpdates:
+    def test_stream_is_consistent_and_deterministic(self):
+        g = barabasi_albert(60, 3, seed=7)
+        batches = random_edge_updates(g, 10, edge_fraction=0.02, seed=1)
+        again = random_edge_updates(g, 10, edge_fraction=0.02, seed=1)
+        assert all(
+            np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+            for a, b in zip(batches, again)
+        )
+        live = g
+        for ins, dels in batches:
+            for u, v in dels:
+                assert live.has_edge(int(u), int(v))
+            for u, v in ins:
+                assert not live.has_edge(int(u), int(v))
+            live, delta = apply_edge_updates(live, inserts=ins, deletes=dels)
+            # every request was effective by construction
+            assert delta.inserts.shape == ins.shape
+            assert delta.deletes.shape == dels.shape
+
+    def test_rejects_directed(self):
+        from repro.graph.csr import Graph
+
+        indptr = np.array([0, 1, 2, 2], dtype=np.int64)
+        indices = np.array([1, 2], dtype=np.int64)
+        directed = Graph(indptr, indices, directed=True)
+        with pytest.raises(ValueError):
+            random_edge_updates(directed, 1)

@@ -140,3 +140,222 @@ class TestStaleWhileRevalidate:
     def test_negative_stale_epochs_rejected(self):
         with pytest.raises(ValueError):
             ResultCache(max_stale_epochs=-1)
+
+
+class TestUnattachedStalenessBound:
+    def test_lookup_stale_enforces_bound_without_registry(self):
+        """Regression: an *unattached* cache (no registry eagerly
+        reclaiming old epochs) must still refuse answers older than
+        max_stale_epochs — the bound lives inside lookup_stale, not
+        only in invalidate_graph's retention floor."""
+        cache = ResultCache(max_stale_epochs=2)
+        cache.put(_key(epoch=0, x=1), "ancient")
+        # No invalidate_graph call: the entry is still resident.
+        found, _, _ = cache.lookup_stale(
+            "ep", "default", 5, canonical_params({"x": 1})
+        )
+        assert not found, "epoch 0 is 5 behind; bound is 2"
+        # Within the bound it is served.
+        found, value, staleness = cache.lookup_stale(
+            "ep", "default", 2, canonical_params({"x": 1})
+        )
+        assert found and value == "ancient" and staleness == 2
+
+    def test_bound_is_inclusive(self):
+        cache = ResultCache(max_stale_epochs=3)
+        cache.put(_key(epoch=4, x=1), "v")
+        found, _, staleness = cache.lookup_stale(
+            "ep", "default", 7, canonical_params({"x": 1})
+        )
+        assert found and staleness == 3
+        found, _, _ = cache.lookup_stale(
+            "ep", "default", 8, canonical_params({"x": 1})
+        )
+        assert not found
+
+
+class TestInvalidateWithoutCurrentEpoch:
+    def test_floor_resolves_from_newest_cached_epoch(self):
+        cache = ResultCache(max_stale_epochs=2)
+        for epoch in range(6):
+            cache.put(_key(epoch=epoch, x=1), f"e{epoch}")
+        reclaimed = cache.invalidate_graph("default")
+        # Newest cached epoch is 5 -> floor 3: epochs 0-2 reclaimed,
+        # 3-4 retained as the stale tail, 5 untouched (current).
+        assert reclaimed == 3
+        assert _key(epoch=5, x=1) in cache
+        assert _key(epoch=4, x=1) in cache
+        assert _key(epoch=3, x=1) in cache
+        assert _key(epoch=2, x=1) not in cache
+
+    def test_counters_account_reclaimed_vs_retained(self):
+        cache = ResultCache(max_stale_epochs=1)
+        for epoch in range(4):
+            cache.put(_key(epoch=epoch, x=1), f"e{epoch}")
+        cache.invalidate_graph("default")
+        d = cache.as_dict()
+        assert d["invalidated"] == 2  # epochs 0, 1
+        assert d["retained"] == 1     # epoch 2
+        assert len(cache) == 2        # epochs 2, 3
+
+    def test_unknown_graph_is_a_noop(self):
+        cache = ResultCache()
+        assert cache.invalidate_graph("nope") == 0
+
+
+class TestPartitionScopedInvalidation:
+    def test_disjoint_footprint_promoted_to_new_epoch(self):
+        cache = ResultCache()
+        cache.put(_key(epoch=0, x=1), "clean", partitions={2})
+        cache.put(_key(epoch=0, x=2), "dirty", partitions={0, 2})
+        cache.put(_key(epoch=0, x=3), "whole-graph")  # None footprint
+        cache.invalidate_graph("default", current_epoch=1,
+                               dirty_partitions={0})
+        hit, value = cache.lookup(_key(epoch=1, x=1))
+        assert hit and value == "clean"
+        hit, _ = cache.lookup(_key(epoch=1, x=2))
+        assert not hit
+        hit, _ = cache.lookup(_key(epoch=1, x=3))
+        assert not hit
+        assert cache.as_dict()["promoted"] == 1
+
+    def test_empty_dirty_set_promotes_everything(self):
+        """An empty dirty set is the registry's proof the batch was a
+        structural no-op: even whole-graph entries stay fresh."""
+        cache = ResultCache()
+        cache.put(_key(epoch=0, x=1), "a", partitions={3})
+        cache.put(_key(epoch=0, x=2), "b")
+        cache.invalidate_graph("default", current_epoch=1,
+                               dirty_partitions=frozenset())
+        assert cache.lookup(_key(epoch=1, x=1))[0]
+        assert cache.lookup(_key(epoch=1, x=2))[0]
+        assert cache.as_dict()["promoted"] == 2
+
+    def test_no_dirty_info_means_no_promotion(self):
+        cache = ResultCache()
+        cache.put(_key(epoch=0, x=1), "a", partitions={3})
+        cache.invalidate_graph("default", current_epoch=1)
+        assert not cache.lookup(_key(epoch=1, x=1))[0]
+        assert cache.as_dict()["promoted"] == 0
+
+    def test_partition_scoped_off_disables_promotion(self):
+        cache = ResultCache(partition_scoped=False)
+        cache.put(_key(epoch=0, x=1), "a", partitions={3})
+        cache.invalidate_graph("default", current_epoch=1,
+                               dirty_partitions={0})
+        assert not cache.lookup(_key(epoch=1, x=1))[0]
+
+    def test_promotion_does_not_clobber_existing_entry(self):
+        cache = ResultCache()
+        cache.put(_key(epoch=0, x=1), "old", partitions={5})
+        cache.put(_key(epoch=1, x=1), "already-fresh", partitions={5})
+        cache.invalidate_graph("default", current_epoch=1,
+                               dirty_partitions={0})
+        hit, value = cache.lookup(_key(epoch=1, x=1))
+        assert hit and value == "already-fresh"
+        assert cache.index_consistent()
+
+    def test_attached_registry_reports_dirty_partitions(self):
+        import numpy as np
+
+        from repro.graph.partition import hash_partition
+        from repro.graph.store import InMemoryGraph
+
+        g = barabasi_albert(40, 2, seed=9)
+        part = hash_partition(g, 8)
+        graphs = GraphRegistry()
+        graphs.register("default", InMemoryGraph(g, partition=part))
+        cache = ResultCache(max_stale_epochs=2).attach(graphs)
+        clean_part = int(part.assignment[20])
+        dirty_pair = next(
+            (u, v)
+            for u in range(g.num_vertices)
+            for v in range(u + 1, g.num_vertices)
+            if not g.has_edge(u, v)
+        )
+        dirty_parts = {int(part.assignment[v]) for v in dirty_pair}
+        if clean_part in dirty_parts:  # keep the fixture meaningful
+            clean_part = next(
+                p for p in range(8) if p not in dirty_parts
+            )
+        cache.put(_key(epoch=0, x=1), "clean", partitions={clean_part})
+        cache.put(_key(epoch=0, x=2), "dirty", partitions=dirty_parts)
+        graphs.apply_updates(
+            "default", inserts=np.array([dirty_pair]), deletes=()
+        )
+        assert cache.lookup(_key(epoch=1, x=1))[0]
+        assert not cache.lookup(_key(epoch=1, x=2))[0]
+
+
+class TestIndexAccounting:
+    def test_randomized_operations_keep_index_consistent(self):
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        cache = ResultCache(capacity=16, max_stale_epochs=2)
+        graphs = ["g0", "g1", "g2"]
+        epochs = {g: 0 for g in graphs}
+        for step in range(600):
+            op = rng.integers(4)
+            g = graphs[int(rng.integers(len(graphs)))]
+            if op == 0:
+                key = ResultCache.key(
+                    "ep", g, epochs[g],
+                    canonical_params({"x": int(rng.integers(6))}),
+                )
+                parts = (
+                    None if rng.integers(2) == 0
+                    else {int(p) for p in rng.integers(0, 4, 2)}
+                )
+                cache.put(key, step, partitions=parts)
+            elif op == 1:
+                key = ResultCache.key(
+                    "ep", g, epochs[g],
+                    canonical_params({"x": int(rng.integers(6))}),
+                )
+                cache.lookup(key)
+            elif op == 2:
+                cache.lookup_stale(
+                    "ep", g, epochs[g],
+                    canonical_params({"x": int(rng.integers(6))}),
+                )
+            else:
+                epochs[g] += 1
+                dirty = (
+                    None if rng.integers(2) == 0
+                    else {int(p) for p in rng.integers(0, 4, 1)}
+                )
+                cache.invalidate_graph(
+                    g, current_epoch=epochs[g], dirty_partitions=dirty
+                )
+            assert cache.index_consistent(), f"index drifted at step {step}"
+        assert len(cache) <= cache.capacity
+
+
+class TestHitRateAccounting:
+    def test_stale_hits_do_not_inflate_fresh_hit_rate(self):
+        cache = ResultCache(max_stale_epochs=4)
+        cache.put(_key(epoch=0, x=1), "v")
+        cache.lookup(_key(epoch=1, x=1))  # fresh miss
+        found, _, _ = cache.lookup_stale(
+            "ep", "default", 1, canonical_params({"x": 1})
+        )
+        assert found
+        assert cache.hit_rate == 0.0  # 0 fresh hits / 1 fresh miss
+        assert cache.stale_hit_rate == 1.0
+        d = cache.as_dict()
+        assert d["hit_rate"] == 0.0
+        assert d["stale_hits"] == 1 and d["stale_misses"] == 0
+        assert d["stale_hit_rate"] == 1.0
+
+    def test_as_dict_mirrors_counters(self):
+        cache = ResultCache(max_stale_epochs=1)
+        cache.put(_key(epoch=0, x=1), "v", partitions={1})
+        cache.lookup(_key(epoch=0, x=1))
+        cache.invalidate_graph("default", current_epoch=1,
+                               dirty_partitions={1})
+        d = cache.as_dict()
+        assert d["hits"] == cache.hits == 1
+        assert d["retained"] == 1 and d["promoted"] == 0
+        assert d["partition_scoped"] is True
+        assert d["max_stale_epochs"] == 1

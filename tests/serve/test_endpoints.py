@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.graph.delta import random_edge_updates
 from repro.graph.generators import barabasi_albert
 from repro.matching.backtrack import count_matches
 from repro.matching.cliques import count_k_cliques
@@ -97,7 +98,7 @@ class TestGraphRegistry:
 class TestEndpointRegistry:
     def test_builtin_covers_every_family(self):
         registry = builtin_endpoints()
-        assert registry.families() == ["gnn", "matching", "tlag", "tlav"]
+        assert registry.families() == ["gnn", "graph", "matching", "tlag", "tlav"]
 
     def test_duplicate_rejected(self):
         registry = EndpointRegistry()
@@ -181,3 +182,193 @@ class TestBuiltinEndpointsMatchEngines:
         batched, _ = ep.run_batch(record, params)
         singles = [ep.run(record, p)[0] for p in params]
         assert batched == singles
+
+
+class TestApplyUpdates:
+    def _registry(self, num_parts=4):
+        from repro.graph.partition import hash_partition
+        from repro.graph.store import InMemoryGraph
+
+        g = barabasi_albert(40, 2, seed=21)
+        part = hash_partition(g, num_parts)
+        graphs = GraphRegistry()
+        graphs.register("default", InMemoryGraph(g, partition=part))
+        return graphs, g, part
+
+    @staticmethod
+    def _non_edge(g):
+        return next(
+            (u, v)
+            for u in range(g.num_vertices)
+            for v in range(u + 1, g.num_vertices)
+            if not g.has_edge(u, v)
+        )
+
+    def test_bumps_epoch_per_batch(self):
+        graphs, g, _ = self._registry()
+        u, v = self._non_edge(g)
+        graphs.apply_updates("default", inserts=np.array([[u, v]]))
+        assert graphs.get("default").epoch == 1
+        graphs.apply_updates("default", deletes=np.array([[u, v]]))
+        assert graphs.get("default").epoch == 2
+
+    def test_mutation_visible_through_handle(self):
+        graphs, g, _ = self._registry()
+        u, v = self._non_edge(g)
+        graphs.apply_updates("default", inserts=np.array([[u, v]]))
+        record = graphs.get("default")
+        assert v in record.graph.neighbors(u)
+        assert u in record.graph.neighbors(v)
+
+    def test_partition_layout_survives_mutation(self):
+        graphs, g, part = self._registry()
+        u, v = self._non_edge(g)
+        graphs.apply_updates("default", inserts=np.array([[u, v]]))
+        handle = graphs.get("default").graph
+        assert handle.num_parts == part.num_parts
+        assert np.array_equal(handle.assignment, part.assignment)
+
+    def test_listener_receives_dirty_partitions(self):
+        graphs, g, part = self._registry()
+        seen = []
+        graphs.subscribe(
+            lambda name, epoch, dirty=None: seen.append((name, epoch, dirty))
+        )
+        u, v = self._non_edge(g)
+        delta = graphs.apply_updates("default", inserts=np.array([[u, v]]))
+        assert seen == [("default", 1, delta.dirty_partitions(part.assignment))]
+        assert seen[0][2] == frozenset(
+            int(part.assignment[w]) for w in (u, v)
+        )
+
+    def test_legacy_two_arg_listener_still_works(self):
+        graphs, g, _ = self._registry()
+        seen = []
+        graphs.subscribe(lambda name, epoch: seen.append((name, epoch)))
+        u, v = self._non_edge(g)
+        graphs.apply_updates("default", inserts=np.array([[u, v]]))
+        assert seen == [("default", 1)]
+
+    def test_unpartitioned_graph_dirties_partition_zero(self):
+        graphs = GraphRegistry()
+        g = barabasi_albert(20, 2, seed=22)
+        graphs.register("default", g)
+        u, v = self._non_edge(g)
+        seen = []
+        graphs.subscribe(
+            lambda name, epoch, dirty=None: seen.append(dirty)
+        )
+        graphs.apply_updates("default", inserts=np.array([[u, v]]))
+        assert seen == [frozenset({0})]
+
+    def test_noop_batch_reports_empty_dirty_set_but_bumps(self):
+        graphs, g, _ = self._registry()
+        present = (0, int(g.neighbors(0)[0]))
+        seen = []
+        graphs.subscribe(lambda name, epoch, dirty=None: seen.append(dirty))
+        delta = graphs.apply_updates(
+            "default", inserts=np.array([present])
+        )
+        assert not delta.changed
+        assert seen == [frozenset()]
+        assert graphs.get("default").epoch == 1
+
+    def test_stored_graph_mutation_becomes_overlay(self, tmp_path):
+        from repro.graph.store import build_store
+
+        g = barabasi_albert(30, 2, seed=23)
+        path = str(tmp_path / "store")
+        build_store(g, path, partition="hash", num_parts=3)
+        graphs = GraphRegistry()
+        graphs.register("stored", path)
+        record = graphs.get("stored")
+        before = record.epoch
+        assignment = np.asarray(record.graph.assignment).copy()
+        u, v = self._non_edge(g)
+        delta = graphs.apply_updates("stored", inserts=np.array([[u, v]]))
+        record = graphs.get("stored")
+        assert record.epoch == before + 1
+        assert v in record.graph.neighbors(u)
+        # Stored assignment frozen into the in-memory overlay.
+        assert np.array_equal(record.graph.assignment, assignment)
+        assert record.dirty_partitions(delta) == frozenset(
+            int(assignment[w]) for w in (u, v)
+        )
+
+
+class TestNeighborsEndpoint:
+    def test_neighbors_and_footprint(self):
+        from repro.graph.partition import hash_partition
+        from repro.graph.store import InMemoryGraph
+        from repro.serve.endpoints import builtin_endpoints
+
+        g = barabasi_albert(30, 2, seed=24)
+        part = hash_partition(g, 5)
+        graphs = GraphRegistry()
+        graphs.register("default", InMemoryGraph(g, partition=part))
+        record = graphs.get("default")
+        ep = builtin_endpoints().get("graph.neighbors")
+        assert ep.family == "graph"
+        value, cost = ep.run(record, {"node": 7}, None)
+        assert value == [int(w) for w in g.neighbors(7)]
+        assert cost >= 1
+        assert ep.partitions_read(record, {"node": 7}) == frozenset(
+            {int(part.assignment[7])}
+        )
+
+    def test_footprint_is_none_when_unpartitioned(self):
+        from repro.serve.endpoints import builtin_endpoints
+
+        graphs = GraphRegistry()
+        graphs.register("default", barabasi_albert(20, 2, seed=25))
+        record = graphs.get("default")
+        ep = builtin_endpoints().get("graph.neighbors")
+        # InMemoryGraph without a Partition: part_of exists and maps
+        # everything to 0, so the footprint is exact, not None.
+        assert ep.partitions_read(record, {"node": 3}) == frozenset({0})
+
+
+class TestEpochMonotonicityProperty:
+    def test_strictly_monotonic_across_storage_kinds(self, tmp_path):
+        """Property: every mutating registry operation — bump_epoch,
+        replace (to in-memory or stored), apply_updates — strictly
+        increases the record's epoch, across randomized interleavings
+        that swap the backing store between in-memory and on-disk."""
+        from repro.graph.store import build_store
+
+        rng = np.random.default_rng(7)
+        base = barabasi_albert(24, 2, seed=26)
+        stores = []
+        for i in range(2):
+            path = str(tmp_path / f"store{i}")
+            build_store(
+                barabasi_albert(24, 2, seed=30 + i), path,
+                partition="hash", num_parts=2,
+            )
+            stores.append(path)
+        graphs = GraphRegistry()
+        graphs.register("default", base)
+        history = [graphs.get("default").epoch]
+        for step in range(40):
+            op = int(rng.integers(4))
+            if op == 0:
+                graphs.bump_epoch("default")
+            elif op == 1:
+                graphs.replace(
+                    "default", barabasi_albert(24, 2, seed=int(rng.integers(99)))
+                )
+            elif op == 2:
+                graphs.replace("default", stores[int(rng.integers(2))])
+            else:
+                live = graphs.get("default").graph.to_graph()
+                batches = random_edge_updates(
+                    live, 1, edge_fraction=0.02, seed=int(rng.integers(99))
+                )
+                ins, dels = batches[0]
+                graphs.apply_updates("default", inserts=ins, deletes=dels)
+            epoch = graphs.get("default").epoch
+            assert epoch > history[-1], (
+                f"step {step} op {op}: epoch {epoch} did not increase "
+                f"past {history[-1]}"
+            )
+            history.append(epoch)

@@ -112,3 +112,45 @@ class TestScenarios:
     def test_cache_improves_hit_rate_on_smoke(self):
         report = run_scenario("smoke", seed=0)
         assert report["overall"]["cache_hit_rate"] > 0
+
+
+class TestTemporalScenario:
+    def test_temporal_is_deterministic_and_ledger_clean(self):
+        report = run_scenario("temporal", seed=0)
+        assert report["overall"]["ledger_ok"]
+        assert report == run_scenario("temporal", seed=0)
+
+    def test_temporal_promotes_across_mutation_batches(self):
+        """The hot graph.neighbors set keeps hitting after epoch bumps
+        because clean-footprint entries are promoted, not reclaimed."""
+        report = run_scenario("temporal", seed=0)
+        assert report["overall"]["cache_hit_rate"] > 0
+        assert "graph.neighbors" in report["endpoints"]
+        assert report["endpoints"]["graph.neighbors"]["cache_hits"] > 0
+
+    def test_update_stream_hooks_apply_in_order(self):
+        import numpy as np
+
+        from repro.graph.generators import barabasi_albert
+        from repro.serve.endpoints import GraphRegistry
+        from repro.serve.loadgen import update_stream
+
+        g = barabasi_albert(40, 2, seed=3)
+        graphs = GraphRegistry()
+        graphs.register("default", g)
+        hooks = update_stream(g, num_batches=4, edge_fraction=0.02, seed=5)
+        for hook in hooks:
+            delta = hook(graphs)
+            assert delta.changed
+        assert graphs.get("default").epoch == 4
+
+
+class TestMutateSoak:
+    def test_mutate_soak_contract_holds(self):
+        from repro.serve.soak import run_mutate_soak
+
+        report = run_mutate_soak(seed=0, num_batches=8)
+        assert report["ok"], report["assertions"]
+        assert report["final_epoch"] == 8
+        assert report["cache"]["promoted"] > 0
+        assert report["pagerank_max_err"] < 1e-6

@@ -1,0 +1,119 @@
+"""Incremental maintainers vs from-scratch recompute.
+
+The acceptance stream at the bottom drives a seeded 50-batch update
+stream through the same run functions the ``tlav.incremental.*`` check
+oracles use, asserting equivalence at *every* epoch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.delta import apply_edge_updates, random_edge_updates
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.tlav import bfs, wcc
+from repro.tlav.incremental import (
+    IncrementalBFS,
+    IncrementalPageRank,
+    IncrementalWCC,
+)
+from repro.tlav.checks import (
+    _check_incremental_bfs,
+    _check_incremental_pagerank,
+    _check_incremental_wcc,
+)
+
+
+class TestIncrementalPageRank:
+    def test_initial_solve_matches_fresh(self):
+        g = barabasi_albert(80, 3, seed=0)
+        a = IncrementalPageRank(g, tol=1e-10).scores()
+        b = IncrementalPageRank(g, tol=1e-10).scores()
+        assert np.array_equal(a, b)
+        assert abs(a.sum() - 1.0) < 1e-12
+
+    def test_tracks_scratch_across_batches(self):
+        g = barabasi_albert(60, 3, seed=1)
+        inc = IncrementalPageRank(g, tol=1e-10)
+        for ins, dels in random_edge_updates(g, 8, 0.02, seed=2):
+            inc.apply(ins, dels)
+            g, _ = apply_edge_updates(g, inserts=ins, deletes=dels)
+            scratch = IncrementalPageRank(g, tol=1e-10).scores()
+            assert float(np.max(np.abs(inc.scores() - scratch))) < 1e-6
+
+    def test_epoch_and_stats(self):
+        g = barabasi_albert(30, 2, seed=3)
+        inc = IncrementalPageRank(g)
+        assert inc.epoch == 0
+        batches = random_edge_updates(g, 3, 0.02, seed=4)
+        for ins, dels in batches:
+            inc.apply(ins, dels)
+        d = inc.as_dict()
+        assert d["epoch"] == inc.epoch == 3
+        assert d["pushes"] > 0
+
+
+class TestIncrementalWCC:
+    def test_insert_merges_and_delete_splits(self):
+        # Two disjoint triangles: {0,1,2} and {3,4,5}.
+        from repro.graph.csr import Graph
+
+        src = np.array([0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5])
+        dst = np.array([1, 2, 0, 2, 0, 1, 4, 5, 3, 5, 3, 4])
+        order = np.lexsort((dst, src))
+        indptr = np.zeros(7, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=6), out=indptr[1:])
+        g = Graph(indptr, dst[order], directed=False)
+        inc = IncrementalWCC(g)
+        assert len(set(inc.labels.tolist())) == 2
+        inc.apply(inserts=np.array([[2, 3]]), deletes=())
+        assert len(set(inc.labels.tolist())) == 1
+        inc.apply(inserts=(), deletes=np.array([[2, 3]]))
+        assert len(set(inc.labels.tolist())) == 2
+        assert np.array_equal(inc.labels, np.array([0, 0, 0, 3, 3, 3]))
+
+    def test_tracks_scratch_across_batches(self):
+        g = erdos_renyi(70, 0.03, seed=5)
+        inc = IncrementalWCC(g)
+        for ins, dels in random_edge_updates(g, 10, 0.05, seed=6):
+            inc.apply(ins, dels)
+            g, _ = apply_edge_updates(g, inserts=ins, deletes=dels)
+            assert np.array_equal(inc.labels, wcc(g))
+
+
+class TestIncrementalBFS:
+    def test_tracks_scratch_across_batches(self):
+        g = barabasi_albert(60, 2, seed=7)
+        inc = IncrementalBFS(g, source=0)
+        assert np.array_equal(inc.levels, bfs(g, 0))
+        for ins, dels in random_edge_updates(g, 10, 0.03, seed=8):
+            inc.apply(ins, dels)
+            g, _ = apply_edge_updates(g, inserts=ins, deletes=dels)
+            assert np.array_equal(inc.levels, bfs(g, 0))
+
+    def test_unreachable_is_minus_one(self):
+        g = erdos_renyi(20, 0.0, seed=9)  # no edges
+        inc = IncrementalBFS(g, source=0)
+        levels = inc.levels
+        assert levels[0] == 0
+        assert np.all(levels[1:] == -1)
+        inc.apply(inserts=np.array([[0, 5]]), deletes=())
+        assert inc.levels[5] == 1
+
+
+class TestFiftyBatchAcceptanceStream:
+    """ISSUE acceptance: all three oracles green at every epoch of a
+    seeded 50-batch update stream, via the oracle run functions."""
+
+    PARAMS = {
+        "kind": "ba", "n": 64, "m": 3, "graph_seed": 17,
+        "batches": 50, "update_seed": 23, "edge_frac": 0.01,
+    }
+
+    def test_pagerank_oracle_50_batches(self):
+        assert _check_incremental_pagerank(dict(self.PARAMS)) == []
+
+    def test_wcc_oracle_50_batches(self):
+        assert _check_incremental_wcc(dict(self.PARAMS)) == []
+
+    def test_bfs_oracle_50_batches(self):
+        assert _check_incremental_bfs(dict(self.PARAMS, source=11)) == []
