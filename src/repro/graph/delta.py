@@ -172,19 +172,23 @@ def random_edge_updates(
     Each batch deletes ``edge_fraction`` of the *current* edges and
     inserts the same number of fresh non-edges (endpoints drawn
     uniformly), so the edge count stays roughly stationary and every
-    delete/insert is effective by construction.  Deterministic at a
-    fixed seed.
+    delete/insert is effective by construction.  The batch size is
+    capped at the size of the non-edge complement, so near-complete
+    graphs produce smaller (possibly empty) batches instead of
+    sampling forever.  Deterministic at a fixed seed.
     """
     if num_batches < 0:
         raise ValueError("num_batches must be >= 0")
     if graph.directed:
         raise ValueError("random_edge_updates expects an undirected graph")
     n = graph.num_vertices
+    max_pairs = n * (n - 1) // 2
     rng = np.random.default_rng(seed)
     present = set(int(c) for c in _current_codes(graph))
     batches: List[Tuple[np.ndarray, np.ndarray]] = []
     for _ in range(int(num_batches)):
         k = max(1, int(round(edge_fraction * len(present))))
+        k = min(k, max_pairs - len(present))
         pool = np.sort(np.fromiter(present, dtype=np.int64))
         victims = pool[rng.choice(pool.size, size=min(k, pool.size),
                                   replace=False)]

@@ -11,12 +11,16 @@ reclaimed instead of waiting for LRU pressure.
 the hit rate.  An entry may record the set of partitions its result
 read (:meth:`put`'s ``partitions``; ``None`` means the whole graph).
 When a mutation batch reports its dirty partitions through
-:meth:`invalidate_graph`, entries whose footprint is disjoint from the
-dirty set are **promoted**: re-keyed to the new epoch, so the next
-fresh lookup still hits.  Whole-graph entries (and intersecting ones)
-age into the stale tail as before.  An *empty* dirty set is the
-registry's proof the batch was a structural no-op, and promotes
-everything.
+:meth:`invalidate_graph`, entries **at the immediately preceding
+epoch** whose footprint is disjoint from the dirty set are
+**promoted**: re-keyed to the new epoch, so the next fresh lookup
+still hits.  Each entry is thus judged against every batch exactly
+once — an entry that aged into the stale tail was dirtied by some
+earlier batch, and a later batch with a disjoint (or empty) dirty set
+must not resurrect it as fresh.  Whole-graph entries (and
+intersecting ones) age into the stale tail as before.  An *empty*
+dirty set is the registry's proof the batch was a structural no-op,
+and promotes everything at the preceding epoch.
 
 With ``max_stale_epochs > 0`` the reclaim keeps a bounded tail of old
 epochs behind for the degradation ladder: when a breaker is open or
@@ -183,10 +187,14 @@ class ResultCache:
     ) -> int:
         """Process one epoch bump for ``name``; returns entries reclaimed.
 
-        Entries older than ``current_epoch`` whose recorded partition
+        Entries at ``current_epoch - 1`` whose recorded partition
         footprint is disjoint from ``dirty_partitions`` are promoted to
         the current epoch (still a fresh answer — no dirty partition
-        contributed to them).  The rest age into the stale tail: the
+        contributed to them).  Only that epoch is promotable: each
+        entry is judged against every batch exactly once, so a
+        stale-tail survivor — already dirtied by an earlier batch —
+        can never be re-keyed fresh by a later batch whose dirty set
+        happens to miss it.  The rest age into the stale tail: the
         ``max_stale_epochs`` newest prior epochs are retained for
         stale-while-revalidate, older ones are reclaimed.  Without
         ``current_epoch`` the floor resolves from the newest cached
@@ -209,8 +217,13 @@ class ResultCache:
             if k[2] >= cur:
                 continue
             footprint = self._footprints[k]
-            clean = dirty is not None and (
-                not dirty or (footprint is not None and footprint.isdisjoint(dirty))
+            clean = (
+                k[2] == cur - 1
+                and dirty is not None
+                and (
+                    not dirty
+                    or (footprint is not None and footprint.isdisjoint(dirty))
+                )
             )
             if clean:
                 target = (k[0], k[1], cur, k[3])
@@ -219,6 +232,10 @@ class ResultCache:
                 if target not in self._entries:
                     self._insert(target, value, footprint)
                     promoted += 1
+                else:
+                    # A genuinely fresh entry already owns the target
+                    # key; the displaced candidate is reclaimed.
+                    reclaimed += 1
                 continue
             if k[2] < floor:
                 self._remove(k)

@@ -114,3 +114,44 @@ class TestRandomEdgeUpdates:
         directed = Graph(indptr, indices, directed=True)
         with pytest.raises(ValueError):
             random_edge_updates(directed, 1)
+
+    def test_complete_graph_terminates_with_empty_batches(self):
+        """Regression: on a graph with no non-edges the insert sampler
+        used to rejection-sample forever; batches must cap at the
+        complement size (here zero) instead."""
+        from repro.graph.csr import Graph
+
+        n = 5
+        src, dst = zip(*[(u, v) for u in range(n) for v in range(n) if u != v])
+        src = np.array(src, dtype=np.int64)
+        dst = np.array(dst, dtype=np.int64)
+        order = np.lexsort((dst, src))
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src[order], minlength=n), out=indptr[1:])
+        complete = Graph(indptr, dst[order], directed=False)
+        batches = random_edge_updates(complete, 3, edge_fraction=0.5, seed=0)
+        assert len(batches) == 3
+        for ins, dels in batches:
+            assert ins.shape == (0, 2) and dels.shape == (0, 2)
+
+    def test_near_complete_graph_caps_inserts_at_complement(self):
+        """edge_fraction may ask for more inserts than there are
+        non-edges; the batch shrinks to the complement size."""
+        from repro.graph.csr import Graph
+
+        n = 4
+        # Complete K4 minus the (0, 1) edge: exactly one non-edge.
+        pairs = [
+            (u, v) for u in range(n) for v in range(n)
+            if u != v and {u, v} != {0, 1}
+        ]
+        src = np.array([p[0] for p in pairs], dtype=np.int64)
+        dst = np.array([p[1] for p in pairs], dtype=np.int64)
+        order = np.lexsort((dst, src))
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src[order], minlength=n), out=indptr[1:])
+        g = Graph(indptr, dst[order], directed=False)
+        batches = random_edge_updates(g, 1, edge_fraction=0.9, seed=3)
+        ins, dels = batches[0]
+        assert ins.shape == (1, 2) and dels.shape == (1, 2)
+        assert tuple(sorted(ins[0].tolist())) == (0, 1)

@@ -254,6 +254,61 @@ class TestPartitionScopedInvalidation:
         hit, value = cache.lookup(_key(epoch=1, x=1))
         assert hit and value == "already-fresh"
         assert cache.index_consistent()
+        # The displaced candidate is accounted, not silently dropped.
+        assert cache.as_dict()["invalidated"] == 1
+        assert cache.as_dict()["promoted"] == 0
+
+    def test_multi_bump_does_not_resurrect_dirtied_entry(self):
+        """Regression: an entry whose footprint was dirtied at epoch N
+        must never be promoted by a *later* batch whose dirty set is
+        disjoint (or empty) — only the immediately preceding epoch is
+        judged against each batch."""
+        cache = ResultCache(max_stale_epochs=8)
+        cache.put(_key(epoch=1, x=1), "pre-mutation", partitions={3})
+        # Batch 1 dirties partition 3: correctly not promoted.
+        cache.invalidate_graph("default", current_epoch=2,
+                               dirty_partitions={3})
+        assert not cache.lookup(_key(epoch=2, x=1))[0]
+        # Batch 2 dirties a disjoint partition: must not re-key the
+        # stale-tail survivor to the current epoch.
+        cache.invalidate_graph("default", current_epoch=3,
+                               dirty_partitions={7})
+        assert not cache.lookup(_key(epoch=3, x=1))[0]
+        # A structural no-op batch must not resurrect it either.
+        cache.invalidate_graph("default", current_epoch=4,
+                               dirty_partitions=frozenset())
+        assert not cache.lookup(_key(epoch=4, x=1))[0]
+        assert cache.as_dict()["promoted"] == 0
+        # It remains reachable only via the degraded stale path.
+        found, value, staleness = cache.lookup_stale(
+            "ep", "default", 4, canonical_params({"x": 1})
+        )
+        assert found and value == "pre-mutation" and staleness == 3
+
+    def test_clean_entry_rides_consecutive_disjoint_batches(self):
+        """An entry untouched by every batch is re-promoted each bump
+        and stays fresh across the whole chain."""
+        cache = ResultCache(max_stale_epochs=4)
+        cache.put(_key(epoch=0, x=1), "clean", partitions={2})
+        for cur in (1, 2, 3):
+            cache.invalidate_graph("default", current_epoch=cur,
+                                   dirty_partitions={9})
+        hit, value = cache.lookup(_key(epoch=3, x=1))
+        assert hit and value == "clean"
+        assert cache.as_dict()["promoted"] == 3
+
+    def test_stale_tail_entry_never_promoted(self):
+        """Only epoch cur-1 is judged against a batch; an older retained
+        entry stays in the stale tail even with a disjoint footprint."""
+        cache = ResultCache(max_stale_epochs=4)
+        cache.put(_key(epoch=0, x=1), "tail", partitions={2})
+        cache.put(_key(epoch=2, x=1), "prev", partitions={2})
+        cache.invalidate_graph("default", current_epoch=3,
+                               dirty_partitions={9})
+        hit, value = cache.lookup(_key(epoch=3, x=1))
+        assert hit and value == "prev"
+        assert _key(epoch=0, x=1) in cache  # retained, not re-keyed
+        assert cache.as_dict()["promoted"] == 1
 
     def test_attached_registry_reports_dirty_partitions(self):
         import numpy as np
