@@ -18,6 +18,15 @@ from .comm_plan import (
     hierarchical_allreduce_time,
     hierarchical_broadcast_time,
 )
+from .dataloader import (
+    FeatureFetcher,
+    InferReport,
+    ItemSampler,
+    MiniBatch,
+    MiniBatchLoader,
+    infer_sampled,
+    sampled_inference_blocks,
+)
 from .distributed import DistributedTrainer, halo_sets
 from .distributed_sampled import DistributedSampledTrainer
 from .historical import HistoricalReport, train_historical
@@ -103,6 +112,13 @@ __all__ = [
     "TrainReport",
     "train_full_graph",
     "train_sampled",
+    "ItemSampler",
+    "FeatureFetcher",
+    "MiniBatch",
+    "MiniBatchLoader",
+    "InferReport",
+    "infer_sampled",
+    "sampled_inference_blocks",
     "DistributedTrainer",
     "halo_sets",
     "StalenessTrace",

@@ -66,46 +66,90 @@ class CacheStats:
         return CacheStats(self.hits, self.misses, self.admissions, self.evictions)
 
 
-class StaticDegreeCache:
+class _CacheObsMixin:
+    """Mirror :class:`CacheStats` transitions into ``gnn.cache.*``
+    counters (labelled per cache) so hit rates show up in ``analyze
+    --json`` instead of only in object state."""
+
+    obs: Optional[MetricsRegistry] = None
+    label: str = "cache"
+
+    def _emit(self, metric: str, description: str, amount: int = 1) -> None:
+        if self.obs is not None and amount:
+            self.obs.counter(f"gnn.cache.{metric}", description).inc(
+                amount, cache=self.label
+            )
+
+    def _record(self, hit: bool) -> None:
+        if hit:
+            self._emit("hits", "feature-cache hits")
+        else:
+            self._emit("misses", "feature-cache misses")
+
+
+class StaticDegreeCache(_CacheObsMixin):
     """Pin the highest-degree vertices; contents never change."""
 
-    def __init__(self, graph: Graph, capacity: int) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        capacity: int,
+        obs: Optional[MetricsRegistry] = None,
+        label: str = "static",
+    ) -> None:
         self.capacity = capacity
+        self.obs = obs
+        self.label = label
         degrees = graph.degrees()
         top = np.argsort(-degrees, kind="stable")[:capacity]
         self._pinned = frozenset(int(v) for v in top)
         self.stats = CacheStats(admissions=len(self._pinned))
+        self._emit("admissions", "entries admitted", len(self._pinned))
 
     def lookup(self, vertex: int) -> bool:
         if vertex in self._pinned:
             self.stats.hits += 1
+            self._record(True)
             return True
         self.stats.misses += 1
+        self._record(False)
         return False
 
 
-class LRUCache:
+class LRUCache(_CacheObsMixin):
     """Least-recently-used cache; misses insert and may evict."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        obs: Optional[MetricsRegistry] = None,
+        label: str = "lru",
+    ) -> None:
         self.capacity = capacity
+        self.obs = obs
+        self.label = label
         self._entries: OrderedDict = OrderedDict()
         self.stats = CacheStats()
 
     def lookup(self, vertex: int) -> bool:
         if self.capacity <= 0:
             self.stats.misses += 1
+            self._record(False)
             return False
         if vertex in self._entries:
             self._entries.move_to_end(vertex)
             self.stats.hits += 1
+            self._record(True)
             return True
         self.stats.misses += 1
         self.stats.admissions += 1
+        self._record(False)
+        self._emit("admissions", "entries admitted")
         self._entries[vertex] = True
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._emit("evictions", "entries evicted")
         return False
 
 

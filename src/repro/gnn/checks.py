@@ -180,3 +180,161 @@ def _check_static_vs_lru(params: Dict) -> List[str]:
         [static.hit_rate], [lru.hit_rate], atol=0.08, label="static_vs_lru"
     )
     return out
+
+
+def _gen_minibatch_loss(rng: np.random.Generator) -> Dict:
+    return {
+        "community_size": int(rng.integers(8, 21)),
+        "batch_size": int(rng.integers(8, 33)),
+        "graph_seed": int(rng.integers(1 << 16)),
+        "model_seed": int(rng.integers(1 << 16)),
+        "loader_seed": int(rng.integers(1 << 16)),
+    }
+
+
+@pair(
+    "gnn.minibatch.loss_vs_fullgraph", "gnn", BOUNDED_ERROR,
+    gen=_gen_minibatch_loss,
+    floors={"community_size": 4, "batch_size": 1},
+    description="batch-weighted mini-batch seed loss approaches the "
+    "full-graph masked loss as fanout grows; at full fanout a SAGE "
+    "model's seed logits are exact (blocks carry the seeds' complete "
+    "1-hop aggregation neighborhoods), so the gap collapses to fp "
+    "noise.",
+)
+def _check_minibatch_loss(params: Dict) -> List[str]:
+    from ..graph.generators import planted_partition
+    from .dataloader import MiniBatchLoader
+    from .layers import GraphTensors
+    from .models import NodeClassifier
+    from .tensor import Tensor, no_grad
+
+    cs = int(params["community_size"])
+    graph, labels = planted_partition(
+        3, cs, p_in=0.3, p_out=0.05, seed=int(params["graph_seed"])
+    )
+    n = graph.num_vertices
+    rng = np.random.default_rng(int(params["graph_seed"]) + 1)
+    features = np.eye(3)[labels] + rng.normal(0, 1.0, size=(n, 3))
+    model = NodeClassifier(3, 8, 3, layer="sage", seed=int(params["model_seed"]))
+    nodes = np.arange(n, dtype=np.int64)
+    with no_grad():
+        full_logits = model(GraphTensors(graph), Tensor(features))
+        full_loss = float(
+            full_logits.gather_rows(nodes).cross_entropy(labels).data
+        )
+
+    def minibatch_loss(fanout: int) -> float:
+        loader = MiniBatchLoader(
+            graph,
+            items=nodes,
+            batch_size=int(params["batch_size"]),
+            fanouts=(fanout, fanout),
+            features=features,
+            seed=int(params["loader_seed"]),
+        )
+        total = 0.0
+        count = 0
+        with no_grad():
+            for mb in loader.epoch():
+                logits = model(mb.gt, Tensor(mb.x))
+                seed_logits = logits.gather_rows(mb.seed_local)
+                seed_labels = labels[mb.node_ids[mb.seed_local]]
+                loss = float(seed_logits.cross_entropy(seed_labels).data)
+                total += loss * mb.seed_local.size
+                count += int(mb.seed_local.size)
+        return total / count
+
+    gap_small = abs(minibatch_loss(1) - full_loss)
+    gap_full = abs(minibatch_loss(-1) - full_loss)
+    out = bounded_error(
+        [0.0], [gap_full], atol=1e-8, label="full_fanout_gap"
+    )
+    out += bounded_error(
+        [gap_full], [min(gap_full, gap_small + 1e-8)],
+        atol=1e-12, label="gap_monotone",
+    )
+    return out
+
+
+def _gen_loader_cache(rng: np.random.Generator) -> Dict:
+    n = int(rng.integers(40, 121))
+    return {
+        "n": n,
+        "capacity": int(rng.integers(4, max(5, n // 2))),
+        "batch_size": int(rng.integers(8, 33)),
+        "fanout": int(rng.integers(1, 4)),
+        "epochs": int(rng.integers(1, 3)),
+        "seed": int(rng.integers(1 << 16)),
+    }
+
+
+@pair(
+    "gnn.loader.cache_accounting", "gnn", BIT_IDENTICAL,
+    gen=_gen_loader_cache,
+    floors={"n": 8, "capacity": 1, "batch_size": 1, "fanout": 1, "epochs": 1},
+    description="the loader's FeatureFetcher cache accounting must "
+    "agree bit-for-bit with the cache's own books, an independent LRU "
+    "simulation of the emitted block trace, a fresh-cache replay, and "
+    "the gnn.loader.* / gnn.cache.* obs counters.",
+)
+def _check_loader_cache(params: Dict) -> List[str]:
+    from ..graph.generators import barabasi_albert
+    from ..obs import MetricsRegistry
+    from .dataloader import MiniBatchLoader
+
+    n = int(params["n"])
+    capacity = int(params["capacity"])
+    seed = int(params["seed"])
+    graph = barabasi_albert(n, 3, seed=seed)
+    features = np.random.default_rng(seed + 1).normal(size=(n, 4))
+    obs = MetricsRegistry()
+    cache = LRUCache(capacity, obs=obs)
+    loader = MiniBatchLoader(
+        graph,
+        items=np.arange(n, dtype=np.int64),
+        batch_size=int(params["batch_size"]),
+        fanouts=(int(params["fanout"]), int(params["fanout"])),
+        features=features,
+        seed=seed,
+        cache=cache,
+        obs=obs,
+    )
+    trace: List[int] = []
+    gathered = 0
+    for _ in range(int(params["epochs"])):
+        for mb in loader.epoch():
+            trace.extend(int(v) for v in mb.node_ids)
+            gathered += mb.gathered_nodes
+    stats = cache.stats
+    sim = _sim_lru(trace, capacity)
+    fresh_report = replay(trace, LRUCache(capacity), feature_dim=4)
+    out = same_values(sim["hits"], stats.hits, "sim.hits")
+    for key in ("misses", "admissions", "evictions"):
+        out += same_values(sim[key], getattr(stats, key), f"sim.{key}")
+    out += same_values(fresh_report.hits, stats.hits, "replay.hits")
+    out += same_values(loader.fetcher.hits, stats.hits, "fetcher.hits")
+    out += same_values(loader.fetcher.misses, stats.misses, "fetcher.misses")
+    out += same_values(gathered, stats.accesses, "accesses_vs_gathered")
+    out += same_values(
+        stats.hits,
+        int(obs.counter("gnn.loader.cache_hits").total),
+        "obs.loader.cache_hits",
+    )
+    out += same_values(
+        stats.misses,
+        int(obs.counter("gnn.loader.cache_misses").total),
+        "obs.loader.cache_misses",
+    )
+    out += same_values(
+        stats.hits,
+        int(obs.counter("gnn.cache.hits").value(cache="lru")),
+        "obs.cache.hits",
+    )
+    row_bytes = features.shape[1] * features.dtype.itemsize
+    out += same_values(
+        stats.misses * row_bytes,
+        int(obs.counter("gnn.loader.bytes_fetched").total),
+        "obs.loader.bytes_fetched",
+    )
+    return out

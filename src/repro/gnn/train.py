@@ -16,6 +16,7 @@ and tests can compare convergence as well as cost.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -27,7 +28,6 @@ from ..obs import MetricsRegistry, StatsViewMixin, Tracer, merge_counters
 from ..resilience import FaultInjector, SnapshotStore
 from .layers import GraphTensors
 from .models import Adam, NodeClassifier, accuracy
-from .sampling import NeighborSampler
 from .tensor import Tensor, no_grad
 
 __all__ = ["TrainReport", "train_full_graph", "train_sampled"]
@@ -242,15 +242,35 @@ def train_sampled(
     obs: Optional[MetricsRegistry] = None,
     *,
     graph: Optional[Graph] = None,
+    prefetch: int = 0,
+    cache=None,
+    full_eval: bool = False,
+    eval_batch_size: Optional[int] = None,
+    loader: Optional["MiniBatchLoader"] = None,
+    tracer=None,
 ) -> TrainReport:
-    """Mini-batch training over sampled neighborhood blocks.
+    """Mini-batch training over the staged GraphBolt-style dataloader.
 
     The loss is computed on the batch seeds only; each block is a small
     graph, so a step's work (and feature-gather volume) is independent
     of ``|V|`` — the bound that makes the industrial systems scale.
     Like :func:`train_full_graph`, ``graph_or_handle`` accepts a graph,
     handle, or store path, and ``features`` default to feature shards.
+
+    Batches come from a :class:`~repro.gnn.dataloader.MiniBatchLoader`
+    (pass ``prefetch``/``cache`` to configure it, or hand in a prebuilt
+    ``loader`` to inspect its schedule/cache reports afterwards).  The
+    loader reproduces the legacy sampling loop's RNG order, so losses
+    are bit-identical with the pre-loader trainer at fixed ``seed``,
+    with prefetch on or off.
+
+    Per-epoch evaluation runs **sampled inference** over the masked
+    nodes (cost bounded by fanout, so evaluation no longer re-breaks
+    the |V|-independent bound on large graphs); ``full_eval=True``
+    restores the exact full-graph forward for small-graph parity tests.
     """
+    from .dataloader import MiniBatchLoader, infer_sampled
+
     handle = as_handle(
         resolve_graph_argument("train_sampled", graph_or_handle, graph)
     )
@@ -265,26 +285,69 @@ def train_sampled(
         raise TypeError(
             "train_sampled() missing required 'labels'/'train_mask'"
         )
-    sampler = NeighborSampler(handle, fanouts, seed=seed)
     optimizer = Adam(model.parameters(), lr=lr)
     report = TrainReport()
     train_nodes = np.nonzero(train_mask)[0]
-    for _ in range(epochs):
-        for block in sampler.batches(train_nodes, batch_size):
-            gt = block.tensors()
-            x = Tensor(features[block.node_ids])
+    if loader is None:
+        loader = MiniBatchLoader(
+            handle,
+            items=train_nodes,
+            batch_size=batch_size,
+            fanouts=fanouts,
+            features=features,
+            seed=seed,
+            cache=cache,
+            prefetch=prefetch,
+            obs=obs,
+            tracer=tracer,
+        )
+    eval_nodes = train_nodes
+    if val_mask is not None:
+        eval_nodes = np.unique(
+            np.concatenate([train_nodes, np.nonzero(val_mask)[0]])
+        )
+    for epoch_idx in range(epochs):
+        for mb in loader.epoch():
+            t0 = time.perf_counter()
+            x = Tensor(mb.x)
             optimizer.zero_grad()
-            logits = model(gt, x)
-            seed_logits = logits.gather_rows(block.seed_local)
-            seed_labels = labels[block.node_ids[block.seed_local]]
+            logits = model(mb.gt, x)
+            seed_logits = logits.gather_rows(mb.seed_local)
+            seed_labels = labels[mb.node_ids[mb.seed_local]]
             loss = seed_logits.cross_entropy(seed_labels)
             loss.backward()
             optimizer.step()
-            report.record_step(float(loss.data), block.gathered_nodes, obs=obs)
-        full_gt = GraphTensors(handle)
-        with no_grad():
-            out = model(full_gt, Tensor(features)).data
-        report.train_accuracy.append(accuracy(out, labels, train_mask))
-        if val_mask is not None:
-            report.val_accuracy.append(accuracy(out, labels, val_mask))
+            mb.record_compute(time.perf_counter() - t0)
+            report.record_step(float(loss.data), mb.gathered_nodes, obs=obs)
+        if full_eval:
+            full_gt = GraphTensors(handle)
+            with no_grad():
+                out = model(full_gt, Tensor(features)).data
+            report.train_accuracy.append(accuracy(out, labels, train_mask))
+            if val_mask is not None:
+                report.val_accuracy.append(accuracy(out, labels, val_mask))
+        else:
+            # Sampled layer-wise evaluation on the masked nodes only —
+            # its own RNG stream, so the training draw order is
+            # untouched and losses stay bit-identical to full_eval runs.
+            preds = infer_sampled(
+                model,
+                handle,
+                features=features,
+                nodes=eval_nodes,
+                batch_size=eval_batch_size or batch_size,
+                fanouts=fanouts,
+                seed=(seed + 1) * 1_000_003 + epoch_idx,
+                obs=obs,
+            )
+            correct = preds == labels[eval_nodes]
+            train_sel = train_mask[eval_nodes].astype(bool)
+            report.train_accuracy.append(
+                float(np.mean(correct[train_sel])) if train_sel.any() else 0.0
+            )
+            if val_mask is not None:
+                val_sel = val_mask[eval_nodes].astype(bool)
+                report.val_accuracy.append(
+                    float(np.mean(correct[val_sel])) if val_sel.any() else 0.0
+                )
     return report

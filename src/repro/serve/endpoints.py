@@ -587,7 +587,83 @@ def _slice_nodes(predicted: np.ndarray, params: Dict, n: int) -> List[int]:
     return [int(predicted[int(v) % max(n, 1)]) for v in nodes]
 
 
+#: Default fanouts for sampled serving inference.
+SAMPLED_FANOUTS = (3, 3)
+
+#: Above this vertex count a full forward per request is no longer
+#: admitted when the request names specific nodes — sampled inference
+#: bounds the cost by batch x fanout instead of |E|.
+SAMPLED_PREDICT_MAX_FULL = 512
+
+
+def _predict_mode(record: GraphRecord, params: Dict) -> str:
+    """``full`` | ``sampled``; ``mode`` param overrides the auto rule.
+
+    Auto picks sampled inference when the request names nodes and the
+    graph is stored (paged, assumed big) or simply too large for a
+    per-request full forward.  Requests for *every* node keep the
+    full-graph path — there is no cheaper way to answer them.
+    """
+    mode = str(params.get("mode", "auto"))
+    if mode in ("full", "sampled"):
+        return mode
+    if params.get("nodes") is None:
+        return "full"
+    if getattr(record.graph, "version", None) is not None:  # stored graph
+        return "sampled"
+    if record.graph.num_vertices > SAMPLED_PREDICT_MAX_FULL:
+        return "sampled"
+    return "full"
+
+
+def _sampled_spec(record: GraphRecord, params: Dict):
+    """The deterministic sampling plan of one sampled-predict request.
+
+    The seed is derived from the graph's GNN seed and the canonical
+    params only — *not* the epoch — so a cache entry promoted across an
+    epoch bump (clean partition footprint) stays bit-identical with a
+    recompute: same seed over unchanged adjacency resamples the same
+    blocks.
+    """
+    import zlib
+
+    n = max(record.graph.num_vertices, 1)
+    raw = params.get("nodes")
+    if raw is None:
+        nodes = np.arange(n, dtype=np.int64)
+    else:
+        nodes = np.asarray([int(v) % n for v in raw], dtype=np.int64)
+    fanouts = tuple(int(f) for f in params.get("fanouts", SAMPLED_FANOUTS))
+    batch_size = max(1, int(params.get("batch_size", 64)))
+    seed = zlib.crc32(
+        repr((record.gnn_seed, canonical_params(params))).encode()
+    )
+    return nodes, fanouts, batch_size, seed
+
+
+def _run_predict_sampled(record: GraphRecord, params: Dict) -> Tuple[Any, int]:
+    from ..gnn.dataloader import InferReport, infer_sampled
+
+    record.ensure_gnn()
+    nodes, fanouts, batch_size, seed = _sampled_spec(record, params)
+    rep = InferReport()
+    preds = infer_sampled(
+        record.model,
+        record.graph,
+        features=record.features,
+        nodes=nodes,
+        batch_size=batch_size,
+        fanouts=fanouts,
+        seed=seed,
+        report=rep,
+    )
+    cost = rep.messages * record.model.num_layers
+    return [int(p) for p in preds], max(1, cost)
+
+
 def _run_predict(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
+    if _predict_mode(record, params) == "sampled":
+        return _run_predict_sampled(record, params)
     predicted, cost = _gnn_predictions(record)
     return _slice_nodes(predicted, params, record.graph.num_vertices), cost
 
@@ -595,10 +671,52 @@ def _run_predict(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]
 def _run_predict_batch(
     record: GraphRecord, params_list: List[Dict], executor
 ) -> Tuple[List[Any], int]:
-    """One full-graph forward pass serves every request in the batch."""
-    predicted, cost = _gnn_predictions(record)
-    n = record.graph.num_vertices
-    return [_slice_nodes(predicted, p, n) for p in params_list], cost
+    """One full-graph forward serves every full-mode request in the
+    batch; sampled-mode requests each pay their own (fanout-bounded)
+    sampled inference."""
+    results: List[Any] = [None] * len(params_list)
+    cost = 0
+    full_idx = [
+        i for i, p in enumerate(params_list)
+        if _predict_mode(record, p) == "full"
+    ]
+    if full_idx:
+        predicted, full_cost = _gnn_predictions(record)
+        cost += full_cost
+        n = record.graph.num_vertices
+        for i in full_idx:
+            results[i] = _slice_nodes(predicted, params_list[i], n)
+    for i, params in enumerate(params_list):
+        if results[i] is None:
+            result, sampled_cost = _run_predict_sampled(record, params)
+            results[i] = result
+            cost += sampled_cost
+    return results, cost
+
+
+def _predict_footprint(record: GraphRecord, params: Dict):
+    """Exact partition footprint of a sampled-predict request.
+
+    Re-deriving the deterministic block stream (same seed, no forward
+    pass) yields exactly the nodes the answer read; the partitions
+    owning them are the complete dependency set.  Full-mode requests
+    read everything — ``None``.
+    """
+    if _predict_mode(record, params) != "sampled":
+        return None
+    assignment = getattr(record.graph, "assignment", None)
+    if assignment is None:
+        return None
+    from ..gnn.dataloader import sampled_inference_blocks
+
+    nodes, fanouts, batch_size, seed = _sampled_spec(record, params)
+    assignment = np.asarray(assignment)
+    parts: set = set()
+    for block in sampled_inference_blocks(
+        record.graph, nodes, fanouts, seed, batch_size
+    ):
+        parts.update(int(p) for p in np.unique(assignment[block.node_ids]))
+    return parts
 
 
 def _run_neighbors(record: GraphRecord, params: Dict, executor) -> Tuple[Any, int]:
@@ -666,7 +784,10 @@ def builtin_endpoints() -> EndpointRegistry:
     ))
     registry.register(Endpoint(
         "gnn.predict", "gnn", _run_predict, run_batch=_run_predict_batch,
-        description="node-classification inference (params: nodes)",
+        description="node-classification inference (params: nodes, mode, "
+                    "fanouts); stored/large graphs answer via sampled "
+                    "inference with a partition-exact cache footprint",
+        footprint=_predict_footprint,
     ))
     registry.register(Endpoint(
         "tlag.subgraph_query", "tlag", _run_subgraph_query,

@@ -200,11 +200,46 @@ def _build_smoke(seed: int) -> Dict[str, Any]:
     }
 
 
+#: Vertex count of the mixed scenario's stored graph — above the
+#: sampled-predict threshold, so ``gnn.predict`` answers on it via
+#: fanout-bounded sampled inference rather than a full forward.
+_STORED_N = 600
+
+
+def _stored_graph_dir(seed: int) -> str:
+    """Build (once per process) the mixed scenario's on-disk store."""
+    import atexit
+    import os
+    import shutil
+    import tempfile
+
+    from ..graph.store import build_store
+
+    cached = _stored_graph_dir.__dict__.get("path")
+    if cached is not None and os.path.exists(cached):
+        return cached
+    root = tempfile.mkdtemp(prefix="repro-serve-stored-")
+    atexit.register(shutil.rmtree, root, ignore_errors=True)
+    path = os.path.join(root, "stored")
+    graph = barabasi_albert(_STORED_N, 3, seed=6)
+    features = np.random.default_rng(6).normal(size=(_STORED_N, 8))
+    build_store(
+        graph, path, partition="hash", num_parts=8,
+        features=features, name="stored",
+    )
+    _stored_graph_dir.__dict__["path"] = path
+    return path
+
+
 def _build_mixed(seed: int) -> Dict[str, Any]:
-    """Two graphs, open + closed loops, an epoch bump between waves."""
+    """Two in-memory graphs plus a stored one, open + closed loops,
+    an epoch bump between waves.  ``gnn.predict`` against the stored
+    graph exercises the sampled-inference serving path (bounded cost,
+    partition-exact footprints)."""
     graphs = GraphRegistry()
     graphs.register("default", barabasi_albert(160, 3, seed=2))
     graphs.register("mesh", watts_strogatz(144, 4, 0.1, seed=3))
+    graphs.register("stored", _stored_graph_dir(seed))
     mix = _family_mix(160) + [
         MixEntry(
             "tlav.pagerank", lambda r: {"iterations": 4},
@@ -213,6 +248,13 @@ def _build_mixed(seed: int) -> Dict[str, Any]:
         MixEntry(
             "matching.count", lambda r: {"pattern": "c4"},
             weight=1.0, graph="mesh",
+        ),
+        MixEntry(
+            "gnn.predict",
+            lambda r: {"nodes": sorted(
+                int(v) for v in r.choice(_STORED_N, 4, replace=False)
+            )},
+            weight=2.0, graph="stored", priority=1, deadline_slack=400_000,
         ),
     ]
     wave1 = open_loop(

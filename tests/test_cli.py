@@ -159,3 +159,36 @@ class TestChaosCLI:
         assert res["faults_injected"] == 1
         assert res["redispatched_chunks"] == 1
         assert res["recover_spans"][0]["attrs"]["engine"] == "executor"
+
+
+class TestMinibatchCLI:
+    def test_text_mode_reports_pipeline(self, capsys):
+        assert main(["minibatch", "--n", "60", "--epochs", "2",
+                     "--fanout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "minibatch" in out
+        assert "overlap speedup" in out
+        assert "hit rate" in out
+        assert "coverage" in out and "OK" in out
+
+    def test_json_mode_smoke_contract(self, capsys):
+        assert main(["minibatch", "--n", "60", "--epochs", "2",
+                     "--fanout", "2", "--prefetch", "2", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["steps"] == 2 * report["batches_per_epoch"]
+        assert len(report["losses"]) == report["steps"]
+        assert report["schedule"]["overlap_speedup"] >= 1.0
+        assert "gnn.loader.batches" in report["metrics"]
+        assert "gnn.cache.hits" in report["metrics"]
+
+    def test_cache_kinds_and_full_eval(self, capsys):
+        assert main(["minibatch", "--n", "60", "--epochs", "1",
+                     "--fanout", "2", "--cache", "static",
+                     "--full-eval", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True and report["full_eval"] is True
+        assert main(["minibatch", "--n", "60", "--epochs", "1",
+                     "--fanout", "2", "--cache", "none", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cache_report"]["hits"] == 0
